@@ -1,0 +1,42 @@
+# CSWAP build and evaluation targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench report csv examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure as benchmark metrics.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full evaluation -> REPORT.md (and CSV series under data/).
+report:
+	$(GO) run ./cmd/cswap-report -o REPORT.md
+
+csv:
+	$(GO) run ./cmd/cswap-report -o REPORT.md -csv data
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/tune-compression
+	$(GO) run ./examples/framework-comparison
+	$(GO) run ./examples/real-swap
+	$(GO) run ./examples/vgg16-imagenet
+
+clean:
+	rm -f test_output.txt bench_output.txt
+	rm -rf data

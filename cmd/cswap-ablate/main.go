@@ -1,0 +1,33 @@
+// Command cswap-ablate runs the consolidated design-choice ablations of
+// DESIGN.md §5 — the selective-compression gate, launch tuning, codec
+// restriction, codec-stream pipelining, prefetch policy, memory budget,
+// and the bucketed time model — and prints one table.
+//
+// Usage:
+//
+//	cswap-ablate [-seed N] [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cswap/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	fast := flag.Bool("fast", false, "reduced sample counts")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	if *fast {
+		cfg = experiments.Fast(*seed)
+	}
+	r, err := experiments.Ablations(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r)
+}

@@ -1,0 +1,104 @@
+// Command cswap-inspect prints the workload a CSWAP deployment would see:
+// the model's layer table with shapes, FLOPs, and modeled times on the
+// chosen GPU, the swappable tensors with their hiding windows, and the
+// memory accounting that motivates swapping.
+//
+// Usage:
+//
+//	cswap-inspect [-model VGG16] [-gpu V100] [-dataset ImageNet] [-batch 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/profiler"
+	"cswap/internal/sparsity"
+	"cswap/internal/swap"
+)
+
+func main() {
+	modelName := flag.String("model", "VGG16", "DNN model")
+	gpuName := flag.String("gpu", "V100", "GPU")
+	datasetName := flag.String("dataset", "ImageNet", "dataset")
+	batch := flag.Int("batch", 0, "batch size (0 = Table III default)")
+	flag.Parse()
+
+	ds := dnn.ImageNet
+	if *datasetName == "CIFAR10" {
+		ds = dnn.CIFAR10
+	}
+	d, err := gpu.ByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m *dnn.Model
+	b := *batch
+	switch *modelName {
+	case "BERT-base", "BERT-large":
+		cfg := dnn.BERTBase
+		if *modelName == "BERT-large" {
+			cfg = dnn.BERTLarge
+		}
+		if b == 0 {
+			b = 64
+		}
+		m, err = dnn.BuildBERT(cfg, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = m.Dataset
+	default:
+		if b == 0 {
+			b, err = dnn.BatchSize(*modelName, *gpuName, ds)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		m, err = dnn.Build(*modelName, ds, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("%s / %s / %s, batch %d\n", m.Name, d.Name, ds.Name, b)
+	fmt.Printf("  parameters:          %8.1f M (%.0f MB)\n",
+		float64(m.WeightElems())/1e6, float64(m.WeightBytes())/(1<<20))
+	fmt.Printf("  forward activations: %8.1f GB (%.0fx the weights)\n",
+		float64(m.TotalActivationBytes())/(1<<30), m.FeatureToWeightRatio())
+	fmt.Printf("  compute/iteration:   %8.1f ms\n", m.IterationComputeTime(d)*1e3)
+	fp := m.TrainingFootprint()
+	fmt.Printf("  training footprint:  %8.1f GB of %d GB device memory (needs swapping: %v)\n\n",
+		float64(fp.Total())/(1<<30), d.MemBytes>>30, m.NeedsSwapping(d))
+
+	fmt.Printf("%-16s %-8s %14s %10s %10s %10s\n",
+		"layer", "op", "shape", "out(MB)", "fwd(ms)", "GFLOPs")
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		fmt.Printf("%-16s %-8s %4dx%4dx%4d %10.1f %10.3f %10.2f\n",
+			l.Name, l.Op, l.OutH, l.OutW, l.OutCh,
+			float64(m.OutputBytes(i))/(1<<20),
+			m.ForwardTime(d, i)*1e3,
+			m.FLOPs(i)/1e9)
+	}
+
+	sp := sparsity.ForModel(m, 50, 1)
+	np := profiler.Collect(m, d, sp, 0)
+	if err := swap.MeasureHiddenWindows(m, d, np); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nswappable tensors (epoch-0 sparsity, measured hiding windows):\n")
+	fmt.Printf("%-10s %10s %10s %12s %12s %14s\n",
+		"tensor", "size(MB)", "sparsity", "hiddenF(ms)", "hiddenB(ms)", "raw d2h(ms)")
+	for _, t := range np.Tensors {
+		fmt.Printf("%-10s %10.1f %9.0f%% %12.2f %12.2f %14.2f\n",
+			t.Name, float64(t.Bytes)/(1<<20), t.Sparsity*100,
+			t.HiddenF*1e3, t.HiddenB*1e3,
+			float64(t.Bytes)/np.BWd2h*1e3)
+	}
+	fmt.Printf("\nmeasured effective bandwidth: d2h %.1f GB/s, h2d %.1f GB/s\n",
+		np.BWd2h/1e9, np.BWh2d/1e9)
+}

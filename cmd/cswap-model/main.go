@@ -1,0 +1,56 @@
+// Command cswap-model reproduces the model-quality experiments: Figure 10
+// (RAE of the LR/BR/SVM/DT (de)compression-time predictors), Figure 11
+// (compression-decision accuracy per DNN), Figure 3 (static compression's
+// per-layer swap time versus no compression), and the Figure 2 execution
+// timelines.
+//
+// Usage:
+//
+//	cswap-model [-seed N] [-fast] [-skip-fig11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cswap/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	fast := flag.Bool("fast", false, "reduced sample counts")
+	skip11 := flag.Bool("skip-fig11", false, "skip the slow decision-accuracy sweep")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	if *fast {
+		cfg = experiments.Fast(*seed)
+	}
+
+	tl, err := experiments.Fig2Timeline(cfg)
+	if err != nil {
+		log.Fatalf("figure 2: %v", err)
+	}
+	fmt.Println(tl)
+
+	f3, err := experiments.Fig3(cfg)
+	if err != nil {
+		log.Fatalf("figure 3: %v", err)
+	}
+	fmt.Println(f3)
+
+	f10, err := experiments.Fig10(cfg)
+	if err != nil {
+		log.Fatalf("figure 10: %v", err)
+	}
+	fmt.Println(f10)
+
+	if !*skip11 {
+		f11, err := experiments.Fig11(cfg)
+		if err != nil {
+			log.Fatalf("figure 11: %v", err)
+		}
+		fmt.Println(f11)
+	}
+}

@@ -1,0 +1,46 @@
+// Command cswap-profile reproduces the profiling-side figures: Figure 1
+// (VGG16 per-layer sparsity and size across epochs), Figure 8 (layers
+// compressed per epoch for four models), and Figure 9 (the VGG16
+// layer × epoch compression dot-matrix).
+//
+// Usage:
+//
+//	cswap-profile [-seed N] [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cswap/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	fast := flag.Bool("fast", false, "reduced sample counts")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	if *fast {
+		cfg = experiments.Fast(*seed)
+	}
+
+	f1, err := experiments.Fig1(cfg)
+	if err != nil {
+		log.Fatalf("figure 1: %v", err)
+	}
+	fmt.Println(f1)
+
+	f8, err := experiments.Fig8(cfg)
+	if err != nil {
+		log.Fatalf("figure 8: %v", err)
+	}
+	fmt.Println(f8)
+
+	f9, err := experiments.Fig9(cfg)
+	if err != nil {
+		log.Fatalf("figure 9: %v", err)
+	}
+	fmt.Println(f9)
+}

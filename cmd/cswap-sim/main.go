@@ -1,0 +1,52 @@
+// Command cswap-sim reproduces the framework-comparison experiments of the
+// paper's evaluation: Figure 6 (normalized training throughput of vDNN,
+// vDNN++, SC, CSWAP, and Orac on every model/GPU/dataset combination),
+// Figure 7 (CSWAP's improvement over static compression), and the headline
+// swap-latency / training-time reductions.
+//
+// Usage:
+//
+//	cswap-sim [-seed N] [-fast] [-samples N] [-stride N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cswap/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	fast := flag.Bool("fast", false, "reduced sample counts and epoch grid")
+	samples := flag.Int("samples", 0, "override regression samples per algorithm")
+	stride := flag.Int("stride", 0, "override epoch stride")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	if *fast {
+		cfg = experiments.Fast(*seed)
+	}
+	if *samples > 0 {
+		cfg.SamplesPerAlg = *samples
+	}
+	if *stride > 0 {
+		cfg.EpochStride = *stride
+	}
+
+	f6, err := experiments.Fig6(cfg)
+	if err != nil {
+		log.Fatalf("figure 6: %v", err)
+	}
+	fmt.Println(f6)
+
+	f7 := &experiments.Fig7Result{Platforms: f6.Platforms}
+	fmt.Println(f7)
+
+	head, err := experiments.Headline(cfg)
+	if err != nil {
+		log.Fatalf("headline: %v", err)
+	}
+	fmt.Println(head)
+}

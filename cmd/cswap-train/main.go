@@ -1,0 +1,91 @@
+// Command cswap-train runs the *functional* swapping executor through a
+// training run: real synthetic activations are produced per layer at each
+// epoch's sparsity, swapped out through the real codecs per the CSWAP
+// advisor's plan, swapped back in during the backward pass, and verified
+// bit-exactly — demonstrating both the memory relief and the PCIe-volume
+// reduction on actual data.
+//
+// Usage:
+//
+//	cswap-train [-model VGG16] [-gpu V100] [-dataset ImageNet]
+//	            [-epochs 10] [-scale 4096] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cswap/internal/compress"
+	"cswap/internal/core"
+	"cswap/internal/dnn"
+	"cswap/internal/executor"
+	"cswap/internal/gpu"
+)
+
+func main() {
+	modelName := flag.String("model", "VGG16", "DNN model")
+	gpuName := flag.String("gpu", "V100", "GPU")
+	datasetName := flag.String("dataset", "ImageNet", "dataset")
+	epochs := flag.Int("epochs", 10, "epochs to run (sampled from the 50-epoch profile)")
+	scale := flag.Int("scale", 4096, "tensor size divisor (keeps memory bounded)")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	ds := dnn.ImageNet
+	if *datasetName == "CIFAR10" {
+		ds = dnn.CIFAR10
+	}
+	d, err := gpu.ByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := dnn.BuildConfigured(*modelName, *gpuName, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := core.New(core.Config{Model: m, Device: d, Seed: *seed, SamplesPerAlg: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec, err := executor.New(executor.Config{
+		DeviceCapacity: executor.MinDeviceCapacity(m, *scale),
+		HostCapacity:   executor.HostCapacityFor(m, *scale),
+		Launch:         compress.Launch{Grid: 64, Block: 64},
+		Verify:         true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s / %s / %s — functional swap training at 1/%d scale, launch %v\n\n",
+		*modelName, *gpuName, ds.Name, *scale, fw.Launch)
+	fmt.Println("epoch  compressed  raw(MB)  moved(MB)  ratio  peak-dev(MB)  sparsity")
+
+	step := 50 / *epochs
+	if step < 1 {
+		step = 1
+	}
+	for epoch := 0; epoch < 50; epoch += step {
+		plan, err := fw.PlanEpoch(epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := executor.RunIteration(exec, m, plan, fw.Sparsity, epoch, *scale, *seed+int64(epoch))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %4d/%-5d  %7.2f  %9.2f  %5.3f  %12.3f  %7.1f%%\n",
+			epoch, rep.Compressed, rep.Tensors,
+			float64(rep.RawBytes)/(1<<20), float64(rep.MovedBytes)/(1<<20),
+			rep.Ratio(), float64(rep.PeakDeviceBytes)/(1<<20), rep.MeanSparsity*100)
+	}
+
+	st := exec.Stats()
+	fmt.Printf("\ntotals: %d swap-outs, %d swap-ins, all %d verified bit-exact\n",
+		st.SwapOuts, st.SwapIns, st.Verified)
+	fmt.Printf("data volume: %.1f MB raw -> %.1f MB moved (ratio %.3f)\n",
+		float64(st.RawBytes)/(1<<20), float64(st.MovedBytes)/(1<<20), st.Ratio())
+	cs := exec.CacheStats()
+	fmt.Printf("buffer cache: %d hits / %d misses (pool-reuse optimisation)\n", cs.Hits, cs.Misses)
+}

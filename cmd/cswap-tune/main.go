@@ -1,0 +1,64 @@
+// Command cswap-tune reproduces the GPU-parameter tuning experiments:
+// Figure 5 (the ZVC kernel-time surface over launch geometries), Figure 12
+// (random / expert / Bayesian-optimization / grid search compared on VGG16
+// iteration time and search cost), and the Section V-E overhead accounting.
+//
+// Usage:
+//
+//	cswap-tune [-seed N] [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cswap/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	fast := flag.Bool("fast", false, "reduced sample counts")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	if *fast {
+		cfg = experiments.Fast(*seed)
+	}
+
+	f5, err := experiments.Fig5(cfg)
+	if err != nil {
+		log.Fatalf("figure 5: %v", err)
+	}
+	fmt.Println(f5)
+
+	f12, err := experiments.Fig12(cfg)
+	if err != nil {
+		log.Fatalf("figure 12: %v", err)
+	}
+	fmt.Println(f12)
+
+	ov, err := experiments.Overheads(cfg)
+	if err != nil {
+		log.Fatalf("overheads: %v", err)
+	}
+	fmt.Println(ov)
+
+	ls, err := experiments.LinkSweep(cfg)
+	if err != nil {
+		log.Fatalf("link sweep: %v", err)
+	}
+	fmt.Println(ls)
+
+	ss, err := experiments.SparsitySweep(cfg)
+	if err != nil {
+		log.Fatalf("sparsity sweep: %v", err)
+	}
+	fmt.Println(ss)
+
+	gs, err := experiments.GenerationSweep(cfg)
+	if err != nil {
+		log.Fatalf("generation sweep: %v", err)
+	}
+	fmt.Println(gs)
+}

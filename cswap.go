@@ -1,0 +1,302 @@
+// Package cswap is a self-tuning tensor-compression framework for
+// accelerating tensor swapping between GPU and host memory during DNN
+// training — a from-scratch Go reproduction of "CSWAP: A Self-Tuning
+// Compression Framework for Accelerating Tensor Swapping in GPUs"
+// (IEEE CLUSTER 2021).
+//
+// The package is organised around three runtime components (Figure 4 of
+// the paper):
+//
+//   - the tensor profiler collects tensor sizes, per-layer times, link
+//     bandwidth, and per-epoch sparsity into an in-memory database;
+//   - the execution advisor applies the swapping-cost model (Eq. 1–4) with
+//     kernel times predicted by an offline-trained, sparsity-bucketed
+//     linear-regression model, choosing per tensor whether and with which
+//     codec (ZVC, RLE, CSR, LZ4) to compress;
+//   - the swapping executor runs (de)compression on the GPU at a launch
+//     geometry tuned by Bayesian optimization (Algorithm 1).
+//
+// Because this reproduction is hardware-free, GPUs, the PCIe link, and DNN
+// training are provided as calibrated simulation substrates (see DESIGN.md),
+// while the four compression codecs are real and operate on actual float32
+// tensors.
+//
+// Quick start:
+//
+//	model, _ := cswap.BuildModel("VGG16", cswap.ImageNet, 128)
+//	fw, _ := cswap.NewFramework(cswap.Config{Model: model, Device: cswap.V100(), Seed: 1})
+//	result, _ := fw.SimulateIteration(10, cswap.DefaultSimOptions(1))
+//	fmt.Println(result.IterationTime, result.Throughput)
+package cswap
+
+import (
+	"cswap/internal/bayesopt"
+	"cswap/internal/compress"
+	"cswap/internal/core"
+	"cswap/internal/costmodel"
+	"cswap/internal/dnn"
+	"cswap/internal/executor"
+	"cswap/internal/gpu"
+	"cswap/internal/memdb"
+	"cswap/internal/profiler"
+	"cswap/internal/sparsity"
+	"cswap/internal/swap"
+	"cswap/internal/tensor"
+	"cswap/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Devices and workloads.
+
+type (
+	// Device models one GPU (compute roofline, memory, PCIe link, and the
+	// compression-kernel time surface).
+	Device = gpu.Device
+	// Model is a compiled DNN with inferred activation shapes.
+	Model = dnn.Model
+	// Dataset describes a training set's input geometry.
+	Dataset = dnn.Dataset
+	// SwapTensor identifies one swappable ReLU/MAX activation.
+	SwapTensor = dnn.SwapTensor
+	// NetworkProfile is the tensor profiler's output (Table II).
+	NetworkProfile = profiler.NetworkProfile
+)
+
+// The two evaluated datasets.
+var (
+	CIFAR10  = dnn.CIFAR10
+	ImageNet = dnn.ImageNet
+)
+
+// V100 returns the paper's first test GPU (Tesla V100 32 GB).
+func V100() *Device { return gpu.V100() }
+
+// RTX2080Ti returns the paper's second test GPU (RTX 2080Ti 11 GB).
+func RTX2080Ti() *Device { return gpu.RTX2080Ti() }
+
+// DeviceByName resolves "V100" or "2080Ti".
+func DeviceByName(name string) (*Device, error) { return gpu.ByName(name) }
+
+// KernelParams identifies one (de)compression kernel execution on a device.
+type KernelParams = gpu.KernelParams
+
+// CompressionKernelTime returns the device model's compression and
+// decompression wall-clock for a tensor under a launch geometry — the
+// Figure 5 surface.
+func CompressionKernelTime(d *Device, a Algorithm, sizeBytes int64, sparsity float64, l Launch) (comp, decomp float64) {
+	return d.CompressionTime(gpu.KernelParams{Alg: a, SizeBytes: sizeBytes, Sparsity: sparsity, Launch: l})
+}
+
+// ModelNames lists the six evaluated DNNs.
+func ModelNames() []string { return dnn.ModelNames() }
+
+// BuildModel constructs one of the six evaluated DNNs at a batch size.
+func BuildModel(name string, ds Dataset, batch int) (*Model, error) {
+	return dnn.Build(name, ds, batch)
+}
+
+// BatchSize returns the Table III batch size for (model, GPU, dataset); it
+// returns dnn.ErrOutOfMemory for combinations that cannot train.
+func BatchSize(model, gpuName string, ds Dataset) (int, error) {
+	return dnn.BatchSize(model, gpuName, ds)
+}
+
+// ---------------------------------------------------------------------------
+// Compression codecs.
+
+type (
+	// Algorithm identifies a compression algorithm.
+	Algorithm = compress.Algorithm
+	// Codec compresses and decompresses float32 tensors bit-exactly.
+	Codec = compress.Codec
+	// Launch is a GPU kernel launch geometry (grid, block).
+	Launch = compress.Launch
+	// Tensor is a dense float32 tensor.
+	Tensor = tensor.Tensor
+	// TensorGenerator produces synthetic sparse tensors.
+	TensorGenerator = tensor.Generator
+)
+
+// The four supported algorithms (Section IV-E), plus the Huffman entropy
+// coder implemented as the paper's future-work extension.
+const (
+	ZVC     = compress.ZVC
+	RLE     = compress.RLE
+	CSR     = compress.CSR
+	LZ4     = compress.LZ4
+	Huffman = compress.Huffman
+)
+
+// Algorithms lists the paper's four codecs.
+func Algorithms() []Algorithm { return compress.Algorithms() }
+
+// ExtendedAlgorithms lists the four plus the Huffman extension.
+func ExtendedAlgorithms() []Algorithm { return compress.ExtendedAlgorithms() }
+
+// NewCodec returns the codec for an algorithm.
+func NewCodec(a Algorithm) (Codec, error) { return compress.New(a) }
+
+// ParallelEncode compresses src partitioned across launch.Grid chunks, the
+// way the GPU kernels partition a tensor across thread blocks.
+func ParallelEncode(a Algorithm, src []float32, launch Launch) ([]byte, error) {
+	return compress.ParallelEncode(a, src, launch)
+}
+
+// ParallelDecode reverses ParallelEncode.
+func ParallelDecode(blob []byte, launch Launch) ([]float32, error) {
+	return compress.ParallelDecode(blob, launch)
+}
+
+// EstimateRatio predicts compressed/original size for a sparsity level.
+func EstimateRatio(a Algorithm, sparsity float64) float64 {
+	return compress.EstimateRatio(a, sparsity)
+}
+
+// NewTensorGenerator returns a deterministic synthetic tensor source.
+func NewTensorGenerator(seed int64) *TensorGenerator { return tensor.NewGenerator(seed) }
+
+// ---------------------------------------------------------------------------
+// The CSWAP framework.
+
+type (
+	// Config configures a CSWAP deployment.
+	Config = core.Config
+	// Framework is a ready-to-run CSWAP deployment: tuned launch, trained
+	// time predictor, collected profile, and the execution advisor.
+	Framework = core.Framework
+	// Decision is one advisor verdict with its Eq. 1/2 costs.
+	Decision = costmodel.Decision
+	// CostParams are the Table II inputs to the swapping-cost model.
+	CostParams = costmodel.Params
+)
+
+// NewFramework tunes, trains, and profiles a CSWAP deployment.
+func NewFramework(cfg Config) (*Framework, error) { return core.New(cfg) }
+
+// DB is the in-memory profile/model database (Section IV-A).
+type DB = memdb.DB
+
+// NewDB returns an empty in-memory database.
+func NewDB() *DB { return memdb.New() }
+
+// ResumeFramework rebuilds a deployment from a previously populated
+// database, skipping the BO search, sample generation, and profiling pass.
+func ResumeFramework(db *DB, m *Model, d *Device, cfg Config) (*Framework, error) {
+	return core.Resume(db, m, d, cfg)
+}
+
+// Decide applies the Section IV-B cost-effectiveness rule directly.
+func Decide(p CostParams) Decision { return costmodel.Decide(p) }
+
+// ---------------------------------------------------------------------------
+// Swapping frameworks and the iteration simulator.
+
+type (
+	// SwapFramework plans per-tensor swapping decisions (vDNN, vDNN++,
+	// SC, CSWAP, Orac).
+	SwapFramework = swap.Framework
+	// Plan is a per-iteration set of tensor decisions.
+	Plan = swap.Plan
+	// TensorPlan is one tensor's decision within a Plan.
+	TensorPlan = swap.TensorPlan
+	// SimOptions control a simulated training iteration.
+	SimOptions = swap.Options
+	// SimResult is the emergent timing of one iteration.
+	SimResult = swap.Result
+	// Timeline records per-stream execution spans (Figure 2 style).
+	Timeline = trace.Timeline
+
+	// VDNN is the no-compression baseline.
+	VDNN = swap.VDNN
+	// VDNNPP compresses on the host CPU (vDNN++).
+	VDNNPP = swap.VDNNPP
+	// Static is the GPU replica of cDMA's always-compress scheme.
+	Static = swap.Static
+	// CSWAPPlanner is the paper's selective framework.
+	CSWAPPlanner = swap.CSWAP
+	// Orac is the zero-cost-compression oracle.
+	Orac = swap.Orac
+	// MemoryAware wraps any framework with an activation-memory budget:
+	// the most stall-expensive tensors stay resident while they fit.
+	MemoryAware = swap.MemoryAware
+)
+
+// PlanPeakBytes estimates the device activation memory a plan needs.
+func PlanPeakBytes(np *NetworkProfile, plan *Plan) int64 {
+	return swap.PlanPeakBytes(np, plan)
+}
+
+// DefaultSimOptions returns the standard jitter/interference configuration.
+func DefaultSimOptions(seed int64) SimOptions { return swap.DefaultOptions(seed) }
+
+// Simulate runs one training iteration of model under plan on device.
+func Simulate(m *Model, d *Device, np *NetworkProfile, plan *Plan, opt SimOptions) (*SimResult, error) {
+	return swap.Simulate(m, d, np, plan, opt)
+}
+
+// ---------------------------------------------------------------------------
+// Functional swapping executor (real data movement).
+
+type (
+	// Executor moves real tensors between fixed-capacity device and
+	// pinned-host pools through the real codecs, verifying bit-exact
+	// restores — the data path of the paper's swapping executor.
+	Executor = executor.Executor
+	// ExecutorConfig sizes the pools and sets the kernel partitioning.
+	ExecutorConfig = executor.Config
+	// TensorHandle identifies one registered tensor.
+	TensorHandle = executor.Handle
+	// IterationReport summarises one functional training iteration.
+	IterationReport = executor.IterationReport
+	// SparsityProfile holds per-tensor sparsity trajectories over epochs.
+	SparsityProfile = sparsity.Profile
+)
+
+// NewExecutor creates a functional swapping executor.
+func NewExecutor(cfg ExecutorConfig) (*Executor, error) { return executor.New(cfg) }
+
+// SparsityForModel builds the per-epoch sparsity trajectories for a
+// model's swappable tensors.
+func SparsityForModel(m *Model, epochs int, seed int64) *SparsityProfile {
+	return sparsity.ForModel(m, epochs, seed)
+}
+
+// RunFunctionalIteration executes one training iteration with real tensor
+// data: activations are synthesised at the epoch's sparsity, swapped out
+// per the plan through the real codecs, swapped back in during the
+// backward pass, and verified bit-exactly. scaleDiv divides tensor sizes
+// so multi-GB workloads fit test-sized pools.
+func RunFunctionalIteration(e *Executor, m *Model, plan *Plan, sp *SparsityProfile, epoch, scaleDiv int, seed int64) (*IterationReport, error) {
+	return executor.RunIteration(e, m, plan, sp, epoch, scaleDiv, seed)
+}
+
+// MinDeviceCapacity and HostCapacityFor size executor pools for a scaled
+// workload.
+func MinDeviceCapacity(m *Model, scaleDiv int) int64 {
+	return executor.MinDeviceCapacity(m, scaleDiv)
+}
+
+// HostCapacityFor sizes the pinned pool for an all-raw worst case.
+func HostCapacityFor(m *Model, scaleDiv int) int64 {
+	return executor.HostCapacityFor(m, scaleDiv)
+}
+
+// ---------------------------------------------------------------------------
+// GPU-parameter search (Section IV-D).
+
+type (
+	// Searcher finds a kernel launch geometry (BO, RD, EP, GS).
+	Searcher = bayesopt.Searcher
+	// SearchObjective evaluates one launch.
+	SearchObjective = bayesopt.Objective
+	// SearchResult summarises a completed search.
+	SearchResult = bayesopt.Result
+	// BayesOpt is Algorithm 1 (s1 random + s2 guided probes).
+	BayesOpt = bayesopt.BO
+	// RandomSearch is the RD baseline.
+	RandomSearch = bayesopt.RandomSearch
+	// ExpertChoice is the EP baseline.
+	ExpertChoice = bayesopt.Expert
+	// GridSearch is the exhaustive GS oracle.
+	GridSearch = bayesopt.GridSearch
+)

@@ -1,0 +1,68 @@
+package cswap_test
+
+import (
+	"fmt"
+
+	"cswap"
+)
+
+// ExampleNewCodec compresses a sparse activation tensor with zero-value
+// compression and restores it bit-exactly.
+func ExampleNewCodec() {
+	gen := cswap.NewTensorGenerator(1)
+	tn := gen.Uniform(32000, 0.75) // 75 % zeros, like a late-epoch ReLU
+
+	codec, _ := cswap.NewCodec(cswap.ZVC)
+	blob := codec.Encode(tn.Data)
+	restored, _ := codec.Decode(blob)
+
+	fmt.Printf("ratio %.2f, restored %d elements\n",
+		float64(len(blob))/float64(tn.SizeBytes()), len(restored))
+	// Output: ratio 0.28, restored 32000 elements
+}
+
+// ExampleDecide applies the paper's Eq. 1–4 cost model to one tensor.
+func ExampleDecide() {
+	d := cswap.Decide(cswap.CostParams{
+		SizeBytes: 500 << 20, // a 500 MB activation
+		Sparsity:  0.8,
+		BWd2h:     11.7e9, BWh2d: 10.6e9, // measured V100 effective links
+		HiddenF: 0.010, HiddenB: 0.010, // 10 ms hiding windows
+		TimeC: 0.012, TimeDC: 0.008, // predicted kernel times
+	})
+	fmt.Printf("compress: %v (T=%.0f ms, T'=%.0f ms)\n",
+		d.Compress, d.T*1e3, d.TPrime*1e3)
+	// Output: compress: true (T=20 ms, T'=74 ms)
+}
+
+// ExampleEstimateRatio shows the analytic codec size models the advisor
+// uses to size compressed transfers.
+func ExampleEstimateRatio() {
+	for _, a := range cswap.Algorithms() {
+		fmt.Printf("%s at 50%% sparsity: %.2f\n", a, cswap.EstimateRatio(a, 0.5))
+	}
+	// Output:
+	// ZVC at 50% sparsity: 0.53
+	// RLE at 50% sparsity: 0.75
+	// CSR at 50% sparsity: 1.00
+	// LZ4 at 50% sparsity: 0.70
+}
+
+// ExampleBatchSize looks up the paper's Table III configuration.
+func ExampleBatchSize() {
+	b, _ := cswap.BatchSize("VGG16", "V100", cswap.ImageNet)
+	fmt.Println(b)
+	// Output: 128
+}
+
+// ExampleBayesOpt tunes a kernel launch geometry with Algorithm 1.
+func ExampleBayesOpt() {
+	d := cswap.V100()
+	objective := func(l cswap.Launch) float64 {
+		c, dc := cswap.CompressionKernelTime(d, cswap.ZVC, 500<<20, 0.5, l)
+		return c + dc
+	}
+	res := (&cswap.BayesOpt{Seed: 1}).Search(objective)
+	fmt.Printf("%d evaluations, block %d\n", res.Evaluations, res.Best.Block)
+	// Output: 35 evaluations, block 64
+}

@@ -1,0 +1,88 @@
+// Framework-comparison: evaluate all five swapping frameworks (vDNN,
+// vDNN++, SC, CSWAP, Orac) on one workload through the public API — a
+// single cell of the paper's Figure 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cswap"
+)
+
+func main() {
+	modelName := flag.String("model", "SqueezeNet", "one of the six evaluated DNNs")
+	gpuName := flag.String("gpu", "V100", "V100 or 2080Ti")
+	datasetName := flag.String("dataset", "ImageNet", "CIFAR10 or ImageNet")
+	flag.Parse()
+
+	ds := cswap.ImageNet
+	if *datasetName == "CIFAR10" {
+		ds = cswap.CIFAR10
+	}
+	device, err := cswap.DeviceByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := cswap.BatchSize(*modelName, *gpuName, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := cswap.BuildModel(*modelName, ds, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := cswap.NewFramework(cswap.Config{
+		Model: model, Device: device, Seed: 1, SamplesPerAlg: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frameworks := []cswap.SwapFramework{
+		cswap.VDNN{},
+		cswap.VDNNPP{},
+		cswap.Static{Launch: fw.Launch},
+		fw.Planner(),
+		cswap.Orac{Inner: fw.Planner()},
+	}
+
+	fmt.Printf("%s / %s / %s (batch %d), averaged over epochs 0,5,...,45:\n\n",
+		*modelName, *gpuName, ds.Name, batch)
+	fmt.Printf("%-8s %14s %14s %16s %12s\n",
+		"", "iter time(ms)", "samples/s", "swap stall(ms)", "normalized")
+
+	totals := map[string]*cswap.SimResult{}
+	var order []string
+	for epoch := 0; epoch < 50; epoch += 5 {
+		np, err := fw.ProfileAt(epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := cswap.DefaultSimOptions(int64(epoch))
+		for _, f := range frameworks {
+			r, err := cswap.Simulate(model, device, np, f.Plan(np, device), opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			acc := totals[f.Name()]
+			if acc == nil {
+				acc = &cswap.SimResult{Framework: f.Name()}
+				totals[f.Name()] = acc
+				order = append(order, f.Name())
+			}
+			acc.IterationTime += r.IterationTime
+			acc.Throughput += r.Throughput
+			acc.SwapExposed += r.SwapExposed
+		}
+	}
+	const n = 10.0
+	base := totals["vDNN"].Throughput
+	for _, name := range order {
+		r := totals[name]
+		fmt.Printf("%-8s %14.1f %14.0f %16.1f %11.2fx\n",
+			name, r.IterationTime/n*1e3, r.Throughput/n, r.SwapExposed/n*1e3,
+			r.Throughput/base)
+	}
+}

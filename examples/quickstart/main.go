@@ -1,0 +1,77 @@
+// Quickstart: build a model, deploy CSWAP on a V100, and simulate one
+// training iteration, printing what the execution advisor decided and what
+// it bought.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cswap"
+)
+
+func main() {
+	// VGG16 on ImageNet at the paper's V100 batch size (Table III).
+	batch, err := cswap.BatchSize("VGG16", "V100", cswap.ImageNet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := cswap.BuildModel("VGG16", cswap.ImageNet, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploying the framework runs the Bayesian-optimization launch
+	// search, trains the (de)compression-time model offline, and collects
+	// the first-iteration profile.
+	fw, err := cswap.NewFramework(cswap.Config{
+		Model:         model,
+		Device:        cswap.V100(),
+		Seed:          1,
+		SamplesPerAlg: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BO-tuned compression launch geometry: %v\n", fw.Launch)
+
+	// Mid-training epoch: ask the advisor for its decisions.
+	const epoch = 25
+	decisions, algs, names, err := fw.DecisionsAt(epoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAdvisor decisions at epoch %d:\n", epoch)
+	for i, d := range decisions {
+		verdict := "swap raw"
+		if d.Compress {
+			verdict = "compress with " + algs[i].String()
+		}
+		fmt.Printf("  %-8s T=%6.1f ms  T'=%6.1f ms  -> %s\n",
+			names[i], d.T*1e3, d.TPrime*1e3, verdict)
+	}
+
+	// Simulate the iteration under CSWAP and under plain vDNN.
+	opt := cswap.DefaultSimOptions(1)
+	rc, err := fw.SimulateIteration(epoch, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	np, err := fw.ProfileAt(epoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rv, err := cswap.Simulate(model, fw.Config.Device, np,
+		cswap.VDNN{}.Plan(np, fw.Config.Device), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nOne training iteration (batch %d):\n", batch)
+	fmt.Printf("  vDNN : %6.1f ms  (%.0f samples/s, %5.1f ms un-hidden swap stall)\n",
+		rv.IterationTime*1e3, rv.Throughput, rv.SwapExposed*1e3)
+	fmt.Printf("  CSWAP: %6.1f ms  (%.0f samples/s, %5.1f ms un-hidden swap stall)\n",
+		rc.IterationTime*1e3, rc.Throughput, rc.SwapExposed*1e3)
+	fmt.Printf("  training-time reduction: %.1f%%\n",
+		(1-rc.IterationTime/rv.IterationTime)*100)
+}

@@ -1,0 +1,89 @@
+// Real-swap: the functional data path through the public API. A real
+// sparse tensor is registered into a capacity-limited "device" pool,
+// swapped out through each codec into a pinned-host pool, swapped back in,
+// and verified — then a scaled VGG16 iteration runs end to end, showing the
+// memory relief swapping buys and the byte volume compression saves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cswap"
+)
+
+func main() {
+	// Part 1: one tensor through every codec.
+	exec, err := cswap.NewExecutor(cswap.ExecutorConfig{
+		DeviceCapacity: 8 << 20,
+		HostCapacity:   16 << 20,
+		Launch:         cswap.Launch{Grid: 16, Block: 64},
+		Verify:         true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := cswap.NewTensorGenerator(1)
+	fmt.Println("One 4 MB tensor at 65% sparsity through each codec:")
+	for _, alg := range cswap.Algorithms() {
+		tn := gen.SizedUniform(4<<20, 0.65)
+		h, err := exec.Register(alg.String(), tn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exec.SwapOut(h, true, alg); err != nil {
+			log.Fatal(err)
+		}
+		hostUsed := exec.HostStats().Used
+		if err := exec.SwapIn(h); err != nil {
+			log.Fatal(err) // Verify=true: a corrupt restore fails here
+		}
+		fmt.Printf("  %-4s swapped 4.00 MB as %.2f MB, restored bit-exact\n",
+			alg, float64(hostUsed)/(1<<20))
+		if err := exec.Free(h); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Part 2: a scaled VGG16 iteration under the CSWAP advisor's plan.
+	model, err := cswap.BuildModel("VGG16", cswap.ImageNet, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := cswap.NewFramework(cswap.Config{
+		Model: model, Device: cswap.V100(), Seed: 1, SamplesPerAlg: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const scale = 4096
+	iterExec, err := cswap.NewExecutor(cswap.ExecutorConfig{
+		DeviceCapacity: cswap.MinDeviceCapacity(model, scale),
+		HostCapacity:   cswap.HostCapacityFor(model, scale),
+		Verify:         true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := fw.PlanEpoch(45)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := cswap.RunFunctionalIteration(iterExec, model, plan, fw.Sparsity, 45, scale, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var totalScaled float64
+	for _, st := range model.SwapTensors() {
+		totalScaled += float64(st.Bytes) / scale
+	}
+	fmt.Printf("\nVGG16 iteration at 1/%d scale, epoch 45 plan (%d of %d tensors compressed):\n",
+		scale, rep.Compressed, rep.Tensors)
+	fmt.Printf("  activations produced:  %.2f MB\n", totalScaled/(1<<20))
+	fmt.Printf("  peak device usage:     %.2f MB  (memory relief from swapping)\n",
+		float64(rep.PeakDeviceBytes)/(1<<20))
+	fmt.Printf("  bytes over the link:   %.2f MB of %.2f MB raw (ratio %.3f)\n",
+		float64(rep.MovedBytes)/(1<<20), float64(rep.RawBytes)/(1<<20), rep.Ratio())
+	fmt.Printf("  every tensor restored bit-exact: %d verified\n", iterExec.Stats().Verified)
+}

@@ -1,0 +1,3 @@
+module cswap
+
+go 1.22

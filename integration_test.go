@@ -1,0 +1,189 @@
+package cswap_test
+
+// Cross-module integration tests: whole-system scenarios driven through
+// the public API, asserting properties that only hold when the profiler,
+// advisor, tuner, simulator, and executor agree with each other.
+
+import (
+	"math"
+	"testing"
+
+	"cswap"
+	"cswap/internal/experiments"
+)
+
+// TestIntegrationFullLifecycle walks one deployment through its whole life:
+// deploy (tune + train + profile), estimate a training run, execute a
+// functional iteration with real data under the advisor's plan, persist,
+// resume, and verify the resumed deployment behaves identically.
+func TestIntegrationFullLifecycle(t *testing.T) {
+	model, err := cswap.BuildModel("SqueezeNet", cswap.ImageNet, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	device := cswap.V100()
+	fw, err := cswap.NewFramework(cswap.Config{
+		Model: model, Device: device, Seed: 5, SamplesPerAlg: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The tuned launch must beat the expert default on the calibration
+	// workload (otherwise BO failed).
+	tC, tDC := cswap.CompressionKernelTime(device, cswap.ZVC, 500<<20, 0.5, fw.Launch)
+	eC, eDC := cswap.CompressionKernelTime(device, cswap.ZVC, 500<<20, 0.5, device.DefaultLaunch())
+	if tC+tDC >= eC+eDC {
+		t.Fatalf("tuned launch %v (%v) not better than expert (%v)", fw.Launch, tC+tDC, eC+eDC)
+	}
+
+	// 2. Whole-run estimate: CSWAP beats vDNN and the advantage grows as
+	// sparsity rises across the run.
+	te, err := fw.EstimateTraining(5, cswap.DefaultSimOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.Reduction() <= 0 {
+		t.Fatalf("no training-time reduction: %+v", te)
+	}
+	firstHalf, secondHalf := 0.0, 0.0
+	for i, ep := range te.Epochs {
+		gain := ep.VDNNIteration - ep.IterationTime
+		if i < len(te.Epochs)/2 {
+			firstHalf += gain
+		} else {
+			secondHalf += gain
+		}
+	}
+	if secondHalf <= firstHalf {
+		t.Fatalf("per-iteration gain did not grow with sparsity: %v then %v", firstHalf, secondHalf)
+	}
+
+	// 3. Functional execution of the advisor's plan moves fewer bytes than
+	// raw swapping, at the ratio the advisor's size models predicted.
+	plan, err := fw.PlanEpoch(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 4096
+	exec, err := cswap.NewExecutor(cswap.ExecutorConfig{
+		DeviceCapacity: cswap.MinDeviceCapacity(model, scale),
+		HostCapacity:   cswap.HostCapacityFor(model, scale),
+		Verify:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cswap.RunFunctionalIteration(exec, model, plan, fw.Sparsity, 45, scale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ratio() >= 1 {
+		t.Fatalf("functional ratio %v", rep.Ratio())
+	}
+	// Predicted moved bytes from the plan's transfer ratios.
+	var predicted, raw float64
+	for i, tp := range plan.Tensors {
+		b := float64(model.SwapTensors()[i].Bytes / scale)
+		raw += b
+		predicted += b * tp.TransferRatio
+	}
+	if got, want := rep.Ratio(), predicted/raw; math.Abs(got-want) > 0.06 {
+		t.Fatalf("functional moved ratio %v, advisor predicted %v", got, want)
+	}
+
+	// 4. Resume from the database and reproduce the plan exactly.
+	resumed, err := cswap.ResumeFramework(fw.DB, model, device, cswap.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := resumed.PlanEpoch(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan2.Tensors) != len(plan.Tensors) {
+		t.Fatal("resumed plan size differs")
+	}
+	for i := range plan.Tensors {
+		if plan.Tensors[i].Compress != plan2.Tensors[i].Compress {
+			t.Fatalf("resumed decision %d differs", i)
+		}
+	}
+}
+
+// TestIntegrationExperimentsDeterministic re-runs the Figure 6 sweep and
+// requires bit-identical results: the whole pipeline is seeded.
+func TestIntegrationExperimentsDeterministic(t *testing.T) {
+	cfg := experiments.Fast(3)
+	a, err := experiments.Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pa := range a.Platforms {
+		pb := b.Platform(pa.GPU, pa.Dataset)
+		for _, m := range pa.Models() {
+			for _, fr := range experiments.FrameworkNames {
+				if pa.Cells[m][fr] != pb.Cells[m][fr] {
+					t.Fatalf("%s/%s %s %s differs between runs", pa.GPU, pa.Dataset, m, fr)
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationAdvisorConsistentWithSimulator spot-checks that when the
+// advisor predicts a large gain for a tensor, flipping that tensor off in
+// the simulator really does cost time.
+func TestIntegrationAdvisorConsistentWithSimulator(t *testing.T) {
+	model, err := cswap.BuildModel("VGG16", cswap.ImageNet, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	device := cswap.V100()
+	fw, err := cswap.NewFramework(cswap.Config{
+		Model: model, Device: device, Seed: 2, SamplesPerAlg: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := fw.ProfileAt(49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs, _, names, err := fw.DecisionsAt(49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the compressed tensor with the largest predicted gain.
+	best, gain := -1, 0.0
+	for i, d := range decs {
+		if d.Compress && d.Gain() > gain {
+			best, gain = i, d.Gain()
+		}
+	}
+	if best < 0 {
+		t.Fatal("no compressed tensor at epoch 49")
+	}
+	plan, err := fw.PlanEpoch(49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := cswap.Simulate(model, device, np, plan, cswap.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := &cswap.Plan{Framework: "flip", Tensors: append([]cswap.TensorPlan(nil), plan.Tensors...)}
+	flipped.Tensors[best] = cswap.TensorPlan{TransferRatio: 1}
+	without, err := cswap.Simulate(model, device, np, flipped, cswap.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.IterationTime <= with.IterationTime {
+		t.Fatalf("dropping %s (predicted gain %.1f ms) did not slow the iteration (%v vs %v)",
+			names[best], gain*1e3, without.IterationTime, with.IterationTime)
+	}
+}

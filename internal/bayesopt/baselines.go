@@ -1,0 +1,103 @@
+package bayesopt
+
+import (
+	"math"
+
+	"cswap/internal/compress"
+	"cswap/internal/stats"
+)
+
+// RandomSearch evaluates N uniformly random launch geometries and keeps the
+// best; the Figure 12 "RD" baseline uses a single draw ("we randomly choose
+// a GPU setting").
+type RandomSearch struct {
+	N       int // default 1
+	MaxGrid int // default 4096
+	Seed    int64
+}
+
+// Name implements Searcher.
+func (*RandomSearch) Name() string { return "RD" }
+
+// Search implements Searcher.
+func (r *RandomSearch) Search(obj Objective) Result {
+	n, maxGrid := r.N, r.MaxGrid
+	if n <= 0 {
+		n = 1
+	}
+	if maxGrid <= 0 {
+		maxGrid = 4096
+	}
+	rng := stats.NewRNG(r.Seed)
+	res := Result{BestValue: math.Inf(1)}
+	for i := 0; i < n; i++ {
+		l := compress.Launch{Grid: 1 + rng.Intn(maxGrid), Block: []int{64, 128}[rng.Intn(2)]}
+		y := obj(l)
+		res.Evaluations++
+		res.History = append(res.History, Observation{Launch: l, Value: y})
+		if y < res.BestValue {
+			res.BestValue, res.Best = y, l
+		}
+	}
+	return res
+}
+
+// Expert is the "expert knowledge" baseline: a hand-picked geometry — block
+// 128 so every warp scheduler stays busy, with a heuristic grid sized to the
+// SM count — evaluated once.
+type Expert struct {
+	Launch compress.Launch
+}
+
+// Name implements Searcher.
+func (*Expert) Name() string { return "EP" }
+
+// Search implements Searcher.
+func (e *Expert) Search(obj Objective) Result {
+	l := e.Launch
+	if l.Grid == 0 {
+		l = compress.Launch{Grid: 320, Block: 128}
+	}
+	y := obj(l)
+	return Result{
+		Best: l, BestValue: y, Evaluations: 1,
+		History: []Observation{{Launch: l, Value: y}},
+	}
+}
+
+// GridSearch exhaustively evaluates every grid in [1, MaxGrid] × block in
+// {64, 128} — the Figure 12 "GS" oracle that "finds the best GPU setting by
+// going through all grid/block configurations" at 224× the BO search cost.
+type GridSearch struct {
+	MaxGrid int // default 4096
+	// Stride evaluates every Stride-th grid (default 1 = exhaustive);
+	// benchmarks use larger strides to bound runtime.
+	Stride int
+}
+
+// Name implements Searcher.
+func (*GridSearch) Name() string { return "GS" }
+
+// Search implements Searcher.
+func (g *GridSearch) Search(obj Objective) Result {
+	maxGrid, stride := g.MaxGrid, g.Stride
+	if maxGrid <= 0 {
+		maxGrid = 4096
+	}
+	if stride <= 0 {
+		stride = 1
+	}
+	res := Result{BestValue: math.Inf(1)}
+	for _, block := range []int{64, 128} {
+		for grid := 1; grid <= maxGrid; grid += stride {
+			l := compress.Launch{Grid: grid, Block: block}
+			y := obj(l)
+			res.Evaluations++
+			res.History = append(res.History, Observation{Launch: l, Value: y})
+			if y < res.BestValue {
+				res.BestValue, res.Best = y, l
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,262 @@
+package bayesopt
+
+import (
+	"math"
+	"testing"
+
+	"cswap/internal/compress"
+	"cswap/internal/gpu"
+	"cswap/internal/stats"
+)
+
+// fig5Objective is the deterministic Figure 5 surface: ZVC comp+decomp of a
+// 500 MB tensor at 50 % sparsity on V100.
+func fig5Objective() Objective {
+	d := gpu.V100()
+	return func(l compress.Launch) float64 {
+		return d.CompressionTimeTotal(gpu.KernelParams{
+			Alg: compress.ZVC, SizeBytes: 500 << 20, Sparsity: 0.5, Launch: l,
+		})
+	}
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	g := newGP(0.2, 1e-6)
+	x := [][]float64{{0.1, 0}, {0.5, 0}, {0.9, 0}, {0.3, 1}}
+	y := []float64{5, 1, 4, 3}
+	if err := g.fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mean, std := g.predict(x[i])
+		if math.Abs(mean-y[i]) > 0.05 {
+			t.Fatalf("GP mean at training point %d = %v, want %v", i, mean, y[i])
+		}
+		if std > 0.2*g.yStd {
+			t.Fatalf("GP std at training point %d = %v, should be near zero", i, std)
+		}
+	}
+}
+
+func TestGPUncertaintyGrowsAwayFromData(t *testing.T) {
+	g := newGP(0.1, 1e-6)
+	x := [][]float64{{0.2, 0}, {0.25, 0}}
+	y := []float64{1, 2}
+	if err := g.fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	_, near := g.predict([]float64{0.22, 0})
+	_, far := g.predict([]float64{0.9, 1})
+	if far <= near {
+		t.Fatalf("uncertainty near data (%v) should be below far (%v)", near, far)
+	}
+}
+
+func TestExpectedImprovementProperties(t *testing.T) {
+	// A point predicted well below the incumbent has high EI.
+	high := expectedImprovement(1, 0.5, 5, 0)
+	low := expectedImprovement(5, 0.5, 5, 0)
+	if high <= low {
+		t.Fatalf("EI(better mean) %v should exceed EI(equal mean) %v", high, low)
+	}
+	// Zero std and no improvement → zero EI.
+	if got := expectedImprovement(6, 0, 5, 0); got != 0 {
+		t.Fatalf("EI = %v, want 0", got)
+	}
+	// Zero std with improvement → the improvement itself.
+	if got := expectedImprovement(3, 0, 5, 0); got != 2 {
+		t.Fatalf("EI = %v, want 2", got)
+	}
+	// Uncertainty adds value even at equal mean.
+	if expectedImprovement(5, 1, 5, 0) <= 0 {
+		t.Fatal("uncertain point at the incumbent should have positive EI")
+	}
+}
+
+func TestBOFindsNearOptimalLaunch(t *testing.T) {
+	obj := fig5Objective()
+	// Exhaustive optimum for reference.
+	gs := (&GridSearch{}).Search(obj)
+
+	bo := &BO{Seed: 1}
+	res := bo.Search(obj)
+	if res.Evaluations != 35 {
+		t.Fatalf("BO used %d evaluations, want s1+s2 = 35", res.Evaluations)
+	}
+	// Paper: BO reaches within ~18 % of the grid-search optimum
+	// (66 ms vs 56 ms). Require within 25 %.
+	if res.BestValue > 1.25*gs.BestValue {
+		t.Fatalf("BO best %.4f vs GS best %.4f (launch %v vs %v)",
+			res.BestValue, gs.BestValue, res.Best, gs.Best)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatalf("BO returned invalid launch: %v", err)
+	}
+}
+
+func TestBOBeatsRandomAndExpertOnAverage(t *testing.T) {
+	obj := fig5Objective()
+	var boSum, rdSum float64
+	const trials = 10
+	for s := int64(0); s < trials; s++ {
+		boSum += (&BO{Seed: s}).Search(obj).BestValue
+		rdSum += (&RandomSearch{Seed: s}).Search(obj).BestValue
+	}
+	ep := (&Expert{}).Search(obj).BestValue
+	if boSum/trials >= rdSum/trials {
+		t.Fatalf("BO average %v not better than random %v", boSum/trials, rdSum/trials)
+	}
+	if boSum/trials >= ep {
+		t.Fatalf("BO average %v not better than expert %v", boSum/trials, ep)
+	}
+}
+
+func TestBODeterministicPerSeed(t *testing.T) {
+	obj := fig5Objective()
+	a := (&BO{Seed: 7}).Search(obj)
+	b := (&BO{Seed: 7}).Search(obj)
+	if a.Best != b.Best || a.BestValue != b.BestValue {
+		t.Fatal("BO not deterministic for fixed seed")
+	}
+}
+
+func TestBOHandlesNoisyObjective(t *testing.T) {
+	d := gpu.V100()
+	rng := stats.NewRNG(3)
+	noisy := func(l compress.Launch) float64 {
+		c, dc := d.CompressionTimeNoisy(rng, gpu.KernelParams{
+			Alg: compress.ZVC, SizeBytes: 500 << 20, Sparsity: 0.5, Launch: l,
+		})
+		return c + dc
+	}
+	res := (&BO{Seed: 2}).Search(noisy)
+	gs := (&GridSearch{Stride: 8}).Search(fig5Objective())
+	if res.BestValue > 1.4*gs.BestValue {
+		t.Fatalf("noisy BO best %v far from optimum %v", res.BestValue, gs.BestValue)
+	}
+}
+
+func TestGridSearchExhaustive(t *testing.T) {
+	obj := fig5Objective()
+	res := (&GridSearch{}).Search(obj)
+	if res.Evaluations != 8192 {
+		t.Fatalf("GS evaluations = %d, want 8192", res.Evaluations)
+	}
+	// The paper's BO saves ≈224× the search cost versus GS.
+	bo := (&BO{Seed: 1}).Search(obj)
+	if ratio := float64(res.Evaluations) / float64(bo.Evaluations); ratio < 200 {
+		t.Fatalf("GS/BO evaluation ratio = %v, want > 200", ratio)
+	}
+	// GS must find the global minimum: no strided search may beat it.
+	strided := (&GridSearch{Stride: 64}).Search(obj)
+	if strided.BestValue < res.BestValue {
+		t.Fatal("strided search beat exhaustive search")
+	}
+}
+
+func TestGridSearchStride(t *testing.T) {
+	obj := fig5Objective()
+	res := (&GridSearch{Stride: 64}).Search(obj)
+	if res.Evaluations != 2*64 {
+		t.Fatalf("strided GS evaluations = %d, want 128", res.Evaluations)
+	}
+}
+
+func TestRandomSearchSingleDraw(t *testing.T) {
+	obj := fig5Objective()
+	res := (&RandomSearch{Seed: 4}).Search(obj)
+	if res.Evaluations != 1 || len(res.History) != 1 {
+		t.Fatalf("RD should evaluate exactly once, got %d", res.Evaluations)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpertDefaultLaunch(t *testing.T) {
+	obj := fig5Objective()
+	res := (&Expert{}).Search(obj)
+	if res.Best.Block != 128 {
+		t.Fatalf("expert block = %d, want 128 per Section V-D", res.Best.Block)
+	}
+	if res.Evaluations != 1 {
+		t.Fatal("expert should evaluate once")
+	}
+}
+
+func TestSearcherNames(t *testing.T) {
+	names := map[Searcher]string{
+		&BO{}: "BO", &RandomSearch{}: "RD", &Expert{}: "EP", &GridSearch{}: "GS",
+	}
+	for s, want := range names {
+		if s.Name() != want {
+			t.Errorf("Name = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestFigure12Ordering(t *testing.T) {
+	// RD ≫ EP > BO ≳ GS in (de)compression time.
+	obj := fig5Objective()
+	rd := (&RandomSearch{Seed: 12}).Search(obj) // single unlucky draw
+	ep := (&Expert{}).Search(obj)
+	bo := (&BO{Seed: 1}).Search(obj)
+	gs := (&GridSearch{}).Search(obj)
+	if !(gs.BestValue <= bo.BestValue && bo.BestValue < ep.BestValue) {
+		t.Fatalf("ordering violated: GS=%v BO=%v EP=%v RD=%v",
+			gs.BestValue, bo.BestValue, ep.BestValue, rd.BestValue)
+	}
+	// Random is worse than expert in expectation; check over seeds.
+	var rdSum float64
+	for s := int64(0); s < 20; s++ {
+		rdSum += (&RandomSearch{Seed: s}).Search(obj).BestValue
+	}
+	if rdSum/20 <= ep.BestValue {
+		t.Fatalf("average RD %v should exceed EP %v", rdSum/20, ep.BestValue)
+	}
+	_ = rd
+}
+
+func TestAcquisitionVariantsAllConverge(t *testing.T) {
+	obj := fig5Objective()
+	gs := (&GridSearch{Stride: 4}).Search(obj)
+	for _, acq := range []Acquisition{EI, UCB, PI} {
+		var sum float64
+		const trials = 5
+		for s := int64(0); s < trials; s++ {
+			res := (&BO{Seed: s, Acq: acq}).Search(obj)
+			sum += res.BestValue
+		}
+		avg := sum / trials
+		if avg > 1.5*gs.BestValue {
+			t.Errorf("%s average best %v too far from optimum %v", acq, avg, gs.BestValue)
+		}
+	}
+}
+
+func TestAcquisitionNames(t *testing.T) {
+	if EI.String() != "EI" || UCB.String() != "UCB" || PI.String() != "PI" {
+		t.Fatal("acquisition names wrong")
+	}
+	if Acquisition(9).String() != "Acquisition(?)" {
+		t.Fatal("unknown acquisition name")
+	}
+}
+
+func TestProbabilityOfImprovementProperties(t *testing.T) {
+	// Certain improvement → 1; certain non-improvement → 0.
+	if got := probabilityOfImprovement(1, 0, 5, 0); got != 1 {
+		t.Fatalf("PI = %v, want 1", got)
+	}
+	if got := probabilityOfImprovement(9, 0, 5, 0); got != 0 {
+		t.Fatalf("PI = %v, want 0", got)
+	}
+	// Monotone in mean.
+	if probabilityOfImprovement(2, 1, 5, 0) <= probabilityOfImprovement(4, 1, 5, 0) {
+		t.Fatal("PI not monotone in mean")
+	}
+	// At the incumbent with uncertainty: ≈0.5.
+	if got := probabilityOfImprovement(5, 1, 5, 0); got < 0.45 || got > 0.55 {
+		t.Fatalf("PI at incumbent = %v, want ≈0.5", got)
+	}
+}

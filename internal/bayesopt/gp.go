@@ -1,0 +1,158 @@
+// Package bayesopt implements the GPU-parameter auto-tuner of Section IV-D:
+// Bayesian optimization (Algorithm 1) with a Gaussian-process posterior and
+// expected-improvement acquisition over the (grid, block) launch space, plus
+// the comparison searchers from Figure 12 — random search, expert knowledge,
+// and exhaustive grid search.
+package bayesopt
+
+import (
+	"math"
+
+	"cswap/internal/linalg"
+)
+
+// gp is a Gaussian-process regressor with a squared-exponential kernel over
+// fixed-width inputs, used as the BO posterior ("the posterior distribution
+// determines the estimated values and prediction uncertainty of points in
+// the entire search space").
+type gp struct {
+	lengthScale float64 // in normalised input units
+	noise       float64 // observation noise variance (standardised y units)
+
+	x     [][]float64
+	yMean float64
+	yStd  float64
+	chol  *linalg.Matrix
+	alpha []float64 // K⁻¹·(y standardised)
+}
+
+func newGP(lengthScale, noise float64) *gp {
+	return &gp{lengthScale: lengthScale, noise: noise}
+}
+
+func (g *gp) kernel(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-d2 / (2 * g.lengthScale * g.lengthScale))
+}
+
+// fit conditions the GP on observations (x, y). It standardises targets
+// internally so kernel amplitudes stay O(1).
+func (g *gp) fit(x [][]float64, y []float64) error {
+	n := len(x)
+	g.x = x
+	g.yMean, g.yStd = 0, 0
+	for _, v := range y {
+		g.yMean += v
+	}
+	g.yMean /= float64(n)
+	for _, v := range y {
+		d := v - g.yMean
+		g.yStd += d * d
+	}
+	g.yStd = math.Sqrt(g.yStd / float64(n))
+	if g.yStd == 0 {
+		g.yStd = 1
+	}
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.kernel(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	k.AddDiagonal(g.noise)
+	chol, err := linalg.Cholesky(k)
+	if err != nil {
+		// Numerical fallback: escalate jitter.
+		k.AddDiagonal(1e-6)
+		chol, err = linalg.Cholesky(k)
+		if err != nil {
+			return err
+		}
+	}
+	ys := make([]float64, n)
+	for i, v := range y {
+		ys[i] = (v - g.yMean) / g.yStd
+	}
+	g.chol = chol
+	g.alpha = linalg.SolveCholesky(chol, ys)
+	return nil
+}
+
+// predict returns the posterior mean and standard deviation at xq, in the
+// original target units.
+func (g *gp) predict(xq []float64) (mean, std float64) {
+	n := len(g.x)
+	kq := make([]float64, n)
+	for i := range g.x {
+		kq[i] = g.kernel(xq, g.x[i])
+	}
+	mu := linalg.Dot(kq, g.alpha)
+	// Variance: k(x,x) + noise − kqᵀ K⁻¹ kq via one triangular solve.
+	v := forwardSolve(g.chol, kq)
+	var kvk float64
+	for _, t := range v {
+		kvk += t * t
+	}
+	varq := 1 + g.noise - kvk
+	if varq < 0 {
+		varq = 0
+	}
+	return mu*g.yStd + g.yMean, math.Sqrt(varq) * g.yStd
+}
+
+// forwardSolve solves L·v = b for lower-triangular L.
+func forwardSolve(l *linalg.Matrix, b []float64) []float64 {
+	n := l.Rows
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * v[k]
+		}
+		v[i] = s / l.At(i, i)
+	}
+	return v
+}
+
+// expectedImprovement is the acquisition for *minimisation*: the expected
+// amount by which a sample at (mean, std) improves on the incumbent best.
+// Designed "to avoid getting trapped in local optima (exploration) and to
+// refine the search in the vicinity of a promising solution (exploitation)".
+func expectedImprovement(mean, std, best, xi float64) float64 {
+	if std <= 0 {
+		if imp := best - mean - xi; imp > 0 {
+			return imp
+		}
+		return 0
+	}
+	imp := best - mean - xi
+	z := imp / std
+	return imp*stdNormCDF(z) + std*stdNormPDF(z)
+}
+
+// probabilityOfImprovement is the PI acquisition for minimisation: the
+// posterior probability that a sample at (mean, std) lands below the
+// incumbent best minus the exploration margin.
+func probabilityOfImprovement(mean, std, best, xi float64) float64 {
+	if std <= 0 {
+		if best-mean-xi > 0 {
+			return 1
+		}
+		return 0
+	}
+	return stdNormCDF((best - mean - xi) / std)
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,103 @@
+package compress
+
+import "encoding/binary"
+
+// csrCodec implements compressed sparse row storage over the flat tensor
+// viewed as rows of a fixed logical width. The payload stores row pointers,
+// per-row column indices, and the non-zero values — the paper's
+// "(A00B0C000) → (ABC),(035)" example. Index overhead is 4 bytes per
+// non-zero (so ≈50 % of the original size at 50 % sparsity, the comparison
+// the paper draws against ZVC's 3 %).
+type csrCodec struct{}
+
+// csrRowWidth is the logical row width used when a tensor is flattened to a
+// matrix. 1024 keeps column indices small while amortising the row-pointer
+// array to <0.4 % of the original size.
+const csrRowWidth = 1024
+
+func (csrCodec) Algorithm() Algorithm { return CSR }
+
+func (csrCodec) Encode(src []float32) []byte {
+	rows := (len(src) + csrRowWidth - 1) / csrRowWidth
+	nnz := 0
+	for _, v := range src {
+		if v != 0 {
+			nnz++
+		}
+	}
+	blob := make([]byte, 0, headerSize+4*(rows+1)+8*nnz)
+	blob = putHeader(blob, CSR, len(src))
+	// Row pointers: rows+1 cumulative non-zero counts.
+	count := uint32(0)
+	blob = appendUint32(blob, count)
+	for r := 0; r < rows; r++ {
+		start := r * csrRowWidth
+		end := start + csrRowWidth
+		if end > len(src) {
+			end = len(src)
+		}
+		for i := start; i < end; i++ {
+			if src[i] != 0 {
+				count++
+			}
+		}
+		blob = appendUint32(blob, count)
+	}
+	// Column indices. The paper's CSR accounting charges a full 4-byte
+	// index per non-zero ("Instead of using a float as an index for each
+	// non-zero value" — Section IV-E), giving the 50 % overhead at 50 %
+	// sparsity it contrasts with ZVC's 3 %; we keep that layout.
+	for i, v := range src {
+		if v != 0 {
+			blob = appendUint32(blob, uint32(i%csrRowWidth))
+		}
+	}
+	// Values.
+	for _, v := range src {
+		if v != 0 {
+			blob = appendFloat32(blob, v)
+		}
+	}
+	return blob
+}
+
+func (csrCodec) Decode(blob []byte) ([]float32, error) {
+	n, payload, err := parseHeader(blob, CSR)
+	if err != nil {
+		return nil, err
+	}
+	rows := (n + csrRowWidth - 1) / csrRowWidth
+	ptrBytes := 4 * (rows + 1)
+	if len(payload) < ptrBytes {
+		return nil, ErrTruncated
+	}
+	rowPtr := make([]uint32, rows+1)
+	for i := range rowPtr {
+		rowPtr[i] = binary.LittleEndian.Uint32(payload[i*4:])
+	}
+	nnz := int(rowPtr[rows])
+	if rowPtr[0] != 0 || nnz > n {
+		return nil, ErrCorrupt
+	}
+	colBase := ptrBytes
+	valBase := colBase + 4*nnz
+	if len(payload) != valBase+4*nnz {
+		return nil, ErrTruncated
+	}
+	dst := make([]float32, n)
+	for r := 0; r < rows; r++ {
+		lo, hi := int(rowPtr[r]), int(rowPtr[r+1])
+		if lo > hi || hi > nnz {
+			return nil, ErrCorrupt
+		}
+		for k := lo; k < hi; k++ {
+			col := int(binary.LittleEndian.Uint32(payload[colBase+4*k:]))
+			idx := r*csrRowWidth + col
+			if col >= csrRowWidth || idx >= n {
+				return nil, ErrCorrupt
+			}
+			dst[idx] = readFloat32(payload[valBase+4*k:])
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,87 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip drives every codec with arbitrary byte-derived tensors.
+// Under plain `go test` the seed corpus runs as regression tests; under
+// `go test -fuzz=FuzzRoundTrip` the engine explores further.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // NaN then zero
+	f.Add(make([]byte, 256))
+	seed := make([]byte, 1024)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 4
+		src := make([]float32, n)
+		zeroish := 0
+		for i := 0; i < n; i++ {
+			bits := binary.LittleEndian.Uint32(raw[i*4:])
+			// Sparsify: map small mantissas to exact zero so the
+			// sparsity paths get exercised.
+			if bits%3 == 0 {
+				bits = 0
+				zeroish++
+			}
+			src[i] = math.Float32frombits(bits)
+		}
+		for _, a := range ExtendedAlgorithms() {
+			c := MustNew(a)
+			blob := c.Encode(src)
+			got, err := c.Decode(blob)
+			if err != nil {
+				t.Fatalf("%s: decode own output: %v", a, err)
+			}
+			if len(got) != len(src) {
+				t.Fatalf("%s: length %d, want %d", a, len(got), len(src))
+			}
+			for i := range src {
+				w, g := math.Float32bits(src[i]), math.Float32bits(got[i])
+				// Sparsity codecs canonicalise -0 to +0; accept that
+				// single equivalence, nothing else.
+				if w != g && !(w == 0x80000000 && g == 0) {
+					t.Fatalf("%s: bit mismatch at %d: %08x -> %08x", a, i, w, g)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeRobustness feeds arbitrary bytes to every decoder: any outcome
+// but a panic or a hang is acceptable.
+func FuzzDecodeRobustness(f *testing.F) {
+	c := MustNew(ZVC)
+	f.Add(c.Encode([]float32{1, 0, 2, 0, 0, 3}))
+	f.Add(MustNew(RLE).Encode([]float32{0, 0, 1}))
+	f.Add(MustNew(CSR).Encode([]float32{5, 0, 0}))
+	f.Add(MustNew(LZ4).Encode(make([]float32, 64)))
+	f.Add(MustNew(Huffman).Encode([]float32{1, 1, 0, 2}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 255, 255, 255, 255, 255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		// Cap the claimed element count so a hostile header cannot force
+		// a giant allocation in the fuzz harness.
+		if len(blob) >= 9 {
+			n := binary.LittleEndian.Uint64(blob[1:9])
+			if n > 1<<20 {
+				return
+			}
+		}
+		_, _ = Decode(blob)
+		for _, a := range ExtendedAlgorithms() {
+			codec := MustNew(a)
+			_, _ = codec.Decode(blob)
+		}
+	})
+}

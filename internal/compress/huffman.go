@@ -1,0 +1,295 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Huffman is an extension codec beyond the paper's four ("we wish to
+// support more compression algorithms in the future work", Section IV-E):
+// a canonical Huffman entropy coder over the tensor's byte stream. Unlike
+// the sparsity codecs it exploits the *distribution* of byte values —
+// zeros and the narrow exponent range of activation floats — so it also
+// compresses dense tensors somewhat, at a higher computational cost.
+const Huffman Algorithm = 5
+
+// ExtendedAlgorithms returns the paper's four codecs plus the extensions.
+func ExtendedAlgorithms() []Algorithm {
+	return append(Algorithms(), Huffman)
+}
+
+// huffmanCodec implements canonical Huffman coding.
+//
+// Payload layout after the common header:
+//
+//	[256 bytes]  canonical code length per byte symbol (0 = absent)
+//	[...]        MSB-first bit-packed codes for the n·4 data bytes
+type huffmanCodec struct{}
+
+func (huffmanCodec) Algorithm() Algorithm { return Huffman }
+
+const huffMaxCodeLen = 56 // fits the decoder's uint64 bit buffer
+
+func (huffmanCodec) Encode(src []float32) []byte {
+	raw := floatsToBytes(src)
+	blob := make([]byte, 0, headerSize+256+len(raw))
+	blob = putHeader(blob, Huffman, len(src))
+	if len(raw) == 0 {
+		return blob
+	}
+
+	var freq [256]int64
+	for _, b := range raw {
+		freq[b]++
+	}
+	lengths := huffmanCodeLengths(freq[:])
+	codes := canonicalCodes(lengths)
+	blob = append(blob, lengths[:]...)
+
+	// Bit-pack MSB-first.
+	var acc uint64
+	var nbits uint
+	for _, b := range raw {
+		c := codes[b]
+		acc = acc<<uint64(c.len) | uint64(c.code)
+		nbits += uint(c.len)
+		for nbits >= 8 {
+			nbits -= 8
+			blob = append(blob, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		blob = append(blob, byte(acc<<(8-nbits)))
+	}
+	return blob
+}
+
+func (huffmanCodec) Decode(blob []byte) ([]float32, error) {
+	n, payload, err := parseHeader(blob, Huffman)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		if len(payload) != 0 {
+			return nil, ErrCorrupt
+		}
+		return []float32{}, nil
+	}
+	if len(payload) < 256 {
+		return nil, ErrTruncated
+	}
+	var lengths [256]byte
+	copy(lengths[:], payload[:256])
+	data := payload[256:]
+
+	dec, err := newHuffmanDecoder(lengths)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, n*4)
+	var acc uint64
+	var nbits uint
+	pos := 0
+	for i := range raw {
+		sym, consumed, ok := dec.next(acc, nbits)
+		for !ok {
+			if pos >= len(data) {
+				return nil, ErrTruncated
+			}
+			acc = acc<<8 | uint64(data[pos])
+			nbits += 8
+			pos++
+			if nbits > 64-8 {
+				return nil, fmt.Errorf("%w: oversized huffman code", ErrCorrupt)
+			}
+			sym, consumed, ok = dec.next(acc, nbits)
+		}
+		raw[i] = sym
+		nbits -= consumed
+		acc &= (1 << nbits) - 1
+	}
+	// Remaining bits must be padding only.
+	if pos != len(data) || nbits >= 8 {
+		return nil, ErrCorrupt
+	}
+	return bytesToFloats(raw), nil
+}
+
+// ---------------------------------------------------------------------------
+// Code construction.
+
+type huffNode struct {
+	freq        int64
+	symbol      int // <256 leaf, else internal
+	order       int // deterministic tie-break
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].order < h[j].order
+}
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return v
+}
+
+// huffmanCodeLengths returns the per-symbol code lengths for the frequency
+// table (0 for absent symbols). A single-symbol input gets length 1.
+func huffmanCodeLengths(freq []int64) [256]byte {
+	var lengths [256]byte
+	h := &huffHeap{}
+	order := 0
+	for sym, f := range freq {
+		if f > 0 {
+			heap.Push(h, &huffNode{freq: f, symbol: sym, order: order})
+			order++
+		}
+	}
+	if h.Len() == 1 {
+		lengths[(*h)[0].symbol] = 1
+		return lengths
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*huffNode)
+		b := heap.Pop(h).(*huffNode)
+		heap.Push(h, &huffNode{freq: a.freq + b.freq, symbol: 256, order: order, left: a, right: b})
+		order++
+	}
+	root := heap.Pop(h).(*huffNode)
+	var walk func(n *huffNode, depth byte)
+	walk = func(n *huffNode, depth byte) {
+		if n.symbol < 256 {
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+type huffCode struct {
+	code uint64
+	len  byte
+}
+
+// canonicalCodes assigns canonical codes (sorted by length then symbol).
+func canonicalCodes(lengths [256]byte) [256]huffCode {
+	type entry struct {
+		sym int
+		ln  byte
+	}
+	var entries []entry
+	for sym, ln := range lengths {
+		if ln > 0 {
+			entries = append(entries, entry{sym, ln})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].ln != entries[j].ln {
+			return entries[i].ln < entries[j].ln
+		}
+		return entries[i].sym < entries[j].sym
+	})
+	var codes [256]huffCode
+	code := uint64(0)
+	prevLen := byte(0)
+	for _, e := range entries {
+		code <<= uint(e.ln - prevLen)
+		codes[e.sym] = huffCode{code: code, len: e.ln}
+		code++
+		prevLen = e.ln
+	}
+	return codes
+}
+
+// huffmanDecoder decodes canonical codes via per-length first-code/offset
+// tables.
+type huffmanDecoder struct {
+	maxLen    byte
+	firstCode [huffMaxCodeLen + 2]uint64 // first canonical code of each length
+	count     [huffMaxCodeLen + 2]int    // symbols per length
+	offset    [huffMaxCodeLen + 2]int    // index of first symbol of each length
+	symbols   []byte                     // canonical symbol order
+}
+
+func newHuffmanDecoder(lengths [256]byte) (*huffmanDecoder, error) {
+	d := &huffmanDecoder{}
+	type entry struct {
+		sym int
+		ln  byte
+	}
+	var entries []entry
+	for sym, ln := range lengths {
+		if ln == 0 {
+			continue
+		}
+		if ln > huffMaxCodeLen {
+			return nil, fmt.Errorf("%w: code length %d", ErrCorrupt, ln)
+		}
+		entries = append(entries, entry{sym, ln})
+		if ln > d.maxLen {
+			d.maxLen = ln
+		}
+		d.count[ln]++
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%w: empty code table", ErrCorrupt)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].ln != entries[j].ln {
+			return entries[i].ln < entries[j].ln
+		}
+		return entries[i].sym < entries[j].sym
+	})
+	d.symbols = make([]byte, len(entries))
+	for i, e := range entries {
+		d.symbols[i] = byte(e.sym)
+	}
+	// Kraft check and canonical first codes.
+	code := uint64(0)
+	idx := 0
+	var kraft float64
+	for ln := byte(1); ln <= d.maxLen; ln++ {
+		code <<= 1
+		d.firstCode[ln] = code
+		d.offset[ln] = idx
+		code += uint64(d.count[ln])
+		idx += d.count[ln]
+		kraft += float64(d.count[ln]) / float64(uint64(1)<<uint(ln))
+	}
+	if len(entries) > 1 && kraft > 1.0000001 {
+		return nil, fmt.Errorf("%w: over-subscribed code table", ErrCorrupt)
+	}
+	return d, nil
+}
+
+// next attempts to decode one symbol from the top of the accumulator
+// holding nbits valid bits. It reports the symbol, bits consumed, and
+// whether a full code was available.
+func (d *huffmanDecoder) next(acc uint64, nbits uint) (sym byte, consumed uint, ok bool) {
+	for ln := byte(1); ln <= d.maxLen && uint(ln) <= nbits; ln++ {
+		if d.count[ln] == 0 {
+			continue
+		}
+		prefix := acc >> (nbits - uint(ln))
+		if prefix >= d.firstCode[ln] && prefix < d.firstCode[ln]+uint64(d.count[ln]) {
+			return d.symbols[d.offset[ln]+int(prefix-d.firstCode[ln])], uint(ln), true
+		}
+	}
+	return 0, 0, false
+}

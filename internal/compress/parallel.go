@@ -1,0 +1,228 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Launch is a GPU kernel launch geometry: the (grid, block) pair CSWAP
+// tunes with Bayesian optimization (Section IV-D). Grid is the number of
+// thread blocks (1–4096 in the paper's search space); Block is threads per
+// block (64 or 128, matching the 2/4 warp schedulers per SM on the
+// evaluated GPUs).
+type Launch struct {
+	Grid  int
+	Block int
+}
+
+// Validate reports whether the launch geometry is inside the paper's search
+// space.
+func (l Launch) Validate() error {
+	if l.Grid < 1 || l.Grid > 4096 {
+		return fmt.Errorf("compress: grid %d outside [1,4096]", l.Grid)
+	}
+	if l.Block != 64 && l.Block != 128 {
+		return fmt.Errorf("compress: block %d not in {64,128}", l.Block)
+	}
+	return nil
+}
+
+// Threads returns the total thread count of the launch.
+func (l Launch) Threads() int { return l.Grid * l.Block }
+
+func (l Launch) String() string { return fmt.Sprintf("(%d,%d)", l.Grid, l.Block) }
+
+// Parallel blob framing:
+//
+//	[0]      0x50 ('P') container marker
+//	[1]      algorithm byte
+//	[2:10]   uint64 total element count
+//	[10:14]  uint32 chunk count
+//	[14:..]  chunk count × uint64 chunk blob lengths
+//	then the concatenated per-chunk codec blobs.
+const parallelMarker = 0x50
+
+// ParallelEncode compresses src with the codec for alg, partitioned into
+// launch.Grid independent chunks the way a GPU kernel assigns one tensor
+// slice per thread block. Chunks are 32-element aligned so ZVC bitmap words
+// never straddle a boundary. Worker concurrency follows the launch geometry
+// capped at GOMAXPROCS — on a real GPU every block runs concurrently; on the
+// CPU host this wrapper preserves the partitioning semantics (and therefore
+// byte-exact output for a given launch) while bounding threads.
+func ParallelEncode(alg Algorithm, src []float32, launch Launch) ([]byte, error) {
+	if err := launch.Validate(); err != nil {
+		return nil, err
+	}
+	codec, err := New(alg)
+	if err != nil {
+		return nil, err
+	}
+	chunks := chunkBounds(len(src), launch.Grid)
+	blobs := make([][]byte, len(chunks))
+	runWorkers(len(chunks), workerCount(launch, len(chunks)), func(i int) {
+		blobs[i] = codec.Encode(src[chunks[i].lo:chunks[i].hi])
+	})
+
+	total := 14 + 8*len(chunks)
+	for _, b := range blobs {
+		total += len(b)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, parallelMarker, byte(alg))
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(src)))
+	out = append(out, u64[:]...)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(chunks)))
+	out = append(out, u32[:]...)
+	for _, b := range blobs {
+		binary.LittleEndian.PutUint64(u64[:], uint64(len(b)))
+		out = append(out, u64[:]...)
+	}
+	for _, b := range blobs {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// ParallelDecode reverses ParallelEncode, decoding chunks concurrently.
+func ParallelDecode(blob []byte, launch Launch) ([]float32, error) {
+	if len(blob) < 14 {
+		return nil, ErrTruncated
+	}
+	if blob[0] != parallelMarker {
+		return nil, fmt.Errorf("%w: not a parallel container", ErrCorrupt)
+	}
+	alg := Algorithm(blob[1])
+	codec, err := New(alg)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint64(blob[2:10]))
+	numChunks := int(binary.LittleEndian.Uint32(blob[10:14]))
+	if numChunks < 0 || numChunks > 1<<20 {
+		return nil, ErrCorrupt
+	}
+	dirEnd := 14 + 8*numChunks
+	if len(blob) < dirEnd {
+		return nil, ErrTruncated
+	}
+	lengths := make([]int, numChunks)
+	pos := dirEnd
+	for i := range lengths {
+		lengths[i] = int(binary.LittleEndian.Uint64(blob[14+8*i:]))
+		if lengths[i] < 0 || pos+lengths[i] > len(blob) {
+			return nil, ErrTruncated
+		}
+		pos += lengths[i]
+	}
+	if pos != len(blob) {
+		return nil, ErrCorrupt
+	}
+
+	dst := make([]float32, n)
+	bounds := chunkBounds(n, numChunks)
+	if len(bounds) != numChunks {
+		return nil, fmt.Errorf("%w: chunk count %d inconsistent with %d elements",
+			ErrCorrupt, numChunks, n)
+	}
+	errs := make([]error, numChunks)
+	offsets := make([]int, numChunks)
+	off := dirEnd
+	for i := range offsets {
+		offsets[i] = off
+		off += lengths[i]
+	}
+	runWorkers(numChunks, workerCount(Launch{Grid: numChunks, Block: 64}, numChunks), func(i int) {
+		part, derr := codec.Decode(blob[offsets[i] : offsets[i]+lengths[i]])
+		if derr != nil {
+			errs[i] = derr
+			return
+		}
+		if len(part) != bounds[i].hi-bounds[i].lo {
+			errs[i] = fmt.Errorf("%w: chunk %d decoded to %d elements, want %d",
+				ErrCorrupt, i, len(part), bounds[i].hi-bounds[i].lo)
+			return
+		}
+		copy(dst[bounds[i].lo:], part)
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return dst, nil
+}
+
+type span struct{ lo, hi int }
+
+// chunkBounds splits n elements into at most grid 32-aligned spans; the last
+// span absorbs the remainder. Fewer spans than grid are produced when the
+// tensor is small.
+func chunkBounds(n, grid int) []span {
+	if grid < 1 {
+		grid = 1
+	}
+	per := (n + grid - 1) / grid
+	per = (per + 31) &^ 31
+	if per == 0 {
+		per = 32
+	}
+	var out []span
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		out = append(out, span{lo, hi})
+	}
+	if out == nil {
+		out = []span{{0, 0}}
+	}
+	return out
+}
+
+// workerCount bounds host-side concurrency: a bigger Block means more
+// resident warps per "SM", so we scale workers with Block/64 before capping
+// at the machine's parallelism.
+func workerCount(l Launch, jobs int) int {
+	w := runtime.GOMAXPROCS(0) * l.Block / 64
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runWorkers runs fn(i) for i in [0,jobs) with the given concurrency.
+func runWorkers(jobs, workers int, fn func(int)) {
+	if jobs == 0 {
+		return
+	}
+	if workers <= 1 || jobs == 1 {
+		for i := 0; i < jobs; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

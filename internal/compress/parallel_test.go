@@ -1,0 +1,162 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"cswap/internal/tensor"
+)
+
+func TestLaunchValidate(t *testing.T) {
+	valid := []Launch{{1, 64}, {4096, 128}, {197, 64}}
+	for _, l := range valid {
+		if err := l.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", l, err)
+		}
+	}
+	invalid := []Launch{{0, 64}, {4097, 64}, {10, 32}, {10, 256}, {-1, 128}}
+	for _, l := range invalid {
+		if err := l.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", l)
+		}
+	}
+	if (Launch{2, 64}).Threads() != 128 {
+		t.Error("Threads() wrong")
+	}
+	if (Launch{197, 64}).String() != "(197,64)" {
+		t.Errorf("String = %q", Launch{197, 64}.String())
+	}
+}
+
+func TestParallelRoundTripAllAlgorithms(t *testing.T) {
+	gen := tensor.NewGenerator(31)
+	launches := []Launch{{1, 64}, {7, 64}, {64, 128}, {1024, 64}}
+	for _, a := range Algorithms() {
+		for _, l := range launches {
+			tn := gen.Uniform(50000, 0.5)
+			blob, err := ParallelEncode(a, tn.Data, l)
+			if err != nil {
+				t.Fatalf("%s %v encode: %v", a, l, err)
+			}
+			got, err := ParallelDecode(blob, l)
+			if err != nil {
+				t.Fatalf("%s %v decode: %v", a, l, err)
+			}
+			for i := range tn.Data {
+				if math.Float32bits(got[i]) != math.Float32bits(tn.Data[i]) {
+					t.Fatalf("%s %v mismatch at %d", a, l, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelEncodeDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The blob must depend only on the launch geometry, not on scheduling.
+	gen := tensor.NewGenerator(37)
+	tn := gen.Uniform(100000, 0.6)
+	l := Launch{128, 64}
+	a, err := ParallelEncode(ZVC, tn.Data, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := ParallelEncode(ZVC, tn.Data, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatal("non-deterministic parallel encode length")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("non-deterministic parallel encode bytes")
+			}
+		}
+	}
+}
+
+func TestParallelSmallTensorFewerChunksThanGrid(t *testing.T) {
+	tn := tensor.NewGenerator(41).Uniform(100, 0.5)
+	blob, err := ParallelEncode(ZVC, tn.Data, Launch{4096, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParallelDecode(blob, Launch{4096, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+}
+
+func TestParallelEmptyTensor(t *testing.T) {
+	blob, err := ParallelEncode(RLE, nil, Launch{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParallelDecode(blob, Launch{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("len = %d, want 0", len(got))
+	}
+}
+
+func TestParallelRejectsBadLaunch(t *testing.T) {
+	if _, err := ParallelEncode(ZVC, []float32{1}, Launch{0, 64}); err == nil {
+		t.Fatal("accepted invalid launch")
+	}
+}
+
+func TestParallelDecodeRejectsCorruptContainer(t *testing.T) {
+	tn := tensor.NewGenerator(43).Uniform(1000, 0.5)
+	blob, err := ParallelEncode(CSR, tn.Data, Launch{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Launch{8, 64}
+	if _, err := ParallelDecode(nil, l); err == nil {
+		t.Error("accepted nil blob")
+	}
+	if _, err := ParallelDecode(blob[:10], l); err == nil {
+		t.Error("accepted truncated header")
+	}
+	notContainer := append([]byte{0x00}, blob[1:]...)
+	if _, err := ParallelDecode(notContainer, l); err == nil {
+		t.Error("accepted wrong container marker")
+	}
+	truncated := blob[:len(blob)-3]
+	if _, err := ParallelDecode(truncated, l); err == nil {
+		t.Error("accepted truncated payload")
+	}
+}
+
+func TestChunkBoundsAlignment(t *testing.T) {
+	for _, tc := range []struct{ n, grid int }{
+		{0, 4}, {1, 4}, {31, 4}, {32, 4}, {33, 4}, {1000, 7}, {1 << 20, 4096},
+	} {
+		spans := chunkBounds(tc.n, tc.grid)
+		prev := 0
+		for i, sp := range spans {
+			if sp.lo != prev {
+				t.Fatalf("n=%d grid=%d: span %d starts at %d, want %d", tc.n, tc.grid, i, sp.lo, prev)
+			}
+			if sp.lo%32 != 0 {
+				t.Fatalf("n=%d grid=%d: span %d not 32-aligned", tc.n, tc.grid, i)
+			}
+			if sp.hi <= sp.lo && tc.n > 0 {
+				t.Fatalf("n=%d grid=%d: empty span %d", tc.n, tc.grid, i)
+			}
+			prev = sp.hi
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d grid=%d: spans cover %d", tc.n, tc.grid, prev)
+		}
+		if len(spans) > tc.grid && tc.n > 0 {
+			t.Fatalf("n=%d grid=%d: %d spans exceed grid", tc.n, tc.grid, len(spans))
+		}
+	}
+}

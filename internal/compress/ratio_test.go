@@ -1,0 +1,78 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"cswap/internal/tensor"
+)
+
+// TestEstimateRatioMatchesRealCodecs validates the analytic size models the
+// simulator uses against the actual codecs on uniformly-sparse tensors.
+func TestEstimateRatioMatchesRealCodecs(t *testing.T) {
+	gen := tensor.NewGenerator(47)
+	tolerances := map[Algorithm]float64{
+		ZVC: 0.01, // exact model
+		CSR: 0.01, // exact model
+		RLE: 0.03, // run-count expectation
+		LZ4: 0.10, // heuristic match-cost model
+	}
+	for _, a := range Algorithms() {
+		c := MustNew(a)
+		for _, s := range []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9} {
+			tn := gen.Uniform(200000, s)
+			real := Ratio(c.Encode(tn.Data), tn.Len())
+			est := EstimateRatio(a, tn.Sparsity())
+			if math.Abs(real-est) > tolerances[a] {
+				t.Errorf("%s sparsity %.2f: real ratio %.4f, model %.4f (tol %.2f)",
+					a, s, real, est, tolerances[a])
+			}
+		}
+	}
+}
+
+func TestEstimateRatioClampsAndMonotonicity(t *testing.T) {
+	for _, a := range Algorithms() {
+		if EstimateRatio(a, -1) != EstimateRatio(a, 0) {
+			t.Errorf("%s: sparsity not clamped at 0", a)
+		}
+		if EstimateRatio(a, 2) != EstimateRatio(a, 1) {
+			t.Errorf("%s: sparsity not clamped at 1", a)
+		}
+	}
+	// ZVC and CSR ratios must decrease strictly with sparsity.
+	for _, a := range []Algorithm{ZVC, CSR} {
+		prev := EstimateRatio(a, 0)
+		for s := 0.1; s <= 1.001; s += 0.1 {
+			cur := EstimateRatio(a, s)
+			if cur >= prev {
+				t.Errorf("%s ratio not decreasing at sparsity %.1f", a, s)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestEstimateRatioUnknownAlgorithm(t *testing.T) {
+	if got := EstimateRatio(Algorithm(99), 0.5); got != 1 {
+		t.Fatalf("unknown algorithm ratio = %v, want 1", got)
+	}
+}
+
+func TestEstimateCompressedBytes(t *testing.T) {
+	got := EstimateCompressedBytes(ZVC, 3200, 0.5)
+	want := int64(3200 * (0.5 + 1.0/32))
+	if got != want {
+		t.Fatalf("EstimateCompressedBytes = %d, want %d", got, want)
+	}
+}
+
+func TestBestRatioAlgorithmPrefersZVCAtModerateSparsity(t *testing.T) {
+	// In the paper's operating range (20–80 % sparsity) ZVC has the best
+	// ratio of the four for uniformly scattered zeros.
+	for s := 0.2; s <= 0.8; s += 0.1 {
+		if got := BestRatioAlgorithm(s); got != ZVC {
+			t.Errorf("BestRatioAlgorithm(%.1f) = %s, want ZVC", s, got)
+		}
+	}
+}

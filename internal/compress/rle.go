@@ -1,0 +1,106 @@
+package compress
+
+import "encoding/binary"
+
+// rleCodec implements run-length encoding specialised for sparse activation
+// tensors: only zero runs are collapsed, since ReLU/MAX outputs contain long
+// stretches of exact zeros but essentially random non-zero values (the
+// paper's "A0000000 → A70" example generalised to float data).
+//
+// Payload format: a sequence of tokens
+//
+//	[zeroRun uint16][litCount uint16][litCount × float32 literals]
+//
+// meaning "zeroRun zeros followed by litCount literal values". Runs longer
+// than 65535 split across tokens (with litCount 0 for the continuation).
+// Worst case (no zeros) overhead is 4 bytes per 65535 literals; dense
+// alternating data degrades towards the paper's observation that RLE "will
+// increase the original sequence size when the length of consecutive zeros
+// cannot be efficiently reduced".
+type rleCodec struct{}
+
+const rleMaxRun = 0xFFFF
+
+func (rleCodec) Algorithm() Algorithm { return RLE }
+
+func (rleCodec) Encode(src []float32) []byte {
+	blob := make([]byte, 0, headerSize+len(src)*4/2+64)
+	blob = putHeader(blob, RLE, len(src))
+	var u16 [2]byte
+	putU16 := func(v int) {
+		binary.LittleEndian.PutUint16(u16[:], uint16(v))
+		blob = append(blob, u16[:]...)
+	}
+	i := 0
+	for i < len(src) {
+		// Count the zero run.
+		zs := i
+		for i < len(src) && src[i] == 0 {
+			i++
+		}
+		zeroRun := i - zs
+		// Count the literal run.
+		ls := i
+		for i < len(src) && src[i] != 0 {
+			i++
+		}
+		lits := src[ls:i]
+		// Emit continuation tokens for oversized zero runs.
+		for zeroRun > rleMaxRun {
+			putU16(rleMaxRun)
+			putU16(0)
+			zeroRun -= rleMaxRun
+		}
+		// Emit the run plus literal chunks.
+		for {
+			chunk := len(lits)
+			if chunk > rleMaxRun {
+				chunk = rleMaxRun
+			}
+			putU16(zeroRun)
+			putU16(chunk)
+			for _, v := range lits[:chunk] {
+				blob = appendFloat32(blob, v)
+			}
+			lits = lits[chunk:]
+			zeroRun = 0
+			if len(lits) == 0 {
+				break
+			}
+		}
+	}
+	return blob
+}
+
+func (rleCodec) Decode(blob []byte) ([]float32, error) {
+	n, payload, err := parseHeader(blob, RLE)
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]float32, n)
+	out, pos := 0, 0
+	for pos < len(payload) {
+		if pos+4 > len(payload) {
+			return nil, ErrTruncated
+		}
+		zeroRun := int(binary.LittleEndian.Uint16(payload[pos:]))
+		litCount := int(binary.LittleEndian.Uint16(payload[pos+2:]))
+		pos += 4
+		if out+zeroRun+litCount > n {
+			return nil, ErrCorrupt
+		}
+		out += zeroRun // destination is pre-zeroed
+		if pos+litCount*4 > len(payload) {
+			return nil, ErrTruncated
+		}
+		for j := 0; j < litCount; j++ {
+			dst[out] = readFloat32(payload[pos:])
+			pos += 4
+			out++
+		}
+	}
+	if out != n {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}

@@ -1,0 +1,81 @@
+package compress
+
+import "encoding/binary"
+
+// zvcCodec implements zero-value compression (Rhu et al., cDMA), the codec
+// CSWAP favours under a PCIe bottleneck. The tensor is processed in groups
+// of 32 consecutive floats; each group contributes a 32-bit occupancy bitmap
+// (bit i set = element i non-zero) followed by the non-zero values packed in
+// order. Index overhead is therefore a fixed 1/32 ≈ 3 % of the original
+// size, versus 50 % for CSR at 50 % sparsity (Section IV-E).
+type zvcCodec struct{}
+
+func (zvcCodec) Algorithm() Algorithm { return ZVC }
+
+func (zvcCodec) Encode(src []float32) []byte {
+	// Size hint: bitmaps + worst case all non-zero.
+	groups := (len(src) + 31) / 32
+	blob := make([]byte, 0, headerSize+groups*4+len(src)*4)
+	blob = putHeader(blob, ZVC, len(src))
+	var valbuf [4]byte
+	for g := 0; g < groups; g++ {
+		start := g * 32
+		end := start + 32
+		if end > len(src) {
+			end = len(src)
+		}
+		var bitmap uint32
+		for i := start; i < end; i++ {
+			if src[i] != 0 {
+				bitmap |= 1 << uint(i-start)
+			}
+		}
+		blob = appendUint32(blob, bitmap)
+		for i := start; i < end; i++ {
+			if src[i] != 0 {
+				binary.LittleEndian.PutUint32(valbuf[:], float32bits(src[i]))
+				blob = append(blob, valbuf[:]...)
+			}
+		}
+	}
+	return blob
+}
+
+func (zvcCodec) Decode(blob []byte) ([]float32, error) {
+	n, payload, err := parseHeader(blob, ZVC)
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]float32, n)
+	groups := (n + 31) / 32
+	pos := 0
+	for g := 0; g < groups; g++ {
+		if pos+4 > len(payload) {
+			return nil, ErrTruncated
+		}
+		bitmap := binary.LittleEndian.Uint32(payload[pos:])
+		pos += 4
+		start := g * 32
+		end := start + 32
+		if end > n {
+			end = n
+			// Bits beyond the tail must be clear.
+			if bitmap>>(uint(end-start)) != 0 {
+				return nil, ErrCorrupt
+			}
+		}
+		for i := start; i < end; i++ {
+			if bitmap&(1<<uint(i-start)) != 0 {
+				if pos+4 > len(payload) {
+					return nil, ErrTruncated
+				}
+				dst[i] = readFloat32(payload[pos:])
+				pos += 4
+			}
+		}
+	}
+	if pos != len(payload) {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}

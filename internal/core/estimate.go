@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"cswap/internal/swap"
+)
+
+// EpochEstimate is one epoch's simulated cost under the framework's plan.
+type EpochEstimate struct {
+	Epoch         int
+	Compressed    int
+	IterationTime float64 // seconds per iteration
+	SwapExposed   float64 // un-hidden swap seconds per iteration
+	VDNNIteration float64 // the vDNN baseline for the same epoch
+}
+
+// TrainingEstimate projects a whole training run from per-epoch iteration
+// simulations — the quantity the paper's Figure 6 throughput numbers
+// integrate.
+type TrainingEstimate struct {
+	Model, GPU     string
+	ItersPerEpoch  int
+	Epochs         []EpochEstimate
+	TotalTime      float64 // seconds under CSWAP
+	VDNNTotalTime  float64 // seconds under vDNN
+	TotalSwapSaved float64 // Σ (vDNN exposed − CSWAP exposed) over the run
+}
+
+// Reduction returns the relative training-time reduction vs vDNN.
+func (te *TrainingEstimate) Reduction() float64 {
+	if te.VDNNTotalTime == 0 {
+		return 0
+	}
+	return (te.VDNNTotalTime - te.TotalTime) / te.VDNNTotalTime
+}
+
+// EstimateTraining simulates one iteration per epoch under both the
+// framework's plan and the vDNN baseline and scales by itersPerEpoch,
+// producing a whole-run projection. Jitter follows opt; each epoch gets an
+// independent seed derived from it.
+func (f *Framework) EstimateTraining(itersPerEpoch int, opt swap.Options) (*TrainingEstimate, error) {
+	if itersPerEpoch <= 0 {
+		return nil, fmt.Errorf("core: itersPerEpoch must be positive")
+	}
+	te := &TrainingEstimate{
+		Model:         f.Config.Model.Name,
+		GPU:           f.Config.Device.Name,
+		ItersPerEpoch: itersPerEpoch,
+	}
+	for epoch := 0; epoch < f.Config.Epochs; epoch++ {
+		np, err := f.ProfileAt(epoch)
+		if err != nil {
+			return nil, err
+		}
+		epochOpt := opt
+		epochOpt.Seed = opt.Seed + int64(epoch)*131
+		plan := f.planner.Plan(np, f.Config.Device)
+		rc, err := swap.Simulate(f.Config.Model, f.Config.Device, np, plan, epochOpt)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := swap.Simulate(f.Config.Model, f.Config.Device, np,
+			swap.VDNN{}.Plan(np, f.Config.Device), epochOpt)
+		if err != nil {
+			return nil, err
+		}
+		te.Epochs = append(te.Epochs, EpochEstimate{
+			Epoch:         epoch,
+			Compressed:    plan.CompressedCount(),
+			IterationTime: rc.IterationTime,
+			SwapExposed:   rc.SwapExposed,
+			VDNNIteration: rv.IterationTime,
+		})
+		n := float64(itersPerEpoch)
+		te.TotalTime += rc.IterationTime * n
+		te.VDNNTotalTime += rv.IterationTime * n
+		te.TotalSwapSaved += (rv.SwapExposed - rc.SwapExposed) * n
+	}
+	return te, nil
+}

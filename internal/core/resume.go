@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/memdb"
+	"cswap/internal/profiler"
+	"cswap/internal/regress"
+	"cswap/internal/sparsity"
+	"cswap/internal/swap"
+)
+
+// Resume rebuilds a deployment from a previously populated in-memory
+// database — the retrieval path Section IV promises for both the network
+// profile and the (de)compression time model. It skips the BO search, the
+// sample generation, and the first-iteration profiling pass entirely; only
+// the sparsity trajectories (per-epoch measurements by nature) are
+// reconstructed.
+func Resume(db *memdb.DB, m *dnn.Model, d *gpu.Device, cfg Config) (*Framework, error) {
+	if db == nil || m == nil || d == nil {
+		return nil, fmt.Errorf("core: Resume needs db, model, and device")
+	}
+	np, ok, err := profiler.Load(db, m.Name, d.Name)
+	if err != nil {
+		return nil, fmt.Errorf("core: load profile: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: no stored profile for %s/%s", m.Name, d.Name)
+	}
+	tp, ok, err := regress.LoadTimePredictor(db, d.Name)
+	if err != nil {
+		return nil, fmt.Errorf("core: load time model: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: no stored time model for %s", d.Name)
+	}
+	if len(np.Tensors) != len(m.SwapTensors()) {
+		return nil, fmt.Errorf("core: stored profile has %d tensors, model has %d",
+			len(np.Tensors), len(m.SwapTensors()))
+	}
+	cfg.Model, cfg.Device = m, d
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = sparsity.DefaultEpochs
+	}
+	f := &Framework{
+		Config:    cfg,
+		DB:        db,
+		Launch:    tp.Launch,
+		Predictor: tp,
+		Sparsity:  sparsity.ForModel(m, cfg.Epochs, cfg.Seed+3),
+		Profile:   np,
+	}
+	f.planner = swap.CSWAP{Predictor: tp, Launch: tp.Launch}
+	return f, nil
+}

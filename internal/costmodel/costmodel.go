@@ -1,0 +1,99 @@
+// Package costmodel implements the swapping-cost model of Section IV-B
+// (Equations 1–4). Given a tensor's size, sparsity, the measured effective
+// PCIe bandwidths, the hidden (overlappable) forward/backward windows, and
+// the predicted (de)compression times, it decides whether compressing the
+// tensor for swapping is cost-effective:
+//
+//	T' = max(Size/BW_d2h − Hidden_f, 0) + max(Size/BW_h2d − Hidden_b, 0)   (Eq. 1)
+//	T  = Time_c + Time_dc + O_f + O_b                                      (Eq. 2)
+//	O_f = max(CSize/BW_d2h − Hidden_f, 0)                                  (Eq. 3)
+//	O_b = max(CSize/BW_h2d − Hidden_b, 0)                                  (Eq. 4)
+//
+// The paper approximates the compressed size as Size×(1−Sparsity); this
+// implementation defaults to that but accepts a codec-specific ratio that
+// includes index overhead (compress.EstimateRatio), which is what the CSWAP
+// advisor uses.
+package costmodel
+
+import (
+	"math"
+)
+
+// Params collects the Table II quantities for one tensor.
+type Params struct {
+	// SizeBytes is the uncompressed tensor size.
+	SizeBytes int64
+	// Sparsity is the tensor's zero fraction (refreshed per epoch).
+	Sparsity float64
+	// BWd2h and BWh2d are the measured effective link bandwidths in
+	// bytes/second.
+	BWd2h, BWh2d float64
+	// HiddenF and HiddenB are the overlappable forward/backward compute
+	// windows in seconds.
+	HiddenF, HiddenB float64
+	// TimeC and TimeDC are the predicted compression and decompression
+	// times in seconds.
+	TimeC, TimeDC float64
+	// Ratio is the predicted compressed/original size. Zero selects the
+	// paper's approximation 1−Sparsity.
+	Ratio float64
+}
+
+func (p Params) compressedBytes() float64 {
+	r := p.Ratio
+	if r == 0 {
+		r = 1 - p.Sparsity
+	}
+	if r < 0 {
+		r = 0
+	}
+	return float64(p.SizeBytes) * r
+}
+
+// UncompressedCost is T′ (Eq. 1): the transfer time that cannot be hidden
+// behind DNN propagation when the tensor is swapped raw.
+func UncompressedCost(p Params) float64 {
+	size := float64(p.SizeBytes)
+	of := math.Max(size/p.BWd2h-p.HiddenF, 0)
+	ob := math.Max(size/p.BWh2d-p.HiddenB, 0)
+	return of + ob
+}
+
+// CompressedCost is T (Eq. 2): (de)compression time plus the exposed
+// portion of the compressed transfers.
+func CompressedCost(p Params) float64 {
+	return p.TimeC + p.TimeDC + ExposedForward(p) + ExposedBackward(p)
+}
+
+// ExposedForward is O_f (Eq. 3).
+func ExposedForward(p Params) float64 {
+	return math.Max(p.compressedBytes()/p.BWd2h-p.HiddenF, 0)
+}
+
+// ExposedBackward is O_b (Eq. 4).
+func ExposedBackward(p Params) float64 {
+	return math.Max(p.compressedBytes()/p.BWh2d-p.HiddenB, 0)
+}
+
+// Decision is the advisor's verdict for one tensor.
+type Decision struct {
+	Compress bool
+	// T and TPrime are the Eq. 2 / Eq. 1 costs backing the verdict.
+	T, TPrime float64
+}
+
+// Gain is the predicted saving (seconds) of the chosen action over the
+// alternative; negative never occurs since Decide picks the cheaper side.
+func (d Decision) Gain() float64 {
+	if d.Compress {
+		return d.TPrime - d.T
+	}
+	return d.T - d.TPrime
+}
+
+// Decide applies the Section IV-B rule: compress exactly when T′ > T.
+func Decide(p Params) Decision {
+	t := CompressedCost(p)
+	tp := UncompressedCost(p)
+	return Decision{Compress: tp > t, T: t, TPrime: tp}
+}

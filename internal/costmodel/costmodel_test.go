@@ -1,0 +1,168 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// base is a 500 MB tensor at 50 % sparsity on V100-like effective links
+// with 10 ms hiding windows and 20 ms total (de)compression — the
+// transfer-dominated regime where swapping latency is exposed.
+func base() Params {
+	return Params{
+		SizeBytes: 500 << 20,
+		Sparsity:  0.5,
+		BWd2h:     11.7e9,
+		BWh2d:     10.6e9,
+		HiddenF:   0.010,
+		HiddenB:   0.010,
+		TimeC:     0.012,
+		TimeDC:    0.008,
+	}
+}
+
+func TestUncompressedCostEq1(t *testing.T) {
+	p := base()
+	size := float64(p.SizeBytes)
+	want := (size/p.BWd2h - 0.010) + (size/p.BWh2d - 0.010)
+	if got := UncompressedCost(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("T' = %v, want %v", got, want)
+	}
+}
+
+func TestUncompressedCostFullyHidden(t *testing.T) {
+	p := base()
+	p.HiddenF, p.HiddenB = 10, 10 // enormous compute windows
+	if got := UncompressedCost(p); got != 0 {
+		t.Fatalf("fully hidden T' = %v, want 0", got)
+	}
+}
+
+func TestCompressedCostUsesSparsityApproxByDefault(t *testing.T) {
+	p := base()
+	csize := float64(p.SizeBytes) * 0.5 // 1 − sparsity
+	wantOf := math.Max(csize/p.BWd2h-p.HiddenF, 0)
+	wantOb := math.Max(csize/p.BWh2d-p.HiddenB, 0)
+	want := p.TimeC + p.TimeDC + wantOf + wantOb
+	if got := CompressedCost(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("T = %v, want %v", got, want)
+	}
+}
+
+func TestCompressedCostWithExplicitRatio(t *testing.T) {
+	p := base()
+	p.Ratio = 0.53125 // ZVC at 50 %: 0.5 + 1/32
+	withRatio := CompressedCost(p)
+	p.Ratio = 0
+	approx := CompressedCost(p)
+	if withRatio <= approx {
+		t.Fatal("index overhead should make the ratio-based cost higher")
+	}
+}
+
+func TestDecideCompressesLargeSparseTensor(t *testing.T) {
+	p := base()
+	p.Sparsity = 0.8
+	d := Decide(p)
+	if !d.Compress {
+		t.Fatalf("large sparse tensor not compressed: T=%v T'=%v", d.T, d.TPrime)
+	}
+	if d.Gain() <= 0 {
+		t.Fatalf("Gain = %v", d.Gain())
+	}
+}
+
+func TestDecideSkipsSmallTensor(t *testing.T) {
+	// A small tensor's transfer hides entirely; compression only adds
+	// kernel time (the paper's ReLU7/ReLU8 case).
+	p := base()
+	p.SizeBytes = 8 << 20
+	d := Decide(p)
+	if d.Compress {
+		t.Fatalf("small tensor compressed: T=%v T'=%v", d.T, d.TPrime)
+	}
+	if d.TPrime != 0 {
+		t.Fatalf("small tensor T' = %v, want 0 (fully hidden)", d.TPrime)
+	}
+}
+
+func TestDecideSkipsDenseTensor(t *testing.T) {
+	// Low sparsity: compressed size ≈ original, so compression only adds
+	// Time_c + Time_dc (the MAX4 case).
+	p := base()
+	p.Sparsity = 0.05
+	p.TimeC, p.TimeDC = 0.030, 0.020
+	d := Decide(p)
+	if d.Compress {
+		t.Fatalf("dense tensor compressed: T=%v T'=%v", d.T, d.TPrime)
+	}
+}
+
+func TestDecisionMonotoneInSparsity(t *testing.T) {
+	// Once compression wins at sparsity s, it must also win at s' > s
+	// (all else equal): compressed cost is non-increasing in sparsity.
+	p := base()
+	prevT := math.Inf(1)
+	wasCompress := false
+	for s := 0.0; s <= 1.0; s += 0.05 {
+		p.Sparsity = s
+		d := Decide(p)
+		if d.T > prevT+1e-12 {
+			t.Fatalf("T increased with sparsity at %v", s)
+		}
+		prevT = d.T
+		if wasCompress && !d.Compress {
+			t.Fatalf("decision flipped back to no-compress at sparsity %v", s)
+		}
+		wasCompress = d.Compress
+	}
+}
+
+func TestExposedTermsNonNegativeProperty(t *testing.T) {
+	f := func(size uint32, sp, hf, hb uint8) bool {
+		p := Params{
+			SizeBytes: int64(size)%(2<<30) + 1,
+			Sparsity:  float64(sp) / 255,
+			BWd2h:     11.7e9,
+			BWh2d:     10.6e9,
+			HiddenF:   float64(hf) / 1000,
+			HiddenB:   float64(hb) / 1000,
+			TimeC:     0.01,
+			TimeDC:    0.01,
+		}
+		return ExposedForward(p) >= 0 && ExposedBackward(p) >= 0 &&
+			UncompressedCost(p) >= 0 && CompressedCost(p) >= p.TimeC+p.TimeDC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedBytesNeverNegative(t *testing.T) {
+	p := base()
+	p.Ratio = -0.5
+	if CompressedCost(p) < p.TimeC+p.TimeDC {
+		t.Fatal("negative ratio produced negative transfer cost")
+	}
+}
+
+func TestGainSymmetry(t *testing.T) {
+	p := base()
+	p.Sparsity = 0.9
+	d := Decide(p)
+	if !d.Compress {
+		t.Fatal("expected compress")
+	}
+	if math.Abs(d.Gain()-(d.TPrime-d.T)) > 1e-15 {
+		t.Fatal("Gain mismatch for compress decision")
+	}
+	p.SizeBytes = 1 << 20
+	d = Decide(p)
+	if d.Compress {
+		t.Fatal("expected no-compress")
+	}
+	if math.Abs(d.Gain()-(d.T-d.TPrime)) > 1e-15 {
+		t.Fatal("Gain mismatch for no-compress decision")
+	}
+}

@@ -1,0 +1,207 @@
+// Package devmem provides the memory-management substrate of the swapping
+// executor: fixed-capacity allocation pools standing in for GPU global
+// memory and pinned host memory, plus a size-classed buffer cache that
+// recycles allocations the way the paper's prototype uses Torch's
+// getCUDADeviceAllocator/getPinnedMemoryAllocator memory pools "to avoid
+// using the expensive cudaMalloc() and cudaMallocHost() functions"
+// (Section V).
+package devmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOutOfMemory reports that an allocation exceeds the pool's remaining
+// capacity.
+var ErrOutOfMemory = errors.New("devmem: out of memory")
+
+// ErrDoubleFree reports freeing an already-freed block.
+var ErrDoubleFree = errors.New("devmem: double free")
+
+// Pool is a fixed-capacity accounting allocator. It tracks usage, never
+// hands out more than its capacity, and records high-water statistics.
+type Pool struct {
+	name     string
+	capacity int64
+
+	mu     sync.Mutex
+	used   int64
+	peak   int64
+	allocs int64
+	frees  int64
+	fails  int64
+}
+
+// NewPool creates a pool with the given byte capacity (> 0).
+func NewPool(name string, capacity int64) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("devmem: non-positive capacity %d", capacity))
+	}
+	return &Pool{name: name, capacity: capacity}
+}
+
+// Block is one outstanding allocation.
+type Block struct {
+	pool *Pool
+	size int64
+
+	mu    sync.Mutex
+	freed bool
+}
+
+// Alloc reserves n bytes, failing with ErrOutOfMemory when the pool cannot
+// hold them. Zero-byte allocations are legal and free.
+func (p *Pool) Alloc(n int64) (*Block, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("devmem: negative allocation %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.used+n > p.capacity {
+		p.fails++
+		return nil, fmt.Errorf("%w: %s needs %d, %d of %d in use",
+			ErrOutOfMemory, p.name, n, p.used, p.capacity)
+	}
+	p.used += n
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	p.allocs++
+	return &Block{pool: p, size: n}, nil
+}
+
+// Size returns the block's byte size.
+func (b *Block) Size() int64 { return b.size }
+
+// Free releases the block back to its pool. Freeing twice returns
+// ErrDoubleFree and leaves accounting untouched.
+func (b *Block) Free() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.freed {
+		return ErrDoubleFree
+	}
+	b.freed = true
+	p := b.pool
+	p.mu.Lock()
+	p.used -= b.size
+	p.frees++
+	p.mu.Unlock()
+	return nil
+}
+
+// Stats is a snapshot of pool accounting.
+type Stats struct {
+	Name         string
+	Capacity     int64
+	Used         int64
+	Peak         int64
+	Allocs       int64
+	Frees        int64
+	FailedAllocs int64
+}
+
+// Stats returns a snapshot.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Name: p.name, Capacity: p.capacity,
+		Used: p.used, Peak: p.peak,
+		Allocs: p.allocs, Frees: p.frees, FailedAllocs: p.fails,
+	}
+}
+
+// Used returns the bytes currently allocated.
+func (p *Pool) Used() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// Capacity returns the pool's byte capacity.
+func (p *Pool) Capacity() int64 { return p.capacity }
+
+// ---------------------------------------------------------------------------
+// Buffer cache.
+
+// Cache recycles byte buffers by power-of-two size class, avoiding repeated
+// large allocations on the swap path (the memory-pool optimisation of
+// Section V). It is concurrency-safe.
+type Cache struct {
+	mu      sync.Mutex
+	classes map[uint][][]byte
+	hits    int64
+	misses  int64
+	puts    int64
+}
+
+// NewCache returns an empty buffer cache.
+func NewCache() *Cache {
+	return &Cache{classes: make(map[uint][][]byte)}
+}
+
+// sizeClass returns the power-of-two class covering n.
+func sizeClass(n int) uint {
+	c := uint(0)
+	s := 1
+	for s < n {
+		s <<= 1
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer with length n, reusing a cached buffer of the same
+// size class when available.
+func (c *Cache) Get(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	cls := sizeClass(n)
+	c.mu.Lock()
+	bufs := c.classes[cls]
+	if len(bufs) > 0 {
+		buf := bufs[len(bufs)-1]
+		c.classes[cls] = bufs[:len(bufs)-1]
+		c.hits++
+		c.mu.Unlock()
+		return buf[:n]
+	}
+	c.misses++
+	c.mu.Unlock()
+	return make([]byte, n, 1<<cls)
+}
+
+// Put returns a buffer to the cache for reuse. Buffers are kept at most
+// eight deep per class to bound retention.
+func (c *Cache) Put(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	cls := sizeClass(cap(buf))
+	if 1<<cls != cap(buf) {
+		// Only cache exact power-of-two capacities (our own allocations).
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	if len(c.classes[cls]) < 8 {
+		c.classes[cls] = append(c.classes[cls], buf[:cap(buf)])
+	}
+}
+
+// CacheStats snapshots hit/miss accounting.
+type CacheStats struct {
+	Hits, Misses, Puts int64
+}
+
+// Stats returns a snapshot.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Puts: c.puts}
+}

@@ -1,0 +1,166 @@
+package devmem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPoolAllocFreeAccounting(t *testing.T) {
+	p := NewPool("dev", 1000)
+	a, err := p.Alloc(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 1000 {
+		t.Fatalf("Used = %d", p.Used())
+	}
+	if _, err := p.Alloc(1); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("over-capacity alloc err = %v", err)
+	}
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 600 {
+		t.Fatalf("Used after free = %d", p.Used())
+	}
+	st := p.Stats()
+	if st.Peak != 1000 || st.Allocs != 2 || st.Frees != 1 || st.FailedAllocs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if b.Size() != 600 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+}
+
+func TestPoolDoubleFree(t *testing.T) {
+	p := NewPool("dev", 100)
+	a, _ := p.Alloc(50)
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free err = %v", err)
+	}
+	if p.Used() != 0 {
+		t.Fatal("double free corrupted accounting")
+	}
+}
+
+func TestPoolRejectsNegativeAndBadCapacity(t *testing.T) {
+	p := NewPool("dev", 100)
+	if _, err := p.Alloc(-1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+	if _, err := p.Alloc(0); err != nil {
+		t.Fatal("zero alloc should succeed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero capacity")
+		}
+	}()
+	NewPool("bad", 0)
+}
+
+func TestPoolConcurrentAllocFree(t *testing.T) {
+	p := NewPool("dev", 1<<20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b, err := p.Alloc(128)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := b.Free(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Used() != 0 {
+		t.Fatalf("leaked %d bytes", p.Used())
+	}
+	if st := p.Stats(); st.Allocs != 4000 || st.Frees != 4000 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheReuse(t *testing.T) {
+	c := NewCache()
+	a := c.Get(1000)
+	if len(a) != 1000 || cap(a) != 1024 {
+		t.Fatalf("len=%d cap=%d", len(a), cap(a))
+	}
+	c.Put(a)
+	b := c.Get(900) // same class (1024)
+	if len(b) != 900 {
+		t.Fatalf("len = %d", len(b))
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Different class: miss.
+	c.Get(5000)
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheIgnoresForeignBuffers(t *testing.T) {
+	c := NewCache()
+	c.Put(make([]byte, 1000)) // non-power-of-two capacity
+	if st := c.Stats(); st.Puts != 0 {
+		t.Fatal("foreign buffer cached")
+	}
+	c.Put(nil)
+	if got := c.Get(0); got != nil {
+		t.Fatal("Get(0) should be nil")
+	}
+}
+
+func TestCacheBoundedDepth(t *testing.T) {
+	c := NewCache()
+	for i := 0; i < 20; i++ {
+		c.Put(make([]byte, 1024))
+	}
+	hits := 0
+	for i := 0; i < 20; i++ {
+		before := c.Stats().Hits
+		c.Get(1024)
+		if c.Stats().Hits > before {
+			hits++
+		}
+	}
+	if hits > 8 {
+		t.Fatalf("cache retained %d buffers, cap is 8", hits)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				buf := c.Get(512)
+				buf[0] = byte(i)
+				c.Put(buf)
+			}
+		}()
+	}
+	wg.Wait()
+}

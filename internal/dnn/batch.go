@@ -1,0 +1,66 @@
+package dnn
+
+import "fmt"
+
+// ErrOutOfMemory reports a (model, GPU, dataset) combination the paper
+// could not train: "Plain20 is a large model and 2080Ti only has 11GB GPU
+// memory, which cannot meet the memory requirement of Plain20 even when the
+// batch size is set to one" (Section V-A, Figure 6d).
+var ErrOutOfMemory = fmt.Errorf("dnn: model does not fit in GPU memory at any batch size")
+
+// batchTable encodes Table III of the paper: training batch sizes per
+// model for each (GPU, dataset). A zero entry means out-of-memory.
+var batchTable = map[string]map[string][2]int{
+	// GPU -> model -> [CIFAR10, ImageNet]
+	"V100": {
+		"AlexNet":    {2560, 512},
+		"VGG16":      {2560, 128},
+		"MobileNet":  {2560, 128},
+		"Plain20":    {2560, 32},
+		"ResNet":     {2560, 64},
+		"SqueezeNet": {2560, 512},
+	},
+	"2080Ti": {
+		"AlexNet":    {2560, 256},
+		"VGG16":      {2560, 32},
+		"MobileNet":  {1280, 32},
+		"Plain20":    {1024, 0},
+		"ResNet":     {1280, 16},
+		"SqueezeNet": {1280, 128},
+	},
+}
+
+// BatchSize returns the Table III batch size for the combination, or
+// ErrOutOfMemory for the one untrainable configuration.
+func BatchSize(model, gpuName string, ds Dataset) (int, error) {
+	g, ok := batchTable[gpuName]
+	if !ok {
+		return 0, fmt.Errorf("dnn: no batch configuration for GPU %q", gpuName)
+	}
+	row, ok := g[model]
+	if !ok {
+		return 0, fmt.Errorf("dnn: no batch configuration for model %q", model)
+	}
+	idx := 0
+	switch ds.Name {
+	case CIFAR10.Name:
+		idx = 0
+	case ImageNet.Name:
+		idx = 1
+	default:
+		return 0, fmt.Errorf("dnn: no batch configuration for dataset %q", ds.Name)
+	}
+	if row[idx] == 0 {
+		return 0, ErrOutOfMemory
+	}
+	return row[idx], nil
+}
+
+// BuildConfigured builds the model with its Table III batch size.
+func BuildConfigured(model, gpuName string, ds Dataset) (*Model, error) {
+	batch, err := BatchSize(model, gpuName, ds)
+	if err != nil {
+		return nil, err
+	}
+	return Build(model, ds, batch)
+}

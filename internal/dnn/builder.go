@@ -1,0 +1,122 @@
+package dnn
+
+import "fmt"
+
+// builder assembles a model graph with shape inference. Layer helper
+// methods return the new layer's index so non-linear graphs (residual adds,
+// fire-module concats) can reference branch points.
+type builder struct {
+	m *Model
+}
+
+func newBuilder(name string, ds Dataset, batch int, linear bool) *builder {
+	if batch <= 0 {
+		panic(fmt.Sprintf("dnn: non-positive batch %d", batch))
+	}
+	return &builder{m: &Model{Name: name, Dataset: ds, Batch: batch, Linear: linear}}
+}
+
+// inShape resolves the input activation shape for a layer with the given
+// predecessor indices (empty = previous layer, or the dataset input for the
+// first layer).
+func (b *builder) inShape(inputs []int) (h, w, c int) {
+	if len(b.m.Layers) == 0 && len(inputs) == 0 {
+		return b.m.Dataset.H, b.m.Dataset.W, b.m.Dataset.C
+	}
+	if len(inputs) == 0 {
+		inputs = []int{len(b.m.Layers) - 1}
+	}
+	first := &b.m.Layers[inputs[0]]
+	h, w, c = first.OutH, first.OutW, first.OutCh
+	for _, idx := range inputs[1:] {
+		l := &b.m.Layers[idx]
+		if l.OutH != h || l.OutW != w {
+			panic(fmt.Sprintf("dnn: %s: merge of mismatched shapes %dx%d vs %dx%d",
+				b.m.Name, h, w, l.OutH, l.OutW))
+		}
+	}
+	return h, w, c
+}
+
+func (b *builder) add(l Layer) int {
+	h, w, c := b.inShape(l.Inputs)
+	l.InH, l.InW, l.InC = h, w, c
+	if oh, ow, oc, ok := transformerOutShape(&l, h, w, c); ok {
+		l.OutH, l.OutW, l.OutCh = oh, ow, oc
+		if l.OutH <= 0 || l.OutW <= 0 || l.OutCh <= 0 {
+			panic(fmt.Sprintf("dnn: %s layer %s(%s) inferred empty shape", b.m.Name, l.Name, l.Op))
+		}
+		b.m.Layers = append(b.m.Layers, l)
+		return len(b.m.Layers) - 1
+	}
+	switch l.Op {
+	case OpConv, OpDWConv:
+		l.OutH = (h+2*l.Pad-l.K)/l.Stride + 1
+		l.OutW = (w+2*l.Pad-l.K)/l.Stride + 1
+		if l.Op == OpDWConv {
+			l.OutC = c
+		}
+		l.OutCh = l.OutC
+	case OpMaxPool, OpAvgPool:
+		l.OutH = (h+2*l.Pad-l.K)/l.Stride + 1
+		l.OutW = (w+2*l.Pad-l.K)/l.Stride + 1
+		l.OutCh = c
+	case OpFC:
+		l.OutH, l.OutW, l.OutCh = 1, 1, l.OutC
+	case OpConcat:
+		inputs := l.Inputs
+		l.OutH, l.OutW = h, w
+		l.OutCh = 0
+		for _, idx := range inputs {
+			l.OutCh += b.m.Layers[idx].OutCh
+		}
+	default: // ReLU, BN, Add, Softmax preserve shape
+		l.OutH, l.OutW, l.OutCh = h, w, c
+	}
+	if l.OutH <= 0 || l.OutW <= 0 || l.OutCh <= 0 {
+		panic(fmt.Sprintf("dnn: %s layer %s(%s) inferred empty shape %dx%dx%d from %dx%dx%d",
+			b.m.Name, l.Name, l.Op, l.OutH, l.OutW, l.OutCh, h, w, c))
+	}
+	b.m.Layers = append(b.m.Layers, l)
+	return len(b.m.Layers) - 1
+}
+
+func (b *builder) conv(name string, outC, k, stride, pad int, inputs ...int) int {
+	return b.add(Layer{Name: name, Op: OpConv, OutC: outC, K: k, Stride: stride, Pad: pad, Inputs: inputs})
+}
+
+func (b *builder) dwconv(name string, k, stride, pad int) int {
+	return b.add(Layer{Name: name, Op: OpDWConv, K: k, Stride: stride, Pad: pad})
+}
+
+func (b *builder) relu(name string, inputs ...int) int {
+	return b.add(Layer{Name: name, Op: OpReLU, Inputs: inputs})
+}
+
+func (b *builder) maxPool(name string, k, stride int) int {
+	return b.add(Layer{Name: name, Op: OpMaxPool, K: k, Stride: stride})
+}
+
+func (b *builder) avgPool(name string, k, stride int) int {
+	return b.add(Layer{Name: name, Op: OpAvgPool, K: k, Stride: stride})
+}
+
+func (b *builder) fc(name string, outC int) int {
+	return b.add(Layer{Name: name, Op: OpFC, OutC: outC})
+}
+
+func (b *builder) bn(name string) int {
+	return b.add(Layer{Name: name, Op: OpBatchNorm})
+}
+
+func (b *builder) residual(name string, a, c int) int {
+	return b.add(Layer{Name: name, Op: OpAdd, Inputs: []int{a, c}})
+}
+
+func (b *builder) concat(name string, inputs ...int) int {
+	return b.add(Layer{Name: name, Op: OpConcat, Inputs: inputs})
+}
+
+func (b *builder) softmax(name string) int {
+	return b.add(Layer{Name: name, Op: OpSoftmax})
+}

@@ -1,0 +1,62 @@
+package dnn
+
+import "cswap/internal/gpu"
+
+// Training-memory footprint model: the quantity that decides whether a
+// workload needs swapping at all (the paper's premise: "training popular
+// DNNs often requires a larger amount of memory than a GPU may have").
+
+// FootprintBreakdown itemises the training working set.
+type FootprintBreakdown struct {
+	// Activations are the forward feature maps (retained for backward).
+	Activations int64
+	// Gradients are the activation gradients (≈ one live copy per layer
+	// pair; we charge the two largest adjacent activations).
+	Gradients int64
+	// Weights, WeightGradients, and OptimizerState (SGD+momentum: one
+	// extra copy) all scale with the parameter count.
+	Weights, WeightGradients, OptimizerState int64
+	// Workspace is the cuDNN scratch estimate (proportional to the
+	// largest layer's activation).
+	Workspace int64
+}
+
+// Total sums the breakdown.
+func (f FootprintBreakdown) Total() int64 {
+	return f.Activations + f.Gradients + f.Weights + f.WeightGradients +
+		f.OptimizerState + f.Workspace
+}
+
+// TrainingFootprint estimates the peak training memory demand without any
+// swapping: all forward activations retained, plus gradients in flight,
+// parameters with their gradients and momentum, and convolution workspace.
+func (m *Model) TrainingFootprint() FootprintBreakdown {
+	var f FootprintBreakdown
+	// Attention score matrices are retained activations too (they carry
+	// the softmax outputs the backward pass needs).
+	f.Activations = m.TransformerActivationBytes()
+	// Backward holds the gradient of the current layer and its input:
+	// charge the two largest consecutive activations.
+	var largest, second int64
+	for i := range m.Layers {
+		b := m.OutputBytes(i)
+		if b > largest {
+			largest, second = b, largest
+		} else if b > second {
+			second = b
+		}
+	}
+	f.Gradients = largest + second
+	w := m.WeightBytes()
+	f.Weights = w
+	f.WeightGradients = w
+	f.OptimizerState = w
+	f.Workspace = largest / 2
+	return f
+}
+
+// NeedsSwapping reports whether the no-swapping footprint exceeds the
+// device's memory.
+func (m *Model) NeedsSwapping(d *gpu.Device) bool {
+	return m.TrainingFootprint().Total() > d.MemBytes
+}

@@ -1,0 +1,127 @@
+package dnn
+
+import "fmt"
+
+// Transformer support — the workload the paper's introduction motivates:
+// "the latest BERT model needs more than 70 GB memory during the training
+// period with batch size 64". BERT's activations are GELU outputs, which
+// are dense (no exact zeros), so CSWAP's sparsity codecs have nothing to
+// grab: the cost model correctly leaves its tensors uncompressed and the
+// framework degenerates gracefully to vDNN. This file exists to validate
+// both halves of that story.
+
+// Additional operator types for sequence models.
+const (
+	// OpMatMul is a batched dense matrix multiply (QKV projections,
+	// attention output, FFN layers).
+	OpMatMul Op = 100 + iota
+	// OpAttention is the scaled dot-product attention score+context
+	// computation (the S = QKᵀ and SV products plus softmax).
+	OpAttention
+	// OpGELU is the dense transformer activation — no exact zeros.
+	OpGELU
+	// OpLayerNorm normalises the hidden dimension.
+	OpLayerNorm
+)
+
+// SeqDataset describes a token-sequence workload; W carries the sequence
+// length and C the hidden size so the existing shape machinery applies
+// (H = 1).
+func SeqDataset(name string, seqLen, hidden int) Dataset {
+	return Dataset{Name: name, H: 1, W: seqLen, C: hidden, Classes: hidden}
+}
+
+// BERTConfig sizes a BERT-style encoder.
+type BERTConfig struct {
+	Layers, Hidden, Heads, FFN, SeqLen int
+}
+
+// BERTBase and BERTLarge are the canonical configurations.
+var (
+	BERTBase  = BERTConfig{Layers: 12, Hidden: 768, Heads: 12, FFN: 3072, SeqLen: 512}
+	BERTLarge = BERTConfig{Layers: 24, Hidden: 1024, Heads: 16, FFN: 4096, SeqLen: 512}
+)
+
+// BuildBERT constructs a BERT-style encoder as a linear chain of encoder
+// blocks (attention details folded into OpAttention nodes).
+func BuildBERT(cfg BERTConfig, batch int) (*Model, error) {
+	if cfg.Layers <= 0 || cfg.Hidden <= 0 || cfg.Heads <= 0 || cfg.SeqLen <= 0 {
+		return nil, fmt.Errorf("dnn: invalid BERT config %+v", cfg)
+	}
+	ds := SeqDataset("Tokens", cfg.SeqLen, cfg.Hidden)
+	b := newBuilder(fmt.Sprintf("BERT-%dL", cfg.Layers), ds, batch, true)
+	for l := 1; l <= cfg.Layers; l++ {
+		p := func(part string) string { return fmt.Sprintf("enc%d_%s", l, part) }
+		// QKV projection: one fused matmul hidden → 3·hidden.
+		b.add(Layer{Name: p("qkv"), Op: OpMatMul, OutC: 3 * cfg.Hidden})
+		// Attention: scores (seq × seq × heads) and context back to hidden.
+		b.add(Layer{Name: p("attn"), Op: OpAttention, OutC: cfg.Hidden, K: cfg.Heads})
+		b.add(Layer{Name: p("proj"), Op: OpMatMul, OutC: cfg.Hidden})
+		b.add(Layer{Name: p("ln1"), Op: OpLayerNorm})
+		b.add(Layer{Name: p("ffn1"), Op: OpMatMul, OutC: cfg.FFN})
+		b.add(Layer{Name: p("gelu"), Op: OpGELU})
+		b.add(Layer{Name: p("ffn2"), Op: OpMatMul, OutC: cfg.Hidden})
+		b.add(Layer{Name: p("ln2"), Op: OpLayerNorm})
+	}
+	return b.m, nil
+}
+
+// transformer-op shape inference hooks (see builder.add) ------------------
+
+// transformerOutShape infers output shapes for the sequence operators; it
+// returns ok=false for non-transformer ops.
+func transformerOutShape(l *Layer, h, w, c int) (oh, ow, oc int, ok bool) {
+	switch l.Op {
+	case OpMatMul:
+		return h, w, l.OutC, true
+	case OpAttention:
+		// Context output back at hidden width.
+		return h, w, l.OutC, true
+	case OpGELU, OpLayerNorm:
+		return h, w, c, true
+	default:
+		return 0, 0, 0, false
+	}
+}
+
+// transformerFLOPs returns forward FLOPs for the sequence operators.
+func (m *Model) transformerFLOPs(i int) (float64, bool) {
+	l := &m.Layers[i]
+	batch := float64(m.Batch)
+	seq := float64(l.InW)
+	switch l.Op {
+	case OpMatMul:
+		return 2 * seq * float64(l.InC) * float64(l.OutCh) * batch, true
+	case OpAttention:
+		// QKᵀ and SV: 2 × (seq² · hidden) MACs.
+		return 4 * seq * seq * float64(l.OutCh) * batch, true
+	case OpGELU:
+		return 8 * float64(m.OutputElems(i)), true
+	case OpLayerNorm:
+		return 6 * float64(m.OutputElems(i)), true
+	default:
+		return 0, false
+	}
+}
+
+// AttentionScoreBytes returns the attention-probability tensor footprint of
+// layer i (seq² per head), the dominant BERT activation; zero for other
+// ops.
+func (m *Model) AttentionScoreBytes(i int) int64 {
+	l := &m.Layers[i]
+	if l.Op != OpAttention {
+		return 0
+	}
+	seq := int64(l.InW)
+	return seq * seq * int64(l.K) * int64(m.Batch) * 4
+}
+
+// TransformerActivationBytes sums the retained activations including the
+// attention score matrices that OutputBytes cannot see.
+func (m *Model) TransformerActivationBytes() int64 {
+	total := m.TotalActivationBytes()
+	for i := range m.Layers {
+		total += m.AttentionScoreBytes(i)
+	}
+	return total
+}

@@ -1,0 +1,107 @@
+package dnn
+
+import (
+	"testing"
+
+	"cswap/internal/gpu"
+)
+
+func TestBERTLargeIntroClaim(t *testing.T) {
+	// Introduction: "the latest BERT model needs more than 70 GB memory
+	// during the training period with batch size 64". BERT-large at
+	// sequence length 512, batch 64, FP32.
+	m, err := BuildBERT(BERTLarge, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := m.TrainingFootprint().Total()
+	gb := float64(total) / (1 << 30)
+	if gb < 60 || gb > 110 {
+		t.Fatalf("BERT-large@64 training footprint %.0f GiB, paper claims > 70 GB", gb)
+	}
+	if gb < 70*1e9/(1<<30) {
+		t.Fatalf("footprint %.0f GiB below the paper's 70 GB claim", gb)
+	}
+	// Far beyond a 32 GiB V100.
+	if total <= gpu.V100().MemBytes {
+		t.Fatal("BERT-large should not fit a V100")
+	}
+	// BERT-large has ≈340 M parameters (encoder stack accounts for ≈302 M
+	// of them; embeddings are out of scope here).
+	p := m.WeightElems()
+	if p < 250e6 || p > 340e6 {
+		t.Fatalf("BERT-large encoder parameters = %d M, want ≈300 M", p/1e6)
+	}
+}
+
+func TestBERTStructure(t *testing.T) {
+	m, err := BuildBERT(BERTBase, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 12*8 {
+		t.Fatalf("layers = %d, want 96", len(m.Layers))
+	}
+	gelu, attn := 0, 0
+	for i := range m.Layers {
+		switch m.Layers[i].Op {
+		case OpGELU:
+			gelu++
+			if m.Layers[i].OutCh != BERTBase.FFN {
+				t.Fatal("GELU not at FFN width")
+			}
+		case OpAttention:
+			attn++
+			if m.AttentionScoreBytes(i) <= 0 {
+				t.Fatal("attention without score bytes")
+			}
+		}
+		if m.FLOPs(i) <= 0 || m.MemBytes(i) <= 0 {
+			t.Fatalf("layer %s has no cost", m.Layers[i].Name)
+		}
+	}
+	if gelu != 12 || attn != 12 {
+		t.Fatalf("gelu=%d attn=%d, want 12/12", gelu, attn)
+	}
+	// No ReLU/MAX layers ⇒ CSWAP finds nothing to compress.
+	if n := len(m.SwapTensors()); n != 0 {
+		t.Fatalf("BERT has %d ReLU/MAX swap tensors, want 0 (GELU is dense)", n)
+	}
+	// BERT-base forward ≈ 2·seq·hidden²-scale GFLOPs: sanity bounds only.
+	var flops float64
+	for i := range m.Layers {
+		flops += m.FLOPs(i)
+	}
+	perSample := flops / 8
+	if perSample < 50e9 || perSample > 250e9 {
+		t.Fatalf("BERT-base forward = %.1f GFLOPs/sample, want O(100)", perSample/1e9)
+	}
+}
+
+func TestBuildBERTValidation(t *testing.T) {
+	if _, err := BuildBERT(BERTConfig{}, 8); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if BERTBase.Hidden != 768 || BERTLarge.Layers != 24 {
+		t.Fatal("canonical configs wrong")
+	}
+	if OpGELU.String() != "GELU" || OpAttention.String() != "ATTN" || OpMatMul.String() != "MATMUL" || OpLayerNorm.String() != "LN" {
+		t.Fatal("transformer op names wrong")
+	}
+}
+
+func TestTransformerBackwardDouble(t *testing.T) {
+	m, err := BuildBERT(BERTBase, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := gpu.V100()
+	for i := range m.Layers {
+		switch m.Layers[i].Op {
+		case OpMatMul, OpAttention:
+			if m.BackwardTime(d, i) != 2*m.ForwardTime(d, i) {
+				t.Fatalf("%s backward not 2x forward", m.Layers[i].Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package dnn
+
+import "cswap/internal/tensor"
+
+// Weight accounting backs the paper's Section III argument for compressing
+// feature maps rather than weights: "the size of feature maps used in
+// training VGG16 is 50× larger than the size of its weight matrices when
+// batch size is 256".
+
+// LayerWeightElems returns the parameter count of layer i (weights plus
+// biases; batch norm carries scale and shift per channel).
+func (m *Model) LayerWeightElems(i int) int64 {
+	l := &m.Layers[i]
+	switch l.Op {
+	case OpConv:
+		return int64(l.K)*int64(l.K)*int64(l.InC)*int64(l.OutCh) + int64(l.OutCh)
+	case OpDWConv:
+		return int64(l.K)*int64(l.K)*int64(l.OutCh) + int64(l.OutCh)
+	case OpFC:
+		return int64(l.InH)*int64(l.InW)*int64(l.InC)*int64(l.OutCh) + int64(l.OutCh)
+	case OpBatchNorm, OpLayerNorm:
+		return 2 * int64(l.OutCh)
+	case OpMatMul:
+		return int64(l.InC)*int64(l.OutCh) + int64(l.OutCh)
+	default:
+		return 0
+	}
+}
+
+// WeightElems returns the model's total parameter count.
+func (m *Model) WeightElems() int64 {
+	var s int64
+	for i := range m.Layers {
+		s += m.LayerWeightElems(i)
+	}
+	return s
+}
+
+// WeightBytes returns the parameter footprint in bytes.
+func (m *Model) WeightBytes() int64 {
+	return m.WeightElems() * tensor.BytesPerElement
+}
+
+// FeatureToWeightRatio returns total activation bytes (forward feature
+// maps) divided by weight bytes — the Section III quantity.
+func (m *Model) FeatureToWeightRatio() float64 {
+	w := m.WeightBytes()
+	if w == 0 {
+		return 0
+	}
+	return float64(m.TotalActivationBytes()) / float64(w)
+}

@@ -1,0 +1,333 @@
+// Package executor is the functional swapping executor: where internal/swap
+// simulates *when* things happen, this package actually does them. Real
+// float32 tensors are registered into a fixed-capacity device pool, swapped
+// out through the real compression codecs (partitioned by the tuned launch
+// geometry) into a pinned-host pool, and swapped back in bit-exactly — the
+// data path of Figure 4's "swapping executor", with the memory-pool reuse
+// the paper's prototype takes from Torch.
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cswap/internal/compress"
+	"cswap/internal/devmem"
+	"cswap/internal/tensor"
+)
+
+// Common executor errors.
+var (
+	ErrNotResident  = errors.New("executor: tensor not resident on device")
+	ErrNotSwapped   = errors.New("executor: tensor not swapped out")
+	ErrFreed        = errors.New("executor: tensor already freed")
+	ErrVerification = errors.New("executor: swapped-in tensor differs from original")
+)
+
+// Config configures an executor.
+type Config struct {
+	// DeviceCapacity and HostCapacity are the pool sizes in bytes.
+	DeviceCapacity, HostCapacity int64
+	// Launch is the kernel geometry used to partition parallel
+	// (de)compression (the BO-tuned launch in a full deployment).
+	Launch compress.Launch
+	// Verify enables a checksum comparison after every swap-in. It is the
+	// executor's integrity guarantee during bring-up and tests; disable
+	// for throughput measurements.
+	Verify bool
+}
+
+// Executor moves real tensors between a device pool and a host pool.
+type Executor struct {
+	cfg    Config
+	device *devmem.Pool
+	host   *devmem.Pool
+	cache  *devmem.Cache
+
+	// mu guards the handle registry and stats; the per-handle state
+	// machine is guarded by it too, so concurrent swap streams are safe
+	// as long as each handle is driven by one goroutine at a time (the
+	// codec work itself runs outside the lock).
+	mu     sync.Mutex
+	nextID int
+	live   map[int]*Handle
+
+	stats Stats
+}
+
+// Stats accumulates executor activity.
+type Stats struct {
+	SwapOuts, SwapIns int
+	// RawBytes is the uncompressed volume swapped out; MovedBytes the
+	// volume that actually crossed the (simulated) link.
+	RawBytes, MovedBytes int64
+	// CompressedTensors counts swap-outs that used a codec.
+	CompressedTensors int
+	Verified          int
+}
+
+// Ratio returns moved/raw bytes over the executor's lifetime.
+func (s Stats) Ratio() float64 {
+	if s.RawBytes == 0 {
+		return 1
+	}
+	return float64(s.MovedBytes) / float64(s.RawBytes)
+}
+
+// State of a handle's backing storage.
+type State int
+
+// Handle states.
+const (
+	Resident State = iota // data lives in the device pool
+	Swapped               // data lives (possibly compressed) in the host pool
+	Freed                 // released
+)
+
+// Handle identifies one registered tensor.
+type Handle struct {
+	id   int
+	name string
+
+	state    State
+	data     []float32 // resident payload
+	devBlock *devmem.Block
+
+	blob       []byte // swapped payload (codec blob or raw bytes)
+	hostBlock  *devmem.Block
+	alg        compress.Algorithm
+	compressed bool
+	elems      int
+	checksum   uint64
+}
+
+// Name returns the tensor's registration name.
+func (h *Handle) Name() string { return h.name }
+
+// State returns the handle's current storage state.
+func (h *Handle) State() State { return h.state }
+
+// Bytes returns the uncompressed tensor size.
+func (h *Handle) Bytes() int64 { return int64(h.elems) * tensor.BytesPerElement }
+
+// Data returns the resident payload, or ErrNotResident.
+func (h *Handle) Data() ([]float32, error) {
+	if h.state != Resident {
+		return nil, fmt.Errorf("%w: %s", ErrNotResident, h.name)
+	}
+	return h.data, nil
+}
+
+// New creates an executor with the given pools.
+func New(cfg Config) (*Executor, error) {
+	if cfg.DeviceCapacity <= 0 || cfg.HostCapacity <= 0 {
+		return nil, fmt.Errorf("executor: capacities must be positive")
+	}
+	if cfg.Launch.Grid == 0 {
+		cfg.Launch = compress.Launch{Grid: 128, Block: 64}
+	}
+	if err := cfg.Launch.Validate(); err != nil {
+		return nil, err
+	}
+	return &Executor{
+		cfg:    cfg,
+		device: devmem.NewPool("device", cfg.DeviceCapacity),
+		host:   devmem.NewPool("pinned-host", cfg.HostCapacity),
+		cache:  devmem.NewCache(),
+		live:   map[int]*Handle{},
+	}, nil
+}
+
+// Register places a tensor into device memory, taking ownership of its
+// data slice. It fails with devmem.ErrOutOfMemory when the device pool is
+// full — the caller must swap something out first, exactly the pressure
+// that motivates swapping.
+func (e *Executor) Register(name string, t *tensor.Tensor) (*Handle, error) {
+	block, err := e.device.Alloc(int64(t.SizeBytes()))
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.nextID++
+	id := e.nextID
+	e.mu.Unlock()
+	h := &Handle{
+		id:       id,
+		name:     name,
+		state:    Resident,
+		data:     t.Data,
+		devBlock: block,
+		elems:    t.Len(),
+		checksum: checksum(t.Data),
+	}
+	e.mu.Lock()
+	e.live[h.id] = h
+	e.mu.Unlock()
+	return h, nil
+}
+
+// SwapOut moves the tensor to the host pool. With compress true, the data
+// is encoded with alg (partitioned by the configured launch) and only the
+// compressed bytes consume host capacity and count as moved; otherwise the
+// raw little-endian bytes move.
+func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) error {
+	switch h.state {
+	case Swapped:
+		return fmt.Errorf("executor: %s already swapped out", h.name)
+	case Freed:
+		return fmt.Errorf("%w: %s", ErrFreed, h.name)
+	}
+	var blob []byte
+	var err error
+	if doCompress {
+		blob, err = compress.ParallelEncode(alg, h.data, e.cfg.Launch)
+		if err != nil {
+			return fmt.Errorf("executor: compress %s: %w", h.name, err)
+		}
+	} else {
+		blob = rawEncode(h.data, e.cache)
+	}
+	hostBlock, err := e.host.Alloc(int64(len(blob)))
+	if err != nil {
+		return fmt.Errorf("executor: host pool: %w", err)
+	}
+	if err := h.devBlock.Free(); err != nil {
+		_ = hostBlock.Free()
+		return err
+	}
+	h.blob = blob
+	h.hostBlock = hostBlock
+	h.alg = alg
+	h.compressed = doCompress
+	h.data = nil
+	h.devBlock = nil
+	h.state = Swapped
+
+	e.mu.Lock()
+	e.stats.SwapOuts++
+	e.stats.RawBytes += h.Bytes()
+	e.stats.MovedBytes += int64(len(blob))
+	if doCompress {
+		e.stats.CompressedTensors++
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// SwapIn restores the tensor to device memory, decompressing if needed and
+// (when configured) verifying the payload against the registration
+// checksum.
+func (e *Executor) SwapIn(h *Handle) error {
+	switch h.state {
+	case Resident:
+		return fmt.Errorf("executor: %s already resident", h.name)
+	case Freed:
+		return fmt.Errorf("%w: %s", ErrFreed, h.name)
+	}
+	devBlock, err := e.device.Alloc(h.Bytes())
+	if err != nil {
+		return fmt.Errorf("executor: device pool: %w", err)
+	}
+	var data []float32
+	if h.compressed {
+		data, err = compress.ParallelDecode(h.blob, e.cfg.Launch)
+		if err != nil {
+			_ = devBlock.Free()
+			return fmt.Errorf("executor: decompress %s: %w", h.name, err)
+		}
+	} else {
+		data = rawDecode(h.blob)
+		e.cache.Put(h.blob)
+	}
+	if len(data) != h.elems {
+		_ = devBlock.Free()
+		return fmt.Errorf("executor: %s restored %d elements, want %d", h.name, len(data), h.elems)
+	}
+	if e.cfg.Verify {
+		if checksum(data) != h.checksum {
+			_ = devBlock.Free()
+			return fmt.Errorf("%w: %s", ErrVerification, h.name)
+		}
+		e.mu.Lock()
+		e.stats.Verified++
+		e.mu.Unlock()
+	}
+	if err := h.hostBlock.Free(); err != nil {
+		_ = devBlock.Free()
+		return err
+	}
+	h.data = data
+	h.devBlock = devBlock
+	h.blob = nil
+	h.hostBlock = nil
+	h.state = Resident
+	e.mu.Lock()
+	e.stats.SwapIns++
+	e.mu.Unlock()
+	return nil
+}
+
+// Free releases the tensor from whichever pool holds it.
+func (e *Executor) Free(h *Handle) error {
+	switch h.state {
+	case Resident:
+		if err := h.devBlock.Free(); err != nil {
+			return err
+		}
+	case Swapped:
+		if err := h.hostBlock.Free(); err != nil {
+			return err
+		}
+		if !h.compressed {
+			e.cache.Put(h.blob)
+		}
+	case Freed:
+		return fmt.Errorf("%w: %s", ErrFreed, h.name)
+	}
+	h.state = Freed
+	h.data = nil
+	h.blob = nil
+	h.devBlock = nil
+	h.hostBlock = nil
+	e.mu.Lock()
+	delete(e.live, h.id)
+	e.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of executor activity.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// DeviceStats and HostStats expose pool accounting.
+func (e *Executor) DeviceStats() devmem.Stats { return e.device.Stats() }
+
+// HostStats exposes the pinned pool accounting.
+func (e *Executor) HostStats() devmem.Stats { return e.host.Stats() }
+
+// CacheStats exposes the buffer-cache accounting.
+func (e *Executor) CacheStats() devmem.CacheStats { return e.cache.Stats() }
+
+// Live returns the number of non-freed handles.
+func (e *Executor) Live() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.live)
+}
+
+// checksum is FNV-1a over the float bit patterns.
+func checksum(data []float32) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, v := range data {
+		bits := uint64(floatBits(v))
+		for i := 0; i < 4; i++ {
+			h ^= (bits >> (8 * uint(i))) & 0xFF
+			h *= 1099511628211
+		}
+	}
+	return h
+}

@@ -1,0 +1,429 @@
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"cswap/internal/compress"
+	"cswap/internal/devmem"
+	"cswap/internal/dnn"
+	"cswap/internal/sparsity"
+	"cswap/internal/swap"
+	"cswap/internal/tensor"
+)
+
+func newTestExecutor(t *testing.T, dev, host int64) *Executor {
+	t.Helper()
+	e, err := New(Config{
+		DeviceCapacity: dev,
+		HostCapacity:   host,
+		Launch:         compress.Launch{Grid: 16, Block: 64},
+		Verify:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero capacities accepted")
+	}
+	if _, err := New(Config{DeviceCapacity: 1, HostCapacity: 1,
+		Launch: compress.Launch{Grid: 10, Block: 32}}); err == nil {
+		t.Fatal("invalid launch accepted")
+	}
+	// Zero launch gets a sane default.
+	e, err := New(Config{DeviceCapacity: 1 << 20, HostCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.Launch.Grid == 0 {
+		t.Fatal("default launch not applied")
+	}
+}
+
+func TestSwapOutInRoundTripCompressed(t *testing.T) {
+	e := newTestExecutor(t, 1<<22, 1<<22)
+	gen := tensor.NewGenerator(1)
+	tn := gen.Uniform(50000, 0.6)
+	want := append([]float32(nil), tn.Data...)
+
+	h, err := e.Register("ReLU1", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State() != Resident {
+		t.Fatal("not resident after Register")
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	if h.State() != Swapped {
+		t.Fatal("not swapped after SwapOut")
+	}
+	if e.DeviceStats().Used != 0 {
+		t.Fatal("device memory not released by swap-out")
+	}
+	if e.HostStats().Used >= h.Bytes() {
+		t.Fatal("compressed swap should use less host memory than raw size")
+	}
+	if err := e.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	if e.HostStats().Used != 0 {
+		t.Fatal("host memory not released by swap-in")
+	}
+	if err := e.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	if e.Live() != 0 {
+		t.Fatal("handle still live")
+	}
+	st := e.Stats()
+	if st.SwapOuts != 1 || st.SwapIns != 1 || st.CompressedTensors != 1 || st.Verified != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Ratio() >= 1 {
+		t.Fatalf("compressed ratio %v", st.Ratio())
+	}
+}
+
+func TestSwapOutInRoundTripRaw(t *testing.T) {
+	e := newTestExecutor(t, 1<<22, 1<<22)
+	tn := tensor.NewGenerator(2).Uniform(10000, 0.5)
+	h, err := e.Register("x", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.HostStats().Used != h.Bytes() {
+		t.Fatalf("raw swap host usage %d, want %d", e.HostStats().Used, h.Bytes())
+	}
+	if err := e.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Ratio() != 1 {
+		t.Fatalf("raw ratio %v", e.Stats().Ratio())
+	}
+	if err := e.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	// Cache should have recycled the raw buffer.
+	if cs := e.CacheStats(); cs.Puts == 0 {
+		t.Fatal("raw buffer never returned to cache")
+	}
+}
+
+func TestAllCodecsThroughExecutor(t *testing.T) {
+	for _, a := range compress.Algorithms() {
+		e := newTestExecutor(t, 1<<22, 1<<23)
+		tn := tensor.NewGenerator(3).Uniform(20000, 0.7)
+		h, err := e.Register(a.String(), tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SwapOut(h, true, a); err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if err := e.SwapIn(h); err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if err := e.Free(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDevicePoolPressureForcesSwapping(t *testing.T) {
+	// Device pool fits one tensor; registering the second without
+	// swapping the first out must fail with OOM.
+	e := newTestExecutor(t, 45000, 1<<22) // 40 KB tensors
+	gen := tensor.NewGenerator(4)
+	t1 := gen.Uniform(10000, 0.5)
+	h1, err := e.Register("a", t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register("b", gen.Uniform(10000, 0.5)); !errors.Is(err, devmem.ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	if err := e.SwapOut(h1, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register("b", gen.Uniform(10000, 0.5)); err != nil {
+		t.Fatalf("register after swap-out: %v", err)
+	}
+}
+
+func TestStateMachineErrors(t *testing.T) {
+	e := newTestExecutor(t, 1<<22, 1<<22)
+	tn := tensor.NewGenerator(5).Uniform(1000, 0.5)
+	h, _ := e.Register("x", tn)
+	if err := e.SwapIn(h); err == nil {
+		t.Fatal("SwapIn of resident tensor accepted")
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err == nil {
+		t.Fatal("double SwapOut accepted")
+	}
+	if _, err := h.Data(); !errors.Is(err, ErrNotResident) {
+		t.Fatalf("Data on swapped tensor err = %v", err)
+	}
+	if err := e.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Free(h); !errors.Is(err, ErrFreed) {
+		t.Fatalf("double Free err = %v", err)
+	}
+	if err := e.SwapIn(h); !errors.Is(err, ErrFreed) {
+		t.Fatalf("SwapIn after Free err = %v", err)
+	}
+	if err := e.SwapOut(h, false, 0); !errors.Is(err, ErrFreed) {
+		t.Fatalf("SwapOut after Free err = %v", err)
+	}
+}
+
+func TestHostPoolExhaustion(t *testing.T) {
+	e := newTestExecutor(t, 1<<22, 1024) // tiny host pool
+	tn := tensor.NewGenerator(6).Uniform(10000, 0.2)
+	h, _ := e.Register("x", tn)
+	if err := e.SwapOut(h, false, 0); !errors.Is(err, devmem.ErrOutOfMemory) {
+		t.Fatalf("expected host OOM, got %v", err)
+	}
+	// The tensor must remain resident and usable after the failure.
+	if h.State() != Resident {
+		t.Fatal("failed swap-out corrupted state")
+	}
+	if _, err := h.Data(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIterationFunctionalTrainingLoop(t *testing.T) {
+	m := dnn.MustBuild("AlexNet", dnn.ImageNet, 64)
+	sp := sparsity.ForModel(m, 50, 1)
+	const scale = 4096
+
+	// Plan: compress every other tensor with ZVC.
+	tensors := m.SwapTensors()
+	plan := &swap.Plan{Framework: "test", Tensors: make([]swap.TensorPlan, len(tensors))}
+	for i := range plan.Tensors {
+		plan.Tensors[i] = swap.TensorPlan{TransferRatio: 1}
+		if i%2 == 0 {
+			plan.Tensors[i] = swap.TensorPlan{
+				Compress: true, Alg: compress.ZVC,
+				TransferRatio: 0.5,
+			}
+		}
+	}
+	e, err := New(Config{
+		DeviceCapacity: MinDeviceCapacity(m, scale),
+		HostCapacity:   HostCapacityFor(m, scale),
+		Launch:         compress.Launch{Grid: 8, Block: 64},
+		Verify:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunIteration(e, m, plan, sp, 25, scale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tensors != len(tensors) {
+		t.Fatalf("tensors = %d", rep.Tensors)
+	}
+	if rep.Compressed != (len(tensors)+1)/2 {
+		t.Fatalf("compressed = %d, want %d", rep.Compressed, (len(tensors)+1)/2)
+	}
+	if rep.Ratio() >= 1 {
+		t.Fatalf("iteration ratio %v, compression should reduce moved bytes", rep.Ratio())
+	}
+	if rep.PeakDeviceBytes > MinDeviceCapacity(m, scale) {
+		t.Fatal("device pool exceeded capacity")
+	}
+	// Everything cleaned up.
+	if e.Live() != 0 || e.DeviceStats().Used != 0 || e.HostStats().Used != 0 {
+		t.Fatalf("leaked: live=%d dev=%d host=%d",
+			e.Live(), e.DeviceStats().Used, e.HostStats().Used)
+	}
+	if st := e.Stats(); st.Verified != len(tensors) {
+		t.Fatalf("verified %d of %d", st.Verified, len(tensors))
+	}
+	if rep.MeanSparsity < 0.2 || rep.MeanSparsity > 0.9 {
+		t.Fatalf("mean sparsity %v", rep.MeanSparsity)
+	}
+}
+
+func TestRunIterationMemoryRelief(t *testing.T) {
+	// The point of swapping: peak device usage stays near the two largest
+	// tensors even though the sum of activations is far larger.
+	m := dnn.MustBuild("VGG16", dnn.ImageNet, 32)
+	sp := sparsity.ForModel(m, 50, 1)
+	const scale = 8192
+	plan := &swap.Plan{Framework: "vDNN", Tensors: make([]swap.TensorPlan, len(m.SwapTensors()))}
+	for i := range plan.Tensors {
+		plan.Tensors[i] = swap.TensorPlan{TransferRatio: 1}
+	}
+	cap := MinDeviceCapacity(m, scale)
+	e, err := New(Config{DeviceCapacity: cap, HostCapacity: HostCapacityFor(m, scale), Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunIteration(e, m, plan, sp, 0, scale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, st := range m.SwapTensors() {
+		total += st.Bytes / scale
+	}
+	if rep.PeakDeviceBytes >= total/2 {
+		t.Fatalf("peak %d not far below total %d — swapping bought no relief",
+			rep.PeakDeviceBytes, total)
+	}
+}
+
+func TestRunIterationRejectsMismatchedPlan(t *testing.T) {
+	m := dnn.MustBuild("AlexNet", dnn.ImageNet, 64)
+	sp := sparsity.ForModel(m, 50, 1)
+	e := newTestExecutor(t, 1<<24, 1<<24)
+	plan := &swap.Plan{Framework: "bad", Tensors: make([]swap.TensorPlan, 1)}
+	if _, err := RunIteration(e, m, plan, sp, 0, 1024, 1); err == nil {
+		t.Fatal("mismatched plan accepted")
+	}
+}
+
+func TestCapacityHelpers(t *testing.T) {
+	m := dnn.MustBuild("VGG16", dnn.ImageNet, 128)
+	devCap := MinDeviceCapacity(m, 1024)
+	hostCap := HostCapacityFor(m, 1024)
+	if devCap <= 0 || hostCap <= devCap {
+		t.Fatalf("capacities dev=%d host=%d", devCap, hostCap)
+	}
+	// Unscaled capacity must cover the two largest tensors (2×1568 MiB).
+	full := MinDeviceCapacity(m, 1)
+	if full < 2*1568<<20 {
+		t.Fatalf("full-scale capacity %d too small", full)
+	}
+	if MinDeviceCapacity(m, 0) != full {
+		t.Fatal("scaleDiv<1 should clamp to 1")
+	}
+}
+
+func TestSwapInDetectsCorruptedHostData(t *testing.T) {
+	// Failure injection: flip bits in the swapped blob; SwapIn must fail
+	// (codec error or checksum mismatch), never return wrong data, and
+	// the pools must stay consistent.
+	for _, alg := range compress.ExtendedAlgorithms() {
+		e := newTestExecutor(t, 1<<22, 1<<23)
+		tn := tensor.NewGenerator(9).Uniform(20000, 0.6)
+		h, err := e.Register("victim", tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SwapOut(h, true, alg); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		// Corrupt a payload byte past the container directory.
+		h.blob[len(h.blob)/2] ^= 0xFF
+		err = e.SwapIn(h)
+		if err == nil {
+			// Some corruptions decode structurally but must then fail
+			// verification; reaching here means wrong data was accepted.
+			t.Fatalf("%s: corrupted blob accepted", alg)
+		}
+		// The failed swap-in must not leak device memory.
+		if e.DeviceStats().Used != 0 {
+			t.Fatalf("%s: device leak after failed swap-in", alg)
+		}
+		if h.State() != Swapped {
+			t.Fatalf("%s: state corrupted", alg)
+		}
+	}
+}
+
+func TestRawSwapCorruptionCaughtByChecksum(t *testing.T) {
+	e := newTestExecutor(t, 1<<22, 1<<22)
+	tn := tensor.NewGenerator(10).Uniform(5000, 0.5)
+	h, err := e.Register("raw", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	h.blob[100] ^= 0x01
+	if err := e.SwapIn(h); !errors.Is(err, ErrVerification) {
+		t.Fatalf("err = %v, want ErrVerification", err)
+	}
+}
+
+func TestConcurrentSwapStreams(t *testing.T) {
+	// Several goroutines each drive their own tensors through the full
+	// register/swap-out/swap-in/free cycle against shared pools — the
+	// multi-stream usage a real swapping executor sees. Run with -race.
+	e := newTestExecutor(t, 8<<20, 32<<20)
+	const workers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gen := tensor.NewGenerator(int64(w))
+			for r := 0; r < rounds; r++ {
+				tn := gen.Uniform(10000, 0.6)
+				h, err := e.Register(fmt.Sprintf("w%d-r%d", w, r), tn)
+				if err != nil {
+					errs <- err
+					return
+				}
+				alg := compress.Algorithms()[(w+r)%4]
+				if err := e.SwapOut(h, true, alg); err != nil {
+					errs <- err
+					return
+				}
+				if err := e.SwapIn(h); err != nil {
+					errs <- err
+					return
+				}
+				if err := e.Free(h); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if e.Live() != 0 || e.DeviceStats().Used != 0 || e.HostStats().Used != 0 {
+		t.Fatal("concurrent streams leaked memory")
+	}
+	st := e.Stats()
+	if st.SwapOuts != workers*rounds || st.Verified != workers*rounds {
+		t.Fatalf("stats %+v", st)
+	}
+}

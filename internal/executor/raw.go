@@ -1,0 +1,30 @@
+package executor
+
+import (
+	"encoding/binary"
+	"math"
+
+	"cswap/internal/devmem"
+)
+
+// rawEncode serialises a tensor to little-endian bytes for an uncompressed
+// swap, drawing the buffer from the cache (the cudaMallocHost-avoidance
+// optimisation).
+func rawEncode(data []float32, cache *devmem.Cache) []byte {
+	buf := cache.Get(len(data) * 4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// rawDecode reverses rawEncode.
+func rawDecode(buf []byte) []float32 {
+	out := make([]float32, len(buf)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out
+}
+
+func floatBits(v float32) uint32 { return math.Float32bits(v) }

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cswap/internal/compress"
+	"cswap/internal/core"
+	"cswap/internal/dnn"
+	"cswap/internal/regress"
+	"cswap/internal/swap"
+)
+
+// AblationRow is one variant of one design-choice ablation.
+type AblationRow struct {
+	Ablation string
+	Variant  string
+	// Metric is the variant's score; Unit names it (usually iteration ms,
+	// sometimes RAE %).
+	Metric float64
+	Unit   string
+}
+
+// AblationsResult consolidates the DESIGN.md §5 ablations into one table,
+// the narrative companion to the Benchmark Ablation* benches.
+type AblationsResult struct {
+	Rows []AblationRow
+}
+
+// Ablations measures every design-choice ablation on a fixed workload
+// (VGG16/V100/ImageNet at a late epoch unless noted).
+func Ablations(cfg Config) (*AblationsResult, error) {
+	cfg = cfg.withDefaults()
+	res := &AblationsResult{}
+	add := func(ablation, variant string, metric float64, unit string) {
+		res.Rows = append(res.Rows, AblationRow{Ablation: ablation, Variant: variant, Metric: metric, Unit: unit})
+	}
+
+	fw, d, err := cfg.newFramework("VGG16", "V100", dnn.ImageNet)
+	if err != nil {
+		return nil, err
+	}
+	np, err := fw.ProfileAt(45)
+	if err != nil {
+		return nil, err
+	}
+	sim := func(plan *swap.Plan, opt swap.Options) (float64, error) {
+		r, err := swap.Simulate(fw.Config.Model, d, np, plan, opt)
+		if err != nil {
+			return 0, err
+		}
+		return r.IterationTime * 1e3, nil
+	}
+	opt := swap.DefaultOptions(cfg.Seed)
+
+	// 1. Selective vs always vs never.
+	for _, fr := range []swap.Framework{swap.VDNN{}, swap.Static{Launch: fw.Launch}, fw.Planner()} {
+		ms, err := sim(fr.Plan(np, d), opt)
+		if err != nil {
+			return nil, err
+		}
+		add("selective-gate", fr.Name(), ms, "iter-ms")
+	}
+
+	// 2. BO-tuned vs expert launch. The expert variant gets its own
+	// deployment (predictor trained at the expert launch) so the ablation
+	// isolates the launch choice, not a predictor/launch mismatch.
+	fwExpert, err := core.New(core.Config{
+		Model: fw.Config.Model, Device: d, Epochs: cfg.Epochs,
+		Seed: cfg.Seed, SamplesPerAlg: cfg.SamplesPerAlg, SkipTuning: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range []struct {
+		label   string
+		planner swap.CSWAP
+	}{
+		{"BO-tuned", fw.Planner()},
+		{"expert", fwExpert.Planner()},
+	} {
+		ms, err := sim(tc.planner.Plan(np, d), opt)
+		if err != nil {
+			return nil, err
+		}
+		add("launch-tuning", tc.label, ms, "iter-ms")
+	}
+
+	// 3. Codec restriction.
+	for _, alg := range compress.Algorithms() {
+		planner := swap.CSWAP{Predictor: fw.Predictor, Launch: fw.Launch,
+			Algorithms: []compress.Algorithm{alg}}
+		ms, err := sim(planner.Plan(np, d), opt)
+		if err != nil {
+			return nil, err
+		}
+		add("codec-choice", alg.String()+"-only", ms, "iter-ms")
+	}
+
+	// 4. Serial vs pipelined codec stream (on the always-compress plan,
+	// where the effect is largest).
+	scPlan := swap.Static{Launch: fw.Launch}.Plan(np, d)
+	for _, tc := range []struct {
+		label string
+		o     swap.Options
+	}{
+		{"serial", opt},
+		{"pipelined", swap.Options{Seed: opt.Seed, Jitter: opt.Jitter, Interference: opt.Interference, PipelinedCodec: true}},
+	} {
+		ms, err := sim(scPlan, tc.o)
+		if err != nil {
+			return nil, err
+		}
+		add("codec-stream", tc.label, ms, "iter-ms")
+	}
+
+	// 5. Prefetch policy.
+	vdnnPlan := swap.VDNN{}.Plan(np, d)
+	for _, tc := range []struct {
+		label string
+		o     swap.Options
+	}{
+		{"one-ahead", opt},
+		{"eager", swap.Options{Seed: opt.Seed, Jitter: opt.Jitter, Interference: opt.Interference, EagerPrefetch: true}},
+	} {
+		ms, err := sim(vdnnPlan, tc.o)
+		if err != nil {
+			return nil, err
+		}
+		add("prefetch-policy", tc.label, ms, "iter-ms")
+	}
+
+	// 6. Memory budget around the CSWAP planner.
+	var total int64
+	for _, tp := range np.Tensors {
+		total += tp.Bytes
+	}
+	for _, tc := range []struct {
+		label  string
+		budget int64
+	}{
+		{"swap-everything", 0},
+		{"budget=activations", total},
+		{"budget=2x", total * 2},
+	} {
+		ma := swap.MemoryAware{Inner: fw.Planner(), BudgetBytes: tc.budget, Model: fw.Config.Model}
+		ms, err := sim(ma.Plan(np, d), opt)
+		if err != nil {
+			return nil, err
+		}
+		add("memory-budget", tc.label, ms, "iter-ms")
+	}
+
+	// 7. Bucketed vs global time model (RAE, not iteration time).
+	ds := regress.Generate(d, compress.ZVC, fw.Launch, cfg.SamplesPerAlg, cfg.Seed+7)
+	train, test := ds.Split(0.7, cfg.Seed)
+	bC, _, err := regress.EvalRAE(func() regress.Model { return regress.NewBucketedLR() }, train, test)
+	if err != nil {
+		return nil, err
+	}
+	gC, _, err := regress.EvalRAE(func() regress.Model { return &regress.LinearRegression{} }, train, test)
+	if err != nil {
+		return nil, err
+	}
+	add("time-model", "bucketed-LR", bC*100, "RAE-%")
+	add("time-model", "global-LR", gC*100, "RAE-%")
+	ixC, _, err := regress.EvalRAE(func() regress.Model { return &regress.InteractionLR{} }, train, test)
+	if err != nil {
+		return nil, err
+	}
+	add("time-model", "interaction-LR", ixC*100, "RAE-%")
+
+	return res, nil
+}
+
+// String renders the consolidated table.
+func (r *AblationsResult) String() string {
+	header := []string{"ablation", "variant", "metric", "unit"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Ablation, row.Variant, fmt.Sprintf("%.1f", row.Metric), row.Unit,
+		})
+	}
+	return "Design-choice ablations (VGG16 / V100 / ImageNet, epoch 45)\n" + table(header, rows)
+}
+
+// Metric looks up one (ablation, variant) value, or -1 when absent.
+func (r *AblationsResult) Metric(ablation, variant string) float64 {
+	for _, row := range r.Rows {
+		if row.Ablation == ablation && row.Variant == variant {
+			return row.Metric
+		}
+	}
+	return -1
+}

@@ -1,0 +1,120 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section V), plus the Section V-E overhead accounting
+// and the headline metrics. Each driver is deterministic in its seed and
+// returns a structured result with a String method that renders the same
+// rows/series the paper reports; the cmd/ tools print them and the root
+// benchmarks regenerate them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cswap/internal/core"
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+)
+
+// Config controls experiment scale. The zero value runs at paper scale;
+// Fast() shrinks sample counts and epoch grids for tests and quick runs.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// SamplesPerAlg sizes the regression training sets (default 3000).
+	SamplesPerAlg int
+	// EpochStride subsamples the 50-epoch grid for iteration-level
+	// experiments (default 5 → epochs 0,5,...,45).
+	EpochStride int
+	// Epochs is the training-run length (default 50).
+	Epochs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplesPerAlg == 0 {
+		c.SamplesPerAlg = 3000
+	}
+	if c.EpochStride <= 0 {
+		c.EpochStride = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	return c
+}
+
+// Fast returns a reduced-scale configuration for quick runs: smaller
+// regression sample sets and a coarser epoch grid. The experiment *shapes*
+// are unchanged.
+func Fast(seed int64) Config {
+	return Config{Seed: seed, SamplesPerAlg: 400, EpochStride: 10}
+}
+
+// newFramework builds the CSWAP deployment for one workload.
+func (c Config) newFramework(model, gpuName string, ds dnn.Dataset) (*core.Framework, *gpu.Device, error) {
+	d, err := gpu.ByName(gpuName)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := dnn.BuildConfigured(model, gpuName, ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	fw, err := core.New(core.Config{
+		Model:         m,
+		Device:        d,
+		Epochs:        c.Epochs,
+		Seed:          c.Seed,
+		SamplesPerAlg: c.SamplesPerAlg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fw, d, nil
+}
+
+// epochGrid returns the subsampled epochs an iteration-level experiment
+// simulates.
+func (c Config) epochGrid() []int {
+	var out []int
+	for e := 0; e < c.Epochs; e += c.EpochStride {
+		out = append(out, e)
+	}
+	return out
+}
+
+// table renders rows as fixed-width columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

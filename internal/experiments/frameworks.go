@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cswap/internal/dnn"
+	"cswap/internal/stats"
+	"cswap/internal/swap"
+)
+
+// FrameworkNames is the Figure 6 comparison set in plotting order.
+var FrameworkNames = []string{"vDNN", "vDNN++", "SC", "CSWAP", "Orac"}
+
+// Cell is one (model, framework) measurement of Figure 6/7: iteration time
+// and throughput averaged over the sampled epochs of a training run.
+type Cell struct {
+	IterationTime float64 // mean seconds per iteration
+	Throughput    float64 // mean samples/second
+	SwapExposed   float64 // mean un-hidden swap seconds per iteration
+}
+
+// PlatformResult holds one subfigure of Figure 6: every model × framework
+// on one (GPU, dataset) pair.
+type PlatformResult struct {
+	GPU     string
+	Dataset string
+	// Cells[model][framework]; absent models did not fit in memory.
+	Cells map[string]map[string]Cell
+	// OOM lists models that cannot train on this platform (Plain20 on
+	// 2080Ti/ImageNet).
+	OOM []string
+}
+
+// NormalizedThroughput returns framework throughput / vDNN throughput for a
+// model, the Figure 6 y-axis.
+func (p *PlatformResult) NormalizedThroughput(model, framework string) float64 {
+	base := p.Cells[model]["vDNN"].Throughput
+	if base == 0 {
+		return 0
+	}
+	return p.Cells[model][framework].Throughput / base
+}
+
+// Models returns the evaluated models in canonical order.
+func (p *PlatformResult) Models() []string {
+	var out []string
+	for _, m := range dnn.ModelNames() {
+		if _, ok := p.Cells[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// runPlatform measures every model × framework on one platform.
+func runPlatform(cfg Config, gpuName string, ds dnn.Dataset) (*PlatformResult, error) {
+	cfg = cfg.withDefaults()
+	res := &PlatformResult{GPU: gpuName, Dataset: ds.Name, Cells: map[string]map[string]Cell{}}
+	for _, model := range dnn.ModelNames() {
+		fw, d, err := cfg.newFramework(model, gpuName, ds)
+		if err == dnn.ErrOutOfMemory {
+			res.OOM = append(res.OOM, model)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		frameworks := []swap.Framework{
+			swap.VDNN{},
+			swap.VDNNPP{},
+			swap.Static{Launch: fw.Launch},
+			fw.Planner(),
+			swap.Orac{Inner: fw.Planner()},
+		}
+		sums := map[string]*Cell{}
+		grid := cfg.epochGrid()
+		for _, epoch := range grid {
+			np, err := fw.ProfileAt(epoch)
+			if err != nil {
+				return nil, err
+			}
+			opt := swap.DefaultOptions(cfg.Seed + int64(epoch)*31)
+			for _, fr := range frameworks {
+				r, err := swap.Simulate(fw.Config.Model, d, np, fr.Plan(np, d), opt)
+				if err != nil {
+					return nil, err
+				}
+				c := sums[fr.Name()]
+				if c == nil {
+					c = &Cell{}
+					sums[fr.Name()] = c
+				}
+				c.IterationTime += r.IterationTime
+				c.Throughput += r.Throughput
+				c.SwapExposed += r.SwapExposed
+			}
+		}
+		cells := map[string]Cell{}
+		n := float64(len(grid))
+		for name, c := range sums {
+			cells[name] = Cell{
+				IterationTime: c.IterationTime / n,
+				Throughput:    c.Throughput / n,
+				SwapExposed:   c.SwapExposed / n,
+			}
+		}
+		res.Cells[model] = cells
+	}
+	return res, nil
+}
+
+// Fig6Result reproduces Figure 6: the four subfigures (a)–(d).
+type Fig6Result struct {
+	Platforms []*PlatformResult // (CIFAR10,V100), (CIFAR10,2080Ti), (ImageNet,V100), (ImageNet,2080Ti)
+}
+
+// Fig6 runs the full framework comparison.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	for _, ds := range []dnn.Dataset{dnn.CIFAR10, dnn.ImageNet} {
+		for _, g := range []string{"V100", "2080Ti"} {
+			p, err := runPlatform(cfg, g, ds)
+			if err != nil {
+				return nil, err
+			}
+			res.Platforms = append(res.Platforms, p)
+		}
+	}
+	return res, nil
+}
+
+// Platform returns one subfigure.
+func (r *Fig6Result) Platform(gpuName, dataset string) *PlatformResult {
+	for _, p := range r.Platforms {
+		if p.GPU == gpuName && p.Dataset == dataset {
+			return p
+		}
+	}
+	return nil
+}
+
+// String renders each subfigure as a normalized-throughput table.
+func (r *Fig6Result) String() string {
+	out := ""
+	captions := map[string]string{
+		"V100/CIFAR10": "(a)", "2080Ti/CIFAR10": "(b)",
+		"V100/ImageNet": "(c)", "2080Ti/ImageNet": "(d)",
+	}
+	for _, p := range r.Platforms {
+		header := append([]string{"model"}, FrameworkNames...)
+		var rows [][]string
+		for _, m := range p.Models() {
+			row := []string{m}
+			for _, f := range FrameworkNames {
+				row = append(row, fmt.Sprintf("%.2f", p.NormalizedThroughput(m, f)))
+			}
+			rows = append(rows, row)
+		}
+		for _, m := range p.OOM {
+			rows = append(rows, []string{m, "OOM", "OOM", "OOM", "OOM", "OOM"})
+		}
+		out += fmt.Sprintf("Figure 6%s — normalized throughput, %s + %s\n%s\n",
+			captions[p.GPU+"/"+p.Dataset], p.Dataset, p.GPU, table(header, rows))
+	}
+	return out
+}
+
+// Fig7Result reproduces Figure 7: CSWAP's training-time improvement over
+// static compression per model on each platform.
+type Fig7Result struct {
+	Platforms []*PlatformResult
+}
+
+// Fig7 reuses the Figure 6 measurements.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	f6, err := Fig6(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{Platforms: f6.Platforms}, nil
+}
+
+// Improvement returns CSWAP's relative training-time reduction over SC for
+// one model on one platform: (t_SC − t_CSWAP) / t_SC.
+func (r *Fig7Result) Improvement(gpuName, dataset, model string) float64 {
+	for _, p := range r.Platforms {
+		if p.GPU != gpuName || p.Dataset != dataset {
+			continue
+		}
+		sc := p.Cells[model]["SC"].IterationTime
+		cs := p.Cells[model]["CSWAP"].IterationTime
+		if sc == 0 {
+			return 0
+		}
+		return (sc - cs) / sc
+	}
+	return 0
+}
+
+// MeanImprovement averages the improvement over all models on one GPU
+// (both datasets), the Figure 7 summary statistic.
+func (r *Fig7Result) MeanImprovement(gpuName string) float64 {
+	var vals []float64
+	for _, p := range r.Platforms {
+		if p.GPU != gpuName {
+			continue
+		}
+		for _, m := range p.Models() {
+			vals = append(vals, r.Improvement(gpuName, p.Dataset, m))
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// String renders per-platform improvements.
+func (r *Fig7Result) String() string {
+	header := []string{"platform"}
+	header = append(header, dnn.ModelNames()...)
+	var rows [][]string
+	for _, p := range r.Platforms {
+		row := []string{p.Dataset + "/" + p.GPU}
+		for _, m := range dnn.ModelNames() {
+			if _, ok := p.Cells[m]; !ok {
+				row = append(row, "OOM")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%+.1f%%", r.Improvement(p.GPU, p.Dataset, m)*100))
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("Figure 7 — CSWAP improvement over static compression "+
+		"(mean V100 %+.1f%%, 2080Ti %+.1f%%)\n%s",
+		r.MeanImprovement("V100")*100, r.MeanImprovement("2080Ti")*100,
+		table(header, rows))
+}
+
+// HeadlineResult aggregates the abstract's claims: swap-latency reduction
+// and training-time reduction of CSWAP versus vDNN.
+type HeadlineResult struct {
+	// SwapLatencyReduction[gpu] is the best per-model relative reduction
+	// of un-hidden swap latency (paper: up to 50.9 % on V100, 47.6 % on
+	// 2080Ti).
+	SwapLatencyReduction map[string]float64
+	// TrainingTimeReductionMean and Max are over all model/platform cells
+	// (paper: 20.7 % average, up to 34.6 %).
+	TrainingTimeReductionMean float64
+	TrainingTimeReductionMax  float64
+}
+
+// Headline computes the abstract-level metrics from the Figure 6 sweep.
+func Headline(cfg Config) (*HeadlineResult, error) {
+	f6, err := Fig6(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &HeadlineResult{SwapLatencyReduction: map[string]float64{}}
+	var reductions []float64
+	for _, p := range f6.Platforms {
+		for _, m := range p.Models() {
+			v := p.Cells[m]["vDNN"]
+			c := p.Cells[m]["CSWAP"]
+			if v.IterationTime > 0 {
+				red := (v.IterationTime - c.IterationTime) / v.IterationTime
+				reductions = append(reductions, red)
+				if red > res.TrainingTimeReductionMax {
+					res.TrainingTimeReductionMax = red
+				}
+			}
+			if v.SwapExposed > 0 {
+				swapRed := (v.SwapExposed - c.SwapExposed) / v.SwapExposed
+				if swapRed > res.SwapLatencyReduction[p.GPU] {
+					res.SwapLatencyReduction[p.GPU] = swapRed
+				}
+			}
+		}
+	}
+	res.TrainingTimeReductionMean = stats.Mean(reductions)
+	return res, nil
+}
+
+// String renders the summary.
+func (r *HeadlineResult) String() string {
+	var gpus []string
+	for g := range r.SwapLatencyReduction {
+		gpus = append(gpus, g)
+	}
+	sort.Strings(gpus)
+	out := "Headline metrics (CSWAP vs vDNN)\n"
+	for _, g := range gpus {
+		out += fmt.Sprintf("  max swap-latency reduction on %-7s %.1f%%\n", g+":", r.SwapLatencyReduction[g]*100)
+	}
+	out += fmt.Sprintf("  training-time reduction: mean %.1f%%, max %.1f%%\n",
+		r.TrainingTimeReductionMean*100, r.TrainingTimeReductionMax*100)
+	return out
+}

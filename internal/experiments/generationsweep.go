@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cswap/internal/core"
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/pcie"
+	"cswap/internal/swap"
+)
+
+// GenerationPoint is one GPU-generation operating point.
+type GenerationPoint struct {
+	Label string
+	// ComputeX is effective training throughput relative to the V100;
+	// LinkX is interconnect bandwidth relative to PCIe 3.0.
+	ComputeX, LinkX   float64
+	StallShare        float64
+	SpeedupOverVDNN   float64
+	CompressedTensors int
+}
+
+// GenerationSweepResult tests the paper's Section II-C prediction: "we
+// think the performance gap between I/O bus and GPU computing to be
+// continued in the future despite the emerging PCIe gen4 and NVLink
+// techniques". Each point scales a hypothetical device's effective
+// training throughput and its interconnect per the historical trend
+// (compute grows faster than the bus), then redeploys CSWAP end to end —
+// BO retune, time-model retrain, fresh profile.
+type GenerationSweepResult struct {
+	Model  string
+	Points []GenerationPoint
+}
+
+// GenerationSweep runs VGG16 across three device generations.
+func GenerationSweep(cfg Config) (*GenerationSweepResult, error) {
+	cfg = cfg.withDefaults()
+	gens := []struct {
+		label              string
+		computeX, kernelsX float64 // training compute / codec kernels vs V100
+		link               pcie.Link
+		linkX              float64
+	}{
+		// The V100/PCIe3 baseline of the paper.
+		{"V100+PCIe3", 1, 1, gpu.V100().Link, 1},
+		// An A100-like generation: mixed-precision training ≈4× the
+		// V100, codec kernels ≈2× (they are memory-bound), PCIe 4.0.
+		{"A100+PCIe4", 4, 2, pcie.Gen4(), 2},
+		// An H100-like generation: ≈10× training compute, ≈3.5× memory
+		// bandwidth for the kernels, PCIe 5.0 (≈2× gen4).
+		{"H100+PCIe5", 10, 3.5, pcie.Gen4().Scale(2), 4},
+	}
+	res := &GenerationSweepResult{Model: "VGG16"}
+	for _, g := range gens {
+		d := gpu.V100()
+		d.Name = g.label
+		d.PeakFLOPS *= g.computeX
+		d.MemBandwidth *= g.computeX // activations scale with the tensor cores
+		d.Link = g.link
+		d.SetKernelScale(1 / g.kernelsX)
+
+		m, err := dnn.Build("VGG16", dnn.ImageNet, 128)
+		if err != nil {
+			return nil, err
+		}
+		fw, err := core.New(core.Config{
+			Model: m, Device: d, Epochs: cfg.Epochs,
+			Seed: cfg.Seed, SamplesPerAlg: cfg.SamplesPerAlg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		np, err := fw.ProfileAt(45)
+		if err != nil {
+			return nil, err
+		}
+		opt := swap.DefaultOptions(cfg.Seed)
+		rv, err := swap.Simulate(m, d, np, swap.VDNN{}.Plan(np, d), opt)
+		if err != nil {
+			return nil, err
+		}
+		plan := fw.Planner().Plan(np, d)
+		rc, err := swap.Simulate(m, d, np, plan, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, GenerationPoint{
+			Label:             g.label,
+			ComputeX:          g.computeX,
+			LinkX:             g.linkX,
+			StallShare:        rv.SwapExposed / rv.IterationTime,
+			SpeedupOverVDNN:   rv.IterationTime / rc.IterationTime,
+			CompressedTensors: plan.CompressedCount(),
+		})
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *GenerationSweepResult) String() string {
+	header := []string{"generation", "compute", "link", "vDNN stall share", "CSWAP speedup", "compressed"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Label,
+			fmt.Sprintf("%.0fx", p.ComputeX),
+			fmt.Sprintf("%.0fx", p.LinkX),
+			fmt.Sprintf("%.0f%%", p.StallShare*100),
+			fmt.Sprintf("%.2fx", p.SpeedupOverVDNN),
+			fmt.Sprintf("%d", p.CompressedTensors),
+		})
+	}
+	return "GPU-generation sweep (Section II-C prediction) — " + r.Model + "\n" + table(header, rows)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+)
+
+// IntroClaimsResult validates the quantitative claims of the paper's
+// introduction and motivation sections against this repository's models.
+type IntroClaimsResult struct {
+	// BERTFootprintGB is BERT-large's batch-64 training footprint
+	// (paper: "more than 70 GB").
+	BERTFootprintGB float64
+	// BERTSwapTensors is how many ReLU/MAX tensors CSWAP finds in BERT —
+	// zero, because GELU activations carry no exact zeros.
+	BERTSwapTensors int
+	// VGG16FeatureToWeight is the Section III ratio at batch 256
+	// (paper: ≈50×).
+	VGG16FeatureToWeight float64
+	// VGG16Batch256FootprintGB shows the Table III-adjacent workload
+	// exceeding the V100's 32 GB.
+	VGG16Batch256FootprintGB float64
+	// V100MemoryGB anchors the comparison.
+	V100MemoryGB float64
+}
+
+// IntroClaims computes the introduction-level numbers.
+func IntroClaims(cfg Config) (*IntroClaimsResult, error) {
+	bert, err := dnn.BuildBERT(dnn.BERTLarge, 64)
+	if err != nil {
+		return nil, err
+	}
+	bertTotal := bert.TrainingFootprint().Total()
+
+	vgg256, err := dnn.Build("VGG16", dnn.ImageNet, 256)
+	if err != nil {
+		return nil, err
+	}
+	return &IntroClaimsResult{
+		BERTFootprintGB:          float64(bertTotal) / 1e9,
+		BERTSwapTensors:          len(bert.SwapTensors()),
+		VGG16FeatureToWeight:     vgg256.FeatureToWeightRatio(),
+		VGG16Batch256FootprintGB: float64(vgg256.TrainingFootprint().Total()) / 1e9,
+		V100MemoryGB:             float64(gpu.V100().MemBytes) / 1e9,
+	}, nil
+}
+
+// String renders the claim checklist.
+func (r *IntroClaimsResult) String() string {
+	return fmt.Sprintf(`Introduction / motivation claims
+  BERT-large training footprint @ batch 64:  %.0f GB   (paper: "more than 70 GB")
+  BERT swappable ReLU/MAX tensors:           %d        (GELU is dense; CSWAP correctly finds none)
+  VGG16 feature-map/weight ratio @ 256:      %.0fx     (paper Section III: ~50x)
+  VGG16 @ 256 footprint vs V100 memory:      %.0f GB vs %.0f GB (needs swapping)
+`, r.BERTFootprintGB, r.BERTSwapTensors, r.VGG16FeatureToWeight,
+		r.VGG16Batch256FootprintGB, r.V100MemoryGB)
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cswap/internal/bayesopt"
+	"cswap/internal/compress"
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/stats"
+	"cswap/internal/swap"
+)
+
+// Fig12Row is one search strategy's outcome.
+type Fig12Row struct {
+	Strategy string // RD, EP, BO, GS
+	Launch   compress.Launch
+	// CodecMS is the per-iteration compression+decompression time under
+	// the found launch; RestMS is everything else (compute, transfers,
+	// stalls).
+	CodecMS float64
+	RestMS  float64
+	// SearchEvaluations is the number of objective evaluations the
+	// strategy spent (the 224× BO-vs-GS cost claim).
+	SearchEvaluations int
+}
+
+// Fig12Result reproduces Figure 12: the average VGG16 iteration time under
+// the four GPU-parameter search strategies, with the codec/rest breakdown,
+// plus the search costs.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 tunes the launch with each strategy, applies it to the tuned CSWAP
+// compression set for VGG16 (V100/ImageNet), and simulates one iteration.
+func Fig12(cfg Config) (*Fig12Result, error) {
+	cfg = cfg.withDefaults()
+	fw, d, err := cfg.newFramework("VGG16", "V100", dnn.ImageNet)
+	if err != nil {
+		return nil, err
+	}
+	epoch := cfg.Epochs - 1
+	np, err := fw.ProfileAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	basePlan := fw.Planner().Plan(np, d)
+
+	rng := stats.NewRNG(cfg.Seed + 11)
+	objective := func(l compress.Launch) float64 {
+		c, dc := d.CompressionTimeNoisy(rng, gpu.KernelParams{
+			Alg: compress.ZVC, SizeBytes: 500 << 20, Sparsity: 0.5, Launch: l,
+		})
+		return c + dc
+	}
+	searchers := []bayesopt.Searcher{
+		&bayesopt.RandomSearch{Seed: cfg.Seed + 12},
+		&bayesopt.Expert{Launch: d.DefaultLaunch()},
+		&bayesopt.BO{Seed: cfg.Seed},
+		&bayesopt.GridSearch{},
+	}
+	res := &Fig12Result{}
+	for _, s := range searchers {
+		sr := s.Search(objective)
+		// Re-cost the tuned compression set at this strategy's launch.
+		plan := &swap.Plan{Framework: s.Name(), Tensors: append([]swap.TensorPlan(nil), basePlan.Tensors...)}
+		for i := range plan.Tensors {
+			if !plan.Tensors[i].Compress {
+				continue
+			}
+			c, dc := d.CompressionTime(gpu.KernelParams{
+				Alg:       plan.Tensors[i].Alg,
+				SizeBytes: np.Tensors[i].Bytes,
+				Sparsity:  np.Tensors[i].Sparsity,
+				Launch:    sr.Best,
+			})
+			plan.Tensors[i].TimeC = c
+			plan.Tensors[i].TimeDC = dc
+		}
+		r, err := swap.Simulate(fw.Config.Model, d, np, plan, swap.DefaultOptions(cfg.Seed+21))
+		if err != nil {
+			return nil, err
+		}
+		codec := r.KernelBusy
+		res.Rows = append(res.Rows, Fig12Row{
+			Strategy:          s.Name(),
+			Launch:            sr.Best,
+			CodecMS:           codec * 1e3,
+			RestMS:            (r.IterationTime - codec) * 1e3,
+			SearchEvaluations: sr.Evaluations,
+		})
+	}
+	return res, nil
+}
+
+// Row returns the entry for a strategy.
+func (r *Fig12Result) Row(strategy string) Fig12Row {
+	for _, row := range r.Rows {
+		if row.Strategy == strategy {
+			return row
+		}
+	}
+	return Fig12Row{}
+}
+
+// SearchCostRatio returns GS evaluations / BO evaluations (paper: ≈224×).
+func (r *Fig12Result) SearchCostRatio() float64 {
+	bo := r.Row("BO").SearchEvaluations
+	gs := r.Row("GS").SearchEvaluations
+	if bo == 0 {
+		return 0
+	}
+	return float64(gs) / float64(bo)
+}
+
+// String renders the stacked bars and search costs.
+func (r *Fig12Result) String() string {
+	header := []string{"strategy", "launch", "codec(ms)", "rest(ms)", "total(ms)", "search evals"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Strategy,
+			row.Launch.String(),
+			fmt.Sprintf("%.1f", row.CodecMS),
+			fmt.Sprintf("%.1f", row.RestMS),
+			fmt.Sprintf("%.1f", row.CodecMS+row.RestMS),
+			fmt.Sprintf("%d", row.SearchEvaluations),
+		})
+	}
+	return fmt.Sprintf("Figure 12 — VGG16 iteration time per GPU-setting search strategy "+
+		"(BO saves %.0f× search cost vs grid search)\n%s",
+		r.SearchCostRatio(), table(header, rows))
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cswap/internal/compress"
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/regress"
+	"cswap/internal/stats"
+)
+
+// Fig10Row is one regression model's accuracy in Figure 10.
+type Fig10Row struct {
+	Model string // LR, BR, SVM, DT
+	// CompRAE and DecompRAE are averaged over the four codecs.
+	CompRAE   float64
+	DecompRAE float64
+}
+
+// Fig10Result reproduces Figure 10: the relative absolute error of the
+// four regression families predicting (de)compression time.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10 trains and scores every model family on every codec's dataset
+// (3000 samples each at paper scale, sparsity 20–90 %, sizes 20–2000 MB).
+func Fig10(cfg Config) (*Fig10Result, error) {
+	cfg = cfg.withDefaults()
+	d := gpu.V100()
+	launch := compress.Launch{Grid: 199, Block: 64}
+	families := []struct {
+		name string
+		mk   func() regress.Model
+	}{
+		{"LR", func() regress.Model { return regress.NewBucketedLR() }},
+		{"BR", func() regress.Model { return &regress.BayesianRidge{} }},
+		{"SVM", func() regress.Model { return &regress.SVR{Seed: cfg.Seed} }},
+		{"DT", func() regress.Model { return &regress.DecisionTree{} }},
+	}
+	res := &Fig10Result{}
+	for _, fam := range families {
+		var cs, dcs []float64
+		for _, alg := range compress.Algorithms() {
+			ds := regress.Generate(d, alg, launch, cfg.SamplesPerAlg, cfg.Seed+int64(alg))
+			train, test := ds.Split(0.7, cfg.Seed)
+			c, dc, err := regress.EvalRAE(fam.mk, train, test)
+			if err != nil {
+				return nil, err
+			}
+			cs = append(cs, c)
+			dcs = append(dcs, dc)
+		}
+		res.Rows = append(res.Rows, Fig10Row{
+			Model:     fam.name,
+			CompRAE:   stats.Mean(cs),
+			DecompRAE: stats.Mean(dcs),
+		})
+	}
+	return res, nil
+}
+
+// RAE returns the mean (comp+decomp)/2 RAE of a family.
+func (r *Fig10Result) RAE(model string) float64 {
+	for _, row := range r.Rows {
+		if row.Model == model {
+			return (row.CompRAE + row.DecompRAE) / 2
+		}
+	}
+	return -1
+}
+
+// String renders the bar values.
+func (r *Fig10Result) String() string {
+	header := []string{"model", "compression RAE", "decompression RAE"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Model,
+			fmt.Sprintf("%.1f%%", row.CompRAE*100),
+			fmt.Sprintf("%.1f%%", row.DecompRAE*100),
+		})
+	}
+	return "Figure 10 — (de)compression time prediction accuracy (RAE, lower is better)\n" +
+		table(header, rows)
+}
+
+// Fig11Result reproduces Figure 11: per-model compression decision
+// accuracy.
+type Fig11Result struct {
+	Models   []string
+	Accuracy []float64
+}
+
+// Fig11 scores the advisor's decisions against measured ground truth for
+// all six models on V100/ImageNet.
+func Fig11(cfg Config) (*Fig11Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig11Result{}
+	for _, model := range dnn.ModelNames() {
+		fw, _, err := cfg.newFramework(model, "V100", dnn.ImageNet)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := fw.DecisionAccuracy(0.01)
+		if err != nil {
+			return nil, err
+		}
+		res.Models = append(res.Models, model)
+		res.Accuracy = append(res.Accuracy, acc)
+	}
+	return res, nil
+}
+
+// Mean returns the average accuracy (the paper reports 94.2 %).
+func (r *Fig11Result) Mean() float64 { return stats.Mean(r.Accuracy) }
+
+// String renders the bars.
+func (r *Fig11Result) String() string {
+	header := []string{"model", "decision accuracy"}
+	var rows [][]string
+	for i, m := range r.Models {
+		rows = append(rows, []string{m, fmt.Sprintf("%.1f%%", r.Accuracy[i]*100)})
+	}
+	return fmt.Sprintf("Figure 11 — compression decision accuracy (mean %.1f%%)\n%s",
+		r.Mean()*100, table(header, rows))
+}

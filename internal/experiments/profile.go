@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cswap/internal/dnn"
+	"cswap/internal/sparsity"
+)
+
+// Fig1Result reproduces Figure 1: per-layer tensor sparsity of VGG16 across
+// the first 50 epochs (averaged over five-epoch windows, as the paper's
+// grouped bars are) together with the per-layer tensor sizes.
+type Fig1Result struct {
+	Layers  []string
+	SizesMB []float64
+	// WindowMeans[l][w] is the mean sparsity of layer l in epoch window w
+	// (windows of five epochs).
+	WindowMeans [][]float64
+	WindowSize  int
+}
+
+// Fig1 runs the Figure 1 profiling sweep on VGG16 / ImageNet / batch 128.
+func Fig1(cfg Config) (*Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	m, err := dnn.Build("VGG16", dnn.ImageNet, 128)
+	if err != nil {
+		return nil, err
+	}
+	sp := sparsity.ForModel(m, cfg.Epochs, cfg.Seed+3)
+	tensors := m.SwapTensors()
+	const window = 5
+	res := &Fig1Result{WindowSize: window}
+	for i, t := range tensors {
+		res.Layers = append(res.Layers, t.Name)
+		res.SizesMB = append(res.SizesMB, float64(t.Bytes)/(1<<20))
+		var means []float64
+		for e := 0; e < cfg.Epochs; e += window {
+			hi := e + window
+			if hi > cfg.Epochs {
+				hi = cfg.Epochs
+			}
+			means = append(means, sp.MeanSparsity(i, e, hi))
+		}
+		res.WindowMeans = append(res.WindowMeans, means)
+	}
+	return res, nil
+}
+
+// String renders the figure as a table: one row per layer, one column per
+// five-epoch window, plus the tensor size.
+func (r *Fig1Result) String() string {
+	header := []string{"layer", "size(MB)"}
+	for w := range r.WindowMeans[0] {
+		header = append(header, fmt.Sprintf("ep%d-%d", w*r.WindowSize, (w+1)*r.WindowSize-1))
+	}
+	var rows [][]string
+	for i, l := range r.Layers {
+		row := []string{l, fmt.Sprintf("%.0f", r.SizesMB[i])}
+		for _, mu := range r.WindowMeans[i] {
+			row = append(row, fmt.Sprintf("%.0f%%", mu*100))
+		}
+		rows = append(rows, row)
+	}
+	return "Figure 1 — VGG16 tensor sparsity per layer across epochs (ImageNet, batch 128)\n" +
+		table(header, rows)
+}
+
+// Fig8Result reproduces Figure 8: the number of layers whose tensors CSWAP
+// compresses at every epoch, for the four models the paper plots.
+type Fig8Result struct {
+	Models map[string][]int // model → count per epoch
+	Epochs int
+}
+
+// Fig8Models are the four models Figure 8 tracks.
+var Fig8Models = []string{"AlexNet", "VGG16", "MobileNet", "SqueezeNet"}
+
+// Fig8 counts compressed layers per epoch on V100/ImageNet.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig8Result{Models: map[string][]int{}, Epochs: cfg.Epochs}
+	for _, model := range Fig8Models {
+		fw, _, err := cfg.newFramework(model, "V100", dnn.ImageNet)
+		if err != nil {
+			return nil, err
+		}
+		counts := make([]int, cfg.Epochs)
+		for e := 0; e < cfg.Epochs; e++ {
+			n, err := fw.CompressedLayerCount(e)
+			if err != nil {
+				return nil, err
+			}
+			counts[e] = n
+		}
+		res.Models[model] = counts
+	}
+	return res, nil
+}
+
+// String renders per-model epoch series (subsampled every 5 epochs).
+func (r *Fig8Result) String() string {
+	header := []string{"model"}
+	for e := 0; e < r.Epochs; e += 5 {
+		header = append(header, fmt.Sprintf("ep%d", e))
+	}
+	var rows [][]string
+	for _, model := range Fig8Models {
+		counts, ok := r.Models[model]
+		if !ok {
+			continue
+		}
+		row := []string{model}
+		for e := 0; e < r.Epochs; e += 5 {
+			row = append(row, fmt.Sprintf("%d", counts[e]))
+		}
+		rows = append(rows, row)
+	}
+	return "Figure 8 — layers executing tensor compression per epoch (V100, ImageNet)\n" +
+		table(header, rows)
+}
+
+// Fig9Result reproduces Figure 9: the VGG16 layer × epoch compression
+// dot-matrix.
+type Fig9Result struct {
+	Layers []string
+	// Compressed[l][e] reports whether layer l's tensor is compressed at
+	// epoch e.
+	Compressed [][]bool
+	Epochs     int
+}
+
+// Fig9 computes the VGG16 compression matrix on V100/ImageNet.
+func Fig9(cfg Config) (*Fig9Result, error) {
+	cfg = cfg.withDefaults()
+	fw, _, err := cfg.newFramework("VGG16", "V100", dnn.ImageNet)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Epochs: cfg.Epochs}
+	for e := 0; e < cfg.Epochs; e++ {
+		decs, _, names, err := fw.DecisionsAt(e)
+		if err != nil {
+			return nil, err
+		}
+		if e == 0 {
+			res.Layers = names
+			res.Compressed = make([][]bool, len(names))
+			for i := range res.Compressed {
+				res.Compressed[i] = make([]bool, cfg.Epochs)
+			}
+		}
+		for i, d := range decs {
+			res.Compressed[i][e] = d.Compress
+		}
+	}
+	return res, nil
+}
+
+// CountAt returns the number of compressed layers at an epoch.
+func (r *Fig9Result) CountAt(epoch int) int {
+	n := 0
+	for i := range r.Compressed {
+		if r.Compressed[i][epoch] {
+			n++
+		}
+	}
+	return n
+}
+
+// NeverCompressed lists layers that are never compressed across the run
+// (the paper's MAX4 / ReLU7 / ReLU8 observation).
+func (r *Fig9Result) NeverCompressed() []string {
+	var out []string
+	for i, row := range r.Compressed {
+		any := false
+		for _, c := range row {
+			any = any || c
+		}
+		if !any {
+			out = append(out, r.Layers[i])
+		}
+	}
+	return out
+}
+
+// String draws the dot matrix: '#' compressed, '.' not.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — VGG16 layer-wise compression detail ('#' = compressed)\n")
+	for i, l := range r.Layers {
+		fmt.Fprintf(&b, "%-10s ", l)
+		for e := 0; e < r.Epochs; e++ {
+			if r.Compressed[i][e] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-10s epoch 0..%d; compressed at first epoch: %d, at last: %d; never: %s\n",
+		"", r.Epochs-1, r.CountAt(0), r.CountAt(r.Epochs-1),
+		strings.Join(r.NeverCompressed(), ","))
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cswap/internal/dnn"
+	"cswap/internal/swap"
+)
+
+// SparsityPoint is one operating point of the sparsity sweep.
+type SparsityPoint struct {
+	Sparsity          float64
+	CompressedTensors int
+	SpeedupOverVDNN   float64
+	// ZVCRatio is the modeled compressed fraction at this sparsity.
+	ZVCRatio float64
+}
+
+// SparsitySweepResult maps out where selective compression starts paying:
+// every swappable tensor of the workload is pinned to one sparsity level
+// and the advisor re-plans. Low sparsity → compression can't beat the
+// kernel cost and CSWAP degenerates to vDNN; high sparsity → most large
+// tensors compress and the speedup saturates. The crossover locates the
+// paper's 20–80 % operating band.
+type SparsitySweepResult struct {
+	Model  string
+	Points []SparsityPoint
+}
+
+// SparsitySweep runs VGG16/V100 at pinned sparsity levels.
+func SparsitySweep(cfg Config) (*SparsitySweepResult, error) {
+	cfg = cfg.withDefaults()
+	fw, d, err := cfg.newFramework("VGG16", "V100", dnn.ImageNet)
+	if err != nil {
+		return nil, err
+	}
+	res := &SparsitySweepResult{Model: "VGG16"}
+	for _, s := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		np, err := fw.ProfileAt(0)
+		if err != nil {
+			return nil, err
+		}
+		for i := range np.Tensors {
+			np.Tensors[i].Sparsity = s
+		}
+		plan := fw.Planner().Plan(np, d)
+		opt := swap.DefaultOptions(cfg.Seed + int64(s*100))
+		rc, err := swap.Simulate(fw.Config.Model, d, np, plan, opt)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := swap.Simulate(fw.Config.Model, d, np, swap.VDNN{}.Plan(np, d), opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SparsityPoint{
+			Sparsity:          s,
+			CompressedTensors: plan.CompressedCount(),
+			SpeedupOverVDNN:   rv.IterationTime / rc.IterationTime,
+			ZVCRatio:          zvcRatio(s),
+		})
+	}
+	return res, nil
+}
+
+func zvcRatio(s float64) float64 { return (1 - s) + 1.0/32 }
+
+// Crossover returns the lowest swept sparsity at which any tensor
+// compresses, or -1 when none ever does.
+func (r *SparsitySweepResult) Crossover() float64 {
+	for _, p := range r.Points {
+		if p.CompressedTensors > 0 {
+			return p.Sparsity
+		}
+	}
+	return -1
+}
+
+// String renders the sweep.
+func (r *SparsitySweepResult) String() string {
+	header := []string{"sparsity", "ZVC ratio", "compressed", "CSWAP speedup"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", p.Sparsity*100),
+			fmt.Sprintf("%.2f", p.ZVCRatio),
+			fmt.Sprintf("%d", p.CompressedTensors),
+			fmt.Sprintf("%.2fx", p.SpeedupOverVDNN),
+		})
+	}
+	return fmt.Sprintf("Sparsity sweep (pinned sparsity, %s/V100) — compression crossover at %.0f%%\n%s",
+		r.Model, r.Crossover()*100, table(header, rows))
+}

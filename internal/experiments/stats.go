@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cswap/internal/stats"
+)
+
+// HeadlineStatsResult aggregates the headline metrics over several seeds —
+// the mean ± std reporting a credible evaluation uses instead of a single
+// lucky run.
+type HeadlineStatsResult struct {
+	Seeds []int64
+	// Per-seed series.
+	TrainReductionMean []float64
+	TrainReductionMax  []float64
+	SwapReductionV100  []float64
+}
+
+// HeadlineStats runs the headline sweep at n different seeds.
+func HeadlineStats(cfg Config, n int) (*HeadlineStatsResult, error) {
+	if n <= 0 {
+		n = 3
+	}
+	res := &HeadlineStatsResult{}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1000
+		h, err := Headline(c)
+		if err != nil {
+			return nil, err
+		}
+		res.Seeds = append(res.Seeds, c.Seed)
+		res.TrainReductionMean = append(res.TrainReductionMean, h.TrainingTimeReductionMean)
+		res.TrainReductionMax = append(res.TrainReductionMax, h.TrainingTimeReductionMax)
+		res.SwapReductionV100 = append(res.SwapReductionV100, h.SwapLatencyReduction["V100"])
+	}
+	return res, nil
+}
+
+// Summary returns mean and standard deviation of a series.
+func (r *HeadlineStatsResult) Summary(series []float64) (mean, std float64) {
+	return stats.Mean(series), stats.StdDev(series)
+}
+
+// String renders the mean ± std lines.
+func (r *HeadlineStatsResult) String() string {
+	fm := func(series []float64) string {
+		m, s := r.Summary(series)
+		return fmt.Sprintf("%5.1f%% ± %.1f", m*100, s*100)
+	}
+	return fmt.Sprintf(`Headline metrics over %d seeds (mean ± std)
+  training-time reduction (mean over cells): %s
+  training-time reduction (max over cells):  %s
+  V100 max swap-latency reduction:           %s
+`, len(r.Seeds), fm(r.TrainReductionMean), fm(r.TrainReductionMax), fm(r.SwapReductionV100))
+}

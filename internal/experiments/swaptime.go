@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cswap/internal/compress"
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/swap"
+	"cswap/internal/trace"
+)
+
+// Fig2Timeline reproduces the execution-flow pictures of Figure 2 from
+// simulated data: an ASCII timeline of one AlexNet iteration under (a) pure
+// swapping (vDNN) and (b) swapping with static compression.
+func Fig2Timeline(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	fw, d, err := cfg.newFramework("AlexNet", "V100", dnn.ImageNet)
+	if err != nil {
+		return "", err
+	}
+	np, err := fw.ProfileAt(25)
+	if err != nil {
+		return "", err
+	}
+	out := "Figure 2(a) — swapping without compression (vDNN)\n"
+	tlA := &trace.Timeline{}
+	if _, err := swap.Simulate(fw.Config.Model, d, np, swap.VDNN{}.Plan(np, d),
+		swap.Options{Trace: tlA}); err != nil {
+		return "", err
+	}
+	out += tlA.Render(100)
+	out += "\nFigure 2(b) — swapping with tensor compression (SC/cDMA flow; C=compress, D=decompress)\n"
+	tlB := &trace.Timeline{}
+	if _, err := swap.Simulate(fw.Config.Model, d, np, swap.Static{Launch: fw.Launch}.Plan(np, d),
+		swap.Options{Trace: tlB, Interference: swap.DefaultInterference}); err != nil {
+		return "", err
+	}
+	out += tlB.Render(100)
+	return out, nil
+}
+
+// Fig3Row is one layer of Figure 3.
+type Fig3Row struct {
+	Layer string
+	// NoCompressMS is the swap time without compression (offload +
+	// prefetch durations).
+	NoCompressMS float64
+	// TransferMS and CodecMS split the static-compression swap time into
+	// data transfer and (de)compression, the stacked bar of the figure.
+	TransferMS float64
+	CodecMS    float64
+}
+
+// Fig3Result reproduces Figure 3: per-layer VGG16 swap time without
+// compression versus with static compression (with its transfer/codec
+// breakdown).
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3 runs the comparison on V100/ImageNet VGG16 with the static scheme at
+// the tuned launch, isolating the blind-compression effect the paper's
+// Figure 3 shows: large sparse layers benefit, small or dense layers
+// (MAX1–4, ReLU7–8) pay codec time for nothing.
+func Fig3(cfg Config) (*Fig3Result, error) {
+	cfg = cfg.withDefaults()
+	fw, d, err := cfg.newFramework("VGG16", "V100", dnn.ImageNet)
+	if err != nil {
+		return nil, err
+	}
+	np, err := fw.ProfileAt(25)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := swap.Simulate(fw.Config.Model, d, np, swap.VDNN{}.Plan(np, d), swap.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sc, err := swap.Simulate(fw.Config.Model, d, np, swap.Static{Launch: fw.Launch}.Plan(np, d), swap.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{}
+	for i := range np.Tensors {
+		res.Rows = append(res.Rows, Fig3Row{
+			Layer:        np.Tensors[i].Name,
+			NoCompressMS: (raw.Tensors[i].OffloadDur + raw.Tensors[i].PrefetchDur) * 1e3,
+			TransferMS:   (sc.Tensors[i].OffloadDur + sc.Tensors[i].PrefetchDur) * 1e3,
+			CodecMS:      (sc.Tensors[i].CompDur + sc.Tensors[i].DecompDur) * 1e3,
+		})
+	}
+	return res, nil
+}
+
+// CodecShare returns the average fraction of static-compression swap time
+// spent in (de)compression — the paper reports ≈30 %.
+func (r *Fig3Result) CodecShare() float64 {
+	var codec, total float64
+	for _, row := range r.Rows {
+		codec += row.CodecMS
+		total += row.TransferMS + row.CodecMS
+	}
+	if total == 0 {
+		return 0
+	}
+	return codec / total
+}
+
+// WorseThanRaw lists layers whose static-compression swap time exceeds the
+// uncompressed swap time (MAX1–4 and ReLU7–8 in the paper).
+func (r *Fig3Result) WorseThanRaw() []string {
+	var out []string
+	for _, row := range r.Rows {
+		if row.TransferMS+row.CodecMS > row.NoCompressMS {
+			out = append(out, row.Layer)
+		}
+	}
+	return out
+}
+
+// String renders the per-layer comparison.
+func (r *Fig3Result) String() string {
+	header := []string{"layer", "no-comp(ms)", "SC transfer(ms)", "SC codec(ms)", "SC total(ms)", "SC worse?"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		total := row.TransferMS + row.CodecMS
+		worse := ""
+		if total > row.NoCompressMS {
+			worse = "yes"
+		}
+		rows = append(rows, []string{
+			row.Layer,
+			fmt.Sprintf("%.1f", row.NoCompressMS),
+			fmt.Sprintf("%.1f", row.TransferMS),
+			fmt.Sprintf("%.1f", row.CodecMS),
+			fmt.Sprintf("%.1f", total),
+			worse,
+		})
+	}
+	return fmt.Sprintf("Figure 3 — VGG16 swap time, no compression vs static compression "+
+		"(codec share %.0f%%)\n%s", r.CodecShare()*100, table(header, rows))
+}
+
+// Fig5Point is one sample of the kernel-time surface.
+type Fig5Point struct {
+	Grid    int
+	Block   int
+	TotalMS float64
+}
+
+// Fig5Result reproduces Figure 5: ZVC compression+decompression time versus
+// grid size for block sizes 64 and 128 (500 MB tensor, 50 % sparsity).
+type Fig5Result struct {
+	Points []Fig5Point
+}
+
+// Fig5 sweeps the launch space on the V100 kernel model.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	d := gpu.V100()
+	res := &Fig5Result{}
+	grids := []int{1, 2, 4, 10, 20, 40, 80, 100, 128, 197, 256, 384, 512, 768, 1024, 2048, 4096}
+	for _, block := range []int{64, 128} {
+		for _, g := range grids {
+			total := d.CompressionTimeTotal(kernelParams(g, block))
+			res.Points = append(res.Points, Fig5Point{Grid: g, Block: block, TotalMS: total * 1e3})
+		}
+	}
+	return res, nil
+}
+
+// Best returns the minimum point for a block size.
+func (r *Fig5Result) Best(block int) Fig5Point {
+	best := Fig5Point{TotalMS: -1}
+	for _, p := range r.Points {
+		if p.Block == block && (best.TotalMS < 0 || p.TotalMS < best.TotalMS) {
+			best = p
+		}
+	}
+	return best
+}
+
+// At returns the sampled value for (grid, block), or -1 when absent.
+func (r *Fig5Result) At(grid, block int) float64 {
+	for _, p := range r.Points {
+		if p.Grid == grid && p.Block == block {
+			return p.TotalMS
+		}
+	}
+	return -1
+}
+
+// String renders the two series.
+func (r *Fig5Result) String() string {
+	header := []string{"grid", "block64(ms)", "block128(ms)"}
+	var rows [][]string
+	seen := map[int]bool{}
+	for _, p := range r.Points {
+		if seen[p.Grid] {
+			continue
+		}
+		seen[p.Grid] = true
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Grid),
+			fmt.Sprintf("%.1f", r.At(p.Grid, 64)),
+			fmt.Sprintf("%.1f", r.At(p.Grid, 128)),
+		})
+	}
+	b64 := r.Best(64)
+	return fmt.Sprintf("Figure 5 — ZVC comp+decomp time vs launch geometry "+
+		"(500 MB @ 50%% sparsity; best: %.1f ms at (%d,%d))\n%s",
+		b64.TotalMS, b64.Grid, b64.Block, table(header, rows))
+}
+
+func kernelParams(grid, block int) gpu.KernelParams {
+	return gpu.KernelParams{
+		Alg:       compress.ZVC,
+		SizeBytes: 500 << 20,
+		Sparsity:  0.5,
+		Launch:    compress.Launch{Grid: grid, Block: block},
+	}
+}

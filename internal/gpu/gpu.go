@@ -1,0 +1,134 @@
+// Package gpu models the two accelerators from the paper's testbed — an
+// NVIDIA Tesla V100 (32 GB) and a GeForce RTX 2080Ti (11 GB) — at the level
+// of detail the evaluation depends on: peak arithmetic throughput, memory
+// bandwidth, memory capacity, effective PCIe bandwidth, and a calibrated
+// wall-clock model for the (de)compression kernels whose launch geometry
+// CSWAP tunes.
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"cswap/internal/pcie"
+)
+
+// Device describes a GPU.
+type Device struct {
+	Name string
+	// PeakFLOPS is single-precision peak in FLOP/s.
+	PeakFLOPS float64
+	// MemBandwidth is global-memory bandwidth in bytes/s.
+	MemBandwidth float64
+	// MemBytes is the usable global-memory capacity in bytes.
+	MemBytes int64
+	// SMs is the streaming-multiprocessor count.
+	SMs int
+	// WarpSchedulers per SM (2 or 4 on the evaluated generations); this is
+	// what motivates the paper's block ∈ {64,128} restriction.
+	WarpSchedulers int
+	// Link is the CPU↔GPU interconnect with measured effective bandwidth.
+	Link pcie.Link
+	// kernelScale adjusts compression-kernel wall-clock relative to the
+	// V100 calibration (slower device ⇒ > 1).
+	kernelScale float64
+}
+
+// V100 returns the paper's first server: Tesla V100 32 GB, PCIe 3.0 ×16
+// with measured effective bandwidths 10.6 GB/s h2d and 11.7 GB/s d2h.
+func V100() *Device {
+	return &Device{
+		Name:           "V100",
+		PeakFLOPS:      15.7e12,
+		MemBandwidth:   900e9,
+		MemBytes:       32 << 30,
+		SMs:            80,
+		WarpSchedulers: 4,
+		Link:           pcie.NewLink(10.6, 11.7),
+		kernelScale:    1.0,
+	}
+}
+
+// RTX2080Ti returns the paper's second server: RTX 2080Ti 11 GB, measured
+// effective bandwidths 11.8 GB/s h2d and 12.9 GB/s d2h.
+func RTX2080Ti() *Device {
+	return &Device{
+		Name:           "2080Ti",
+		PeakFLOPS:      13.4e12,
+		MemBandwidth:   616e9,
+		MemBytes:       11 << 30,
+		SMs:            68,
+		WarpSchedulers: 4,
+		Link:           pcie.NewLink(11.8, 12.9),
+		kernelScale:    1.17,
+	}
+}
+
+// Devices returns both evaluated GPUs.
+func Devices() []*Device { return []*Device{V100(), RTX2080Ti()} }
+
+// ByName resolves a device by its short name.
+func ByName(name string) (*Device, error) {
+	for _, d := range Devices() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("gpu: unknown device %q", name)
+}
+
+// LayerClass captures how efficiently a DNN layer type uses the device;
+// compute-bound layers are limited by PeakFLOPS at the class efficiency,
+// memory-bound layers by MemBandwidth.
+type LayerClass int
+
+// Layer classes for the compute-time model.
+const (
+	ClassConv       LayerClass = iota // dense convolution / GEMM, compute bound
+	ClassFC                           // fully connected GEMM
+	ClassActivation                   // ReLU etc., memory bound
+	ClassPool                         // pooling, memory bound
+	ClassNorm                         // batch norm / softmax, memory bound
+)
+
+// efficiency is the achieved fraction of peak FLOPS per class (cuDNN-style
+// utilisation; convolutions on tensor-friendly shapes reach ~45–55 %,
+// small GEMMs far less).
+func (c LayerClass) efficiency() float64 {
+	switch c {
+	case ClassConv:
+		// Large-batch cuDNN convolutions on the evaluated shapes sustain
+		// well over half of peak (Winograd/implicit-GEMM paths).
+		return 0.65
+	case ClassFC:
+		return 0.35
+	default:
+		return 0.0 // memory-bound classes are not FLOPS limited
+	}
+}
+
+// ComputeTime returns the wall-clock seconds for a kernel performing the
+// given FLOPs and global-memory traffic, as the max of its compute-bound
+// and memory-bound roofline times plus a fixed launch overhead.
+func (d *Device) ComputeTime(class LayerClass, flops, bytes float64) float64 {
+	const launchOverhead = 5e-6
+	var tCompute float64
+	if eff := class.efficiency(); eff > 0 {
+		tCompute = flops / (d.PeakFLOPS * eff)
+	}
+	tMemory := bytes / d.MemBandwidth
+	return launchOverhead + math.Max(tCompute, tMemory)
+}
+
+// SetKernelScale overrides the device's compression-kernel wall-clock
+// multiplier (1 = the V100 calibration; smaller = faster kernels). Used by
+// the GPU-generation sweep to model faster future codec kernels.
+func (d *Device) SetKernelScale(s float64) {
+	if s <= 0 {
+		panic(fmt.Sprintf("gpu: non-positive kernel scale %v", s))
+	}
+	d.kernelScale = s
+}
+
+// KernelScale reports the current multiplier.
+func (d *Device) KernelScale() float64 { return d.kernelScale }

@@ -1,0 +1,267 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cswap/internal/stats"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, 7)
+	if m.At(0, 1) != 5 || m.At(1, 2) != 7 || m.At(0, 0) != 0 {
+		t.Fatal("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRowsAndTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.T()
+	if tt.Rows != 3 || tt.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", tt.Rows, tt.Cols)
+	}
+	if tt.At(2, 1) != 6 || tt.At(0, 0) != 1 {
+		t.Fatal("transpose values wrong")
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMulKnownProduct(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Mul(b)
+}
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// A = [[4,12,-16],[12,37,-43],[-16,-43,98]] has L = [[2,0,0],[6,1,0],[-8,5,3]].
+	a := FromRows([][]float64{{4, 12, -16}, {12, 37, -43}, {-16, -43, 98}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 0, 0}, {6, 1, 0}, {-8, 5, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(l.At(i, j)-want[i][j]) > 1e-12 {
+				t.Fatalf("L[%d][%d] = %v, want %v", i, j, l.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+	b := NewMatrix(2, 3)
+	if _, err := Cholesky(b); err == nil {
+		t.Fatal("Cholesky accepted a non-square matrix")
+	}
+}
+
+func TestSolveCholeskyRoundTrip(t *testing.T) {
+	a := FromRows([][]float64{{4, 12, -16}, {12, 37, -43}, {-16, -43, 98}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2, 3}
+	b := a.MulVec(want)
+	got := SolveCholesky(l, b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveSPDRandomSystems(t *testing.T) {
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		// Build SPD A = GᵀG + I.
+		g := NewMatrix(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		a := g.T().Mul(g).AddDiagonal(1)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveSPDJitterRecovery(t *testing.T) {
+	// A rank-deficient PSD matrix fails plain Cholesky; SolveSPD must
+	// recover via diagonal jitter.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected plain Cholesky to fail on singular matrix")
+	}
+	if _, err := SolveSPD(a, []float64{1, 1}); err != nil {
+		t.Fatalf("SolveSPD failed to recover: %v", err)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestCholeskySolvePropertyQuick(t *testing.T) {
+	rng := stats.NewRNG(7)
+	f := func(seed uint8) bool {
+		n := 2 + int(seed)%5
+		g := NewMatrix(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		a := g.T().Mul(g).AddDiagonal(0.5)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeProductIdentity(t *testing.T) {
+	// (A·B)ᵀ = Bᵀ·Aᵀ on random matrices.
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 10; trial++ {
+		r, k, c := 2+rng.Intn(5), 2+rng.Intn(5), 2+rng.Intn(5)
+		a, b := NewMatrix(r, k), NewMatrix(k, c)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		left := a.Mul(b).T()
+		right := b.T().Mul(a.T())
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-12 {
+				t.Fatalf("transpose identity violated at %d", i)
+			}
+		}
+	}
+}
+
+func TestDoubleTransposeIsIdentity(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.T().T()
+	for i := range m.Data {
+		if m.Data[i] != tt.Data[i] {
+			t.Fatal("double transpose changed the matrix")
+		}
+	}
+}
+
+func TestAddDiagonalOnRectangular(t *testing.T) {
+	m := NewMatrix(2, 4)
+	m.AddDiagonal(3)
+	if m.At(0, 0) != 3 || m.At(1, 1) != 3 || m.At(0, 1) != 0 {
+		t.Fatal("AddDiagonal wrong on rectangular matrix")
+	}
+}
+
+func TestCholeskyDeterminantConsistency(t *testing.T) {
+	// det(A) = (Π diag(L))² for A = L·Lᵀ.
+	a := FromRows([][]float64{{4, 12, -16}, {12, 37, -43}, {-16, -43, 98}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := 1.0
+	for i := 0; i < 3; i++ {
+		prod *= l.At(i, i)
+	}
+	// det of this classic matrix is 36.
+	if math.Abs(prod*prod-36) > 1e-9 {
+		t.Fatalf("det via Cholesky = %v, want 36", prod*prod)
+	}
+}

@@ -1,0 +1,97 @@
+// Package memdb is the in-memory database the CSWAP tensor profiler stores
+// its profiling data in ("the profiling data is stored in an in-memory
+// database for retrieval with low latency", Section IV-A). It is a
+// concurrency-safe key-value store with JSON-serialised values, prefix
+// scans, and per-key versioning so refreshed epoch profiles supersede stale
+// ones.
+package memdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is a concurrent in-memory key-value store. The zero value is not
+// usable; construct with New.
+type DB struct {
+	mu   sync.RWMutex
+	data map[string]entry
+}
+
+type entry struct {
+	blob    []byte
+	version uint64
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{data: make(map[string]entry)}
+}
+
+// Put serialises value under key, replacing any previous value and bumping
+// the key's version.
+func (db *DB) Put(key string, value interface{}) error {
+	blob, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("memdb: put %q: %w", key, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.data[key] = entry{blob: blob, version: db.data[key].version + 1}
+	return nil
+}
+
+// Get deserialises the value stored under key into out (a pointer). It
+// reports whether the key existed.
+func (db *DB) Get(key string, out interface{}) (bool, error) {
+	db.mu.RLock()
+	e, ok := db.data[key]
+	db.mu.RUnlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(e.blob, out); err != nil {
+		return true, fmt.Errorf("memdb: get %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Version returns the monotonically increasing write count of key (0 if
+// the key has never been written).
+func (db *DB) Version(key string) uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data[key].version
+}
+
+// Delete removes key and reports whether it existed.
+func (db *DB) Delete(key string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.data[key]
+	delete(db.data, key)
+	return ok
+}
+
+// Keys returns the sorted keys having the given prefix ("" for all keys).
+func (db *DB) Keys(prefix string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for k := range db.data {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored keys.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.data)
+}

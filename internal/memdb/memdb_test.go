@@ -1,0 +1,120 @@
+package memdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type rec struct {
+	A int
+	B string
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	db := New()
+	if err := db.Put("k", rec{A: 7, B: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	ok, err := db.Get("k", &out)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if out.A != 7 || out.B != "x" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	db := New()
+	var out rec
+	ok, err := db.Get("missing", &out)
+	if err != nil || ok {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestPutUnserializable(t *testing.T) {
+	db := New()
+	if err := db.Put("bad", make(chan int)); err == nil {
+		t.Fatal("expected marshal error")
+	}
+}
+
+func TestVersionMonotonic(t *testing.T) {
+	db := New()
+	if db.Version("k") != 0 {
+		t.Fatal("unwritten key should have version 0")
+	}
+	for i := 1; i <= 3; i++ {
+		if err := db.Put("k", i); err != nil {
+			t.Fatal(err)
+		}
+		if v := db.Version("k"); v != uint64(i) {
+			t.Fatalf("version = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := New()
+	db.Put("k", 1)
+	if !db.Delete("k") {
+		t.Fatal("Delete existing = false")
+	}
+	if db.Delete("k") {
+		t.Fatal("Delete missing = true")
+	}
+	var out int
+	if ok, _ := db.Get("k", &out); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestKeysPrefixSorted(t *testing.T) {
+	db := New()
+	for _, k := range []string{"profile/b", "profile/a", "model/x"} {
+		db.Put(k, 1)
+	}
+	got := db.Keys("profile/")
+	if len(got) != 2 || got[0] != "profile/a" || got[1] != "profile/b" {
+		t.Fatalf("Keys = %v", got)
+	}
+	if len(db.Keys("")) != 3 {
+		t.Fatal("all-keys scan wrong")
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				if err := db.Put(key, w*1000+i); err != nil {
+					t.Error(err)
+					return
+				}
+				var out int
+				if _, err := db.Get(key, &out); err != nil {
+					t.Error(err)
+					return
+				}
+				db.Keys("k")
+				db.Version(key)
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", db.Len())
+	}
+}

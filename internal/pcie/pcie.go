@@ -1,0 +1,97 @@
+// Package pcie models the CPU↔GPU interconnect used for tensor swapping.
+// The paper deliberately uses *measured effective* bandwidths rather than
+// the PCIe 3.0 ×16 name-tag 16 GB/s ("its effective bandwidth is affected
+// by other factors, e.g., memory configurations of CPUs and GPUs",
+// Section IV-A), so the link is parameterised by directional effective
+// bandwidths plus a small per-transfer setup latency.
+package pcie
+
+import "fmt"
+
+// GB is 10⁹ bytes, matching vendor bandwidth units.
+const GB = 1e9
+
+// Direction of a transfer across the link.
+type Direction int
+
+// Transfer directions.
+const (
+	DeviceToHost Direction = iota // offload (swap out)
+	HostToDevice                  // prefetch (swap in)
+)
+
+// String names the direction with the CUDA convention.
+func (d Direction) String() string {
+	switch d {
+	case DeviceToHost:
+		return "d2h"
+	case HostToDevice:
+		return "h2d"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Link is an asymmetric point-to-point interconnect.
+type Link struct {
+	// H2D and D2H are effective bandwidths in bytes/second.
+	H2D, D2H float64
+	// SetupLatency is the fixed per-transfer cost in seconds (DMA
+	// programming, doorbell, completion interrupt). Measured effective
+	// bandwidth curves flatten for large transfers, which this captures.
+	SetupLatency float64
+}
+
+// NewLink builds a link from effective bandwidths in GB/s.
+func NewLink(h2dGBs, d2hGBs float64) Link {
+	return Link{H2D: h2dGBs * GB, D2H: d2hGBs * GB, SetupLatency: 10e-6}
+}
+
+// Gen4 returns a PCIe 4.0 ×16 link with effective bandwidth twice the
+// measured V100 gen3 numbers — the near-future interconnect the paper's
+// Section II-C argues still trails GPU compute growth.
+func Gen4() Link { return NewLink(21.2, 23.4) }
+
+// NVLink2 returns an NVLink 2.0 CPU-attached link (POWER9-class, ≈45 GB/s
+// effective per direction), the fastest host interconnect contemporary
+// with the paper.
+func NVLink2() Link { return NewLink(45, 45) }
+
+// Scale returns a copy of the link with both bandwidths multiplied by f
+// (> 0), for bandwidth-sensitivity sweeps.
+func (l Link) Scale(f float64) Link {
+	if f <= 0 {
+		panic(fmt.Sprintf("pcie: non-positive scale %v", f))
+	}
+	return Link{H2D: l.H2D * f, D2H: l.D2H * f, SetupLatency: l.SetupLatency}
+}
+
+// Bandwidth returns the effective bandwidth for a direction in bytes/s.
+func (l Link) Bandwidth(dir Direction) float64 {
+	if dir == HostToDevice {
+		return l.H2D
+	}
+	return l.D2H
+}
+
+// TransferTime returns the seconds needed to move bytes in the given
+// direction. Zero-byte transfers are free (no DMA is issued).
+func (l Link) TransferTime(bytes int64, dir Direction) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.SetupLatency + float64(bytes)/l.Bandwidth(dir)
+}
+
+// MeasureEffective emulates the NVIDIA bandwidthTest probe the paper runs:
+// it reports the apparent bandwidth (bytes/s) observed when moving a probe
+// buffer of the given size, which is slightly below the configured
+// effective bandwidth because of setup latency. The tensor profiler uses
+// this as its "measured" PCIe bandwidth.
+func (l Link) MeasureEffective(probeBytes int64, dir Direction) float64 {
+	t := l.TransferTime(probeBytes, dir)
+	if t == 0 {
+		return 0
+	}
+	return float64(probeBytes) / t
+}

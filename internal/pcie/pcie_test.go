@@ -1,0 +1,107 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDirectionString(t *testing.T) {
+	if DeviceToHost.String() != "d2h" || HostToDevice.String() != "h2d" {
+		t.Fatal("direction names wrong")
+	}
+	if Direction(9).String() != "Direction(9)" {
+		t.Fatal("unknown direction format")
+	}
+}
+
+func TestNewLinkBandwidths(t *testing.T) {
+	l := NewLink(10.6, 11.7)
+	if l.Bandwidth(HostToDevice) != 10.6*GB {
+		t.Fatalf("h2d = %v", l.Bandwidth(HostToDevice))
+	}
+	if l.Bandwidth(DeviceToHost) != 11.7*GB {
+		t.Fatalf("d2h = %v", l.Bandwidth(DeviceToHost))
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	l := NewLink(10, 10)
+	// 1 GB at 10 GB/s = 0.1 s plus setup.
+	got := l.TransferTime(1e9, HostToDevice)
+	want := 0.1 + l.SetupLatency
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+	if l.TransferTime(0, HostToDevice) != 0 {
+		t.Fatal("zero-byte transfer should be free")
+	}
+	if l.TransferTime(-5, DeviceToHost) != 0 {
+		t.Fatal("negative bytes should be free")
+	}
+}
+
+func TestTransferTimeAsymmetry(t *testing.T) {
+	l := NewLink(10.6, 11.7)
+	d2h := l.TransferTime(1<<30, DeviceToHost)
+	h2d := l.TransferTime(1<<30, HostToDevice)
+	if d2h >= h2d {
+		t.Fatalf("d2h (%v) should be faster than h2d (%v) on the V100 link", d2h, h2d)
+	}
+}
+
+func TestMeasureEffectiveBelowConfigured(t *testing.T) {
+	l := NewLink(10, 10)
+	meas := l.MeasureEffective(64<<20, HostToDevice)
+	if meas >= 10*GB {
+		t.Fatalf("measured %v should be below configured %v", meas, 10*GB)
+	}
+	if meas < 9.5*GB {
+		t.Fatalf("measured %v unreasonably low for a 64 MB probe", meas)
+	}
+	if l.MeasureEffective(0, HostToDevice) != 0 {
+		t.Fatal("zero probe should measure 0")
+	}
+}
+
+func TestLargerProbeMeasuresCloserToNominal(t *testing.T) {
+	l := NewLink(12, 12)
+	small := l.MeasureEffective(1<<20, DeviceToHost)
+	large := l.MeasureEffective(1<<30, DeviceToHost)
+	if large <= small {
+		t.Fatalf("large probe (%v) should measure higher than small (%v)", large, small)
+	}
+}
+
+func TestFasterLinkGenerations(t *testing.T) {
+	v100 := NewLink(10.6, 11.7)
+	g4 := Gen4()
+	nv := NVLink2()
+	if g4.D2H <= v100.D2H || nv.D2H <= g4.D2H {
+		t.Fatal("link generations not strictly faster")
+	}
+	scaled := v100.Scale(2)
+	if scaled.D2H != 2*v100.D2H || scaled.H2D != 2*v100.H2D {
+		t.Fatal("Scale wrong")
+	}
+	if scaled.SetupLatency != v100.SetupLatency {
+		t.Fatal("Scale must not change setup latency")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive scale")
+		}
+	}()
+	v100.Scale(0)
+}
+
+func TestTransferTimeMonotoneInBytes(t *testing.T) {
+	l := NewLink(11, 12)
+	prev := 0.0
+	for bytes := int64(1); bytes < 1<<34; bytes *= 7 {
+		got := l.TransferTime(bytes, DeviceToHost)
+		if got <= prev {
+			t.Fatalf("TransferTime not strictly increasing at %d bytes", bytes)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,128 @@
+// Package profiler implements the CSWAP tensor profiler (Section IV-A): at
+// the first training iteration it collects the DNN characteristics — tensor
+// sizes, per-layer execution times without compression, and the effective
+// PCIe bandwidth — and refreshes tensor sparsity once per epoch. Profiles
+// are persisted in the in-memory database for low-latency retrieval by the
+// execution advisor.
+package profiler
+
+import (
+	"fmt"
+
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/memdb"
+	"cswap/internal/pcie"
+	"cswap/internal/sparsity"
+)
+
+// TensorProfile is the per-tensor record of Table II: size (one-time),
+// hidden forward/backward windows (one-time), and sparsity (per-epoch).
+type TensorProfile struct {
+	dnn.SwapTensor
+	// HiddenF is the forward-propagation compute window (seconds)
+	// available to hide this tensor's offload: the compute issued between
+	// this tensor's production and the next swappable tensor's.
+	HiddenF float64
+	// HiddenB is the corresponding backward window hiding the prefetch.
+	HiddenB float64
+	// Sparsity is the zero fraction at the most recent refresh.
+	Sparsity float64
+}
+
+// NetworkProfile is the full DNN profile: "tensor sparsity, size, and
+// execution time of layers" plus the measured link bandwidths.
+type NetworkProfile struct {
+	Model    string
+	GPU      string
+	Epoch    int // epoch of the last sparsity refresh
+	BWd2h    float64
+	BWh2d    float64
+	Forward  []float64 // per-layer forward seconds
+	Backward []float64
+	Tensors  []TensorProfile
+}
+
+// probeBytes is the bandwidthTest-style probe transfer size.
+const probeBytes = 256 << 20
+
+// Collect runs the first-iteration profiling pass: layer times from the
+// device compute model, hidden windows from the layer schedule, effective
+// bandwidths from a probe transfer, and epoch-0 sparsity.
+func Collect(m *dnn.Model, d *gpu.Device, sp *sparsity.Profile, epoch int) *NetworkProfile {
+	np := &NetworkProfile{
+		Model: m.Name,
+		GPU:   d.Name,
+		Epoch: epoch,
+		BWd2h: d.Link.MeasureEffective(probeBytes, pcie.DeviceToHost),
+		BWh2d: d.Link.MeasureEffective(probeBytes, pcie.HostToDevice),
+	}
+	np.Forward = make([]float64, len(m.Layers))
+	np.Backward = make([]float64, len(m.Layers))
+	for i := range m.Layers {
+		np.Forward[i] = m.ForwardTime(d, i)
+		np.Backward[i] = m.BackwardTime(d, i)
+	}
+	tensors := m.SwapTensors()
+	np.Tensors = make([]TensorProfile, len(tensors))
+	for k, t := range tensors {
+		// The hiding window spans the layers executed between this
+		// tensor's production and the next swappable tensor's (only one
+		// tensor is in flight per layer in the paper's model); the last
+		// tensor gets the remaining layers.
+		hi := len(m.Layers)
+		if k+1 < len(tensors) {
+			hi = tensors[k+1].LayerIdx + 1
+		}
+		var hf, hb float64
+		for i := t.LayerIdx + 1; i < hi; i++ {
+			hf += np.Forward[i]
+			hb += np.Backward[i]
+		}
+		np.Tensors[k] = TensorProfile{
+			SwapTensor: t,
+			HiddenF:    hf,
+			HiddenB:    hb,
+			Sparsity:   sp.Sparsity(k, epoch),
+		}
+	}
+	return np
+}
+
+// RefreshSparsity performs the per-epoch sparsity re-measurement ("we only
+// need to execute the tensor profiler to collect the sparsity once in each
+// epoch", Section IV-A); everything else in the profile is epoch-invariant.
+func (np *NetworkProfile) RefreshSparsity(sp *sparsity.Profile, epoch int) {
+	np.Epoch = epoch
+	for k := range np.Tensors {
+		np.Tensors[k].Sparsity = sp.Sparsity(k, epoch)
+	}
+}
+
+// Key is the memdb key a profile is stored under.
+func Key(model, gpuName string) string {
+	return fmt.Sprintf("profile/%s/%s", model, gpuName)
+}
+
+// Store persists the profile into the in-memory database.
+func (np *NetworkProfile) Store(db *memdb.DB) error {
+	return db.Put(Key(np.Model, np.GPU), np)
+}
+
+// Load retrieves a stored profile; ok is false when absent.
+func Load(db *memdb.DB, model, gpuName string) (*NetworkProfile, bool, error) {
+	var np NetworkProfile
+	ok, err := db.Get(Key(model, gpuName), &np)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return &np, true, nil
+}
+
+// SparsityProbeOverhead is the modeled cost of one GPU-side sparsity count
+// over a tensor of the given size: a memory-bound scan at the device's
+// bandwidth. For VGG16's working set this lands near the paper's "only 8 ms
+// overhead every 10 sec" (Section V-E).
+func SparsityProbeOverhead(d *gpu.Device, bytes int64) float64 {
+	return d.ComputeTime(gpu.ClassActivation, 0, float64(bytes))
+}

@@ -1,0 +1,143 @@
+package profiler
+
+import (
+	"testing"
+
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/memdb"
+	"cswap/internal/sparsity"
+)
+
+func collectVGG(t *testing.T) (*dnn.Model, *gpu.Device, *sparsity.Profile, *NetworkProfile) {
+	t.Helper()
+	m, err := dnn.Build("VGG16", dnn.ImageNet, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := gpu.V100()
+	sp := sparsity.ForModel(m, 50, 1)
+	return m, d, sp, Collect(m, d, sp, 0)
+}
+
+func TestCollectBasics(t *testing.T) {
+	m, _, _, np := collectVGG(t)
+	if np.Model != "VGG16" || np.GPU != "V100" {
+		t.Fatalf("identity: %s/%s", np.Model, np.GPU)
+	}
+	if len(np.Forward) != len(m.Layers) || len(np.Backward) != len(m.Layers) {
+		t.Fatal("layer time arrays wrong length")
+	}
+	if len(np.Tensors) != len(m.SwapTensors()) {
+		t.Fatal("tensor profile count wrong")
+	}
+	for i := range np.Forward {
+		if np.Forward[i] <= 0 || np.Backward[i] <= 0 {
+			t.Fatalf("layer %d non-positive time", i)
+		}
+	}
+}
+
+func TestCollectMeasuredBandwidthBelowNominal(t *testing.T) {
+	_, d, _, np := collectVGG(t)
+	if np.BWd2h >= d.Link.D2H || np.BWh2d >= d.Link.H2D {
+		t.Fatal("measured bandwidth should be below configured effective bandwidth")
+	}
+	if np.BWd2h < 0.95*d.Link.D2H {
+		t.Fatal("measured bandwidth unreasonably low")
+	}
+}
+
+func TestHiddenWindowsPartitionComputeTime(t *testing.T) {
+	m, d, _, np := collectVGG(t)
+	// The sum of hidden forward windows plus the prefix before the first
+	// swap tensor equals the total forward time.
+	var total float64
+	for i := range m.Layers {
+		total += np.Forward[i]
+	}
+	var prefix float64
+	for i := 0; i <= np.Tensors[0].LayerIdx; i++ {
+		prefix += np.Forward[i]
+	}
+	var hidden float64
+	for _, tp := range np.Tensors {
+		hidden += tp.HiddenF
+	}
+	if diff := total - (prefix + hidden); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("hidden windows don't partition forward time: diff %v", diff)
+	}
+	_ = d
+}
+
+func TestHiddenWindowsPositive(t *testing.T) {
+	_, _, _, np := collectVGG(t)
+	for _, tp := range np.Tensors[:len(np.Tensors)-1] {
+		if tp.HiddenF <= 0 || tp.HiddenB <= 0 {
+			t.Fatalf("%s hidden windows %v/%v", tp.Name, tp.HiddenF, tp.HiddenB)
+		}
+	}
+}
+
+func TestSparsityRefreshUpdatesOnlySparsity(t *testing.T) {
+	_, _, sp, np := collectVGG(t)
+	before := make([]float64, len(np.Tensors))
+	for i, tp := range np.Tensors {
+		before[i] = tp.Sparsity
+	}
+	sizes := make([]int64, len(np.Tensors))
+	for i, tp := range np.Tensors {
+		sizes[i] = tp.Bytes
+	}
+	np.RefreshSparsity(sp, 40)
+	if np.Epoch != 40 {
+		t.Fatal("epoch not updated")
+	}
+	changed := false
+	for i, tp := range np.Tensors {
+		if tp.Sparsity != before[i] {
+			changed = true
+		}
+		if tp.Bytes != sizes[i] {
+			t.Fatal("refresh must not change tensor sizes")
+		}
+	}
+	if !changed {
+		t.Fatal("sparsity unchanged after 40 epochs")
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	_, _, _, np := collectVGG(t)
+	db := memdb.New()
+	if err := np.Store(db); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := Load(db, "VGG16", "V100")
+	if err != nil || !ok {
+		t.Fatalf("Load: %v %v", ok, err)
+	}
+	if got.Model != np.Model || len(got.Tensors) != len(np.Tensors) {
+		t.Fatal("loaded profile differs")
+	}
+	if got.Tensors[3].Sparsity != np.Tensors[3].Sparsity {
+		t.Fatal("sparsity not persisted")
+	}
+	if _, ok, _ := Load(db, "VGG16", "2080Ti"); ok {
+		t.Fatal("absent profile reported present")
+	}
+}
+
+func TestSparsityProbeOverheadMagnitude(t *testing.T) {
+	// Section V-E: ≈8 ms to probe VGG16's swappable tensors.
+	m, d, _, np := collectVGG(t)
+	var bytes int64
+	for _, tp := range np.Tensors {
+		bytes += tp.Bytes
+	}
+	probe := SparsityProbeOverhead(d, bytes)
+	if probe < 0.002 || probe > 0.050 {
+		t.Fatalf("VGG16 sparsity probe = %v s, want small-milliseconds scale", probe)
+	}
+	_ = m
+}

@@ -1,0 +1,146 @@
+package regress
+
+import (
+	"fmt"
+)
+
+// BucketedLR is CSWAP's (de)compression time model (Section IV-C): n linear
+// sub-models, each trained on the samples whose sparsity falls in
+// [base + R·i/n, base + R·(i+1)/n), combined into one holistic model for
+// inference. Bucketing piecewise-linearises the size×sparsity interaction
+// that a single global linear fit cannot represent.
+type BucketedLR struct {
+	// SparsityFeature is the index of the sparsity feature in X.
+	SparsityFeature int
+	// Base and Range define the bucketed sparsity interval; the paper uses
+	// base 20 % and range R = 60 % (sparsity is "mostly located" in
+	// 20–80 %). Samples outside clamp to the nearest bucket.
+	Base, Range float64
+	// Buckets is n, the sub-model count (default 6).
+	Buckets int
+
+	subs []*LinearRegression
+}
+
+// Name implements Model.
+func (*BucketedLR) Name() string { return "LR" }
+
+// NewBucketedLR returns the paper-default configuration: 6 sub-models over
+// sparsity 20–80 %, sparsity as the second feature.
+func NewBucketedLR() *BucketedLR {
+	return &BucketedLR{SparsityFeature: 1, Base: 0.20, Range: 0.60, Buckets: 6}
+}
+
+func (m *BucketedLR) bucket(s float64) int {
+	if m.Range <= 0 || m.Buckets <= 0 {
+		return 0
+	}
+	i := int((s - m.Base) / m.Range * float64(m.Buckets))
+	if i < 0 {
+		i = 0
+	}
+	if i >= m.Buckets {
+		i = m.Buckets - 1
+	}
+	return i
+}
+
+// Fit implements Model, training each sparsity sub-model independently. A
+// bucket with too few samples falls back to the pooled global fit.
+func (m *BucketedLR) Fit(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	if m.Buckets <= 0 {
+		m.Buckets = 6
+	}
+	if m.Range <= 0 {
+		m.Base, m.Range = 0.20, 0.60
+	}
+	if m.SparsityFeature >= len(x[0]) {
+		return fmt.Errorf("regress: sparsity feature %d out of range", m.SparsityFeature)
+	}
+	byBucket := make([][]int, m.Buckets)
+	for i := range x {
+		b := m.bucket(x[i][m.SparsityFeature])
+		byBucket[b] = append(byBucket[b], i)
+	}
+	global := &LinearRegression{}
+	if err := global.Fit(x, y); err != nil {
+		return err
+	}
+	minSamples := len(x[0]) + 2
+	m.subs = make([]*LinearRegression, m.Buckets)
+	for b, idx := range byBucket {
+		if len(idx) < minSamples {
+			m.subs[b] = global
+			continue
+		}
+		bx := make([][]float64, len(idx))
+		by := make([]float64, len(idx))
+		for k, i := range idx {
+			bx[k] = x[i]
+			by[k] = y[i]
+		}
+		sub := &LinearRegression{}
+		if err := sub.Fit(bx, by); err != nil {
+			m.subs[b] = global
+			continue
+		}
+		m.subs[b] = sub
+	}
+	return nil
+}
+
+// Predict implements Model, routing to the sparsity bucket's sub-model.
+func (m *BucketedLR) Predict(x []float64) float64 {
+	if len(m.subs) == 0 {
+		return 0
+	}
+	return m.subs[m.bucket(x[m.SparsityFeature])].Predict(x)
+}
+
+// InteractionLR is the ablation alternative to bucketing: a single global
+// linear fit with the size×sparsity interaction added as an explicit
+// feature. It can represent exactly the surface the bucketed model
+// piecewise-approximates, at the cost of committing to the interaction's
+// functional form.
+type InteractionLR struct {
+	SparsityFeature int // default 1
+	SizeFeature     int // default 0
+
+	inner LinearRegression
+}
+
+// Name implements Model.
+func (*InteractionLR) Name() string { return "LR+ix" }
+
+func (m *InteractionLR) expand(x []float64) []float64 {
+	out := make([]float64, len(x)+1)
+	copy(out, x)
+	out[len(x)] = x[m.SizeFeature] * x[m.SparsityFeature]
+	return out
+}
+
+// Fit implements Model.
+func (m *InteractionLR) Fit(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	if m.SparsityFeature == m.SizeFeature {
+		m.SparsityFeature, m.SizeFeature = 1, 0
+	}
+	if m.SparsityFeature >= len(x[0]) || m.SizeFeature >= len(x[0]) {
+		return fmt.Errorf("regress: interaction features out of range")
+	}
+	expanded := make([][]float64, len(x))
+	for i := range x {
+		expanded[i] = m.expand(x[i])
+	}
+	return m.inner.Fit(expanded, y)
+}
+
+// Predict implements Model.
+func (m *InteractionLR) Predict(x []float64) float64 {
+	return m.inner.Predict(m.expand(x))
+}

@@ -1,0 +1,52 @@
+package regress
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cswap/internal/stats"
+)
+
+// CrossValidate scores a model family with k-fold cross-validation on both
+// targets of a dataset, returning per-fold RAE values. It is the
+// variance-aware counterpart of the single split the paper's Figure 10
+// reports.
+func CrossValidate(newModel func() Model, ds *Dataset, k int, seed int64) (raeC, raeDC []float64, err error) {
+	n := len(ds.X)
+	if k < 2 {
+		return nil, nil, fmt.Errorf("regress: need k ≥ 2, got %d", k)
+	}
+	if n < 2*k {
+		return nil, nil, fmt.Errorf("regress: %d samples too few for %d folds", n, k)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	foldOf := make([]int, n)
+	for i, p := range perm {
+		foldOf[p] = i % k
+	}
+	for fold := 0; fold < k; fold++ {
+		train := &Dataset{Alg: ds.Alg, Launch: ds.Launch}
+		test := &Dataset{Alg: ds.Alg, Launch: ds.Launch}
+		for i := range ds.X {
+			dst := train
+			if foldOf[i] == fold {
+				dst = test
+			}
+			dst.X = append(dst.X, ds.X[i])
+			dst.YC = append(dst.YC, ds.YC[i])
+			dst.YDC = append(dst.YDC, ds.YDC[i])
+		}
+		c, dc, err := EvalRAE(newModel, train, test)
+		if err != nil {
+			return nil, nil, fmt.Errorf("regress: fold %d: %w", fold, err)
+		}
+		raeC = append(raeC, c)
+		raeDC = append(raeDC, dc)
+	}
+	return raeC, raeDC, nil
+}
+
+// CVSummary condenses cross-validation folds to mean ± std.
+func CVSummary(folds []float64) (mean, std float64) {
+	return stats.Mean(folds), stats.StdDev(folds)
+}

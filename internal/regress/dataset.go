@@ -1,0 +1,109 @@
+package regress
+
+import (
+	"math/rand"
+
+	"cswap/internal/compress"
+	"cswap/internal/gpu"
+	"cswap/internal/stats"
+)
+
+// Sample generation protocol from Section IV-C / V-C: synthetic tensors
+// with sizes between 20 MB and 2000 MB and sparsity between 20 % and 90 %,
+// timed with the kernel model at a fixed launch geometry (the one the BO
+// search selected for the deployment).
+const (
+	// MinSampleBytes and MaxSampleBytes bound the synthetic tensor sizes.
+	MinSampleBytes = 20 << 20
+	MaxSampleBytes = 2000 << 20
+	// MinSampleSparsity and MaxSampleSparsity bound the sparsity sweep.
+	MinSampleSparsity = 0.20
+	MaxSampleSparsity = 0.90
+	// DefaultSamples is the per-algorithm sample count (Section V-C:
+	// "we generate a total of 3000 sparse tensors" per algorithm).
+	DefaultSamples = 3000
+)
+
+// Dataset holds time-model training data for one (device, algorithm,
+// launch) combination. Feature rows are [size in MB, sparsity].
+type Dataset struct {
+	Alg    compress.Algorithm
+	Launch compress.Launch
+	X      [][]float64
+	YC     []float64 // measured compression seconds
+	YDC    []float64 // measured decompression seconds
+}
+
+// Generate produces n timed samples from the device's kernel model with
+// measurement noise, deterministic in the seed.
+func Generate(d *gpu.Device, alg compress.Algorithm, launch compress.Launch, n int, seed int64) *Dataset {
+	if n <= 0 {
+		n = DefaultSamples
+	}
+	rng := stats.NewRNG(seed)
+	ds := &Dataset{
+		Alg:    alg,
+		Launch: launch,
+		X:      make([][]float64, n),
+		YC:     make([]float64, n),
+		YDC:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		sizeBytes := MinSampleBytes + rng.Int63n(MaxSampleBytes-MinSampleBytes+1)
+		s := MinSampleSparsity + rng.Float64()*(MaxSampleSparsity-MinSampleSparsity)
+		c, dc := d.CompressionTimeNoisy(rng, gpu.KernelParams{
+			Alg:       alg,
+			SizeBytes: sizeBytes,
+			Sparsity:  s,
+			Launch:    launch,
+		})
+		ds.X[i] = []float64{float64(sizeBytes) / (1 << 20), s}
+		ds.YC[i] = c
+		ds.YDC[i] = dc
+	}
+	return ds
+}
+
+// Split partitions the dataset into train and test subsets with the given
+// training fraction, shuffled deterministically by seed.
+func (ds *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
+	n := len(ds.X)
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	cut := int(float64(n) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	pick := func(idx []int) *Dataset {
+		out := &Dataset{Alg: ds.Alg, Launch: ds.Launch}
+		for _, i := range idx {
+			out.X = append(out.X, ds.X[i])
+			out.YC = append(out.YC, ds.YC[i])
+			out.YDC = append(out.YDC, ds.YDC[i])
+		}
+		return out
+	}
+	return pick(perm[:cut]), pick(perm[cut:])
+}
+
+// EvalRAE fits a fresh instance of each model on the training set and
+// returns its relative absolute error on the test set for both targets.
+func EvalRAE(newModel func() Model, train, test *Dataset) (raeC, raeDC float64, err error) {
+	mc := newModel()
+	if err := mc.Fit(train.X, train.YC); err != nil {
+		return 0, 0, err
+	}
+	mdc := newModel()
+	if err := mdc.Fit(train.X, train.YDC); err != nil {
+		return 0, 0, err
+	}
+	predC := make([]float64, len(test.X))
+	predDC := make([]float64, len(test.X))
+	for i, x := range test.X {
+		predC[i] = mc.Predict(x)
+		predDC[i] = mdc.Predict(x)
+	}
+	return stats.RAE(predC, test.YC), stats.RAE(predDC, test.YDC), nil
+}

@@ -1,0 +1,319 @@
+// Package regress implements the (de)compression-time prediction models of
+// Section IV-C and their Figure 10 comparison set: CSWAP's bucketed linear
+// regression alongside Bayesian ridge regression, linear ε-SVR, and a CART
+// regression tree (the scikit-learn baselines, reimplemented from scratch).
+//
+// All models receive the raw features the paper's samples carry — tensor
+// size and sparsity — and predict a kernel time. The true kernel time
+// contains a size×sparsity interaction, which is why CSWAP's sparsity-
+// bucketed sub-models (piecewise linearisation over the 20–80 % range)
+// outperform the single global fits.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cswap/internal/linalg"
+)
+
+// Model is a trainable regression model over fixed-width feature vectors.
+type Model interface {
+	// Name is the short identifier used in reports (LR, BR, SVM, DT).
+	Name() string
+	// Fit trains on rows X (each the same length) and targets y.
+	Fit(x [][]float64, y []float64) error
+	// Predict returns the estimate for one feature vector.
+	Predict(x []float64) float64
+}
+
+// ErrNoData is returned by Fit when the training set is empty or
+// degenerate.
+var ErrNoData = errors.New("regress: empty or degenerate training set")
+
+func checkTrainingSet(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return ErrNoData
+	}
+	w := len(x[0])
+	if w == 0 {
+		return ErrNoData
+	}
+	for i := range x {
+		if len(x[i]) != w {
+			return fmt.Errorf("regress: ragged feature row %d", i)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Ordinary least squares.
+
+// LinearRegression is ordinary least squares with an intercept, solved by
+// normal equations.
+type LinearRegression struct {
+	Coef      []float64
+	Intercept float64
+}
+
+// Name implements Model.
+func (*LinearRegression) Name() string { return "LR" }
+
+// Fit implements Model.
+func (m *LinearRegression) Fit(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	w := len(x[0]) + 1 // bias column
+	xtx := linalg.NewMatrix(w, w)
+	xty := make([]float64, w)
+	row := make([]float64, w)
+	for i := range x {
+		row[0] = 1
+		copy(row[1:], x[i])
+		for a := 0; a < w; a++ {
+			xty[a] += row[a] * y[i]
+			for b := 0; b <= a; b++ {
+				xtx.Set(a, b, xtx.At(a, b)+row[a]*row[b])
+			}
+		}
+	}
+	for a := 0; a < w; a++ {
+		for b := a + 1; b < w; b++ {
+			xtx.Set(a, b, xtx.At(b, a))
+		}
+	}
+	beta, err := linalg.SolveSPD(xtx, xty)
+	if err != nil {
+		return fmt.Errorf("regress: LR normal equations: %w", err)
+	}
+	m.Intercept = beta[0]
+	m.Coef = beta[1:]
+	return nil
+}
+
+// Predict implements Model.
+func (m *LinearRegression) Predict(x []float64) float64 {
+	return m.Intercept + linalg.Dot(m.Coef, x)
+}
+
+// ---------------------------------------------------------------------------
+// Bayesian ridge regression.
+
+// BayesianRidge is Bayesian linear regression with a zero-mean Gaussian
+// weight prior: the posterior mean is the ridge solution
+// (XᵀX + λI)⁻¹Xᵀy on standardised features. Lambda defaults to 1 (the
+// standard unit-information prior), which shrinks coefficients and leaves
+// the model biased where the data carry interactions it cannot represent.
+type BayesianRidge struct {
+	Lambda float64
+
+	scaler scaler
+	coef   []float64 // on standardised features
+	mean   float64   // target mean (intercept on standardised data)
+}
+
+// Name implements Model.
+func (*BayesianRidge) Name() string { return "BR" }
+
+// Fit implements Model.
+func (m *BayesianRidge) Fit(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	if m.Lambda <= 0 {
+		m.Lambda = 1
+	}
+	m.scaler.fit(x)
+	w := len(x[0])
+	xtx := linalg.NewMatrix(w, w)
+	xty := make([]float64, w)
+	m.mean = 0
+	for _, yi := range y {
+		m.mean += yi
+	}
+	m.mean /= float64(len(y))
+	row := make([]float64, w)
+	for i := range x {
+		m.scaler.transform(x[i], row)
+		yc := y[i] - m.mean
+		for a := 0; a < w; a++ {
+			xty[a] += row[a] * yc
+			for b := 0; b <= a; b++ {
+				xtx.Set(a, b, xtx.At(a, b)+row[a]*row[b])
+			}
+		}
+	}
+	for a := 0; a < w; a++ {
+		for b := a + 1; b < w; b++ {
+			xtx.Set(a, b, xtx.At(b, a))
+		}
+	}
+	xtx.AddDiagonal(m.Lambda * float64(len(x)) / 100)
+	coef, err := linalg.SolveSPD(xtx, xty)
+	if err != nil {
+		return fmt.Errorf("regress: BR posterior: %w", err)
+	}
+	m.coef = coef
+	return nil
+}
+
+// Predict implements Model.
+func (m *BayesianRidge) Predict(x []float64) float64 {
+	row := make([]float64, len(x))
+	m.scaler.transform(x, row)
+	return m.mean + linalg.Dot(m.coef, row)
+}
+
+// ---------------------------------------------------------------------------
+// Linear epsilon-insensitive support vector regression.
+
+// SVR is a linear ε-insensitive support vector regressor trained with
+// averaged stochastic subgradient descent on standardised features and
+// target. Epsilon follows the library default of 0.1 (in standardised
+// target units), which deliberately tolerates — and therefore commits —
+// errors up to a tenth of the target's standard deviation.
+type SVR struct {
+	Epsilon float64 // default 0.1
+	C       float64 // default 1
+	Epochs  int     // default 200
+	Seed    int64
+
+	scaler scaler
+	yMean  float64
+	yStd   float64
+	coef   []float64
+	bias   float64
+}
+
+// Name implements Model.
+func (*SVR) Name() string { return "SVM" }
+
+// Fit implements Model.
+func (m *SVR) Fit(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	if m.Epsilon == 0 {
+		m.Epsilon = 0.1
+	}
+	if m.C == 0 {
+		m.C = 1
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 200
+	}
+	m.scaler.fit(x)
+	m.yMean, m.yStd = meanStd(y)
+	if m.yStd == 0 {
+		m.yStd = 1
+	}
+	n := len(x)
+	w := len(x[0])
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range x {
+		xs[i] = make([]float64, w)
+		m.scaler.transform(x[i], xs[i])
+		ys[i] = (y[i] - m.yMean) / m.yStd
+	}
+	coef := make([]float64, w)
+	sumCoef := make([]float64, w)
+	var bias, sumBias float64
+	lambda := 1 / (m.C * float64(n))
+	state := uint64(m.Seed)*2654435761 + 12345
+	steps := 0
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for it := 0; it < n; it++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			i := int(state>>33) % n
+			steps++
+			lr := 1 / (lambda * float64(steps+1000))
+			pred := bias + linalg.Dot(coef, xs[i])
+			r := pred - ys[i]
+			// Epsilon-insensitive subgradient.
+			var g float64
+			if r > m.Epsilon {
+				g = 1
+			} else if r < -m.Epsilon {
+				g = -1
+			}
+			for j := range coef {
+				coef[j] -= lr * (lambda*coef[j] + g*xs[i][j])
+			}
+			bias -= lr * g * 0.1
+			for j := range coef {
+				sumCoef[j] += coef[j]
+			}
+			sumBias += bias
+		}
+	}
+	total := float64(m.Epochs * n)
+	for j := range coef {
+		coef[j] = sumCoef[j] / total
+	}
+	m.coef = coef
+	m.bias = sumBias / total
+	return nil
+}
+
+// Predict implements Model.
+func (m *SVR) Predict(x []float64) float64 {
+	row := make([]float64, len(x))
+	m.scaler.transform(x, row)
+	return (m.bias+linalg.Dot(m.coef, row))*m.yStd + m.yMean
+}
+
+// ---------------------------------------------------------------------------
+// Shared feature standardisation.
+
+type scaler struct {
+	mean, std []float64
+}
+
+func (s *scaler) fit(x [][]float64) {
+	w := len(x[0])
+	s.mean = make([]float64, w)
+	s.std = make([]float64, w)
+	for _, row := range x {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+}
+
+func (s *scaler) transform(in, out []float64) {
+	for j, v := range in {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+}
+
+func meanStd(y []float64) (mean, std float64) {
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		d := v - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(y)))
+}

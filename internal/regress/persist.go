@@ -1,0 +1,125 @@
+package regress
+
+import (
+	"fmt"
+
+	"cswap/internal/compress"
+	"cswap/internal/memdb"
+)
+
+// Persistence for the deployed time model: Section IV-C stores the trained
+// (de)compression-time model in the in-memory database so the execution
+// advisor retrieves it with low latency and deployments survive across
+// training sessions without re-generating samples.
+
+// lrSnapshot serialises one linear sub-model.
+type lrSnapshot struct {
+	Coef      []float64
+	Intercept float64
+}
+
+// bucketedSnapshot serialises a BucketedLR. Buckets that aliased the
+// pooled fallback at fit time are stored as independent copies; prediction
+// is unaffected.
+type bucketedSnapshot struct {
+	SparsityFeature int
+	Base, Range     float64
+	Buckets         int
+	Subs            []lrSnapshot
+}
+
+// predictorSnapshot is the full stored model.
+type predictorSnapshot struct {
+	Device string
+	Launch compress.Launch
+	Comp   map[string]bucketedSnapshot
+	Decomp map[string]bucketedSnapshot
+}
+
+func snapshotBucketed(m *BucketedLR) bucketedSnapshot {
+	s := bucketedSnapshot{
+		SparsityFeature: m.SparsityFeature,
+		Base:            m.Base,
+		Range:           m.Range,
+		Buckets:         m.Buckets,
+	}
+	for _, sub := range m.subs {
+		s.Subs = append(s.Subs, lrSnapshot{Coef: sub.Coef, Intercept: sub.Intercept})
+	}
+	return s
+}
+
+func restoreBucketed(s bucketedSnapshot) *BucketedLR {
+	m := &BucketedLR{
+		SparsityFeature: s.SparsityFeature,
+		Base:            s.Base,
+		Range:           s.Range,
+		Buckets:         s.Buckets,
+	}
+	for _, sub := range s.Subs {
+		m.subs = append(m.subs, &LinearRegression{Coef: sub.Coef, Intercept: sub.Intercept})
+	}
+	return m
+}
+
+// PredictorKey is the memdb key a device's time model is stored under.
+func PredictorKey(gpuName string) string { return "timemodel/" + gpuName }
+
+// Store persists the trained predictor into the in-memory database.
+func (tp *TimePredictor) Store(db *memdb.DB) error {
+	snap := predictorSnapshot{
+		Launch: tp.Launch,
+		Comp:   map[string]bucketedSnapshot{},
+		Decomp: map[string]bucketedSnapshot{},
+	}
+	if tp.Device != nil {
+		snap.Device = tp.Device.Name
+	}
+	for alg, m := range tp.comp {
+		snap.Comp[alg.String()] = snapshotBucketed(m)
+	}
+	for alg, m := range tp.decomp {
+		snap.Decomp[alg.String()] = snapshotBucketed(m)
+	}
+	return db.Put(PredictorKey(snap.Device), snap)
+}
+
+// LoadTimePredictor restores a stored predictor. The returned predictor
+// has a nil Device (only the name was stored); prediction needs nothing
+// more.
+func LoadTimePredictor(db *memdb.DB, gpuName string) (*TimePredictor, bool, error) {
+	var snap predictorSnapshot
+	ok, err := db.Get(PredictorKey(gpuName), &snap)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	tp := &TimePredictor{
+		Launch: snap.Launch,
+		comp:   map[compress.Algorithm]*BucketedLR{},
+		decomp: map[compress.Algorithm]*BucketedLR{},
+	}
+	for name, s := range snap.Comp {
+		alg, err := algByName(name)
+		if err != nil {
+			return nil, true, err
+		}
+		tp.comp[alg] = restoreBucketed(s)
+	}
+	for name, s := range snap.Decomp {
+		alg, err := algByName(name)
+		if err != nil {
+			return nil, true, err
+		}
+		tp.decomp[alg] = restoreBucketed(s)
+	}
+	return tp, true, nil
+}
+
+func algByName(name string) (compress.Algorithm, error) {
+	for _, a := range compress.ExtendedAlgorithms() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("regress: unknown algorithm %q in stored model", name)
+}

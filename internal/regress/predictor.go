@@ -1,0 +1,66 @@
+package regress
+
+import (
+	"fmt"
+
+	"cswap/internal/compress"
+	"cswap/internal/gpu"
+)
+
+// TimePredictor is the deployed (de)compression time model: one bucketed-LR
+// pair (compression, decompression) per supported algorithm, trained
+// offline on synthetic tensors and queried online by the execution advisor
+// ("one prediction ... is only 1 ms", Section V-E — here it is a pair of
+// dot products).
+type TimePredictor struct {
+	Device *gpu.Device
+	Launch compress.Launch
+
+	comp   map[compress.Algorithm]*BucketedLR
+	decomp map[compress.Algorithm]*BucketedLR
+}
+
+// TrainTimePredictor generates per-algorithm datasets from the device's
+// kernel model at the given launch geometry and fits the bucketed LR
+// sub-models. samplesPerAlg ≤ 0 uses the paper's 3000.
+func TrainTimePredictor(d *gpu.Device, launch compress.Launch, samplesPerAlg int, seed int64) (*TimePredictor, error) {
+	tp := &TimePredictor{
+		Device: d,
+		Launch: launch,
+		comp:   make(map[compress.Algorithm]*BucketedLR),
+		decomp: make(map[compress.Algorithm]*BucketedLR),
+	}
+	for _, alg := range compress.Algorithms() {
+		ds := Generate(d, alg, launch, samplesPerAlg, seed+int64(alg))
+		mc := NewBucketedLR()
+		if err := mc.Fit(ds.X, ds.YC); err != nil {
+			return nil, fmt.Errorf("regress: fit %s compression model: %w", alg, err)
+		}
+		mdc := NewBucketedLR()
+		if err := mdc.Fit(ds.X, ds.YDC); err != nil {
+			return nil, fmt.Errorf("regress: fit %s decompression model: %w", alg, err)
+		}
+		tp.comp[alg] = mc
+		tp.decomp[alg] = mdc
+	}
+	return tp, nil
+}
+
+// Predict returns the estimated compression and decompression seconds for a
+// tensor under the predictor's launch geometry.
+func (tp *TimePredictor) Predict(alg compress.Algorithm, sizeBytes int64, sparsity float64) (timeC, timeDC float64, err error) {
+	mc, ok := tp.comp[alg]
+	if !ok {
+		return 0, 0, fmt.Errorf("regress: no model for algorithm %s", alg)
+	}
+	x := []float64{float64(sizeBytes) / (1 << 20), sparsity}
+	timeC = mc.Predict(x)
+	timeDC = tp.decomp[alg].Predict(x)
+	if timeC < 0 {
+		timeC = 0
+	}
+	if timeDC < 0 {
+		timeDC = 0
+	}
+	return timeC, timeDC, nil
+}

@@ -1,0 +1,449 @@
+package regress
+
+import (
+	"math"
+	"testing"
+
+	"cswap/internal/compress"
+	"cswap/internal/gpu"
+	"cswap/internal/memdb"
+	"cswap/internal/stats"
+)
+
+// synthLinear builds y = 2 + 3·x0 − x1 with optional noise.
+func synthLinear(n int, noise float64, seed int64) (x [][]float64, y []float64) {
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		y = append(y, 2+3*a-b+noise*rng.NormFloat64())
+	}
+	return
+}
+
+func TestLinearRegressionExactFit(t *testing.T) {
+	x, y := synthLinear(200, 0, 1)
+	m := &LinearRegression{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-2) > 1e-8 || math.Abs(m.Coef[0]-3) > 1e-8 || math.Abs(m.Coef[1]+1) > 1e-8 {
+		t.Fatalf("coefficients: intercept=%v coef=%v", m.Intercept, m.Coef)
+	}
+	if got := m.Predict([]float64{1, 1}); math.Abs(got-4) > 1e-8 {
+		t.Fatalf("Predict = %v, want 4", got)
+	}
+}
+
+func TestLinearRegressionNoisyFitClose(t *testing.T) {
+	x, y := synthLinear(2000, 0.1, 2)
+	m := &LinearRegression{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-3) > 0.05 || math.Abs(m.Coef[1]+1) > 0.05 {
+		t.Fatalf("noisy coefficients drifted: %v", m.Coef)
+	}
+}
+
+func TestFitRejectsDegenerateSets(t *testing.T) {
+	models := []Model{&LinearRegression{}, &BayesianRidge{}, &SVR{}, &DecisionTree{}, NewBucketedLR()}
+	for _, m := range models {
+		if err := m.Fit(nil, nil); err == nil {
+			t.Errorf("%s accepted empty training set", m.Name())
+		}
+		if err := m.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s accepted length mismatch", m.Name())
+		}
+		if err := m.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s accepted ragged rows", m.Name())
+		}
+	}
+}
+
+func TestBayesianRidgeShrinksTowardMean(t *testing.T) {
+	x, y := synthLinear(500, 0.1, 3)
+	br := &BayesianRidge{Lambda: 1}
+	if err := br.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	lr := &LinearRegression{}
+	if err := lr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// BR must still be a sensible predictor.
+	var seBR, seLR float64
+	for i := range x {
+		dBR := br.Predict(x[i]) - y[i]
+		dLR := lr.Predict(x[i]) - y[i]
+		seBR += dBR * dBR
+		seLR += dLR * dLR
+	}
+	if seBR < seLR {
+		t.Fatal("shrunk BR should not beat OLS on its own training data")
+	}
+	if seBR > 10*seLR+1 {
+		t.Fatalf("BR unreasonably bad: %v vs %v", seBR, seLR)
+	}
+}
+
+func TestSVRFitsLinearTrend(t *testing.T) {
+	x, y := synthLinear(800, 0.05, 4)
+	m := &SVR{Seed: 1}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]float64, len(y))
+	for i := range x {
+		pred[i] = m.Predict(x[i])
+	}
+	if rae := stats.RAE(pred, y); rae > 0.30 {
+		t.Fatalf("SVR training RAE = %v, should capture the trend", rae)
+	}
+}
+
+func TestDecisionTreeFitsStepFunction(t *testing.T) {
+	// A step function is the tree's best case and a linear model's worst.
+	var x [][]float64
+	var y []float64
+	rng := stats.NewRNG(5)
+	for i := 0; i < 800; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v, rng.Float64()})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 9)
+		}
+	}
+	dt := &DecisionTree{}
+	if err := dt.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := dt.Predict([]float64{0.2, 0.5}); math.Abs(got-1) > 0.2 {
+		t.Fatalf("left leaf = %v, want ≈1", got)
+	}
+	if got := dt.Predict([]float64{0.9, 0.5}); math.Abs(got-9) > 0.2 {
+		t.Fatalf("right leaf = %v, want ≈9", got)
+	}
+	if dt.Depth() < 1 || dt.Leaves() < 2 {
+		t.Fatalf("tree shape: depth=%d leaves=%d", dt.Depth(), dt.Leaves())
+	}
+}
+
+func TestDecisionTreeRespectsMinLeaf(t *testing.T) {
+	x, y := synthLinear(100, 0.5, 6)
+	dt := &DecisionTree{MaxDepth: 30, MinLeaf: 20}
+	if err := dt.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Leaves() > 100/20+1 {
+		t.Fatalf("tree has %d leaves with MinLeaf=20 over 100 samples", dt.Leaves())
+	}
+}
+
+func TestBucketedLRRouting(t *testing.T) {
+	m := NewBucketedLR()
+	if m.bucket(0.19) != 0 {
+		t.Error("below-range sparsity should clamp to bucket 0")
+	}
+	if m.bucket(0.95) != m.Buckets-1 {
+		t.Error("above-range sparsity should clamp to last bucket")
+	}
+	if m.bucket(0.21) != 0 || m.bucket(0.79) != m.Buckets-1 {
+		t.Error("in-range routing wrong")
+	}
+}
+
+func TestBucketedLRBeatsGlobalOnInteraction(t *testing.T) {
+	// y = size·(0.7 + 0.6(1−s)) — the kernel model's interaction shape.
+	rng := stats.NewRNG(7)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 3000; i++ {
+		size := 20 + rng.Float64()*1980
+		s := 0.2 + rng.Float64()*0.7
+		x = append(x, []float64{size, s})
+		y = append(y, size*(0.7+0.6*(1-s)))
+	}
+	bucketed := NewBucketedLR()
+	if err := bucketed.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	global := &LinearRegression{}
+	if err := global.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	predB := make([]float64, len(y))
+	predG := make([]float64, len(y))
+	for i := range x {
+		predB[i] = bucketed.Predict(x[i])
+		predG[i] = global.Predict(x[i])
+	}
+	raeB, raeG := stats.RAE(predB, y), stats.RAE(predG, y)
+	if raeB >= raeG {
+		t.Fatalf("bucketed RAE %v not better than global %v", raeB, raeG)
+	}
+	if raeB > 0.04 {
+		t.Fatalf("bucketed RAE %v, want ≤ 4%%", raeB)
+	}
+}
+
+func TestBucketedLRSparseBucketFallsBackToGlobal(t *testing.T) {
+	// All samples in one bucket: the other buckets must still predict
+	// (via the pooled fallback) instead of returning zero.
+	var x [][]float64
+	var y []float64
+	rng := stats.NewRNG(8)
+	for i := 0; i < 100; i++ {
+		size := rng.Float64() * 100
+		x = append(x, []float64{size, 0.25}) // bucket 0 only
+		y = append(y, 5*size)
+	}
+	m := NewBucketedLR()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{50, 0.75}); math.Abs(got-250) > 1 {
+		t.Fatalf("fallback prediction = %v, want 250", got)
+	}
+}
+
+func TestGenerateDatasetProtocol(t *testing.T) {
+	d := gpu.V100()
+	ds := Generate(d, compress.ZVC, compress.Launch{Grid: 199, Block: 64}, 500, 1)
+	if len(ds.X) != 500 {
+		t.Fatalf("n = %d", len(ds.X))
+	}
+	for i, x := range ds.X {
+		sizeMB, s := x[0], x[1]
+		if sizeMB < 20 || sizeMB > 2000 {
+			t.Fatalf("sample %d size %v MB outside [20,2000]", i, sizeMB)
+		}
+		if s < 0.2 || s > 0.9 {
+			t.Fatalf("sample %d sparsity %v outside [0.2,0.9]", i, s)
+		}
+		if ds.YC[i] <= 0 || ds.YDC[i] <= 0 {
+			t.Fatalf("sample %d non-positive time", i)
+		}
+	}
+	// Deterministic for the same seed.
+	ds2 := Generate(d, compress.ZVC, compress.Launch{Grid: 199, Block: 64}, 500, 1)
+	if ds.YC[7] != ds2.YC[7] {
+		t.Fatal("dataset generation not deterministic")
+	}
+	// Default count.
+	if n := len(Generate(d, compress.ZVC, d.DefaultLaunch(), 0, 2).X); n != DefaultSamples {
+		t.Fatalf("default n = %d, want %d", n, DefaultSamples)
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	d := gpu.V100()
+	ds := Generate(d, compress.RLE, d.DefaultLaunch(), 100, 3)
+	train, test := ds.Split(0.7, 1)
+	if len(train.X) != 70 || len(test.X) != 30 {
+		t.Fatalf("split sizes %d/%d", len(train.X), len(test.X))
+	}
+	// Degenerate fractions stay non-empty.
+	tr, te := ds.Split(0, 1)
+	if len(tr.X) == 0 || len(te.X) == 0 {
+		t.Fatal("degenerate split produced empty partition")
+	}
+	tr, te = ds.Split(1, 1)
+	if len(tr.X) == 0 || len(te.X) == 0 {
+		t.Fatal("degenerate split produced empty partition")
+	}
+}
+
+func TestFigure10Ordering(t *testing.T) {
+	// The headline of Section V-C: bucketed LR achieves ≈3 % RAE, clearly
+	// better than BR and SVM.
+	d := gpu.V100()
+	ds := Generate(d, compress.ZVC, compress.Launch{Grid: 199, Block: 64}, 3000, 42)
+	train, test := ds.Split(0.7, 42)
+
+	rae := map[string]float64{}
+	for name, mk := range map[string]func() Model{
+		"LR":  func() Model { return NewBucketedLR() },
+		"BR":  func() Model { return &BayesianRidge{} },
+		"SVM": func() Model { return &SVR{Seed: 1} },
+		"DT":  func() Model { return &DecisionTree{} },
+	} {
+		c, dc, err := EvalRAE(mk, train, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rae[name] = (c + dc) / 2
+	}
+	if rae["LR"] > 0.05 {
+		t.Errorf("LR RAE = %v, paper reports ≈3%%", rae["LR"])
+	}
+	if rae["LR"] >= rae["BR"] {
+		t.Errorf("LR (%v) should beat BR (%v)", rae["LR"], rae["BR"])
+	}
+	if rae["LR"] >= rae["SVM"] {
+		t.Errorf("LR (%v) should beat SVM (%v)", rae["LR"], rae["SVM"])
+	}
+	if rae["LR"] >= rae["DT"] {
+		t.Errorf("LR (%v) should beat DT (%v)", rae["LR"], rae["DT"])
+	}
+}
+
+func TestTimePredictorAccuracy(t *testing.T) {
+	d := gpu.V100()
+	launch := compress.Launch{Grid: 199, Block: 64}
+	tp, err := TrainTimePredictor(d, launch, 1000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(11)
+	for _, alg := range compress.Algorithms() {
+		var relErrs []float64
+		for trial := 0; trial < 50; trial++ {
+			size := int64(MinSampleBytes + rng.Int63n(MaxSampleBytes-MinSampleBytes))
+			s := 0.25 + rng.Float64()*0.5
+			wc, wdc := d.CompressionTime(gpu.KernelParams{Alg: alg, SizeBytes: size, Sparsity: s, Launch: launch})
+			pc, pdc, err := tp.Predict(alg, size, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relErrs = append(relErrs, math.Abs(pc-wc)/wc, math.Abs(pdc-wdc)/wdc)
+		}
+		// Small tensors near the 20 MB sampling floor carry the largest
+		// relative error, so bound the mean tightly and the worst case
+		// loosely.
+		if m := stats.Mean(relErrs); m > 0.08 {
+			t.Errorf("%s mean relative error %v, want ≤ 8%%", alg, m)
+		}
+		if worst := stats.Max(relErrs); worst > 0.30 {
+			t.Errorf("%s worst relative error %v, want ≤ 30%%", alg, worst)
+		}
+	}
+}
+
+func TestTimePredictorUnknownAlgorithm(t *testing.T) {
+	d := gpu.V100()
+	tp, err := TrainTimePredictor(d, d.DefaultLaunch(), 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tp.Predict(compress.Algorithm(99), 1<<20, 0.5); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+	// Predictions are clamped non-negative.
+	c, dc, err := tp.Predict(compress.ZVC, 1, 0.99)
+	if err != nil || c < 0 || dc < 0 {
+		t.Fatalf("tiny-tensor prediction %v/%v err=%v", c, dc, err)
+	}
+}
+
+func TestTimePredictorPersistence(t *testing.T) {
+	d := gpu.V100()
+	launch := compress.Launch{Grid: 199, Block: 64}
+	tp, err := TrainTimePredictor(d, launch, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := memdb.New()
+	if err := tp.Store(db); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadTimePredictor(db, "V100")
+	if err != nil || !ok {
+		t.Fatalf("load: %v %v", ok, err)
+	}
+	if got.Launch != launch {
+		t.Fatalf("launch %v, want %v", got.Launch, launch)
+	}
+	// Restored predictions must match the original bit for bit.
+	for _, alg := range compress.Algorithms() {
+		for _, size := range []int64{30 << 20, 500 << 20, 1800 << 20} {
+			for _, s := range []float64{0.25, 0.5, 0.8} {
+				c1, dc1, err1 := tp.Predict(alg, size, s)
+				c2, dc2, err2 := got.Predict(alg, size, s)
+				if err1 != nil || err2 != nil || c1 != c2 || dc1 != dc2 {
+					t.Fatalf("%s size=%d s=%v: (%v,%v,%v) vs (%v,%v,%v)",
+						alg, size, s, c1, dc1, err1, c2, dc2, err2)
+				}
+			}
+		}
+	}
+	// Absent key.
+	if _, ok, _ := LoadTimePredictor(db, "2080Ti"); ok {
+		t.Fatal("absent model reported present")
+	}
+	// Corrupt stored algorithm name.
+	var snap predictorSnapshot
+	if _, err := db.Get(PredictorKey("V100"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Comp["BOGUS"] = snap.Comp["ZVC"]
+	if err := db.Put(PredictorKey("V100"), snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadTimePredictor(db, "V100"); err == nil {
+		t.Fatal("corrupt algorithm name accepted")
+	}
+}
+
+func TestCrossValidateBucketedLR(t *testing.T) {
+	d := gpu.V100()
+	ds := Generate(d, compress.ZVC, compress.Launch{Grid: 199, Block: 64}, 1200, 13)
+	raeC, raeDC, err := CrossValidate(func() Model { return NewBucketedLR() }, ds, 5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raeC) != 5 || len(raeDC) != 5 {
+		t.Fatalf("folds: %d/%d", len(raeC), len(raeDC))
+	}
+	mean, std := CVSummary(raeC)
+	if mean > 0.06 {
+		t.Fatalf("cross-validated RAE %v, want ≈3-4%%", mean)
+	}
+	if std > mean {
+		t.Fatalf("fold variance too high: %v ± %v", mean, std)
+	}
+}
+
+func TestCrossValidateRejectsBadInputs(t *testing.T) {
+	d := gpu.V100()
+	ds := Generate(d, compress.ZVC, d.DefaultLaunch(), 30, 1)
+	if _, _, err := CrossValidate(func() Model { return NewBucketedLR() }, ds, 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, _, err := CrossValidate(func() Model { return NewBucketedLR() }, ds, 20, 1); err == nil {
+		t.Fatal("too many folds accepted")
+	}
+}
+
+func TestInteractionLRMatchesBucketed(t *testing.T) {
+	// The kernel time is linear in {size, size·sparsity}; an explicit
+	// interaction term should fit it at least as well as six buckets.
+	d := gpu.V100()
+	ds := Generate(d, compress.ZVC, compress.Launch{Grid: 199, Block: 64}, 2000, 17)
+	train, test := ds.Split(0.7, 17)
+	ixC, _, err := EvalRAE(func() Model { return &InteractionLR{} }, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bC, _, err := EvalRAE(func() Model { return NewBucketedLR() }, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ixC > bC*1.1 {
+		t.Fatalf("interaction LR RAE %v much worse than bucketed %v", ixC, bC)
+	}
+	if ixC > 0.06 {
+		t.Fatalf("interaction LR RAE %v", ixC)
+	}
+	// Degenerate feature config self-heals; out-of-range errors.
+	m := &InteractionLR{SparsityFeature: 0, SizeFeature: 0}
+	if err := m.Fit(train.X, train.YC); err != nil {
+		t.Fatal(err)
+	}
+	bad := &InteractionLR{SparsityFeature: 9, SizeFeature: 0}
+	if err := bad.Fit(train.X, train.YC); err == nil {
+		t.Fatal("out-of-range feature accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package regress
+
+import "sort"
+
+// DecisionTree is a CART regression tree: greedy binary splits minimising
+// the sum of squared errors, grown to MaxDepth with at least MinLeaf
+// samples per leaf.
+type DecisionTree struct {
+	MaxDepth int // default 12
+	MinLeaf  int // default 5
+
+	root *treeNode
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64 // leaf mean
+	leaf      bool
+}
+
+// Name implements Model.
+func (*DecisionTree) Name() string { return "DT" }
+
+// Fit implements Model.
+func (m *DecisionTree) Fit(x [][]float64, y []float64) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	if m.MaxDepth == 0 {
+		m.MaxDepth = 12
+	}
+	if m.MinLeaf == 0 {
+		m.MinLeaf = 5
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.root = m.grow(x, y, idx, 0)
+	return nil
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func (m *DecisionTree) grow(x [][]float64, y []float64, idx []int, depth int) *treeNode {
+	if depth >= m.MaxDepth || len(idx) < 2*m.MinLeaf {
+		return &treeNode{leaf: true, value: mean(y, idx)}
+	}
+	bestFeature, bestPos := -1, -1
+	bestGain := 0.0
+	var bestOrder []int
+
+	// Precompute total sum/sumsq for SSE deltas.
+	var total, totalSq float64
+	for _, i := range idx {
+		total += y[i]
+		totalSq += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	baseSSE := totalSq - total*total/n
+
+	order := make([]int, len(idx))
+	for f := 0; f < len(x[0]); f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		var leftSum, leftSq float64
+		for p := 0; p < len(order)-1; p++ {
+			yi := y[order[p]]
+			leftSum += yi
+			leftSq += yi * yi
+			nl := float64(p + 1)
+			if p+1 < m.MinLeaf || len(order)-p-1 < m.MinLeaf {
+				continue
+			}
+			if x[order[p]][f] == x[order[p+1]][f] {
+				continue // cannot split between equal values
+			}
+			nr := n - nl
+			rightSum := total - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/nl) + (rightSq - rightSum*rightSum/nr)
+			if gain := baseSSE - sse; gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestPos = p
+				bestOrder = append(bestOrder[:0], order...)
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{leaf: true, value: mean(y, idx)}
+	}
+	left := append([]int(nil), bestOrder[:bestPos+1]...)
+	right := append([]int(nil), bestOrder[bestPos+1:]...)
+	threshold := (x[bestOrder[bestPos]][bestFeature] + x[bestOrder[bestPos+1]][bestFeature]) / 2
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: threshold,
+		left:      m.grow(x, y, left, depth+1),
+		right:     m.grow(x, y, right, depth+1),
+	}
+}
+
+// Predict implements Model.
+func (m *DecisionTree) Predict(x []float64) float64 {
+	node := m.root
+	for node != nil && !node.leaf {
+		if x[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	if node == nil {
+		return 0
+	}
+	return node.value
+}
+
+// Depth returns the maximum depth of the fitted tree (0 for a stump).
+func (m *DecisionTree) Depth() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil || n.leaf {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(m.root)
+}
+
+// Leaves returns the number of leaf nodes.
+func (m *DecisionTree) Leaves() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil {
+			return 0
+		}
+		if n.leaf {
+			return 1
+		}
+		return walk(n.left) + walk(n.right)
+	}
+	return walk(m.root)
+}

@@ -1,0 +1,227 @@
+package sparsity
+
+import (
+	"testing"
+
+	"cswap/internal/dnn"
+)
+
+func TestCurveShapes(t *testing.T) {
+	ramp := Curve{Kind: Ramp, Start: 0.2, End: 0.8}
+	if got := ramp.At(0, 50); got != 0.2 {
+		t.Errorf("ramp start = %v", got)
+	}
+	if got := ramp.At(49, 50); got != 0.8 {
+		t.Errorf("ramp end = %v", got)
+	}
+	mid := ramp.At(24, 50)
+	if mid <= 0.2 || mid >= 0.8 {
+		t.Errorf("ramp mid = %v", mid)
+	}
+
+	ud := Curve{Kind: UpDown, Start: 0.5, Extreme: 0.8, End: 0.55, Turn: 0.2}
+	peak := ud.At(9, 50) // turn at ≈ epoch 10
+	if peak < ud.At(0, 50) || peak < ud.At(49, 50) {
+		t.Errorf("UpDown peak %v not above endpoints", peak)
+	}
+	if ud.At(49, 50) >= peak {
+		t.Error("UpDown should decline after the turn")
+	}
+
+	dip := Curve{Kind: Dip, Start: 0.6, Extreme: 0.35, End: 0.7, Turn: 0.3}
+	bottom := dip.At(14, 50)
+	if bottom >= dip.At(0, 50) || bottom >= dip.At(49, 50) {
+		t.Errorf("Dip bottom %v not below endpoints", bottom)
+	}
+
+	flat := Curve{Kind: Flat, Start: 0.4}
+	for e := 0; e < 50; e += 7 {
+		if flat.At(e, 50) != 0.4 {
+			t.Errorf("flat moved at epoch %d", e)
+		}
+	}
+}
+
+func TestCurveClampsAndDegenerateInputs(t *testing.T) {
+	c := Curve{Kind: Ramp, Start: -0.5, End: 1.5}
+	if got := c.At(0, 50); got != 0 {
+		t.Errorf("clamp low = %v", got)
+	}
+	if got := c.At(49, 50); got != 1 {
+		t.Errorf("clamp high = %v", got)
+	}
+	if got := c.At(5, 1); got != 0 {
+		t.Errorf("single-epoch run = %v, want Start (clamped)", got)
+	}
+	// Invalid turn falls back to midpoint without panicking.
+	bad := Curve{Kind: UpDown, Start: 0.3, Extreme: 0.6, End: 0.3, Turn: 0}
+	if got := bad.At(25, 51); got < 0.55 {
+		t.Errorf("fallback turn midpoint = %v", got)
+	}
+}
+
+func profileFor(t *testing.T, name string) (*dnn.Model, *Profile) {
+	t.Helper()
+	m, err := dnn.Build(name, dnn.ImageNet, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ForModel(m, DefaultEpochs, 1)
+}
+
+func TestForModelDeterministic(t *testing.T) {
+	m, p1 := profileFor(t, "VGG16")
+	p2 := ForModel(m, DefaultEpochs, 1)
+	for seq := range p1.Tensors {
+		for e := 0; e < 50; e += 5 {
+			if p1.Sparsity(seq, e) != p2.Sparsity(seq, e) {
+				t.Fatal("profile not deterministic")
+			}
+		}
+	}
+	p3 := ForModel(m, DefaultEpochs, 2)
+	diff := false
+	for seq := range p1.Tensors {
+		if p1.Sparsity(seq, 10) != p3.Sparsity(seq, 10) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should perturb at least some curves")
+	}
+}
+
+func TestVGG16PaperNarratives(t *testing.T) {
+	_, p := profileFor(t, "VGG16")
+	byName := map[string]int{}
+	for _, tn := range p.Tensors {
+		byName[tn.Name] = tn.Seq
+	}
+
+	// ReLU4 rises from ≈50 % to ≈80 %.
+	r4 := byName["ReLU4"]
+	if s0 := p.Sparsity(r4, 0); s0 < 0.47 || s0 > 0.53 {
+		t.Errorf("ReLU4 epoch 0 = %v, want ≈0.50", s0)
+	}
+	if s49 := p.Sparsity(r4, 49); s49 < 0.77 || s49 > 0.83 {
+		t.Errorf("ReLU4 epoch 49 = %v, want ≈0.80", s49)
+	}
+
+	// ReLU7 peaks near epoch 10 then declines by ≈20 points.
+	r7 := byName["ReLU7"]
+	peak := p.Sparsity(r7, 10)
+	if peak <= p.Sparsity(r7, 0) {
+		t.Error("ReLU7 should rise in the first 10 epochs")
+	}
+	if drop := peak - p.Sparsity(r7, 49); drop < 0.15 || drop > 0.25 {
+		t.Errorf("ReLU7 decline = %v, want ≈0.20", drop)
+	}
+
+	// MAX4 stays below 45 %.
+	m4 := byName["MAX4"]
+	for e := 0; e < 50; e++ {
+		if s := p.Sparsity(m4, e); s >= 0.45 {
+			t.Fatalf("MAX4 sparsity %v at epoch %d, must stay < 0.45", s, e)
+		}
+	}
+
+	// Overall band: 20–80 % (Figure 1) within wobble.
+	for seq := range p.Tensors {
+		for e := 0; e < 50; e += 7 {
+			if s := p.Sparsity(seq, e); s < 0.18 || s > 0.84 {
+				t.Fatalf("tensor %d epoch %d sparsity %v outside the 20–80%% band",
+					seq, e, s)
+			}
+		}
+	}
+}
+
+func TestMobileNetNearlyFlat(t *testing.T) {
+	_, p := profileFor(t, "MobileNet")
+	for seq := range p.Tensors {
+		lo, hi := 1.0, 0.0
+		for e := 0; e < 50; e++ {
+			s := p.Sparsity(seq, e)
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		if hi-lo > 0.05 {
+			t.Fatalf("MobileNet tensor %d varies by %v, should be nearly flat", seq, hi-lo)
+		}
+	}
+}
+
+func TestSqueezeNetDipTensors(t *testing.T) {
+	_, p := profileFor(t, "SqueezeNet")
+	for _, seq := range []int{3, 7} {
+		early := p.Sparsity(seq, 2)
+		bottom := p.Sparsity(seq, 15)
+		late := p.Sparsity(seq, 49)
+		if !(bottom < early && bottom < late) {
+			t.Fatalf("tensor %d not dip-shaped: %v %v %v", seq, early, bottom, late)
+		}
+	}
+}
+
+func TestPlain20AllHighSparsity(t *testing.T) {
+	_, p := profileFor(t, "Plain20")
+	for seq := range p.Tensors {
+		for e := 0; e < 50; e += 10 {
+			if s := p.Sparsity(seq, e); s < 0.55 {
+				t.Fatalf("Plain20 tensor %d sparsity %v, expected uniformly high", seq, s)
+			}
+		}
+	}
+}
+
+func TestMeanSparsityWindow(t *testing.T) {
+	_, p := profileFor(t, "VGG16")
+	m := p.MeanSparsity(0, 0, 5)
+	if m <= 0 || m >= 1 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Degenerate window returns the point value.
+	if got := p.MeanSparsity(0, 7, 7); got != p.Sparsity(0, 7) {
+		t.Fatal("degenerate window mismatch")
+	}
+	// A rising curve's late-window mean exceeds its early-window mean.
+	byName := map[string]int{}
+	for _, tn := range p.Tensors {
+		byName[tn.Name] = tn.Seq
+	}
+	r4 := byName["ReLU4"]
+	if p.MeanSparsity(r4, 45, 50) <= p.MeanSparsity(r4, 0, 5) {
+		t.Fatal("ReLU4 late mean should exceed early mean")
+	}
+}
+
+func TestForModelDefaultEpochs(t *testing.T) {
+	m, _ := profileFor(t, "AlexNet")
+	p := ForModel(m, 0, 1)
+	if p.Epochs != DefaultEpochs {
+		t.Fatalf("Epochs = %d, want %d", p.Epochs, DefaultEpochs)
+	}
+}
+
+func TestAllModelsProfileInBand(t *testing.T) {
+	for _, name := range dnn.ModelNames() {
+		m, err := dnn.Build(name, dnn.CIFAR10, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := ForModel(m, 50, 3)
+		for seq := range p.Tensors {
+			for e := 0; e < 50; e += 11 {
+				s := p.Sparsity(seq, e)
+				if s < 0.15 || s > 0.9 {
+					t.Fatalf("%s tensor %d epoch %d sparsity %v out of plausible band",
+						name, seq, e, s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides small statistical helpers shared across the CSWAP
+// codebase: deterministic random number generation, error metrics (notably
+// the relative absolute error used throughout the paper's evaluation), and
+// summary statistics.
+//
+// Everything in this package is deterministic given a seed so that every
+// experiment in the repository is exactly reproducible.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRNG returns a deterministic pseudo-random source for the given seed.
+// All randomness in the repository flows through this constructor so that
+// experiments are reproducible run to run.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// RAE computes the relative absolute error used in the paper (Section V-C):
+//
+//	RAE = Σ|ŷᵢ − yᵢ| / Σ|ȳ − yᵢ|
+//
+// where ȳ is the mean of the measured values. It reports how much better the
+// predictor is than always predicting the mean; 0 is perfect, 1 matches the
+// mean predictor. RAE panics if the slices differ in length and returns NaN
+// for fewer than two samples or a constant target.
+func RAE(predicted, measured []float64) float64 {
+	if len(predicted) != len(measured) {
+		panic("stats: RAE length mismatch")
+	}
+	if len(measured) < 2 {
+		return math.NaN()
+	}
+	mean := Mean(measured)
+	var num, den float64
+	for i, y := range measured {
+		num += math.Abs(predicted[i] - y)
+		den += math.Abs(mean - y)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// StdDev returns the population standard deviation of xs, or 0 for fewer
+// than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Median returns the median of xs without modifying it, or 0 for an empty
+// slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Normalize maps x from [lo, hi] to [0, 1], clamping the result. It panics
+// when hi <= lo.
+func Normalize(x, lo, hi float64) float64 {
+	if hi <= lo {
+		panic("stats: Normalize with hi <= lo")
+	}
+	return Clamp((x-lo)/(hi-lo), 0, 1)
+}
+
+// LogNormalJitter multiplies base by a log-normal factor exp(σ·z) with z
+// drawn from rng. It models run-to-run wall-clock variance of kernels and
+// copies; σ around 0.01–0.03 keeps the jitter within a few percent.
+func LogNormalJitter(rng *rand.Rand, base, sigma float64) float64 {
+	return base * math.Exp(sigma*rng.NormFloat64())
+}

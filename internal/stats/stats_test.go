@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRAEPerfectPrediction(t *testing.T) {
+	y := []float64{1, 2, 3, 4, 5}
+	if got := RAE(y, y); got != 0 {
+		t.Fatalf("RAE of perfect prediction = %v, want 0", got)
+	}
+}
+
+func TestRAEMeanPredictorIsOne(t *testing.T) {
+	y := []float64{1, 2, 3, 4, 5}
+	mean := Mean(y)
+	pred := []float64{mean, mean, mean, mean, mean}
+	if got := RAE(pred, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("RAE of mean predictor = %v, want 1", got)
+	}
+}
+
+func TestRAEKnownValue(t *testing.T) {
+	y := []float64{0, 10}
+	pred := []float64{1, 9}
+	// Σ|ŷ−y| = 2, mean = 5, Σ|ȳ−y| = 10 → RAE = 0.2.
+	if got := RAE(pred, y); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("RAE = %v, want 0.2", got)
+	}
+}
+
+func TestRAEDegenerateInputs(t *testing.T) {
+	if got := RAE([]float64{1}, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("RAE of single sample = %v, want NaN", got)
+	}
+	if got := RAE([]float64{1, 1}, []float64{2, 2}); !math.IsNaN(got) {
+		t.Errorf("RAE of constant target = %v, want NaN", got)
+	}
+}
+
+func TestRAELengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	RAE([]float64{1}, []float64{1, 2})
+}
+
+func TestMeanMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Mean(xs); math.Abs(got-2.4) > 1e-12 {
+		t.Errorf("Mean = %v, want 2.4", got)
+	}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := Sum(xs); got != 12 {
+		t.Errorf("Sum = %v, want 12", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd Median = %v, want 3", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %v, want 0", got)
+	}
+	// Median must not reorder its input.
+	xs := []float64{5, 1, 3}
+	Median(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constants = %v, want 0", got)
+	}
+	if got := StdDev([]float64{1, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("StdDev = %v, want 1", got)
+	}
+	if got := StdDev([]float64{7}); got != 0 {
+		t.Errorf("StdDev of 1 sample = %v, want 0", got)
+	}
+}
+
+func TestClampAndNormalize(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Normalize(5, 0, 10); got != 0.5 {
+		t.Errorf("Normalize(5,0,10) = %v", got)
+	}
+	if got := Normalize(-3, 0, 10); got != 0 {
+		t.Errorf("Normalize clamps low: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for hi <= lo")
+		}
+	}()
+	Normalize(1, 2, 2)
+}
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestLogNormalJitterMeanNearBase(t *testing.T) {
+	rng := NewRNG(7)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += LogNormalJitter(rng, 100, 0.02)
+	}
+	mean := sum / n
+	if mean < 99 || mean > 101 {
+		t.Fatalf("jitter mean = %v, want ≈100", mean)
+	}
+}
+
+func TestClampPropertyWithinBounds(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		c := Clamp(x, -1, 1)
+		return c >= -1 && c <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

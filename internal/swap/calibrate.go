@@ -1,0 +1,37 @@
+package swap
+
+import (
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/profiler"
+)
+
+// MeasureHiddenWindows refines the profile's Hidden_f/Hidden_b estimates by
+// measurement, the way the paper's tensor profiler records the "overlapped
+// swapping latency" (Table II) during the first compression-free training
+// iteration: it simulates one vDNN iteration and sets each tensor's hidden
+// window to the portion of its transfer that actually overlapped
+// computation. Unlike the analytic per-layer windows, these values reflect
+// DMA queueing — a tensor whose offload waits behind earlier transfers has
+// a correspondingly smaller hidden window, so the Eq. 1 cost T′ matches the
+// stall the system really observes.
+func MeasureHiddenWindows(m *dnn.Model, d *gpu.Device, np *profiler.NetworkProfile) error {
+	plan := VDNN{}.Plan(np, d)
+	res, err := Simulate(m, d, np, plan, Options{})
+	if err != nil {
+		return err
+	}
+	for i := range np.Tensors {
+		hf := res.Tensors[i].OffloadDur - res.Tensors[i].ExposedF
+		hb := res.Tensors[i].PrefetchDur - res.Tensors[i].ExposedB
+		if hf < 0 {
+			hf = 0
+		}
+		if hb < 0 {
+			hb = 0
+		}
+		np.Tensors[i].HiddenF = hf
+		np.Tensors[i].HiddenB = hb
+	}
+	return nil
+}

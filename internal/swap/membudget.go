@@ -1,0 +1,114 @@
+package swap
+
+import (
+	"sort"
+
+	"cswap/internal/dnn"
+	"cswap/internal/gpu"
+	"cswap/internal/profiler"
+)
+
+// Memory-budget-aware swapping. The paper (like vDNN) swaps every
+// ReLU/MAX activation; on a GPU with headroom that is wasteful — a tensor
+// kept resident costs memory but zero transfer. MemoryAware wraps any
+// framework and retires the most stall-expensive tensors from the swap set
+// until the device memory budget is exhausted, using the measured per-
+// tensor exposure of a calibration run as the value function.
+
+// PlanPeakBytes estimates the device memory a plan needs beyond weights
+// and workspace: all kept-resident activations plus the two largest
+// in-flight swapped tensors (one being produced while the previous one
+// drains).
+func PlanPeakBytes(np *profiler.NetworkProfile, plan *Plan) int64 {
+	var resident, first, second int64
+	for i, tp := range plan.Tensors {
+		b := np.Tensors[i].Bytes
+		if tp.Skip {
+			resident += b
+			continue
+		}
+		if b > first {
+			first, second = b, first
+		} else if b > second {
+			second = b
+		}
+	}
+	return resident + first + second
+}
+
+// MemoryAware wraps an inner framework with an activation-memory budget:
+// tensors whose swap causes the most exposed stall per byte are kept
+// resident (Skip) while the budget lasts; the rest swap per the inner
+// framework's plan.
+type MemoryAware struct {
+	// Inner produces the baseline plan (vDNN, SC, CSWAP, ...).
+	Inner Framework
+	// BudgetBytes is the activation-memory budget. It must at least cover
+	// the two largest swapped tensors (the in-flight minimum); budgets
+	// below that keep nothing resident.
+	BudgetBytes int64
+	// Model is needed to measure per-tensor exposure.
+	Model *dnn.Model
+}
+
+// Name implements Framework.
+func (ma MemoryAware) Name() string { return ma.Inner.Name() + "+mem" }
+
+// Plan implements Framework: it measures the baseline exposure of every
+// tensor in a deterministic calibration run, then greedily retires the
+// highest stall-per-byte tensors from the swap set while they fit.
+func (ma MemoryAware) Plan(np *profiler.NetworkProfile, d *gpu.Device) *Plan {
+	plan := ma.Inner.Plan(np, d)
+	plan.Framework = ma.Name()
+	if ma.BudgetBytes <= 0 || ma.Model == nil {
+		return plan
+	}
+	res, err := Simulate(ma.Model, d, np, ma.Inner.Plan(np, d), Options{})
+	if err != nil {
+		return plan
+	}
+	type cand struct {
+		idx          int
+		bytes        int64
+		stallPerByte float64
+	}
+	var cands []cand
+	for i := range np.Tensors {
+		stall := res.Tensors[i].ExposedF + res.Tensors[i].ExposedB
+		b := np.Tensors[i].Bytes
+		if b == 0 {
+			continue
+		}
+		cands = append(cands, cand{idx: i, bytes: b, stallPerByte: stall / float64(b)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].stallPerByte != cands[b].stallPerByte {
+			return cands[a].stallPerByte > cands[b].stallPerByte
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	for _, c := range cands {
+		plan.Tensors[c.idx].Skip = true
+		if PlanPeakBytes(np, plan) > ma.BudgetBytes {
+			plan.Tensors[c.idx].Skip = false
+		}
+	}
+	// A kept-resident tensor needs no codec either.
+	for i := range plan.Tensors {
+		if plan.Tensors[i].Skip {
+			plan.Tensors[i] = TensorPlan{Skip: true, TransferRatio: 1}
+		}
+	}
+	return plan
+}
+
+// SkippedCount returns how many tensors the plan keeps resident.
+func (p *Plan) SkippedCount() int {
+	n := 0
+	for _, tp := range p.Tensors {
+		if tp.Skip {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+package swap
+
+import (
+	"testing"
+
+	"cswap/internal/compress"
+)
+
+func TestSkipTensorsHaveNoSwapActivity(t *testing.T) {
+	m, d, np := testSetup(t, "AlexNet", 25)
+	plan := VDNN{}.Plan(np, d)
+	for i := range plan.Tensors {
+		plan.Tensors[i].Skip = true
+	}
+	r, err := Simulate(m, d, np, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.D2HBusy != 0 || r.H2DBusy != 0 {
+		t.Fatalf("skipped plan still moved data: d2h=%v h2d=%v", r.D2HBusy, r.H2DBusy)
+	}
+	if r.SwapExposed != 0 {
+		t.Fatalf("skipped plan exposed %v", r.SwapExposed)
+	}
+	// Iteration collapses to pure compute (within epsilon).
+	if diff := r.IterationTime - r.ComputeBusy; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("all-resident iteration %v != compute %v", r.IterationTime, r.ComputeBusy)
+	}
+}
+
+func TestValidateRejectsSkipAndCompress(t *testing.T) {
+	_, d, np := testSetup(t, "AlexNet", 0)
+	plan := Static{}.Plan(np, d)
+	plan.Tensors[0].Skip = true
+	if err := plan.Validate(np); err == nil {
+		t.Fatal("skip+compress plan accepted")
+	}
+}
+
+func TestPlanPeakBytes(t *testing.T) {
+	_, d, np := testSetup(t, "AlexNet", 0)
+	plan := VDNN{}.Plan(np, d)
+	// All swapped: peak = two largest tensors.
+	var first, second int64
+	for _, tp := range np.Tensors {
+		if tp.Bytes > first {
+			first, second = tp.Bytes, first
+		} else if tp.Bytes > second {
+			second = tp.Bytes
+		}
+	}
+	if got := PlanPeakBytes(np, plan); got != first+second {
+		t.Fatalf("peak %d, want %d", got, first+second)
+	}
+	// All resident: peak = total.
+	var total int64
+	for i := range plan.Tensors {
+		plan.Tensors[i].Skip = true
+		total += np.Tensors[i].Bytes
+	}
+	if got := PlanPeakBytes(np, plan); got != total {
+		t.Fatalf("all-resident peak %d, want %d", got, total)
+	}
+}
+
+func TestMemoryAwareBudgetSpectrum(t *testing.T) {
+	m, d, np := testSetup(t, "AlexNet", 25)
+	if err := MeasureHiddenWindows(m, d, np); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, tp := range np.Tensors {
+		total += tp.Bytes
+	}
+	baseline, err := Simulate(m, d, np, VDNN{}.Plan(np, d), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The base plan's in-flight minimum: below it no tensor can be
+	// retired without exceeding the budget anyway.
+	basePeak := PlanPeakBytes(np, VDNN{}.Plan(np, d))
+
+	prevTime := -1.0
+	prevSkipped := 1 << 30
+	for _, budget := range []int64{0, total / 4, total / 2, total * 2} {
+		ma := MemoryAware{Inner: VDNN{}, BudgetBytes: budget, Model: m}
+		plan := ma.Plan(np, d)
+		if err := plan.Validate(np); err != nil {
+			t.Fatal(err)
+		}
+		if peak := PlanPeakBytes(np, plan); budget > basePeak && peak > budget {
+			t.Fatalf("budget %d: plan needs %d", budget, peak)
+		}
+		r, err := Simulate(m, d, np, plan, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevTime >= 0 {
+			// More budget ⇒ more tensors resident ⇒ never slower.
+			if r.IterationTime > prevTime+1e-9 {
+				t.Fatalf("budget %d slower (%v) than smaller budget (%v)",
+					budget, r.IterationTime, prevTime)
+			}
+			_ = prevSkipped
+		}
+		prevTime = r.IterationTime
+		prevSkipped = plan.SkippedCount()
+	}
+
+	// Huge budget keeps everything resident and beats the swap-everything
+	// baseline outright.
+	ma := MemoryAware{Inner: VDNN{}, BudgetBytes: total * 2, Model: m}
+	plan := ma.Plan(np, d)
+	if plan.SkippedCount() != len(np.Tensors) {
+		t.Fatalf("huge budget kept %d of %d resident", plan.SkippedCount(), len(np.Tensors))
+	}
+	r, err := Simulate(m, d, np, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IterationTime >= baseline.IterationTime {
+		t.Fatalf("all-resident %v not faster than swap-everything %v",
+			r.IterationTime, baseline.IterationTime)
+	}
+	// Zero budget leaves the inner plan untouched.
+	zero := MemoryAware{Inner: VDNN{}, BudgetBytes: 0, Model: m}.Plan(np, d)
+	if zero.SkippedCount() != 0 {
+		t.Fatal("zero budget skipped tensors")
+	}
+}
+
+func TestMemoryAwareName(t *testing.T) {
+	ma := MemoryAware{Inner: VDNN{}}
+	if ma.Name() != "vDNN+mem" {
+		t.Fatalf("Name = %q", ma.Name())
+	}
+}
+
+func TestMemoryAwareWrapsCSWAP(t *testing.T) {
+	m, d, np := testSetup(t, "VGG16", 45)
+	if err := MeasureHiddenWindows(m, d, np); err != nil {
+		t.Fatal(err)
+	}
+	inner := CSWAP{Predictor: devicePredictor{d: d, launch: chooseLaunch()}, Launch: chooseLaunch()}
+	var total int64
+	for _, tp := range np.Tensors {
+		total += tp.Bytes
+	}
+	ma := MemoryAware{Inner: inner, BudgetBytes: total / 2, Model: m}
+	plan := ma.Plan(np, d)
+	if err := plan.Validate(np); err != nil {
+		t.Fatal(err)
+	}
+	if plan.SkippedCount() == 0 {
+		t.Fatal("half-total budget should keep something resident")
+	}
+	// Skipped tensors must not carry codec state.
+	for _, tp := range plan.Tensors {
+		if tp.Skip && (tp.Compress || tp.TimeC != 0) {
+			t.Fatal("skipped tensor still has codec plan")
+		}
+	}
+	// The budgeted CSWAP plan beats plain CSWAP.
+	rBudget, err := Simulate(m, d, np, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPlain, err := Simulate(m, d, np, inner.Plan(np, d), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBudget.IterationTime >= rPlain.IterationTime {
+		t.Fatalf("budgeted %v not faster than plain %v",
+			rBudget.IterationTime, rPlain.IterationTime)
+	}
+}
+
+func chooseLaunch() compress.Launch { return compress.Launch{Grid: 199, Block: 64} }

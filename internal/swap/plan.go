@@ -1,0 +1,103 @@
+// Package swap implements the tensor-swapping frameworks the paper
+// evaluates — vDNN (swap only), vDNN++ (host-side compression), SC (the
+// GPU replica of cDMA's static always-compress), CSWAP (cost-model
+// selective compression), and Orac (the free-compression oracle) — together
+// with a discrete-event simulation of one training iteration in which
+// compute, compression kernels, and the two DMA engines run on separate
+// streams and every stall emerges from event ordering.
+package swap
+
+import (
+	"fmt"
+	"strings"
+
+	"cswap/internal/compress"
+	"cswap/internal/profiler"
+)
+
+// TensorPlan is the per-tensor swapping decision for one iteration.
+type TensorPlan struct {
+	// Skip keeps the tensor resident in device memory: no offload, no
+	// prefetch, no codec — it just occupies capacity (the memory-budget
+	// planner's choice for the most stall-expensive tensors).
+	Skip bool
+	// Compress enables GPU-side (de)compression on the kernel stream.
+	Compress bool
+	// Alg is the codec used when Compress is set.
+	Alg compress.Algorithm
+	// TimeC and TimeDC are the kernel-stream durations in seconds (zero
+	// for the oracle and for host-side schemes).
+	TimeC, TimeDC float64
+	// TransferRatio is the fraction of the raw bytes that crosses PCIe
+	// (1 when not compressed on the GPU).
+	TransferRatio float64
+	// HostC and HostDC are host-side (de)compression times serialised
+	// onto the copy engines (vDNN++: the pinned staging buffer is reused,
+	// so the DMA cannot proceed past the CPU codec).
+	HostC, HostDC float64
+}
+
+// Plan is a full iteration plan: one entry per swappable tensor, in
+// SwapTensors order.
+type Plan struct {
+	Framework string
+	Tensors   []TensorPlan
+}
+
+// Validate checks structural sanity against a network profile.
+func (p *Plan) Validate(np *profiler.NetworkProfile) error {
+	if len(p.Tensors) != len(np.Tensors) {
+		return fmt.Errorf("swap: plan has %d tensors, profile has %d",
+			len(p.Tensors), len(np.Tensors))
+	}
+	for i, tp := range p.Tensors {
+		if tp.Skip && tp.Compress {
+			return fmt.Errorf("swap: tensor %d both skipped and compressed", i)
+		}
+		if tp.TransferRatio <= 0 || tp.TransferRatio > 1.5 {
+			return fmt.Errorf("swap: tensor %d transfer ratio %v out of range", i, tp.TransferRatio)
+		}
+		if tp.TimeC < 0 || tp.TimeDC < 0 || tp.HostC < 0 || tp.HostDC < 0 {
+			return fmt.Errorf("swap: tensor %d negative duration", i)
+		}
+		if tp.Compress {
+			if _, err := compress.New(tp.Alg); err != nil {
+				return fmt.Errorf("swap: tensor %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// CompressedCount returns how many tensors the plan compresses on the GPU.
+func (p *Plan) CompressedCount() int {
+	n := 0
+	for _, tp := range p.Tensors {
+		if tp.Compress {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the plan as a per-tensor decision table for debugging and
+// the CLI tools.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan[%s] %d tensors, %d compressed, %d resident\n",
+		p.Framework, len(p.Tensors), p.CompressedCount(), p.SkippedCount())
+	for i, tp := range p.Tensors {
+		switch {
+		case tp.Skip:
+			fmt.Fprintf(&b, "  #%-3d resident\n", i)
+		case tp.Compress:
+			fmt.Fprintf(&b, "  #%-3d compress %s ratio=%.2f tc=%.1fms tdc=%.1fms\n",
+				i, tp.Alg, tp.TransferRatio, tp.TimeC*1e3, tp.TimeDC*1e3)
+		case tp.HostC > 0:
+			fmt.Fprintf(&b, "  #%-3d raw + host codec %.1fms/%.1fms\n", i, tp.HostC*1e3, tp.HostDC*1e3)
+		default:
+			fmt.Fprintf(&b, "  #%-3d raw\n", i)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Chrome trace-event export: the timeline renders natively in
+// chrome://tracing and Perfetto, which is how one inspects real GPU
+// profiles — handy when comparing simulated schedules against intuition.
+
+// chromeEvent is one entry of the Trace Event Format (phase "X" = complete
+// event with duration; "M" = metadata).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace serialises the timeline in Chrome trace-event JSON (an array
+// of events; load via chrome://tracing or ui.perfetto.dev).
+func (t *Timeline) ChromeTrace() ([]byte, error) {
+	streams := t.Streams()
+	tid := map[string]int{}
+	var events []chromeEvent
+	for i, s := range streams {
+		tid[s] = i
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i,
+			Args: map[string]string{"name": s},
+		})
+	}
+	for _, sp := range t.Spans {
+		events = append(events, chromeEvent{
+			Name: sp.Label,
+			Ph:   "X",
+			Ts:   sp.Start * 1e6,
+			Dur:  (sp.End - sp.Start) * 1e6,
+			Pid:  1,
+			Tid:  tid[sp.Stream],
+		})
+	}
+	out, err := json.Marshal(events)
+	if err != nil {
+		return nil, fmt.Errorf("trace: chrome export: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+// Package trace captures and renders execution timelines from the swapping
+// simulator: one span per job on each stream (compute, compression kernel,
+// d2h DMA, h2d DMA). The ASCII rendering reproduces the execution-flow
+// pictures of the paper's Figure 2 from simulated data.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is one job occupancy interval on a stream.
+type Span struct {
+	Stream string
+	Label  string
+	Start  float64
+	End    float64
+}
+
+// Timeline accumulates spans. The zero value is ready to use.
+type Timeline struct {
+	Spans []Span
+}
+
+// Add records a span. Inverted intervals are rejected with a panic: they
+// indicate a simulator bug, not bad input.
+func (t *Timeline) Add(stream, label string, start, end float64) {
+	if end < start {
+		panic(fmt.Sprintf("trace: inverted span %s/%s [%v,%v]", stream, label, start, end))
+	}
+	t.Spans = append(t.Spans, Span{Stream: stream, Label: label, Start: start, End: end})
+}
+
+// Streams returns the distinct stream names in first-seen order.
+func (t *Timeline) Streams() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range t.Spans {
+		if !seen[s.Stream] {
+			seen[s.Stream] = true
+			out = append(out, s.Stream)
+		}
+	}
+	return out
+}
+
+// Horizon returns the end time of the last span.
+func (t *Timeline) Horizon() float64 {
+	var h float64
+	for _, s := range t.Spans {
+		if s.End > h {
+			h = s.End
+		}
+	}
+	return h
+}
+
+// Busy returns the total busy time of one stream.
+func (t *Timeline) Busy(stream string) float64 {
+	var b float64
+	for _, s := range t.Spans {
+		if s.Stream == stream {
+			b += s.End - s.Start
+		}
+	}
+	return b
+}
+
+// Render draws an ASCII Gantt chart, one row per stream, width columns
+// spanning [0, Horizon]. Each span paints the first rune of its label; idle
+// time is '.'.
+func (t *Timeline) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	h := t.Horizon()
+	if h == 0 {
+		return "(empty timeline)\n"
+	}
+	var b strings.Builder
+	streams := t.Streams()
+	nameW := 0
+	for _, s := range streams {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	spans := append([]Span(nil), t.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	for _, stream := range streams {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range spans {
+			if s.Stream != stream {
+				continue
+			}
+			lo := int(s.Start / h * float64(width))
+			hi := int(s.End / h * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			mark := '#'
+			if len(s.Label) > 0 {
+				mark = rune(s.Label[0])
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, stream, string(row))
+	}
+	fmt.Fprintf(&b, "%-*s  0%*s%.4fs\n", nameW, "", width-6, "", h)
+	return b.String()
+}

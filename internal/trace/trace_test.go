@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAddAndAggregate(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add("compute", "F:conv1", 0, 2)
+	tl.Add("d2h", "o:ReLU1", 1, 4)
+	tl.Add("compute", "F:conv2", 2, 3)
+	if got := tl.Horizon(); got != 4 {
+		t.Fatalf("Horizon = %v", got)
+	}
+	if got := tl.Busy("compute"); got != 3 {
+		t.Fatalf("Busy(compute) = %v", got)
+	}
+	if got := tl.Busy("d2h"); got != 3 {
+		t.Fatalf("Busy(d2h) = %v", got)
+	}
+	streams := tl.Streams()
+	if len(streams) != 2 || streams[0] != "compute" || streams[1] != "d2h" {
+		t.Fatalf("Streams = %v", streams)
+	}
+}
+
+func TestAddPanicsOnInvertedSpan(t *testing.T) {
+	tl := &Timeline{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tl.Add("x", "y", 5, 4)
+}
+
+func TestRenderContainsStreamsAndMarks(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add("compute", "F:conv1", 0, 5)
+	tl.Add("d2h", "o:ReLU1", 5, 10)
+	out := tl.Render(40)
+	if !strings.Contains(out, "compute") || !strings.Contains(out, "d2h") {
+		t.Fatalf("missing stream rows:\n%s", out)
+	}
+	if !strings.Contains(out, "F") || !strings.Contains(out, "o") {
+		t.Fatalf("missing span marks:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two streams + axis
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderEmptyAndTinyWidth(t *testing.T) {
+	tl := &Timeline{}
+	if out := tl.Render(80); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render = %q", out)
+	}
+	tl.Add("a", "x", 0, 1)
+	if out := tl.Render(1); out == "" {
+		t.Fatal("tiny width render empty")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add("compute", "F:conv1", 0, 0.002)
+	tl.Add("d2h", "o:ReLU1", 0.001, 0.004)
+	blob, err := tl.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(blob, &events); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// Two metadata events (thread names) + two spans.
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	var spans, meta int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			spans++
+			if e["dur"].(float64) <= 0 {
+				t.Fatal("span without duration")
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans != 2 || meta != 2 {
+		t.Fatalf("spans=%d meta=%d", spans, meta)
+	}
+	// Microsecond conversion: 2 ms = 2000 µs.
+	for _, e := range events {
+		if e["name"] == "F:conv1" {
+			if e["dur"].(float64) != 2000 {
+				t.Fatalf("dur = %v µs, want 2000", e["dur"])
+			}
+		}
+	}
+}
