@@ -2,18 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench report csv examples clean
+.PHONY: all build vet test race race-all cover bench report csv examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
+# Race-check the swapping data path (the concurrent hot path).
 race:
+	$(GO) test -race ./internal/executor/... ./internal/compress/...
+
+race-all:
 	$(GO) test -race ./...
 
 cover:

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"log"
 
-	"cswap/internal/compress"
 	"cswap/internal/core"
 	"cswap/internal/dnn"
 	"cswap/internal/executor"
@@ -48,12 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	exec, err := executor.New(executor.Config{
-		DeviceCapacity: executor.MinDeviceCapacity(m, *scale),
-		HostCapacity:   executor.HostCapacityFor(m, *scale),
-		Launch:         compress.Launch{Grid: 64, Block: 64},
-		Verify:         true,
-	})
+	exec, err := fw.NewExecutor(*scale, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,6 +36,7 @@ import (
 	"cswap/internal/costmodel"
 	"cswap/internal/dnn"
 	"cswap/internal/executor"
+	"cswap/internal/faultinject"
 	"cswap/internal/gpu"
 	"cswap/internal/memdb"
 	"cswap/internal/profiler"
@@ -152,6 +153,23 @@ func EstimateRatio(a Algorithm, sparsity float64) float64 {
 	return compress.EstimateRatio(a, sparsity)
 }
 
+// Compression error taxonomy: ErrTruncated and ErrCorrupt are data-level
+// failures a caller holding a pristine copy can retry (see
+// RecoverableError); ErrAlgorithmMismatch is structural misuse.
+var (
+	ErrTruncated         = compress.ErrTruncated
+	ErrCorrupt           = compress.ErrCorrupt
+	ErrAlgorithmMismatch = compress.ErrAlgorithmMismatch
+)
+
+// ChunkError pins a parallel-container failure to the codec and chunk that
+// produced it.
+type ChunkError = compress.ChunkError
+
+// RecoverableError reports whether a (de)compression error is a data-level
+// failure worth retrying from a pristine copy of the blob.
+func RecoverableError(err error) bool { return compress.Recoverable(err) }
+
 // NewTensorGenerator returns a deterministic synthetic tensor source.
 func NewTensorGenerator(seed int64) *TensorGenerator { return tensor.NewGenerator(seed) }
 
@@ -246,6 +264,9 @@ type (
 	ExecutorConfig = executor.Config
 	// TensorHandle identifies one registered tensor.
 	TensorHandle = executor.Handle
+	// ExecutorStats accumulates executor activity, including graceful
+	// degradation counters (raw fallbacks, decode retries/recoveries).
+	ExecutorStats = executor.Stats
 	// IterationReport summarises one functional training iteration.
 	IterationReport = executor.IterationReport
 	// SparsityProfile holds per-tensor sparsity trajectories over epochs.
@@ -254,6 +275,49 @@ type (
 
 // NewExecutor creates a functional swapping executor.
 func NewExecutor(cfg ExecutorConfig) (*Executor, error) { return executor.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Fault injection (data-path hardening).
+
+type (
+	// FaultInjector deterministically injects data-path faults (corrupted
+	// blobs, truncated transfers, failed allocations, delayed codec work)
+	// into an Executor via ExecutorConfig.Faults. A nil injector is valid
+	// and injects nothing.
+	FaultInjector = faultinject.Injector
+	// Fault arms one data-path site with one failure mode.
+	Fault = faultinject.Fault
+	// FaultSite names an interception point on the swapping data path.
+	FaultSite = faultinject.Site
+	// FaultMode is what an armed fault does when it fires.
+	FaultMode = faultinject.Mode
+	// FaultStats counts fired faults by mode.
+	FaultStats = faultinject.Stats
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure.
+var ErrInjected = faultinject.ErrInjected
+
+// Fault modes.
+const (
+	FaultFail     = faultinject.Fail
+	FaultCorrupt  = faultinject.Corrupt
+	FaultTruncate = faultinject.Truncate
+	FaultDelay    = faultinject.Delay
+)
+
+// Fault-injection sites on the swapping data path.
+const (
+	FaultSiteEncode      = faultinject.SiteEncode
+	FaultSiteDecode      = faultinject.SiteDecode
+	FaultSiteHostAlloc   = faultinject.SiteHostAlloc
+	FaultSiteDeviceAlloc = faultinject.SiteDeviceAlloc
+	FaultSiteTransferOut = faultinject.SiteTransferOut
+	FaultSiteTransferIn  = faultinject.SiteTransferIn
+)
+
+// NewFaultInjector returns an injector with the given faults armed.
+func NewFaultInjector(faults ...Fault) *FaultInjector { return faultinject.New(faults...) }
 
 // SparsityForModel builds the per-epoch sparsity trajectories for a
 // model's swappable tensors.

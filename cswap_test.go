@@ -234,3 +234,47 @@ func TestPublicExtendedAlgorithms(t *testing.T) {
 		t.Fatal("huffman facade round-trip failed")
 	}
 }
+
+func TestPublicFaultInjectionSurface(t *testing.T) {
+	model, err := cswap.BuildModel("AlexNet", cswap.ImageNet, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 4096
+	inj := cswap.NewFaultInjector(
+		cswap.Fault{Site: cswap.FaultSiteEncode, Mode: cswap.FaultFail, After: 2, Every: 30},
+		cswap.Fault{Site: cswap.FaultSiteTransferIn, Mode: cswap.FaultCorrupt, After: 1, Every: 4},
+	)
+	exec, err := cswap.NewExecutor(cswap.ExecutorConfig{
+		DeviceCapacity: cswap.MinDeviceCapacity(model, scale),
+		HostCapacity:   cswap.HostCapacityFor(model, scale),
+		Verify:         true,
+		Faults:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cswap.SparsityForModel(model, 50, 1)
+	plan := &cswap.Plan{Framework: "test"}
+	for range model.SwapTensors() {
+		plan.Tensors = append(plan.Tensors, cswap.TensorPlan{Compress: true, Alg: cswap.ZVC, TransferRatio: 0.5})
+	}
+	rep, err := cswap.RunFunctionalIteration(exec, model, plan, sp, 10, scale, 1)
+	if err != nil {
+		t.Fatalf("iteration must survive injected faults: %v", err)
+	}
+	st := exec.Stats()
+	if st.EncodeFallbacks == 0 || st.DecodeRecoveries == 0 {
+		t.Fatalf("faults never fired: %+v", st)
+	}
+	if st.Verified != rep.Tensors {
+		t.Fatalf("verified %d of %d", st.Verified, rep.Tensors)
+	}
+	if fs := exec.FaultStats(); fs.Total() == 0 {
+		t.Fatalf("fault stats %+v", fs)
+	}
+	// The error taxonomy is visible at the surface.
+	if !cswap.RecoverableError(cswap.ErrCorrupt) || cswap.RecoverableError(cswap.ErrAlgorithmMismatch) {
+		t.Fatal("RecoverableError taxonomy wrong")
+	}
+}

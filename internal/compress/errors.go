@@ -1,0 +1,49 @@
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChunkError pins a parallel-container failure to the codec and chunk it
+// struck, wrapping the underlying cause so errors.Is(err, ErrCorrupt) and
+// friends keep working through the container layer. The swapping executor
+// reports it verbatim — "which chunk of which codec" is the difference
+// between a debuggable corruption and a mystery.
+type ChunkError struct {
+	Alg    Algorithm
+	Chunk  int // zero-based chunk index
+	Chunks int // total chunks in the container
+	Err    error
+}
+
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("compress: %s chunk %d/%d: %v", e.Alg, e.Chunk, e.Chunks, e.Err)
+}
+
+func (e *ChunkError) Unwrap() error { return e.Err }
+
+// chunkErr wraps err with chunk context unless it already carries it.
+func chunkErr(alg Algorithm, chunk, chunks int, err error) error {
+	var ce *ChunkError
+	if errors.As(err, &ce) {
+		return err
+	}
+	return &ChunkError{Alg: alg, Chunk: chunk, Chunks: chunks, Err: err}
+}
+
+// Recoverable reports whether err is a data-level decode failure —
+// truncation or corruption of the bytes themselves — that a caller holding
+// a pristine copy of the blob can sensibly retry. Structural misuse
+// (decoding with the wrong codec, an unknown algorithm byte, an invalid
+// launch geometry) is not recoverable: retrying the same call cannot
+// succeed.
+func Recoverable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrAlgorithmMismatch) {
+		return false
+	}
+	return errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt)
+}

@@ -57,6 +57,101 @@ func FuzzRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzParallelRoundTrip drives the parallel container framing: an arbitrary
+// byte-derived tensor is encoded with one of the five algorithms at a
+// fuzz-chosen launch, then (a) decoded pristine — must round-trip
+// bit-exactly, (b) truncated at a fuzz-chosen boundary — must error, and
+// (c) bit-flipped at a fuzz-chosen position — must never panic, and must
+// never silently return wrong data when the flip lands in the container
+// header or chunk directory.
+func FuzzParallelRoundTrip(f *testing.F) {
+	// Seeds cover all five algorithms, truncation at the framing
+	// boundaries (header, directory, chunk edges), and bit-flips inside
+	// the chunk directory.
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	for ai := uint8(0); ai < 5; ai++ {
+		f.Add(payload, ai, uint16(4), uint32(0), uint8(0))   // truncate to nothing
+		f.Add(payload, ai, uint16(4), uint32(13), uint8(0))  // truncate inside header
+		f.Add(payload, ai, uint16(4), uint32(14), uint8(0))  // truncate at directory start
+		f.Add(payload, ai, uint16(4), uint32(46), uint8(0))  // truncate at directory end (4 chunks)
+		f.Add(payload, ai, uint16(4), uint32(60), uint8(0))  // truncate mid-chunk
+		f.Add(payload, ai, uint16(1), uint32(21), uint8(1))  // flip in chunk directory
+		f.Add(payload, ai, uint16(64), uint32(11), uint8(1)) // flip in chunk count
+		f.Add(payload, ai, uint16(9), uint32(2), uint8(1))   // flip in element count
+		f.Add(payload, ai, uint16(300), uint32(99), uint8(2))
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte, algSel uint8, gridSel uint16, pos uint32, op uint8) {
+		algs := ExtendedAlgorithms()
+		alg := algs[int(algSel)%len(algs)]
+		launch := Launch{Grid: 1 + int(gridSel)%4096, Block: 64}
+		if op&0x80 != 0 {
+			launch.Block = 128
+		}
+		n := len(raw) / 4
+		if n > 1<<14 {
+			n = 1 << 14
+		}
+		src := make([]float32, n)
+		for i := 0; i < n; i++ {
+			bits := binary.LittleEndian.Uint32(raw[i*4:])
+			if bits%3 == 0 {
+				bits = 0
+			}
+			src[i] = math.Float32frombits(bits)
+		}
+		blob, err := ParallelEncode(alg, src, launch)
+		if err != nil {
+			t.Fatalf("%s %v: encode: %v", alg, launch, err)
+		}
+		got, err := ParallelDecode(blob, launch)
+		if err != nil {
+			t.Fatalf("%s %v: decode own output: %v", alg, launch, err)
+		}
+		bitExact := func(got []float32) bool {
+			if len(got) != len(src) {
+				return false
+			}
+			for i := range src {
+				w, g := math.Float32bits(src[i]), math.Float32bits(got[i])
+				// Sparsity codecs canonicalise -0 to +0.
+				if w != g && !(w == 0x80000000 && g == 0) {
+					return false
+				}
+			}
+			return true
+		}
+		if !bitExact(got) {
+			t.Fatalf("%s %v: pristine round trip not bit-exact", alg, launch)
+		}
+
+		numChunks := int(binary.LittleEndian.Uint32(blob[10:14]))
+		dirEnd := 14 + 8*numChunks
+		switch op % 3 {
+		case 0: // truncation at an arbitrary boundary must error
+			cut := int(pos) % len(blob)
+			if _, err := ParallelDecode(blob[:cut], launch); err == nil {
+				t.Fatalf("%s %v: truncation to %d/%d bytes accepted", alg, launch, cut, len(blob))
+			}
+		case 1: // bit-flip in header/directory: reject or stay bit-exact
+			p := int(pos) % dirEnd
+			bad := append([]byte(nil), blob...)
+			bad[p] ^= 1 << (pos % 8)
+			if got, err := ParallelDecode(bad, launch); err == nil && !bitExact(got) {
+				t.Fatalf("%s %v: directory flip at %d silently corrupted data", alg, launch, p)
+			}
+		case 2: // bit-flip anywhere: must never panic
+			p := int(pos) % len(blob)
+			bad := append([]byte(nil), blob...)
+			bad[p] ^= 1 << (pos % 8)
+			_, _ = ParallelDecode(bad, launch)
+		}
+	})
+}
+
 // FuzzDecodeRobustness feeds arbitrary bytes to every decoder: any outcome
 // but a panic or a hang is acceptable.
 func FuzzDecodeRobustness(f *testing.F) {

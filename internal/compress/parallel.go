@@ -3,6 +3,7 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 )
@@ -34,6 +35,29 @@ func (l Launch) Threads() int { return l.Grid * l.Block }
 
 func (l Launch) String() string { return fmt.Sprintf("(%d,%d)", l.Grid, l.Block) }
 
+// Hooks intercepts per-chunk codec work on the parallel path — the seam the
+// fault injector (internal/faultinject) and instrumentation attach to. A
+// nil *Hooks or nil field is a no-op; a non-nil error from a hook aborts
+// that chunk.
+type Hooks struct {
+	ChunkEncode func(alg Algorithm, chunk int) error
+	ChunkDecode func(alg Algorithm, chunk int) error
+}
+
+func (h *Hooks) chunkEncode(alg Algorithm, chunk int) error {
+	if h == nil || h.ChunkEncode == nil {
+		return nil
+	}
+	return h.ChunkEncode(alg, chunk)
+}
+
+func (h *Hooks) chunkDecode(alg Algorithm, chunk int) error {
+	if h == nil || h.ChunkDecode == nil {
+		return nil
+	}
+	return h.ChunkDecode(alg, chunk)
+}
+
 // Parallel blob framing:
 //
 //	[0]      0x50 ('P') container marker
@@ -44,6 +68,10 @@ func (l Launch) String() string { return fmt.Sprintf("(%d,%d)", l.Grid, l.Block)
 //	then the concatenated per-chunk codec blobs.
 const parallelMarker = 0x50
 
+// maxParallelElems bounds the element count a container header may claim;
+// anything larger is treated as corrupt before any allocation happens.
+const maxParallelElems = math.MaxInt32
+
 // ParallelEncode compresses src with the codec for alg, partitioned into
 // launch.Grid independent chunks the way a GPU kernel assigns one tensor
 // slice per thread block. Chunks are 32-element aligned so ZVC bitmap words
@@ -52,6 +80,11 @@ const parallelMarker = 0x50
 // CPU host this wrapper preserves the partitioning semantics (and therefore
 // byte-exact output for a given launch) while bounding threads.
 func ParallelEncode(alg Algorithm, src []float32, launch Launch) ([]byte, error) {
+	return ParallelEncodeWith(alg, src, launch, nil)
+}
+
+// ParallelEncodeWith is ParallelEncode with per-chunk hooks attached.
+func ParallelEncodeWith(alg Algorithm, src []float32, launch Launch, hooks *Hooks) ([]byte, error) {
 	if err := launch.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,9 +94,19 @@ func ParallelEncode(alg Algorithm, src []float32, launch Launch) ([]byte, error)
 	}
 	chunks := chunkBounds(len(src), launch.Grid)
 	blobs := make([][]byte, len(chunks))
+	errs := make([]error, len(chunks))
 	runWorkers(len(chunks), workerCount(launch, len(chunks)), func(i int) {
+		if herr := hooks.chunkEncode(alg, i); herr != nil {
+			errs[i] = chunkErr(alg, i, len(chunks), herr)
+			return
+		}
 		blobs[i] = codec.Encode(src[chunks[i].lo:chunks[i].hi])
 	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
 
 	total := 14 + 8*len(chunks)
 	for _, b := range blobs {
@@ -87,63 +130,118 @@ func ParallelEncode(alg Algorithm, src []float32, launch Launch) ([]byte, error)
 	return out, nil
 }
 
-// ParallelDecode reverses ParallelEncode, decoding chunks concurrently.
+// ParallelDecode reverses ParallelEncode, decoding chunks concurrently with
+// the worker concurrency derived from the caller's launch geometry (the
+// same BO-tuned geometry ParallelEncode honours).
 func ParallelDecode(blob []byte, launch Launch) ([]float32, error) {
+	return ParallelDecodeWith(blob, launch, nil)
+}
+
+// ParallelDecodeWith is ParallelDecode with per-chunk hooks attached.
+//
+// The container is fully validated before the n-element destination is
+// allocated: the algorithm byte must name a known codec, the chunk count
+// must be consistent with the declared element count (no blob may claim
+// more chunks than ceil(n/32) 32-aligned spans), the chunk directory must
+// exactly tile the payload, and the per-chunk headers must agree with the
+// container header — so a hostile header cannot drive a huge allocation or
+// a mismatched decode.
+func ParallelDecodeWith(blob []byte, launch Launch, hooks *Hooks) ([]float32, error) {
+	if err := launch.Validate(); err != nil {
+		return nil, err
+	}
 	if len(blob) < 14 {
-		return nil, ErrTruncated
+		return nil, fmt.Errorf("%w: parallel container header", ErrTruncated)
 	}
 	if blob[0] != parallelMarker {
 		return nil, fmt.Errorf("%w: not a parallel container", ErrCorrupt)
 	}
+	// The algorithm byte must map to a known codec before anything is
+	// allocated on the strength of the header.
 	alg := Algorithm(blob[1])
 	codec, err := New(alg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	n := int(binary.LittleEndian.Uint64(blob[2:10]))
+	if n < 0 || n > maxParallelElems {
+		return nil, fmt.Errorf("%w: container claims %d elements", ErrCorrupt, n)
+	}
 	numChunks := int(binary.LittleEndian.Uint32(blob[10:14]))
-	if numChunks < 0 || numChunks > 1<<20 {
-		return nil, ErrCorrupt
+	// Chunks are 32-element aligned and non-empty (except the single empty
+	// chunk of an empty tensor), so a container claiming more chunks than
+	// ceil(n/32) — or none at all — is corrupt.
+	maxChunks := (n + 31) / 32
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	if numChunks < 1 || numChunks > maxChunks {
+		return nil, fmt.Errorf("%w: %d chunks for %d elements (max %d)",
+			ErrCorrupt, numChunks, n, maxChunks)
 	}
 	dirEnd := 14 + 8*numChunks
 	if len(blob) < dirEnd {
-		return nil, ErrTruncated
+		return nil, fmt.Errorf("%w: chunk directory", ErrTruncated)
 	}
 	lengths := make([]int, numChunks)
 	pos := dirEnd
 	for i := range lengths {
 		lengths[i] = int(binary.LittleEndian.Uint64(blob[14+8*i:]))
 		if lengths[i] < 0 || pos+lengths[i] > len(blob) {
-			return nil, ErrTruncated
+			return nil, chunkErr(alg, i, numChunks, ErrTruncated)
 		}
 		pos += lengths[i]
 	}
 	if pos != len(blob) {
-		return nil, ErrCorrupt
+		return nil, fmt.Errorf("%w: directory covers %d bytes, payload has %d",
+			ErrCorrupt, pos-dirEnd, len(blob)-dirEnd)
 	}
-
-	dst := make([]float32, n)
-	bounds := chunkBounds(n, numChunks)
-	if len(bounds) != numChunks {
-		return nil, fmt.Errorf("%w: chunk count %d inconsistent with %d elements",
-			ErrCorrupt, numChunks, n)
-	}
-	errs := make([]error, numChunks)
 	offsets := make([]int, numChunks)
 	off := dirEnd
 	for i := range offsets {
 		offsets[i] = off
 		off += lengths[i]
 	}
-	runWorkers(numChunks, workerCount(Launch{Grid: numChunks, Block: 64}, numChunks), func(i int) {
+	// Cross-check every chunk's own header against the container before
+	// allocating the destination: each must carry the container's
+	// algorithm, and the per-chunk element counts must sum to n.
+	var declared uint64
+	for i := range lengths {
+		chunk := blob[offsets[i] : offsets[i]+lengths[i]]
+		if len(chunk) < headerSize {
+			return nil, chunkErr(alg, i, numChunks, ErrTruncated)
+		}
+		if Algorithm(chunk[0]) != alg {
+			return nil, chunkErr(alg, i, numChunks, fmt.Errorf(
+				"%w: chunk algorithm byte %d, container is %s", ErrCorrupt, chunk[0], alg))
+		}
+		declared += binary.LittleEndian.Uint64(chunk[1:9])
+	}
+	if declared != uint64(n) {
+		return nil, fmt.Errorf("%w: chunks declare %d elements, container claims %d",
+			ErrCorrupt, declared, n)
+	}
+
+	bounds := chunkBounds(n, numChunks)
+	if len(bounds) != numChunks {
+		return nil, fmt.Errorf("%w: chunk count %d inconsistent with %d elements",
+			ErrCorrupt, numChunks, n)
+	}
+	dst := make([]float32, n)
+	errs := make([]error, numChunks)
+	runWorkers(numChunks, workerCount(launch, numChunks), func(i int) {
+		if herr := hooks.chunkDecode(alg, i); herr != nil {
+			errs[i] = chunkErr(alg, i, numChunks, herr)
+			return
+		}
 		part, derr := codec.Decode(blob[offsets[i] : offsets[i]+lengths[i]])
 		if derr != nil {
-			errs[i] = derr
+			errs[i] = chunkErr(alg, i, numChunks, derr)
 			return
 		}
 		if len(part) != bounds[i].hi-bounds[i].lo {
-			errs[i] = fmt.Errorf("%w: chunk %d decoded to %d elements, want %d",
-				ErrCorrupt, i, len(part), bounds[i].hi-bounds[i].lo)
+			errs[i] = chunkErr(alg, i, numChunks, fmt.Errorf(
+				"%w: decoded to %d elements, want %d", ErrCorrupt, len(part), bounds[i].hi-bounds[i].lo))
 			return
 		}
 		copy(dst[bounds[i].lo:], part)
@@ -184,11 +282,16 @@ func chunkBounds(n, grid int) []span {
 	return out
 }
 
-// workerCount bounds host-side concurrency: a bigger Block means more
-// resident warps per "SM", so we scale workers with Block/64 before capping
-// at the machine's parallelism.
+// workerCount bounds host-side concurrency. The Block/64 factor models more
+// resident warps per "SM", but the workers are CPU-bound here, so the
+// scaled count never exceeds the machine's parallelism: scaling applies
+// only below the GOMAXPROCS cap, not past it.
 func workerCount(l Launch, jobs int) int {
-	w := runtime.GOMAXPROCS(0) * l.Block / 64
+	maxW := runtime.GOMAXPROCS(0)
+	w := maxW * l.Block / 64
+	if w > maxW {
+		w = maxW
+	}
 	if w > jobs {
 		w = jobs
 	}

@@ -1,7 +1,11 @@
 package compress
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"cswap/internal/tensor"
@@ -131,6 +135,207 @@ func TestParallelDecodeRejectsCorruptContainer(t *testing.T) {
 	truncated := blob[:len(blob)-3]
 	if _, err := ParallelDecode(truncated, l); err == nil {
 		t.Error("accepted truncated payload")
+	}
+}
+
+func TestParallelDecodeValidatesLaunch(t *testing.T) {
+	blob, err := ParallelEncode(ZVC, []float32{1, 0, 2}, Launch{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []Launch{{0, 64}, {4097, 64}, {8, 32}, {-1, 128}} {
+		if _, err := ParallelDecode(blob, l); err == nil {
+			t.Errorf("ParallelDecode accepted invalid launch %v", l)
+		}
+	}
+}
+
+func TestWorkerCountNeverOversubscribes(t *testing.T) {
+	maxW := runtime.GOMAXPROCS(0)
+	// Block=128 used to produce 2×GOMAXPROCS CPU-bound workers.
+	if w := workerCount(Launch{Grid: 4096, Block: 128}, 1<<20); w != maxW {
+		t.Fatalf("Block=128 workers = %d, want GOMAXPROCS (%d)", w, maxW)
+	}
+	if w := workerCount(Launch{Grid: 4096, Block: 64}, 1<<20); w != maxW {
+		t.Fatalf("Block=64 workers = %d, want GOMAXPROCS (%d)", w, maxW)
+	}
+	// The job count bounds workers too; zero jobs still yields one.
+	wantSmall := 2
+	if maxW < wantSmall {
+		wantSmall = maxW
+	}
+	if w := workerCount(Launch{Grid: 16, Block: 128}, 2); w != wantSmall {
+		t.Fatalf("2 jobs → %d workers, want %d", w, wantSmall)
+	}
+	if w := workerCount(Launch{Grid: 1, Block: 64}, 0); w != 1 {
+		t.Fatalf("0 jobs → %d workers", w)
+	}
+}
+
+func TestParallelDecodeRejectsExcessChunkClaim(t *testing.T) {
+	tn := tensor.NewGenerator(51).Uniform(1000, 0.5)
+	blob, err := ParallelEncode(ZVC, tn.Data, Launch{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 elements support at most ceil(1000/32)=32 chunks; claim 33.
+	bad := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(bad[10:14], 33)
+	if _, err := ParallelDecode(bad, Launch{8, 64}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("excess chunk claim: err = %v, want ErrCorrupt", err)
+	}
+	// A zero chunk count is equally corrupt.
+	binary.LittleEndian.PutUint32(bad[10:14], 0)
+	if _, err := ParallelDecode(bad, Launch{8, 64}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero chunk claim: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestParallelDecodeRejectsHostileElementCount(t *testing.T) {
+	tn := tensor.NewGenerator(53).Uniform(1000, 0.5)
+	blob, err := ParallelEncode(RLE, tn.Data, Launch{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A container header claiming 2^62 elements must be rejected before any
+	// allocation happens.
+	bad := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(bad[2:10], 1<<62)
+	if _, err := ParallelDecode(bad, Launch{4, 64}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile n: err = %v, want ErrCorrupt", err)
+	}
+	// A plausible-but-wrong count disagrees with the per-chunk headers and
+	// is caught by the pre-allocation cross-check.
+	binary.LittleEndian.PutUint64(bad[2:10], 1000+32)
+	if _, err := ParallelDecode(bad, Launch{4, 64}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("inconsistent n: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestParallelDecodeRejectsUnknownAlgorithmByte(t *testing.T) {
+	blob, err := ParallelEncode(ZVC, []float32{1, 0, 2, 0}, Launch{1, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[1] = 0xEE
+	if _, err := ParallelDecode(bad, Launch{1, 64}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown algorithm byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestParallelDecodeChunkErrorContext(t *testing.T) {
+	// A chunk whose own algorithm byte disagrees with the container must
+	// surface a ChunkError naming the codec and chunk.
+	tn := tensor.NewGenerator(57).Uniform(200, 0.5)
+	blob, err := ParallelEncode(CSR, tn.Data, Launch{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numChunks := int(binary.LittleEndian.Uint32(blob[10:14]))
+	dirEnd := 14 + 8*numChunks
+	secondOff := dirEnd + int(binary.LittleEndian.Uint64(blob[14:22]))
+	bad := append([]byte(nil), blob...)
+	bad[secondOff] = byte(ZVC) // chunk 1 claims ZVC inside a CSR container
+	_, err = ParallelDecode(bad, Launch{4, 64})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	var ce *ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChunkError", err)
+	}
+	if ce.Alg != CSR || ce.Chunk != 1 || ce.Chunks != numChunks {
+		t.Fatalf("chunk context = %+v", ce)
+	}
+}
+
+func TestParallelTruncationEveryBoundary(t *testing.T) {
+	l := Launch{4, 64}
+	for _, a := range ExtendedAlgorithms() {
+		tn := tensor.NewGenerator(61).Uniform(500, 0.5)
+		blob, err := ParallelEncode(a, tn.Data, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(blob); i++ {
+			got, err := ParallelDecode(blob[:i], l)
+			if err == nil {
+				t.Fatalf("%s: truncation to %d of %d bytes accepted (decoded %d elements)",
+					a, i, len(blob), len(got))
+			}
+			if !Recoverable(err) {
+				t.Fatalf("%s: truncation to %d: err %v not classified recoverable", a, i, err)
+			}
+		}
+	}
+}
+
+func TestParallelDirectoryBitFlips(t *testing.T) {
+	l := Launch{4, 64}
+	for _, a := range ExtendedAlgorithms() {
+		tn := tensor.NewGenerator(67).Uniform(200, 0.5)
+		blob, err := ParallelEncode(a, tn.Data, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numChunks := int(binary.LittleEndian.Uint32(blob[10:14]))
+		dirEnd := 14 + 8*numChunks
+		for pos := 0; pos < dirEnd; pos++ {
+			for bit := 0; bit < 8; bit++ {
+				bad := append([]byte(nil), blob...)
+				bad[pos] ^= 1 << uint(bit)
+				got, err := ParallelDecode(bad, l)
+				if err != nil {
+					continue // rejected: fine
+				}
+				// A flip the framing tolerates must still round-trip
+				// bit-exactly — silent wrong data is the one forbidden
+				// outcome.
+				if len(got) != len(tn.Data) {
+					t.Fatalf("%s: flip %d.%d silently changed length", a, pos, bit)
+				}
+				for i := range got {
+					if math.Float32bits(got[i]) != math.Float32bits(tn.Data[i]) {
+						t.Fatalf("%s: flip %d.%d silently corrupted data", a, pos, bit)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelEncodeHookFailureCarriesChunkContext(t *testing.T) {
+	tn := tensor.NewGenerator(71).Uniform(300, 0.5)
+	boom := fmt.Errorf("boom")
+	hooks := &Hooks{ChunkEncode: func(a Algorithm, chunk int) error {
+		if chunk == 1 {
+			return boom
+		}
+		return nil
+	}}
+	_, err := ParallelEncodeWith(ZVC, tn.Data, Launch{4, 64}, hooks)
+	var ce *ChunkError
+	if !errors.As(err, &ce) || ce.Chunk != 1 || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ChunkError for chunk 1 wrapping the hook error", err)
+	}
+}
+
+func TestRecoverableTaxonomy(t *testing.T) {
+	if Recoverable(nil) {
+		t.Fatal("nil error recoverable")
+	}
+	if !Recoverable(ErrTruncated) || !Recoverable(ErrCorrupt) {
+		t.Fatal("data-level errors must be recoverable")
+	}
+	if !Recoverable(&ChunkError{Alg: ZVC, Chunk: 0, Chunks: 1, Err: ErrCorrupt}) {
+		t.Fatal("wrapped data-level error must stay recoverable")
+	}
+	if Recoverable(ErrAlgorithmMismatch) {
+		t.Fatal("structural misuse must not be recoverable")
+	}
+	if Recoverable(fmt.Errorf("%w: blob is ZVC, codec is RLE", ErrAlgorithmMismatch)) {
+		t.Fatal("wrapped structural misuse must not be recoverable")
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 	"cswap/internal/compress"
 	"cswap/internal/costmodel"
 	"cswap/internal/dnn"
+	"cswap/internal/executor"
+	"cswap/internal/faultinject"
 	"cswap/internal/gpu"
 	"cswap/internal/memdb"
 	"cswap/internal/profiler"
@@ -137,6 +139,21 @@ func New(cfg Config) (*Framework, error) {
 // Planner exposes the configured CSWAP framework (e.g. to build the Orac
 // upper bound sharing its decisions).
 func (f *Framework) Planner() swap.CSWAP { return f.planner }
+
+// NewExecutor builds a functional swapping executor for the deployment:
+// pools sized for the model at scaleDiv, the BO-tuned launch geometry, and
+// bit-exact verification on. faults optionally wires a fault injector into
+// the data path (nil for none) — the executor degrades gracefully on
+// injected codec or allocator failures instead of aborting training.
+func (f *Framework) NewExecutor(scaleDiv int, faults *faultinject.Injector) (*executor.Executor, error) {
+	return executor.New(executor.Config{
+		DeviceCapacity: executor.MinDeviceCapacity(f.Config.Model, scaleDiv),
+		HostCapacity:   executor.HostCapacityFor(f.Config.Model, scaleDiv),
+		Launch:         f.Launch,
+		Verify:         true,
+		Faults:         faults,
+	})
+}
 
 // ProfileAt refreshes the per-epoch sparsity measurement and persists the
 // updated profile, returning it.

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"cswap/internal/dnn"
+	"cswap/internal/executor"
+	"cswap/internal/faultinject"
 	"cswap/internal/gpu"
 	"cswap/internal/profiler"
 	"cswap/internal/swap"
@@ -271,5 +273,32 @@ func TestResumeValidation(t *testing.T) {
 	mismatched := dnn.MustBuild("VGG16", dnn.CIFAR10, 8)
 	if _, err := Resume(g.DB, mismatched, g.Config.Device, Config{}); err == nil {
 		t.Fatal("tensor-count mismatch accepted")
+	}
+}
+
+func TestNewExecutorWiresTunedLaunchAndFaults(t *testing.T) {
+	f := newTestFramework(t, "AlexNet", "V100", dnn.ImageNet)
+	inj := faultinject.New(
+		faultinject.Fault{Site: faultinject.SiteEncode, Mode: faultinject.Fail, After: 2, Every: 50},
+	)
+	e, err := f.NewExecutor(4096, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive one functional iteration under the deployment's own plan; the
+	// injected encode failures must degrade to raw swaps, not abort.
+	plan, err := f.PlanEpoch(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := executor.RunIteration(e, f.Config.Model, plan, f.Sparsity, 10, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tensors == 0 {
+		t.Fatal("iteration touched no tensors")
+	}
+	if st := e.Stats(); st.Verified != rep.Tensors {
+		t.Fatalf("verified %d of %d tensors", st.Verified, rep.Tensors)
 	}
 }

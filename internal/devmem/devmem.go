@@ -27,11 +27,22 @@ type Pool struct {
 	capacity int64
 
 	mu     sync.Mutex
+	hook   func(n int64) error
 	used   int64
 	peak   int64
 	allocs int64
 	frees  int64
 	fails  int64
+}
+
+// SetAllocHook installs a gate consulted by Alloc before capacity
+// accounting: a non-nil return fails the allocation with that error (it
+// counts as a failed alloc in Stats). This is the seam the fault injector
+// uses to model transient allocator failures; passing nil removes the hook.
+func (p *Pool) SetAllocHook(hook func(n int64) error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hook = hook
 }
 
 // NewPool creates a pool with the given byte capacity (> 0).
@@ -59,6 +70,12 @@ func (p *Pool) Alloc(n int64) (*Block, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.hook != nil {
+		if err := p.hook(n); err != nil {
+			p.fails++
+			return nil, fmt.Errorf("%s pool: %w", p.name, err)
+		}
+	}
 	if p.used+n > p.capacity {
 		p.fails++
 		return nil, fmt.Errorf("%w: %s needs %d, %d of %d in use",

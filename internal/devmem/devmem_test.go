@@ -164,3 +164,32 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestAllocHookGatesAllocations(t *testing.T) {
+	p := NewPool("hooked", 1<<20)
+	boom := errors.New("boom")
+	calls := 0
+	p.SetAllocHook(func(n int64) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if _, err := p.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(100); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want hook error", err)
+	}
+	// A hook rejection counts as a failed alloc and reserves nothing.
+	st := p.Stats()
+	if st.FailedAllocs != 1 || st.Used != 100 || st.Allocs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Removing the hook restores normal behavior.
+	p.SetAllocHook(nil)
+	if _, err := p.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+}

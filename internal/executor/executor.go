@@ -5,6 +5,22 @@
 // geometry) into a pinned-host pool, and swapped back in bit-exactly — the
 // data path of Figure 4's "swapping executor", with the memory-pool reuse
 // the paper's prototype takes from Torch.
+//
+// # Failure semantics
+//
+// The executor never loses a tensor to a codec or allocator fault. Like
+// cDMA's raw DMA engine beside the compressing one, a raw (uncompressed)
+// path shadows every compressed swap-out: a codec encode failure or a
+// host-pool allocation failure for the compressed blob degrades to a raw
+// swap-out instead of erroring (counted in Stats.EncodeFallbacks /
+// Stats.AllocFallbacks). On swap-in, the host blob is retained until the
+// restore commits, so a decode or verification failure retries once from
+// the retained copy before surfacing (Stats.DecodeRetries /
+// Stats.DecodeRecoveries) — transient in-flight corruption cannot kill a
+// training iteration, while persistent corruption surfaces as an error
+// wrapped with codec and chunk context (compress.ChunkError), never as
+// silent wrong data. Fault injection for all of these paths is wired
+// through internal/faultinject via Config.Faults.
 package executor
 
 import (
@@ -14,6 +30,7 @@ import (
 
 	"cswap/internal/compress"
 	"cswap/internal/devmem"
+	"cswap/internal/faultinject"
 	"cswap/internal/tensor"
 )
 
@@ -36,6 +53,9 @@ type Config struct {
 	// executor's integrity guarantee during bring-up and tests; disable
 	// for throughput measurements.
 	Verify bool
+	// Faults optionally injects deterministic failures into the data path
+	// (codec work, pool allocations, transfers). Nil injects nothing.
+	Faults *faultinject.Injector
 }
 
 // Executor moves real tensors between a device pool and a host pool.
@@ -44,6 +64,7 @@ type Executor struct {
 	device *devmem.Pool
 	host   *devmem.Pool
 	cache  *devmem.Cache
+	hooks  *compress.Hooks
 
 	// mu guards the handle registry and stats; the per-handle state
 	// machine is guarded by it too, so concurrent swap streams are safe
@@ -65,6 +86,14 @@ type Stats struct {
 	// CompressedTensors counts swap-outs that used a codec.
 	CompressedTensors int
 	Verified          int
+	// EncodeFallbacks counts swap-outs that degraded to the raw path after
+	// a codec encode failure; AllocFallbacks counts those that degraded
+	// after the compressed blob failed host-pool allocation.
+	EncodeFallbacks, AllocFallbacks int
+	// DecodeRetries counts swap-ins whose first decode or verification
+	// attempt failed and was retried from the retained host blob;
+	// DecodeRecoveries counts the retries that restored the tensor.
+	DecodeRetries, DecodeRecoveries int
 }
 
 // Ratio returns moved/raw bytes over the executor's lifetime.
@@ -74,6 +103,9 @@ func (s Stats) Ratio() float64 {
 	}
 	return float64(s.MovedBytes) / float64(s.RawBytes)
 }
+
+// Fallbacks returns the total number of swap-outs that degraded to raw.
+func (s Stats) Fallbacks() int { return s.EncodeFallbacks + s.AllocFallbacks }
 
 // State of a handle's backing storage.
 type State int
@@ -108,6 +140,10 @@ func (h *Handle) Name() string { return h.name }
 // State returns the handle's current storage state.
 func (h *Handle) State() State { return h.state }
 
+// Compressed reports whether the swapped payload is a codec blob — false
+// for raw swaps, including compressed swap-outs that fell back to raw.
+func (h *Handle) Compressed() bool { return h.compressed }
+
 // Bytes returns the uncompressed tensor size.
 func (h *Handle) Bytes() int64 { return int64(h.elems) * tensor.BytesPerElement }
 
@@ -130,13 +166,28 @@ func New(cfg Config) (*Executor, error) {
 	if err := cfg.Launch.Validate(); err != nil {
 		return nil, err
 	}
-	return &Executor{
+	e := &Executor{
 		cfg:    cfg,
 		device: devmem.NewPool("device", cfg.DeviceCapacity),
 		host:   devmem.NewPool("pinned-host", cfg.HostCapacity),
 		cache:  devmem.NewCache(),
 		live:   map[int]*Handle{},
-	}, nil
+	}
+	if inj := cfg.Faults; inj != nil {
+		e.device.SetAllocHook(func(int64) error { return inj.Fail(faultinject.SiteDeviceAlloc) })
+		e.host.SetAllocHook(func(int64) error { return inj.Fail(faultinject.SiteHostAlloc) })
+		e.hooks = &compress.Hooks{
+			ChunkEncode: func(compress.Algorithm, int) error {
+				inj.Sleep(faultinject.SiteEncode)
+				return inj.Fail(faultinject.SiteEncode)
+			},
+			ChunkDecode: func(compress.Algorithm, int) error {
+				inj.Sleep(faultinject.SiteDecode)
+				return inj.Fail(faultinject.SiteDecode)
+			},
+		}
+	}
+	return e, nil
 }
 
 // Register places a tensor into device memory, taking ownership of its
@@ -171,6 +222,12 @@ func (e *Executor) Register(name string, t *tensor.Tensor) (*Handle, error) {
 // is encoded with alg (partitioned by the configured launch) and only the
 // compressed bytes consume host capacity and count as moved; otherwise the
 // raw little-endian bytes move.
+//
+// A compressed swap-out never fails on the codec: if the encode errors, or
+// the compressed blob cannot be allocated in the host pool, the tensor
+// degrades to a raw swap-out (the cDMA-style raw path) and the fallback is
+// counted in Stats. Only a raw-path allocation failure surfaces, leaving
+// the tensor resident and intact.
 func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) error {
 	switch h.state {
 	case Swapped:
@@ -178,18 +235,52 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	case Freed:
 		return fmt.Errorf("%w: %s", ErrFreed, h.name)
 	}
+	inj := e.cfg.Faults
+	compressed := doCompress
+	encodeFellBack, allocFellBack := false, false
 	var blob []byte
-	var err error
 	if doCompress {
-		blob, err = compress.ParallelEncode(alg, h.data, e.cfg.Launch)
+		b, err := compress.ParallelEncodeWith(alg, h.data, e.cfg.Launch, e.hooks)
 		if err != nil {
-			return fmt.Errorf("executor: compress %s: %w", h.name, err)
+			// The raw path beside the compressing one: a codec failure
+			// must not lose the tensor, it just forfeits the bandwidth
+			// saving for this transfer.
+			compressed = false
+			encodeFellBack = true
+		} else {
+			blob = b
 		}
-	} else {
+	}
+	if !compressed {
 		blob = rawEncode(h.data, e.cache)
 	}
+	// The bytes that land in the host pool are the transferred copy; a
+	// transfer-out fault corrupts the stored blob persistently.
+	if mutated, ok := inj.MutateBlob(faultinject.SiteTransferOut, blob); ok {
+		if !compressed {
+			e.cache.Put(blob)
+		}
+		blob = mutated
+	}
 	hostBlock, err := e.host.Alloc(int64(len(blob)))
+	if err != nil && compressed {
+		// Host-pool pressure on the compressed path: retry raw before
+		// surfacing (HostCapacityFor budgets the pool for the all-raw
+		// worst case, so the raw reservation is the accounted-for size).
+		raw := rawEncode(h.data, e.cache)
+		rawBlock, rerr := e.host.Alloc(int64(len(raw)))
+		if rerr != nil {
+			e.cache.Put(raw)
+			return fmt.Errorf("executor: host pool: %w", err)
+		}
+		compressed = false
+		allocFellBack = true
+		blob, hostBlock, err = raw, rawBlock, nil
+	}
 	if err != nil {
+		if !compressed {
+			e.cache.Put(blob)
+		}
 		return fmt.Errorf("executor: host pool: %w", err)
 	}
 	if err := h.devBlock.Free(); err != nil {
@@ -199,7 +290,7 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	h.blob = blob
 	h.hostBlock = hostBlock
 	h.alg = alg
-	h.compressed = doCompress
+	h.compressed = compressed
 	h.data = nil
 	h.devBlock = nil
 	h.state = Swapped
@@ -208,8 +299,14 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	e.stats.SwapOuts++
 	e.stats.RawBytes += h.Bytes()
 	e.stats.MovedBytes += int64(len(blob))
-	if doCompress {
+	if compressed {
 		e.stats.CompressedTensors++
+	}
+	if encodeFellBack {
+		e.stats.EncodeFallbacks++
+	}
+	if allocFellBack {
+		e.stats.AllocFallbacks++
 	}
 	e.mu.Unlock()
 	return nil
@@ -218,6 +315,13 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 // SwapIn restores the tensor to device memory, decompressing if needed and
 // (when configured) verifying the payload against the registration
 // checksum.
+//
+// The host blob is retained until the restore commits: if the first decode
+// or verification attempt fails recoverably (data-level corruption,
+// truncation, or an injected fault — not structural misuse), SwapIn retries
+// once from the retained blob before surfacing the failure. A surfaced
+// decode failure carries codec and chunk context (compress.ChunkError);
+// wrong data is never returned silently.
 func (e *Executor) SwapIn(h *Handle) error {
 	switch h.state {
 	case Resident:
@@ -229,33 +333,65 @@ func (e *Executor) SwapIn(h *Handle) error {
 	if err != nil {
 		return fmt.Errorf("executor: device pool: %w", err)
 	}
-	var data []float32
-	if h.compressed {
-		data, err = compress.ParallelDecode(h.blob, e.cfg.Launch)
-		if err != nil {
-			_ = devBlock.Free()
-			return fmt.Errorf("executor: decompress %s: %w", h.name, err)
+	inj := e.cfg.Faults
+
+	decode := func(blob []byte) ([]float32, error) {
+		if h.compressed {
+			return compress.ParallelDecodeWith(blob, e.cfg.Launch, e.hooks)
 		}
-	} else {
-		data = rawDecode(h.blob)
-		e.cache.Put(h.blob)
+		if len(blob) != h.elems*4 {
+			return nil, fmt.Errorf("%w: raw blob is %d bytes, want %d",
+				compress.ErrTruncated, len(blob), h.elems*4)
+		}
+		return rawDecode(blob), nil
 	}
-	if len(data) != h.elems {
-		_ = devBlock.Free()
-		return fmt.Errorf("executor: %s restored %d elements, want %d", h.name, len(data), h.elems)
-	}
-	if e.cfg.Verify {
-		if checksum(data) != h.checksum {
-			_ = devBlock.Free()
+	check := func(data []float32) error {
+		if len(data) != h.elems {
+			return fmt.Errorf("%w: restored %d elements, want %d",
+				compress.ErrCorrupt, len(data), h.elems)
+		}
+		if e.cfg.Verify && checksum(data) != h.checksum {
 			return fmt.Errorf("%w: %s", ErrVerification, h.name)
 		}
+		return nil
+	}
+
+	// The first attempt decodes the transferred copy, which a transfer-in
+	// fault may have perturbed in flight.
+	transfer, transient := inj.MutateBlob(faultinject.SiteTransferIn, h.blob)
+	data, derr := decode(transfer)
+	if derr == nil {
+		derr = check(data)
+	}
+	retried, recovered := false, false
+	if derr != nil && retryable(derr, transient) {
+		retried = true
+		if data2, rerr := decode(h.blob); rerr != nil {
+			derr = rerr
+		} else if rerr = check(data2); rerr != nil {
+			derr = rerr
+		} else {
+			data, derr, recovered = data2, nil, true
+		}
+	}
+	if derr != nil {
+		_ = devBlock.Free()
 		e.mu.Lock()
-		e.stats.Verified++
+		if retried {
+			e.stats.DecodeRetries++
+		}
 		e.mu.Unlock()
+		return fmt.Errorf("executor: restore %s: %w", h.name, derr)
 	}
 	if err := h.hostBlock.Free(); err != nil {
 		_ = devBlock.Free()
 		return err
+	}
+	// The raw buffer returns to the cache only after the restore is
+	// committed — donating it earlier would let a later swap-out scribble
+	// over a blob a failed swap-in still needs for its retry.
+	if !h.compressed {
+		e.cache.Put(h.blob)
 	}
 	h.data = data
 	h.devBlock = devBlock
@@ -264,8 +400,32 @@ func (e *Executor) SwapIn(h *Handle) error {
 	h.state = Resident
 	e.mu.Lock()
 	e.stats.SwapIns++
+	if e.cfg.Verify {
+		e.stats.Verified++
+	}
+	if retried {
+		e.stats.DecodeRetries++
+	}
+	if recovered {
+		e.stats.DecodeRecoveries++
+	}
 	e.mu.Unlock()
 	return nil
+}
+
+// retryable reports whether a failed first restore attempt is worth a
+// second decode from the retained host blob: always when the transfer copy
+// was perturbed in flight, and for data-level (compress.Recoverable),
+// injected, or checksum failures generally — never for structural misuse a
+// retry cannot fix.
+func retryable(err error, transient bool) bool {
+	if transient {
+		return true
+	}
+	if errors.Is(err, faultinject.ErrInjected) || errors.Is(err, ErrVerification) {
+		return true
+	}
+	return compress.Recoverable(err)
 }
 
 // Free releases the tensor from whichever pool holds it.
@@ -311,6 +471,10 @@ func (e *Executor) HostStats() devmem.Stats { return e.host.Stats() }
 
 // CacheStats exposes the buffer-cache accounting.
 func (e *Executor) CacheStats() devmem.CacheStats { return e.cache.Stats() }
+
+// FaultStats exposes the injector's fired-fault counts (zero when no
+// injector is configured).
+func (e *Executor) FaultStats() faultinject.Stats { return e.cfg.Faults.Stats() }
 
 // Live returns the number of non-freed handles.
 func (e *Executor) Live() int {

@@ -1,15 +1,18 @@
 package executor
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"cswap/internal/compress"
 	"cswap/internal/devmem"
 	"cswap/internal/dnn"
+	"cswap/internal/faultinject"
 	"cswap/internal/sparsity"
 	"cswap/internal/swap"
 	"cswap/internal/tensor"
@@ -373,6 +376,415 @@ func TestRawSwapCorruptionCaughtByChecksum(t *testing.T) {
 	h.blob[100] ^= 0x01
 	if err := e.SwapIn(h); !errors.Is(err, ErrVerification) {
 		t.Fatalf("err = %v, want ErrVerification", err)
+	}
+}
+
+// newFaultyExecutor builds an executor with the given faults armed.
+func newFaultyExecutor(t *testing.T, dev, host int64, faults ...faultinject.Fault) *Executor {
+	t.Helper()
+	e, err := New(Config{
+		DeviceCapacity: dev,
+		HostCapacity:   host,
+		Launch:         compress.Launch{Grid: 16, Block: 64},
+		Verify:         true,
+		Faults:         faultinject.New(faults...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEncodeFailureFallsBackToRaw(t *testing.T) {
+	e := newFaultyExecutor(t, 1<<22, 1<<22,
+		faultinject.Fault{Site: faultinject.SiteEncode, Mode: faultinject.Fail})
+	tn := tensor.NewGenerator(11).Uniform(20000, 0.6)
+	want := append([]float32(nil), tn.Data...)
+	h, err := e.Register("x", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatalf("encode failure must degrade, not error: %v", err)
+	}
+	if h.Compressed() {
+		t.Fatal("fallback swap still marked compressed")
+	}
+	st := e.Stats()
+	if st.EncodeFallbacks != 1 || st.CompressedTensors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MovedBytes != h.Bytes() {
+		t.Fatalf("raw fallback moved %d bytes, want %d", st.MovedBytes, h.Bytes())
+	}
+	if err := e.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("fallback round trip mismatch at %d", i)
+		}
+	}
+	if fs := e.FaultStats(); fs.Failures != 1 {
+		t.Fatalf("fault stats %+v", fs)
+	}
+}
+
+func TestEncodeFallbackIterationCompletesBitExactly(t *testing.T) {
+	// The acceptance scenario: codec failures mid-iteration degrade to raw
+	// swaps and the training iteration still completes with every tensor
+	// restored bit-exactly (Verify is on, so each swap-in is checksummed).
+	m := dnn.MustBuild("AlexNet", dnn.ImageNet, 64)
+	sp := sparsity.ForModel(m, 50, 1)
+	const scale = 4096
+	tensors := m.SwapTensors()
+	plan := &swap.Plan{Framework: "test", Tensors: make([]swap.TensorPlan, len(tensors))}
+	for i := range plan.Tensors {
+		plan.Tensors[i] = swap.TensorPlan{Compress: true, Alg: compress.ZVC, TransferRatio: 0.5}
+	}
+	inj := faultinject.New(
+		faultinject.Fault{Site: faultinject.SiteEncode, Mode: faultinject.Fail, After: 2, Every: 40},
+	)
+	e, err := New(Config{
+		DeviceCapacity: MinDeviceCapacity(m, scale),
+		HostCapacity:   HostCapacityFor(m, scale),
+		Launch:         compress.Launch{Grid: 8, Block: 64},
+		Verify:         true,
+		Faults:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunIteration(e, m, plan, sp, 25, scale, 7)
+	if err != nil {
+		t.Fatalf("iteration must survive injected encode failures: %v", err)
+	}
+	st := e.Stats()
+	if st.EncodeFallbacks == 0 {
+		t.Fatal("no encode fallbacks recorded — fault never fired")
+	}
+	if st.Verified != len(tensors) {
+		t.Fatalf("verified %d of %d tensors", st.Verified, len(tensors))
+	}
+	if rep.Compressed+st.EncodeFallbacks != len(tensors) {
+		t.Fatalf("compressed %d + fallbacks %d != %d tensors",
+			rep.Compressed, st.EncodeFallbacks, len(tensors))
+	}
+	if e.Live() != 0 || e.DeviceStats().Used != 0 || e.HostStats().Used != 0 {
+		t.Fatal("iteration with fallbacks leaked memory")
+	}
+}
+
+func TestHostAllocFailureFallsBackToRaw(t *testing.T) {
+	// The compressed blob's host allocation fails (injected); the executor
+	// must retry the raw path instead of surfacing.
+	e := newFaultyExecutor(t, 1<<22, 1<<22,
+		faultinject.Fault{Site: faultinject.SiteHostAlloc, Mode: faultinject.Fail})
+	tn := tensor.NewGenerator(12).Uniform(20000, 0.6)
+	want := append([]float32(nil), tn.Data...)
+	h, err := e.Register("x", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.RLE); err != nil {
+		t.Fatalf("host-pool pressure must degrade, not error: %v", err)
+	}
+	if h.Compressed() {
+		t.Fatal("fallback swap still marked compressed")
+	}
+	st := e.Stats()
+	if st.AllocFallbacks != 1 || st.Fallbacks() != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := e.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.Data()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("fallback round trip mismatch at %d", i)
+		}
+	}
+	if hs := e.HostStats(); hs.FailedAllocs != 1 {
+		t.Fatalf("host pool stats %+v", hs)
+	}
+}
+
+func TestGenuineRawHostExhaustionStillSurfaces(t *testing.T) {
+	// Graceful degradation must not mask real capacity exhaustion: when
+	// even the raw fallback cannot be allocated, the error surfaces and
+	// the tensor stays resident.
+	e := newTestExecutor(t, 1<<22, 100) // host pool far too small for anything
+	tn := tensor.NewGenerator(13).Uniform(10000, 0.99)
+	h, _ := e.Register("x", tn)
+	if err := e.SwapOut(h, true, compress.ZVC); !errors.Is(err, devmem.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if h.State() != Resident {
+		t.Fatal("failed swap-out corrupted state")
+	}
+	if st := e.Stats(); st.Fallbacks() != 0 || st.SwapOuts != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTransferInCorruptionRecoveredFromRetainedBlob(t *testing.T) {
+	// In-flight corruption on the host→device transfer: the first decode
+	// (or its checksum) fails, the retry from the retained host blob
+	// succeeds, and the swap-in commits.
+	for _, raw := range []bool{false, true} {
+		e := newFaultyExecutor(t, 1<<22, 1<<23,
+			faultinject.Fault{Site: faultinject.SiteTransferIn, Mode: faultinject.Corrupt})
+		tn := tensor.NewGenerator(14).Uniform(20000, 0.6)
+		want := append([]float32(nil), tn.Data...)
+		h, err := e.Register("x", tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SwapOut(h, !raw, compress.ZVC); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SwapIn(h); err != nil {
+			t.Fatalf("raw=%v: transient corruption must be recovered: %v", raw, err)
+		}
+		st := e.Stats()
+		if st.DecodeRetries != 1 || st.DecodeRecoveries != 1 {
+			t.Fatalf("raw=%v: stats %+v", raw, st)
+		}
+		got, _ := h.Data()
+		for i := range want {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("raw=%v: recovered data mismatch at %d", raw, i)
+			}
+		}
+	}
+}
+
+func TestTransferInTruncationRecoveredFromRetainedBlob(t *testing.T) {
+	e := newFaultyExecutor(t, 1<<22, 1<<23,
+		faultinject.Fault{Site: faultinject.SiteTransferIn, Mode: faultinject.Truncate})
+	tn := tensor.NewGenerator(15).Uniform(20000, 0.6)
+	h, err := e.Register("x", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.LZ4); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapIn(h); err != nil {
+		t.Fatalf("truncated transfer must be recovered: %v", err)
+	}
+	if st := e.Stats(); st.DecodeRecoveries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestInjectedDecodeFailureRecovered(t *testing.T) {
+	e := newFaultyExecutor(t, 1<<22, 1<<23,
+		faultinject.Fault{Site: faultinject.SiteDecode, Mode: faultinject.Fail})
+	tn := tensor.NewGenerator(16).Uniform(20000, 0.6)
+	h, err := e.Register("x", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.CSR); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapIn(h); err != nil {
+		t.Fatalf("one-shot injected decode failure must be recovered: %v", err)
+	}
+	if st := e.Stats(); st.DecodeRetries != 1 || st.DecodeRecoveries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTransferOutCorruptionSurfacesChunkContext(t *testing.T) {
+	// Persistent corruption of the stored blob (the transfer-out copy is
+	// what the host pool retains): the retry rereads the same bad bytes,
+	// so the failure must surface — wrapped with codec and chunk context
+	// when the codec caught it — and never as silent wrong data.
+	e := newTestExecutor(t, 1<<22, 1<<23)
+	tn := tensor.NewGenerator(17).Uniform(20000, 0.6)
+	h, err := e.Register("victim", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the first chunk's algorithm byte — deterministic structural
+	// corruption the decoder pins to chunk 0.
+	numChunks := int(binary.LittleEndian.Uint32(h.blob[10:14]))
+	h.blob[14+8*numChunks] ^= 0xFF
+	err = e.SwapIn(h)
+	if err == nil {
+		t.Fatal("persistently corrupted blob accepted")
+	}
+	if !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("err = %v, want wrapped ErrCorrupt", err)
+	}
+	var ce *compress.ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want codec+chunk context (*compress.ChunkError)", err)
+	}
+	if ce.Alg != compress.ZVC || ce.Chunk != 0 {
+		t.Fatalf("chunk context %+v", ce)
+	}
+	if st := e.Stats(); st.DecodeRetries != 1 || st.DecodeRecoveries != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if h.State() != Swapped || e.DeviceStats().Used != 0 {
+		t.Fatal("failed swap-in corrupted state or leaked device memory")
+	}
+}
+
+func TestInjectedTransferOutCorruptionNeverSilent(t *testing.T) {
+	// An injector-armed transfer-out fault corrupts what the host pool
+	// stores; whatever byte it hits, the swap-in must error (codec or
+	// checksum), never silently return wrong data.
+	for _, alg := range compress.ExtendedAlgorithms() {
+		e := newFaultyExecutor(t, 1<<22, 1<<23,
+			faultinject.Fault{Site: faultinject.SiteTransferOut, Mode: faultinject.Corrupt})
+		tn := tensor.NewGenerator(18).Uniform(20000, 0.6)
+		h, err := e.Register("victim", tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SwapOut(h, true, alg); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if err := e.SwapIn(h); err == nil {
+			t.Fatalf("%s: persistently corrupted blob accepted", alg)
+		}
+		if h.State() != Swapped || e.DeviceStats().Used != 0 {
+			t.Fatalf("%s: failed swap-in corrupted state or leaked device memory", alg)
+		}
+	}
+}
+
+func TestInjectedDeviceAllocFailureLeavesTensorSwapped(t *testing.T) {
+	e := newFaultyExecutor(t, 1<<22, 1<<23,
+		faultinject.Fault{Site: faultinject.SiteDeviceAlloc, Mode: faultinject.Fail, After: 2})
+	tn := tensor.NewGenerator(19).Uniform(10000, 0.5)
+	h, err := e.Register("x", tn) // device alloc #1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapIn(h); !errors.Is(err, faultinject.ErrInjected) { // device alloc #2 fails
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if h.State() != Swapped {
+		t.Fatal("failed swap-in lost the tensor")
+	}
+	// The fault was one-shot: the caller can simply try again.
+	if err := e.SwapIn(h); err != nil {
+		t.Fatalf("retry after transient device-alloc failure: %v", err)
+	}
+}
+
+func TestDelayedCodecWorkStillCompletes(t *testing.T) {
+	e := newFaultyExecutor(t, 1<<22, 1<<23,
+		faultinject.Fault{Site: faultinject.SiteEncode, Mode: faultinject.Delay, Delay: time.Millisecond},
+		faultinject.Fault{Site: faultinject.SiteDecode, Mode: faultinject.Delay, Delay: time.Millisecond},
+	)
+	tn := tensor.NewGenerator(20).Uniform(5000, 0.5)
+	h, err := e.Register("x", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	if fs := e.FaultStats(); fs.Delays != 2 {
+		t.Fatalf("fault stats %+v", fs)
+	}
+	if st := e.Stats(); st.DecodeRetries != 0 || st.Fallbacks() != 0 {
+		t.Fatalf("delays must not trigger fallbacks: %+v", st)
+	}
+}
+
+func TestConcurrentSwapStreamsUnderFaults(t *testing.T) {
+	// The concurrency contract with the fault layer active: several
+	// goroutines drive handles through swap cycles while encode failures
+	// and transfer corruptions keep firing. Everything must still complete
+	// (degraded where needed) with no races (-race) and no leaks.
+	inj := faultinject.New(
+		faultinject.Fault{Site: faultinject.SiteEncode, Mode: faultinject.Fail, After: 3, Every: 17},
+		faultinject.Fault{Site: faultinject.SiteTransferIn, Mode: faultinject.Corrupt, After: 2, Every: 5},
+		// A decode pass covers 16 chunk-ops (grid 16), so Every must exceed
+		// 32 or the one-shot retry can itself be re-injected and surface.
+		faultinject.Fault{Site: faultinject.SiteDecode, Mode: faultinject.Fail, After: 7, Every: 37},
+	)
+	e, err := New(Config{
+		DeviceCapacity: 8 << 20,
+		HostCapacity:   32 << 20,
+		Launch:         compress.Launch{Grid: 16, Block: 64},
+		Verify:         true,
+		Faults:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const rounds = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gen := tensor.NewGenerator(int64(w))
+			for r := 0; r < rounds; r++ {
+				tn := gen.Uniform(10000, 0.6)
+				h, err := e.Register(fmt.Sprintf("w%d-r%d", w, r), tn)
+				if err != nil {
+					errs <- err
+					return
+				}
+				alg := compress.Algorithms()[(w+r)%4]
+				if err := e.SwapOut(h, true, alg); err != nil {
+					errs <- fmt.Errorf("swap out: %w", err)
+					return
+				}
+				if err := e.SwapIn(h); err != nil {
+					errs <- fmt.Errorf("swap in: %w", err)
+					return
+				}
+				if err := e.Free(h); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if e.Live() != 0 || e.DeviceStats().Used != 0 || e.HostStats().Used != 0 {
+		t.Fatal("faulty concurrent streams leaked memory")
+	}
+	st := e.Stats()
+	if st.SwapOuts != workers*rounds || st.SwapIns != workers*rounds {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.EncodeFallbacks == 0 || st.DecodeRecoveries == 0 {
+		t.Fatalf("faults never fired under concurrency: %+v", st)
+	}
+	if fs := e.FaultStats(); fs.Total() == 0 {
+		t.Fatalf("fault stats %+v", fs)
 	}
 }
 

@@ -1,0 +1,215 @@
+// Package faultinject deterministically injects faults into the swapping
+// data path: corrupted blobs, truncated transfers, failed pool allocations,
+// and delayed codec work. The executor and the parallel codec wrapper call
+// into an Injector at well-known sites; tests arm the sites they want to
+// perturb and every firing is a pure function of the arming and the
+// operation count, so failures reproduce exactly across runs — the property
+// that makes a fault-tolerance test trustworthy.
+//
+// A nil *Injector is valid everywhere and injects nothing, so production
+// call sites carry no configuration branching.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure; callers
+// use errors.Is to distinguish an injected fault from an organic one.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Site names one interception point on the swapping data path.
+type Site string
+
+// The data-path sites the executor and codec wrapper expose.
+const (
+	SiteEncode      Site = "encode"       // per-chunk codec encode work
+	SiteDecode      Site = "decode"       // per-chunk codec decode work
+	SiteHostAlloc   Site = "host-alloc"   // pinned-host pool allocation
+	SiteDeviceAlloc Site = "device-alloc" // device pool allocation
+	SiteTransferOut Site = "transfer-out" // device→host blob transfer (persistent: the stored blob)
+	SiteTransferIn  Site = "transfer-in"  // host→device blob transfer (transient: the in-flight copy)
+)
+
+// Mode is what an armed fault does when it fires.
+type Mode int
+
+// Fault modes.
+const (
+	// Fail makes the operation return ErrInjected.
+	Fail Mode = iota
+	// Corrupt flips a deterministically chosen bit in a copy of the blob.
+	Corrupt
+	// Truncate cuts a copy of the blob short.
+	Truncate
+	// Delay sleeps for the fault's Delay before the operation proceeds.
+	Delay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Fail:
+		return "fail"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Fault arms one site with one failure mode.
+type Fault struct {
+	Site Site
+	Mode Mode
+	// After fires the fault on the Nth matching operation, 1-based; zero
+	// means the first.
+	After int
+	// Every repeats the fault every Every matching operations after the
+	// first firing; zero fires once.
+	Every int
+	// Delay is the sleep applied by Delay-mode faults.
+	Delay time.Duration
+}
+
+// Stats counts fired faults by mode and observed operations by site.
+type Stats struct {
+	Failures, Corruptions, Truncations, Delays int
+}
+
+// Total returns the number of faults fired.
+func (s Stats) Total() int {
+	return s.Failures + s.Corruptions + s.Truncations + s.Delays
+}
+
+// Injector applies armed faults deterministically. It is safe for
+// concurrent use; each armed fault keeps its own operation counter.
+type Injector struct {
+	mu     sync.Mutex
+	faults []armedFault
+	stats  Stats
+}
+
+type armedFault struct {
+	Fault
+	count int // matching operations observed
+}
+
+// New returns an injector with the given faults armed.
+func New(faults ...Fault) *Injector {
+	in := &Injector{faults: make([]armedFault, len(faults))}
+	for i, f := range faults {
+		if f.After < 1 {
+			f.After = 1
+		}
+		in.faults[i] = armedFault{Fault: f}
+	}
+	return in
+}
+
+// fire advances the counters of every armed fault matching (site, modes)
+// and returns the first that fires this operation, along with its count.
+func (in *Injector) fire(site Site, modes ...Mode) (Fault, int, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var hit Fault
+	hitCount := 0
+	found := false
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Site != site || !modeIn(f.Mode, modes) {
+			continue
+		}
+		f.count++
+		fires := f.count == f.After ||
+			(f.Every > 0 && f.count > f.After && (f.count-f.After)%f.Every == 0)
+		if fires && !found {
+			hit, hitCount, found = f.Fault, f.count, true
+			switch f.Mode {
+			case Fail:
+				in.stats.Failures++
+			case Corrupt:
+				in.stats.Corruptions++
+			case Truncate:
+				in.stats.Truncations++
+			case Delay:
+				in.stats.Delays++
+			}
+		}
+	}
+	return hit, hitCount, found
+}
+
+func modeIn(m Mode, modes []Mode) bool {
+	for _, x := range modes {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Fail returns an ErrInjected-wrapped error when a Fail fault fires at the
+// site, nil otherwise. A nil injector never fails.
+func (in *Injector) Fail(site Site) error {
+	if in == nil {
+		return nil
+	}
+	if _, _, ok := in.fire(site, Fail); ok {
+		return fmt.Errorf("%w at %s", ErrInjected, site)
+	}
+	return nil
+}
+
+// Sleep applies any Delay fault armed at the site. A nil injector returns
+// immediately.
+func (in *Injector) Sleep(site Site) {
+	if in == nil {
+		return
+	}
+	if f, _, ok := in.fire(site, Delay); ok {
+		time.Sleep(f.Delay)
+	}
+}
+
+// MutateBlob returns blob, or — when a Corrupt or Truncate fault fires at
+// the site — a mutated copy and true. The input slice is never modified, so
+// a caller retaining the original holds pristine data to retry from.
+func (in *Injector) MutateBlob(site Site, blob []byte) ([]byte, bool) {
+	if in == nil || len(blob) == 0 {
+		return blob, false
+	}
+	f, count, ok := in.fire(site, Corrupt, Truncate)
+	if !ok {
+		return blob, false
+	}
+	out := append([]byte(nil), blob...)
+	switch f.Mode {
+	case Corrupt:
+		// Position and bit derive from the firing count alone, so the
+		// corruption is reproducible run to run.
+		pos := (len(out)/2 + 13*count) % len(out)
+		out[pos] ^= 1 << (uint(count) % 8)
+	case Truncate:
+		// Drop a tail segment; at least one byte always goes.
+		cut := len(out)/3 + 1
+		out = out[:len(out)-cut]
+	}
+	return out, true
+}
+
+// Stats returns a snapshot of fired-fault counts.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

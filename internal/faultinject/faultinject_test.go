@@ -1,0 +1,173 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fail(SiteEncode); err != nil {
+		t.Fatalf("nil Fail = %v", err)
+	}
+	blob := []byte{1, 2, 3}
+	out, mutated := in.MutateBlob(SiteTransferIn, blob)
+	if mutated || &out[0] != &blob[0] {
+		t.Fatal("nil injector mutated a blob")
+	}
+	in.Sleep(SiteDecode)
+	if s := in.Stats(); s.Total() != 0 {
+		t.Fatalf("nil stats %+v", s)
+	}
+}
+
+func TestFailAfterAndEvery(t *testing.T) {
+	in := New(Fault{Site: SiteHostAlloc, Mode: Fail, After: 3, Every: 2})
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if err := in.Fail(SiteHostAlloc); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: error %v does not wrap ErrInjected", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 5, 7, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if s := in.Stats(); s.Failures != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFailFiresOnceByDefault(t *testing.T) {
+	in := New(Fault{Site: SiteEncode, Mode: Fail}) // After defaults to 1
+	if err := in.Fail(SiteEncode); err == nil {
+		t.Fatal("first op did not fail")
+	}
+	for i := 0; i < 5; i++ {
+		if err := in.Fail(SiteEncode); err != nil {
+			t.Fatal("one-shot fault fired twice")
+		}
+	}
+	// Other sites and modes are untouched.
+	if err := in.Fail(SiteDecode); err != nil {
+		t.Fatal("unarmed site fired")
+	}
+}
+
+func TestMutateBlobCorruptPreservesInput(t *testing.T) {
+	in := New(Fault{Site: SiteTransferIn, Mode: Corrupt})
+	orig := []byte{10, 20, 30, 40, 50, 60, 70, 80}
+	pristine := append([]byte(nil), orig...)
+	out, mutated := in.MutateBlob(SiteTransferIn, orig)
+	if !mutated {
+		t.Fatal("armed corrupt fault did not fire")
+	}
+	if !bytes.Equal(orig, pristine) {
+		t.Fatal("input slice was modified")
+	}
+	if bytes.Equal(out, orig) {
+		t.Fatal("output not corrupted")
+	}
+	if len(out) != len(orig) {
+		t.Fatal("corrupt changed length")
+	}
+	// Exactly one bit differs.
+	diffBits := 0
+	for i := range out {
+		x := out[i] ^ orig[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("%d bits flipped, want 1", diffBits)
+	}
+	if s := in.Stats(); s.Corruptions != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMutateBlobTruncateShortens(t *testing.T) {
+	in := New(Fault{Site: SiteTransferOut, Mode: Truncate})
+	orig := make([]byte, 100)
+	out, mutated := in.MutateBlob(SiteTransferOut, orig)
+	if !mutated || len(out) >= len(orig) {
+		t.Fatalf("truncate produced %d of %d bytes (mutated=%v)", len(out), len(orig), mutated)
+	}
+	if s := in.Stats(); s.Truncations != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMutateBlobDeterministic(t *testing.T) {
+	run := func() []byte {
+		in := New(Fault{Site: SiteTransferIn, Mode: Corrupt, After: 2})
+		blob := make([]byte, 64)
+		for i := range blob {
+			blob[i] = byte(i)
+		}
+		in.MutateBlob(SiteTransferIn, blob) // op 1: no fire
+		out, _ := in.MutateBlob(SiteTransferIn, blob)
+		return out
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("corruption not deterministic across runs")
+	}
+}
+
+func TestSleepDelay(t *testing.T) {
+	in := New(Fault{Site: SiteDecode, Mode: Delay, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	in.Sleep(SiteDecode)
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("delay fault did not sleep")
+	}
+	if s := in.Stats(); s.Delays != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	in := New(
+		Fault{Site: SiteEncode, Mode: Fail, After: 1, Every: 3},
+		Fault{Site: SiteTransferIn, Mode: Corrupt, After: 1, Every: 5},
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blob := make([]byte, 32)
+			for i := 0; i < 100; i++ {
+				_ = in.Fail(SiteEncode)
+				_, _ = in.MutateBlob(SiteTransferIn, blob)
+			}
+		}()
+	}
+	wg.Wait()
+	s := in.Stats()
+	// 800 ops per site: encode fires on 1,4,7,... = 267; corrupt on 1,6,11,... = 160.
+	if s.Failures != 267 || s.Corruptions != 160 {
+		t.Fatalf("stats %+v, want 267 failures, 160 corruptions", s)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{Fail: "fail", Corrupt: "corrupt", Truncate: "truncate", Delay: "delay"} {
+		if m.String() != want {
+			t.Fatalf("Mode(%d).String() = %q", int(m), m.String())
+		}
+	}
+}
