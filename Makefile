@@ -15,9 +15,10 @@ vet:
 test: vet
 	$(GO) test ./...
 
-# Race-check the swapping data path (the concurrent hot path).
+# Race-check the swapping data path (the concurrent hot path) and the
+# lock-free metrics registry.
 race:
-	$(GO) test -race ./internal/executor/... ./internal/compress/...
+	$(GO) test -race ./internal/executor/... ./internal/compress/... ./internal/metrics/...
 
 race-all:
 	$(GO) test -race ./...
@@ -25,9 +26,11 @@ race-all:
 cover:
 	$(GO) test -cover ./...
 
-# Regenerate every table and figure as benchmark metrics.
+# Regenerate every table and figure as benchmark metrics, captured as
+# machine-readable test2json events in BENCH_metrics.json.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -json -run='^$$' ./... > BENCH_metrics.json
+	@grep -c '"Action":"output"' BENCH_metrics.json >/dev/null && echo "wrote BENCH_metrics.json"
 
 # Full evaluation -> REPORT.md (and CSV series under data/).
 report:
@@ -44,5 +47,5 @@ examples:
 	$(GO) run ./examples/vgg16-imagenet
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_metrics.json
 	rm -rf data

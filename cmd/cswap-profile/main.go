@@ -3,27 +3,40 @@
 // compressed per epoch for four models), and Figure 9 (the VGG16
 // layer × epoch compression dot-matrix).
 //
+// -metrics and -trace attach an Observer to every deployment the figures
+// build and export what it accumulated: advisor verdict counts, BO probe
+// trajectories, and setup-phase spans across all workloads.
+//
 // Usage:
 //
-//	cswap-profile [-seed N] [-fast]
+//	cswap-profile [-seed N] [-fast] [-metrics out.jsonl] [-trace out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"cswap"
 	"cswap/internal/experiments"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	fast := flag.Bool("fast", false, "reduced sample counts")
+	metricsPath := flag.String("metrics", "", "write a JSON-lines metrics snapshot here")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file here")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed}
 	if *fast {
 		cfg = experiments.Fast(*seed)
+	}
+	var obs *cswap.Observer
+	if *metricsPath != "" || *tracePath != "" {
+		obs = cswap.NewObserver()
+		cfg.Observer = obs
 	}
 
 	f1, err := experiments.Fig1(cfg)
@@ -43,4 +56,29 @@ func main() {
 		log.Fatalf("figure 9: %v", err)
 	}
 	fmt.Println(f9)
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		werr := cswap.JSONLinesSink{W: f}.Write(obs.Metrics.Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatalf("write metrics: %v", werr)
+		}
+		fmt.Printf("metrics: %s\n", *metricsPath)
+	}
+	if *tracePath != "" {
+		b, err := obs.ChromeTrace()
+		if err != nil {
+			log.Fatalf("export trace: %v", err)
+		}
+		if err := os.WriteFile(*tracePath, b, 0o644); err != nil {
+			log.Fatalf("write trace: %v", err)
+		}
+		fmt.Printf("trace: %s\n", *tracePath)
+	}
 }

@@ -4,25 +4,59 @@
 // Figure 7 (CSWAP's improvement over static compression), and the headline
 // swap-latency / training-time reductions.
 //
+// With -metrics and/or -trace it instead runs one observed training
+// iteration of a single workload and exports what the Observer saw: a
+// JSON-lines metrics snapshot (per-stream busy time, advisor verdicts, BO
+// probes) and a Chrome trace-event file loadable in Perfetto.
+//
 // Usage:
 //
 //	cswap-sim [-seed N] [-fast] [-samples N] [-stride N]
+//	cswap-sim -metrics out.jsonl -trace out.json [-model VGG16] [-gpu V100]
+//	          [-dataset ImageNet] [-epoch 10] [-seed N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"strings"
 
+	"cswap"
 	"cswap/internal/experiments"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "experiment seed")
-	fast := flag.Bool("fast", false, "reduced sample counts and epoch grid")
-	samples := flag.Int("samples", 0, "override regression samples per algorithm")
-	stride := flag.Int("stride", 0, "override epoch stride")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cswap-sim", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	fast := fs.Bool("fast", false, "reduced sample counts and epoch grid")
+	samples := fs.Int("samples", 0, "override regression samples per algorithm")
+	stride := fs.Int("stride", 0, "override epoch stride")
+	metricsPath := fs.String("metrics", "", "write a JSON-lines metrics snapshot here (switches to single-run mode)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file here (switches to single-run mode)")
+	model := fs.String("model", "VGG16", "single-run model")
+	gpuName := fs.String("gpu", "V100", "single-run GPU (V100 or 2080Ti)")
+	dataset := fs.String("dataset", "ImageNet", "single-run dataset (ImageNet or CIFAR-10)")
+	epoch := fs.Int("epoch", 10, "single-run epoch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *metricsPath != "" || *tracePath != "" {
+		return runObserved(out, observedConfig{
+			seed: *seed, samples: *samples, fast: *fast,
+			metricsPath: *metricsPath, tracePath: *tracePath,
+			model: *model, gpu: *gpuName, dataset: *dataset, epoch: *epoch,
+		})
+	}
 
 	cfg := experiments.Config{Seed: *seed}
 	if *fast {
@@ -37,16 +71,105 @@ func main() {
 
 	f6, err := experiments.Fig6(cfg)
 	if err != nil {
-		log.Fatalf("figure 6: %v", err)
+		return fmt.Errorf("figure 6: %w", err)
 	}
-	fmt.Println(f6)
+	fmt.Fprintln(out, f6)
 
 	f7 := &experiments.Fig7Result{Platforms: f6.Platforms}
-	fmt.Println(f7)
+	fmt.Fprintln(out, f7)
 
 	head, err := experiments.Headline(cfg)
 	if err != nil {
-		log.Fatalf("headline: %v", err)
+		return fmt.Errorf("headline: %w", err)
 	}
-	fmt.Println(head)
+	fmt.Fprintln(out, head)
+	return nil
+}
+
+type observedConfig struct {
+	seed        int64
+	samples     int
+	fast        bool
+	metricsPath string
+	tracePath   string
+	model       string
+	gpu         string
+	dataset     string
+	epoch       int
+}
+
+// runObserved performs exactly one simulated training iteration with an
+// Observer attached, so the exported per-stream busy counters equal the
+// printed SimResult totals.
+func runObserved(out io.Writer, c observedConfig) error {
+	var ds cswap.Dataset
+	switch strings.ToUpper(strings.ReplaceAll(c.dataset, "-", "")) {
+	case "IMAGENET":
+		ds = cswap.ImageNet
+	case "CIFAR10":
+		ds = cswap.CIFAR10
+	default:
+		return fmt.Errorf("unknown dataset %q (want ImageNet or CIFAR-10)", c.dataset)
+	}
+	d, err := cswap.DeviceByName(c.gpu)
+	if err != nil {
+		return err
+	}
+	batch, err := cswap.BatchSize(c.model, d.Name, ds)
+	if err != nil {
+		return err
+	}
+	m, err := cswap.BuildModel(c.model, ds, batch)
+	if err != nil {
+		return err
+	}
+
+	samples := c.samples
+	if samples == 0 && c.fast {
+		samples = experiments.Fast(c.seed).SamplesPerAlg
+	}
+	obs := cswap.NewObserver()
+	fw, err := cswap.NewFramework(cswap.Config{
+		Model: m, Device: d, Seed: c.seed, SamplesPerAlg: samples, Observer: obs,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := fw.SimulateIteration(c.epoch, cswap.NewSimOptions(cswap.WithSeed(c.seed)))
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s %s/%s epoch %d (batch %d, launch grid=%d block=%d)\n",
+		c.model, d.Name, ds.Name, c.epoch, batch, fw.Launch.Grid, fw.Launch.Block)
+	fmt.Fprintf(out, "iteration %.6fs  throughput %.1f samples/s  exposed %.6fs\n",
+		res.IterationTime, res.Throughput, res.SwapExposed)
+	fmt.Fprintf(out, "busy: compute %.6fs  kernel %.6fs  d2h %.6fs  h2d %.6fs\n",
+		res.ComputeBusy, res.KernelBusy, res.D2HBusy, res.H2DBusy)
+
+	if c.metricsPath != "" {
+		f, err := os.Create(c.metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := cswap.JSONLinesSink{W: f}.Write(obs.Metrics.Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("write metrics: %w", werr)
+		}
+		fmt.Fprintf(out, "metrics: %s\n", c.metricsPath)
+	}
+	if c.tracePath != "" {
+		b, err := obs.ChromeTrace()
+		if err != nil {
+			return fmt.Errorf("export trace: %w", err)
+		}
+		if err := os.WriteFile(c.tracePath, b, 0o644); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintf(out, "trace: %s\n", c.tracePath)
+	}
+	return nil
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"cswap"
+)
+
+// TestObservedRunExportsConsistentMetrics is the end-to-end acceptance
+// check: one `cswap-sim -metrics -trace` run must produce a JSON-lines
+// snapshot whose per-stream busy totals equal the run's SimResult, and a
+// Chrome trace Perfetto can load (a JSON array of complete events).
+func TestObservedRunExportsConsistentMetrics(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "out.jsonl")
+	tracePath := filepath.Join(dir, "out.json")
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-metrics", metricsPath, "-trace", tracePath,
+		"-model", "AlexNet", "-gpu", "V100", "-dataset", "ImageNet",
+		"-epoch", "5", "-seed", "7", "-samples", "300",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recompute the same deterministic run through the public API; the
+	// exported counters must match its SimResult exactly.
+	d, err := cswap.DeviceByName("V100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := cswap.BatchSize("AlexNet", d.Name, cswap.ImageNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cswap.BuildModel("AlexNet", cswap.ImageNet, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := cswap.NewFramework(cswap.Config{Model: m, Device: d, Seed: 7, SamplesPerAlg: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fw.SimulateIteration(5, cswap.NewSimOptions(cswap.WithSeed(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := cswap.ParseMetricsJSONLines(f)
+	if err != nil {
+		t.Fatalf("exported JSONL does not parse: %v", err)
+	}
+
+	for _, tc := range []struct {
+		stream string
+		want   float64
+	}{
+		{"compute", want.ComputeBusy},
+		{"kernel", want.KernelBusy},
+		{"d2h", want.D2HBusy},
+		{"h2d", want.H2DBusy},
+	} {
+		v, ok := snap.Counter("sim_stream_busy_seconds_total", cswap.MetricLabel("stream", tc.stream))
+		if !ok {
+			t.Fatalf("no sim_stream_busy_seconds_total{stream=%q} in export", tc.stream)
+		}
+		if math.Abs(v-tc.want) > 1e-9*math.Max(1, tc.want) {
+			t.Fatalf("busy[%s] = %v, SimResult says %v", tc.stream, v, tc.want)
+		}
+	}
+	if v, ok := snap.Counter("sim_iterations_total"); !ok || v != 1 {
+		t.Fatalf("sim_iterations_total = %v, %v (want exactly one observed run)", v, ok)
+	}
+	if v, ok := snap.Counter("core_iterations_total"); !ok || v != 1 {
+		t.Fatalf("core_iterations_total = %v, %v", v, ok)
+	}
+
+	// The trace must be a non-empty JSON array of Chrome complete events
+	// with the fields Perfetto needs.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	spans := 0
+	for i, ev := range events {
+		switch ev["ph"] {
+		case "X": // complete event — one simulated job
+			spans++
+			for _, k := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := ev[k]; !ok {
+					t.Fatalf("event %d missing %q: %v", i, k, ev)
+				}
+			}
+		case "M": // metadata (stream names)
+		default:
+			t.Fatalf("event %d: unexpected phase %v", i, ev["ph"])
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no complete events")
+	}
+
+	// The human-readable output should state the same busy totals it
+	// exported (smoke check: the compute figure appears in the text).
+	if !bytes.Contains(out.Bytes(), []byte("busy: compute "+trimFloat(want.ComputeBusy))) {
+		t.Fatalf("printed output does not carry the busy totals:\n%s", out.String())
+	}
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-metrics", filepath.Join(t.TempDir(), "m.jsonl"), "-dataset", "MNIST"}, &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

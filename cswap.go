@@ -25,11 +25,17 @@
 //
 //	model, _ := cswap.BuildModel("VGG16", cswap.ImageNet, 128)
 //	fw, _ := cswap.NewFramework(cswap.Config{Model: model, Device: cswap.V100(), Seed: 1})
-//	result, _ := fw.SimulateIteration(10, cswap.DefaultSimOptions(1))
+//	result, _ := fw.SimulateIteration(10, cswap.NewSimOptions(cswap.WithSeed(1)))
 //	fmt.Println(result.IterationTime, result.Throughput)
+//
+// Attach an Observer (Config.Observer, ExecutorConfig.Observer, or
+// WithObserver) to record metrics, spans, and events from every layer; see
+// the Observability section of DESIGN.md.
 package cswap
 
 import (
+	"io"
+
 	"cswap/internal/bayesopt"
 	"cswap/internal/compress"
 	"cswap/internal/core"
@@ -39,6 +45,7 @@ import (
 	"cswap/internal/faultinject"
 	"cswap/internal/gpu"
 	"cswap/internal/memdb"
+	"cswap/internal/metrics"
 	"cswap/internal/profiler"
 	"cswap/internal/sparsity"
 	"cswap/internal/swap"
@@ -245,7 +252,42 @@ func PlanPeakBytes(np *NetworkProfile, plan *Plan) int64 {
 }
 
 // DefaultSimOptions returns the standard jitter/interference configuration.
+//
+// Deprecated: use NewSimOptions(WithSeed(seed)) — the functional-options
+// constructor composes with the observability and ablation switches.
 func DefaultSimOptions(seed int64) SimOptions { return swap.DefaultOptions(seed) }
+
+// SimOption mutates SimOptions; see NewSimOptions.
+type SimOption = swap.Option
+
+// NewSimOptions returns the standard jitter/interference configuration with
+// opts applied in order.
+//
+//	opt := cswap.NewSimOptions(cswap.WithSeed(1), cswap.WithObserver(obs))
+func NewSimOptions(opts ...SimOption) SimOptions { return swap.NewOptions(opts...) }
+
+// WithSeed sets the jitter stream seed.
+func WithSeed(seed int64) SimOption { return swap.WithSeed(seed) }
+
+// WithJitter sets the log-normal duration jitter σ (0 disables noise).
+func WithJitter(sigma float64) SimOption { return swap.WithJitter(sigma) }
+
+// WithInterference sets the SM-contention fraction charged to the compute
+// stream for software compression kernels.
+func WithInterference(f float64) SimOption { return swap.WithInterference(f) }
+
+// WithSimTrace records every simulated job as a span on t.
+func WithSimTrace(t *Timeline) SimOption { return swap.WithTrace(t) }
+
+// WithObserver attaches the unified observability surface to the run.
+func WithObserver(o *Observer) SimOption { return swap.WithObserver(o) }
+
+// WithPipelinedCodec toggles the double-buffered-swapping ablation.
+func WithPipelinedCodec(on bool) SimOption { return swap.WithPipelinedCodec(on) }
+
+// WithEagerPrefetch toggles the issue-all-prefetches-at-backward-start
+// prefetch policy.
+func WithEagerPrefetch(on bool) SimOption { return swap.WithEagerPrefetch(on) }
 
 // Simulate runs one training iteration of model under plan on device.
 func Simulate(m *Model, d *Device, np *NetworkProfile, plan *Plan, opt SimOptions) (*SimResult, error) {
@@ -364,3 +406,44 @@ type (
 	// GridSearch is the exhaustive GS oracle.
 	GridSearch = bayesopt.GridSearch
 )
+
+// ---------------------------------------------------------------------------
+// Observability: the unified metrics + tracing surface.
+
+type (
+	// Observer is the single instrumentation surface threaded through the
+	// stack: a metrics registry, an optional span timeline, and an optional
+	// structured event hook. Attach one via Config.Observer,
+	// ExecutorConfig.Observer, or WithObserver; a nil Observer is valid
+	// everywhere and costs ~zero on the hot path.
+	Observer = metrics.Observer
+	// ObserverEvent is one structured notification (a BO probe, a codec
+	// fallback, an iteration boundary) delivered to Observer.OnEvent.
+	ObserverEvent = metrics.Event
+	// MetricsRegistry holds named counters, gauges, and log-bucketed
+	// histograms, labeled by codec/tensor/site.
+	MetricsRegistry = metrics.Registry
+	// MetricsLabel is one key=value dimension on a metric series.
+	MetricsLabel = metrics.Label
+	// MetricsSnapshot is a point-in-time, deterministically ordered export
+	// of a registry.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsSink writes snapshots somewhere (JSON lines, Prometheus text).
+	MetricsSink = metrics.Sink
+	// JSONLinesSink writes one self-describing JSON object per series.
+	JSONLinesSink = metrics.JSONLines
+	// PrometheusSink writes Prometheus text exposition format 0.0.4.
+	PrometheusSink = metrics.Prometheus
+)
+
+// NewObserver returns an observer with a fresh registry and timeline and no
+// event hook.
+func NewObserver() *Observer { return metrics.NewObserver() }
+
+// MetricLabel builds one metric label.
+func MetricLabel(key, value string) MetricsLabel { return metrics.L(key, value) }
+
+// ParseMetricsJSONLines reads a JSONLinesSink export back into a snapshot.
+func ParseMetricsJSONLines(r io.Reader) (*MetricsSnapshot, error) {
+	return metrics.ParseJSONLines(r)
+}

@@ -1,9 +1,11 @@
 package bayesopt
 
 import (
+	"fmt"
 	"math"
 
 	"cswap/internal/compress"
+	"cswap/internal/metrics"
 	"cswap/internal/stats"
 )
 
@@ -78,6 +80,10 @@ type BO struct {
 	Xi float64
 	// Acq selects the acquisition function (default EI).
 	Acq Acquisition
+	// Observer, when non-nil, records the search: a probe counter, the
+	// best-observed-value trajectory (gauge plus one event per probe), and
+	// the distribution of objective values. Nil records nothing.
+	Observer *metrics.Observer
 }
 
 // Name implements Searcher.
@@ -147,6 +153,16 @@ func (b *BO) Search(obj Objective) Result {
 			res.BestValue = y
 			res.Best = l
 		}
+		if reg := b.Observer.Reg(); reg != nil {
+			reg.Counter("bayesopt_probes_total").Inc()
+			reg.Gauge("bayesopt_best_seconds").Set(res.BestValue)
+			reg.Histogram("bayesopt_probe_seconds").Observe(y)
+		}
+		b.Observer.Emit("bayesopt.probe",
+			"grid", fmt.Sprintf("%d", l.Grid),
+			"block", fmt.Sprintf("%d", l.Block),
+			"value", fmt.Sprintf("%g", y),
+			"best", fmt.Sprintf("%g", res.BestValue))
 	}
 
 	// Lines 3–9: initial random design D.

@@ -1,0 +1,66 @@
+package bayesopt
+
+import (
+	"strconv"
+	"testing"
+
+	"cswap/internal/compress"
+	"cswap/internal/metrics"
+)
+
+func TestBOObserverRecordsProbeTrajectory(t *testing.T) {
+	obs := metrics.NewObserver()
+	var probes []metrics.Event
+	obs.OnEvent = func(ev metrics.Event) {
+		if ev.Name == "bayesopt.probe" {
+			probes = append(probes, ev)
+		}
+	}
+
+	b := &BO{S1: 5, S2: 5, Seed: 3, Observer: obs}
+	res := b.Search(func(l compress.Launch) float64 {
+		// A smooth valley at grid 100 — same shape the real objective has.
+		d := float64(l.Grid-100) / 100
+		return 1 + d*d
+	})
+
+	reg := obs.Metrics
+	if got := reg.Counter("bayesopt_probes_total").Value(); int(got) != res.Evaluations {
+		t.Fatalf("probe counter %v, evaluations %d", got, res.Evaluations)
+	}
+	if got := reg.Gauge("bayesopt_best_seconds").Value(); got != res.BestValue {
+		t.Fatalf("best gauge %v, BestValue %v", got, res.BestValue)
+	}
+	if h := reg.Histogram("bayesopt_probe_seconds"); int(h.Count()) != res.Evaluations {
+		t.Fatalf("probe histogram count %d, evaluations %d", h.Count(), res.Evaluations)
+	}
+
+	// The emitted best-so-far trajectory must be non-increasing and end at
+	// the returned optimum.
+	if len(probes) != res.Evaluations {
+		t.Fatalf("%d probe events, %d evaluations", len(probes), res.Evaluations)
+	}
+	prev := 0.0
+	for i, ev := range probes {
+		best, err := strconv.ParseFloat(ev.Attrs["best"], 64)
+		if err != nil {
+			t.Fatalf("probe %d: bad best attr %q", i, ev.Attrs["best"])
+		}
+		if i > 0 && best > prev {
+			t.Fatalf("best-so-far increased at probe %d: %v > %v", i, best, prev)
+		}
+		prev = best
+	}
+	if prev != res.BestValue {
+		t.Fatalf("trajectory ends at %v, BestValue %v", prev, res.BestValue)
+	}
+}
+
+func TestBONilObserverUnchanged(t *testing.T) {
+	obj := func(l compress.Launch) float64 { return float64(l.Grid) }
+	with := (&BO{Seed: 1, Observer: metrics.NewObserver()}).Search(obj)
+	without := (&BO{Seed: 1}).Search(obj)
+	if with.Best != without.Best || with.BestValue != without.BestValue || with.Evaluations != without.Evaluations {
+		t.Fatalf("observer changed the search: %+v vs %+v", with, without)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"cswap/internal/faultinject"
 	"cswap/internal/gpu"
 	"cswap/internal/memdb"
+	"cswap/internal/metrics"
 	"cswap/internal/profiler"
 	"cswap/internal/regress"
 	"cswap/internal/sparsity"
@@ -40,6 +41,12 @@ type Config struct {
 	// SkipTuning uses the device's expert-default launch instead of
 	// running BO (ablation switch).
 	SkipTuning bool
+	// Observer, when non-nil, is threaded through every component the
+	// deployment builds: the BO search, the execution advisor, the
+	// executor, and each simulated iteration. Setup phases land as spans
+	// on its "core" stream; iteration-level rollups land in its registry.
+	// Nil disables all recording at ~zero cost.
+	Observer *metrics.Observer
 }
 
 // Overheads reports the one-time and runtime costs of Section V-E.
@@ -80,8 +87,17 @@ func New(cfg Config) (*Framework, error) {
 	}
 	f := &Framework{Config: cfg, DB: memdb.New()}
 
+	// Setup phases are timed against one wall-clock origin so they appear
+	// in order on the observer's "core" trace stream.
+	setupStart := time.Now()
+	phase := func(label string, began time.Time) {
+		cfg.Observer.Span("core", label,
+			began.Sub(setupStart).Seconds(), time.Since(setupStart).Seconds())
+	}
+
 	// 1. Pre-training BO search over (grid, block) on the calibration
 	// workload (500 MB @ 50 % ZVC), measuring noisy kernel executions.
+	tuneStart := time.Now()
 	if cfg.SkipTuning {
 		f.Launch = cfg.Device.DefaultLaunch()
 	} else {
@@ -95,13 +111,14 @@ func New(cfg Config) (*Framework, error) {
 			})
 			return c + dc
 		}
-		res := (&bayesopt.BO{Seed: cfg.Seed}).Search(objective)
+		res := (&bayesopt.BO{Seed: cfg.Seed, Observer: cfg.Observer}).Search(objective)
 		f.Launch = res.Best
 		f.Overhead.BOEvaluations = res.Evaluations
 		for _, ob := range res.History {
 			f.Overhead.BOModeledSeconds += ob.Value
 		}
 	}
+	phase("tune", tuneStart)
 
 	// 2. Offline (de)compression-time model.
 	samples := cfg.SamplesPerAlg
@@ -119,10 +136,12 @@ func New(cfg Config) (*Framework, error) {
 	if err := tp.Store(f.DB); err != nil {
 		return nil, fmt.Errorf("core: store time model: %w", err)
 	}
+	phase("train-predictor", genStart)
 
 	// 3. First-iteration profile, with hidden windows refined by the
 	// compression-free measurement pass (Table II's "overlapped swapping
 	// latency").
+	profStart := time.Now()
 	f.Sparsity = sparsity.ForModel(cfg.Model, cfg.Epochs, cfg.Seed+3)
 	f.Profile = profiler.Collect(cfg.Model, cfg.Device, f.Sparsity, 0)
 	if err := swap.MeasureHiddenWindows(cfg.Model, cfg.Device, f.Profile); err != nil {
@@ -131,8 +150,9 @@ func New(cfg Config) (*Framework, error) {
 	if err := f.Profile.Store(f.DB); err != nil {
 		return nil, fmt.Errorf("core: store profile: %w", err)
 	}
+	phase("profile", profStart)
 
-	f.planner = swap.CSWAP{Predictor: tp, Launch: f.Launch}
+	f.planner = swap.CSWAP{Predictor: tp, Launch: f.Launch, Observer: cfg.Observer}
 	return f, nil
 }
 
@@ -152,6 +172,7 @@ func (f *Framework) NewExecutor(scaleDiv int, faults *faultinject.Injector) (*ex
 		Launch:         f.Launch,
 		Verify:         true,
 		Faults:         faults,
+		Observer:       f.Config.Observer,
 	})
 }
 
@@ -200,12 +221,29 @@ func (f *Framework) CompressedLayerCount(epoch int) (int, error) {
 }
 
 // SimulateIteration runs one training iteration under the epoch's plan.
+// The deployment's Observer (if any, and unless opt names its own) sees
+// the run: per-stream metrics from the simulator plus iteration-level
+// rollups (core_iterations_total, core_iteration_seconds,
+// core_compressed_tensors_total, core_throughput_samples_per_second).
 func (f *Framework) SimulateIteration(epoch int, opt swap.Options) (*swap.Result, error) {
 	plan, err := f.PlanEpoch(epoch)
 	if err != nil {
 		return nil, err
 	}
-	return swap.Simulate(f.Config.Model, f.Config.Device, f.Profile, plan, opt)
+	if opt.Observer == nil {
+		opt.Observer = f.Config.Observer
+	}
+	res, err := swap.Simulate(f.Config.Model, f.Config.Device, f.Profile, plan, opt)
+	if err != nil {
+		return nil, err
+	}
+	if reg := opt.Observer.Reg(); reg != nil {
+		reg.Counter("core_iterations_total").Inc()
+		reg.Counter("core_compressed_tensors_total").Add(float64(plan.CompressedCount()))
+		reg.Histogram("core_iteration_seconds").Observe(res.IterationTime)
+		reg.Gauge("core_throughput_samples_per_second").Set(res.Throughput)
+	}
+	return res, nil
 }
 
 // DecisionAccuracy measures Figure 11's metric over the training run: for
@@ -264,6 +302,14 @@ func (f *Framework) DecisionAccuracy(jitter float64) (float64, error) {
 				correct++
 			}
 			total++
+			// Feed predicted-vs-realized cost back to the observer: the
+			// advisor predicted Eq. 2's T when compressing and Eq. 1's T′
+			// when not; the jittered simulation measured the same quantity.
+			if decs[i].Compress {
+				costmodel.RecordRealized(f.Config.Observer, decs[i].T, tMeas)
+			} else {
+				costmodel.RecordRealized(f.Config.Observer, decs[i].TPrime, tPrimeMeas)
+			}
 		}
 	}
 	if total == 0 {

@@ -17,6 +17,8 @@ package costmodel
 
 import (
 	"math"
+
+	"cswap/internal/metrics"
 )
 
 // Params collects the Table II quantities for one tensor.
@@ -97,3 +99,43 @@ func Decide(p Params) Decision {
 	tp := UncompressedCost(p)
 	return Decision{Compress: tp > t, T: t, TPrime: tp}
 }
+
+// Verdict is the decision's label value ("compress" or "raw") in the
+// costmodel_decisions_total series.
+func (d Decision) Verdict() string {
+	if d.Compress {
+		return "compress"
+	}
+	return "raw"
+}
+
+// Observe records the verdict into the observer's registry: a decision
+// counter labeled by verdict and the chosen codec, and the predicted gain
+// of taking the cheaper side. A nil observer records nothing.
+func (d Decision) Observe(o *metrics.Observer, codec string) {
+	r := o.Reg()
+	if r == nil {
+		return
+	}
+	r.Counter("costmodel_decisions_total",
+		metrics.L("verdict", d.Verdict()), metrics.L("codec", codec)).Inc()
+	r.Histogram("costmodel_predicted_gain_seconds").Observe(d.Gain())
+}
+
+// RecordRealized feeds back a measured swap cost against the predicted one
+// (Eq. 2's T when compressing, Eq. 1's T′ when not), recording the
+// relative prediction error — the quantity behind the paper's Figure 11
+// decision-accuracy claim. Non-positive or non-finite realized values are
+// dropped (no measurement to compare against).
+func RecordRealized(o *metrics.Observer, predicted, realized float64) {
+	r := o.Reg()
+	if r == nil || realized <= 0 || math.IsNaN(predicted) || math.IsInf(predicted, 0) || math.IsNaN(realized) || math.IsInf(realized, 0) {
+		return
+	}
+	r.HistogramWith("costmodel_time_error_ratio", errorRatioBuckets()).
+		Observe(math.Abs(predicted-realized) / realized)
+	r.Counter("costmodel_realized_samples_total").Inc()
+}
+
+// errorRatioBuckets spans 0.1 % to ~400 % relative error.
+func errorRatioBuckets() []float64 { return metrics.ExpBuckets(0.001, 2, 12) }

@@ -1,0 +1,60 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"cswap/internal/metrics"
+)
+
+func TestDecisionObserveCountsByVerdictAndCodec(t *testing.T) {
+	obs := metrics.NewObserver()
+	Decision{Compress: true, T: 1, TPrime: 3}.Observe(obs, "ZVC")
+	Decision{Compress: true, T: 2, TPrime: 3}.Observe(obs, "ZVC")
+	Decision{Compress: false, T: 5, TPrime: 3}.Observe(obs, "LZ4")
+
+	snap := obs.Metrics.Snapshot()
+	if v, ok := snap.Counter("costmodel_decisions_total",
+		metrics.L("verdict", "compress"), metrics.L("codec", "ZVC")); !ok || v != 2 {
+		t.Fatalf("compress/ZVC = %v, %v", v, ok)
+	}
+	if v, ok := snap.Counter("costmodel_decisions_total",
+		metrics.L("verdict", "raw"), metrics.L("codec", "LZ4")); !ok || v != 1 {
+		t.Fatalf("raw/LZ4 = %v, %v", v, ok)
+	}
+	// Gains: (3-1) + (3-2) + (5-3) = 5 across three observations.
+	h := obs.Metrics.Histogram("costmodel_predicted_gain_seconds")
+	if h.Count() != 3 || math.Abs(h.Sum()-5) > 1e-12 {
+		t.Fatalf("gain histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+
+	// Nil observer must be a no-op, not a panic.
+	Decision{Compress: true}.Observe(nil, "ZVC")
+}
+
+func TestRecordRealizedGuardsBadInputs(t *testing.T) {
+	obs := metrics.NewObserver()
+	RecordRealized(obs, 1.0, 0)          // no measurement
+	RecordRealized(obs, 1.0, -1)         // negative measurement
+	RecordRealized(obs, math.NaN(), 1)   // bad prediction
+	RecordRealized(obs, math.Inf(1), 1)  // bad prediction
+	RecordRealized(obs, 1.0, math.NaN()) // bad measurement
+	RecordRealized(nil, 1.0, 1.0)        // nil observer
+	if v, _ := obs.Metrics.Snapshot().Counter("costmodel_realized_samples_total"); v != 0 {
+		t.Fatalf("guarded inputs recorded %v samples", v)
+	}
+
+	RecordRealized(obs, 1.2, 1.0) // 20 % relative error
+	RecordRealized(obs, 0.9, 1.0) // 10 % relative error
+	snap := obs.Metrics.Snapshot()
+	if v, ok := snap.Counter("costmodel_realized_samples_total"); !ok || v != 2 {
+		t.Fatalf("realized samples = %v, %v", v, ok)
+	}
+	h := obs.Metrics.HistogramWith("costmodel_time_error_ratio", errorRatioBuckets())
+	if h.Count() != 2 {
+		t.Fatalf("error histogram count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.3; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("error histogram sum = %v, want %v", got, want)
+	}
+}

@@ -27,10 +27,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"cswap/internal/compress"
 	"cswap/internal/devmem"
 	"cswap/internal/faultinject"
+	"cswap/internal/metrics"
 	"cswap/internal/tensor"
 )
 
@@ -56,6 +58,13 @@ type Config struct {
 	// Faults optionally injects deterministic failures into the data path
 	// (codec work, pool allocations, transfers). Nil injects nothing.
 	Faults *faultinject.Injector
+	// Observer optionally receives deep instrumentation: per-codec encode/
+	// decode timings and byte volumes, wall-clock swap spans, and fallback/
+	// retry events. When it carries a metrics registry, that registry also
+	// becomes the backing store the Stats view reads from. A nil Observer
+	// is valid and costs ~zero on the hot path (one pointer check; no
+	// timing calls, no allocations).
+	Observer *metrics.Observer
 }
 
 // Executor moves real tensors between a device pool and a host pool.
@@ -66,18 +75,27 @@ type Executor struct {
 	cache  *devmem.Cache
 	hooks  *compress.Hooks
 
-	// mu guards the handle registry and stats; the per-handle state
-	// machine is guarded by it too, so concurrent swap streams are safe
+	// reg backs the Stats view: the Observer's registry when one is
+	// configured, otherwise a private registry. ins holds the pre-resolved
+	// cells so counting never allocates; obs gates the deep
+	// (timing/span/event) instrumentation; epoch anchors span wall clocks.
+	reg   *metrics.Registry
+	ins   instruments
+	obs   *metrics.Observer
+	epoch time.Time
+
+	// mu guards the handle registry; counters are atomic registry cells.
+	// The per-handle state machine is safe across concurrent swap streams
 	// as long as each handle is driven by one goroutine at a time (the
 	// codec work itself runs outside the lock).
 	mu     sync.Mutex
 	nextID int
 	live   map[int]*Handle
-
-	stats Stats
 }
 
-// Stats accumulates executor activity.
+// Stats is a point-in-time view over the executor's metrics registry — the
+// former ad-hoc counter struct, kept readable for back-compat. Mutate
+// nothing here; the registry (see Registry) is the source of truth.
 type Stats struct {
 	SwapOuts, SwapIns int
 	// RawBytes is the uncompressed volume swapped out; MovedBytes the
@@ -166,12 +184,20 @@ func New(cfg Config) (*Executor, error) {
 	if err := cfg.Launch.Validate(); err != nil {
 		return nil, err
 	}
+	reg := cfg.Observer.Reg()
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	e := &Executor{
 		cfg:    cfg,
 		device: devmem.NewPool("device", cfg.DeviceCapacity),
 		host:   devmem.NewPool("pinned-host", cfg.HostCapacity),
 		cache:  devmem.NewCache(),
 		live:   map[int]*Handle{},
+		reg:    reg,
+		ins:    newInstruments(reg),
+		obs:    cfg.Observer,
+		epoch:  time.Now(),
 	}
 	if inj := cfg.Faults; inj != nil {
 		e.device.SetAllocHook(func(int64) error { return inj.Fail(faultinject.SiteDeviceAlloc) })
@@ -236,11 +262,24 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 		return fmt.Errorf("%w: %s", ErrFreed, h.name)
 	}
 	inj := e.cfg.Faults
+	timed := e.obs != nil // deep instrumentation only when observed
+	var t0 float64
+	if timed {
+		t0 = e.sinceEpoch()
+	}
 	compressed := doCompress
 	encodeFellBack, allocFellBack := false, false
 	var blob []byte
+	var encDur time.Duration
 	if doCompress {
+		var encStart time.Time
+		if timed {
+			encStart = time.Now()
+		}
 		b, err := compress.ParallelEncodeWith(alg, h.data, e.cfg.Launch, e.hooks)
+		if timed {
+			encDur = time.Since(encStart)
+		}
 		if err != nil {
 			// The raw path beside the compressing one: a codec failure
 			// must not lose the tensor, it just forfeits the bandwidth
@@ -295,20 +334,21 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	h.devBlock = nil
 	h.state = Swapped
 
-	e.mu.Lock()
-	e.stats.SwapOuts++
-	e.stats.RawBytes += h.Bytes()
-	e.stats.MovedBytes += int64(len(blob))
+	e.ins.swapOuts.Inc()
+	e.ins.rawBytes.Add(float64(h.Bytes()))
+	e.ins.movedBytes.Add(float64(len(blob)))
 	if compressed {
-		e.stats.CompressedTensors++
+		e.ins.compressed.Inc()
 	}
 	if encodeFellBack {
-		e.stats.EncodeFallbacks++
+		e.ins.encodeFallbacks.Inc()
 	}
 	if allocFellBack {
-		e.stats.AllocFallbacks++
+		e.ins.allocFallbacks.Inc()
 	}
-	e.mu.Unlock()
+	if timed {
+		e.observeSwapOut(h.name, compressed, alg, len(blob), encDur, t0, e.sinceEpoch(), encodeFellBack, allocFellBack)
+	}
 	return nil
 }
 
@@ -334,6 +374,12 @@ func (e *Executor) SwapIn(h *Handle) error {
 		return fmt.Errorf("executor: device pool: %w", err)
 	}
 	inj := e.cfg.Faults
+	timed := e.obs != nil
+	var t0 float64
+	var decDur time.Duration
+	if timed {
+		t0 = e.sinceEpoch()
+	}
 
 	decode := func(blob []byte) ([]float32, error) {
 		if h.compressed {
@@ -359,7 +405,14 @@ func (e *Executor) SwapIn(h *Handle) error {
 	// The first attempt decodes the transferred copy, which a transfer-in
 	// fault may have perturbed in flight.
 	transfer, transient := inj.MutateBlob(faultinject.SiteTransferIn, h.blob)
+	var decStart time.Time
+	if timed {
+		decStart = time.Now()
+	}
 	data, derr := decode(transfer)
+	if timed {
+		decDur = time.Since(decStart)
+	}
 	if derr == nil {
 		derr = check(data)
 	}
@@ -376,11 +429,12 @@ func (e *Executor) SwapIn(h *Handle) error {
 	}
 	if derr != nil {
 		_ = devBlock.Free()
-		e.mu.Lock()
 		if retried {
-			e.stats.DecodeRetries++
+			e.ins.decodeRetries.Inc()
 		}
-		e.mu.Unlock()
+		if timed {
+			e.observeSwapIn(h.name, h.compressed, h.alg, decDur, t0, e.sinceEpoch(), retried, false)
+		}
 		return fmt.Errorf("executor: restore %s: %w", h.name, derr)
 	}
 	if err := h.hostBlock.Free(); err != nil {
@@ -398,18 +452,19 @@ func (e *Executor) SwapIn(h *Handle) error {
 	h.blob = nil
 	h.hostBlock = nil
 	h.state = Resident
-	e.mu.Lock()
-	e.stats.SwapIns++
+	e.ins.swapIns.Inc()
 	if e.cfg.Verify {
-		e.stats.Verified++
+		e.ins.verified.Inc()
 	}
 	if retried {
-		e.stats.DecodeRetries++
+		e.ins.decodeRetries.Inc()
 	}
 	if recovered {
-		e.stats.DecodeRecoveries++
+		e.ins.decodeRecoveries.Inc()
 	}
-	e.mu.Unlock()
+	if timed {
+		e.observeSwapIn(h.name, h.compressed, h.alg, decDur, t0, e.sinceEpoch(), retried, recovered)
+	}
 	return nil
 }
 
@@ -456,12 +511,29 @@ func (e *Executor) Free(h *Handle) error {
 	return nil
 }
 
-// Stats returns a snapshot of executor activity.
+// Stats returns a snapshot of executor activity, read from the backing
+// metrics registry. Each field is read atomically; a snapshot taken while
+// swaps are in flight is internally consistent per counter, like the old
+// struct under its mutex.
 func (e *Executor) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		SwapOuts:          int(e.ins.swapOuts.Value()),
+		SwapIns:           int(e.ins.swapIns.Value()),
+		RawBytes:          int64(e.ins.rawBytes.Value()),
+		MovedBytes:        int64(e.ins.movedBytes.Value()),
+		CompressedTensors: int(e.ins.compressed.Value()),
+		Verified:          int(e.ins.verified.Value()),
+		EncodeFallbacks:   int(e.ins.encodeFallbacks.Value()),
+		AllocFallbacks:    int(e.ins.allocFallbacks.Value()),
+		DecodeRetries:     int(e.ins.decodeRetries.Value()),
+		DecodeRecoveries:  int(e.ins.decodeRecoveries.Value()),
+	}
 }
+
+// Registry exposes the metrics registry backing Stats: the configured
+// Observer's registry when one was supplied, otherwise the executor's
+// private one. Sinks can snapshot it at any time.
+func (e *Executor) Registry() *metrics.Registry { return e.reg }
 
 // DeviceStats and HostStats expose pool accounting.
 func (e *Executor) DeviceStats() devmem.Stats { return e.device.Stats() }

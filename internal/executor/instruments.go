@@ -1,0 +1,92 @@
+package executor
+
+import (
+	"time"
+
+	"cswap/internal/compress"
+	"cswap/internal/metrics"
+)
+
+// instruments are the executor's pre-resolved registry cells. They are
+// resolved once at construction — the swap hot path updates lock-free
+// atomic counters with no map lookups and no allocations, which is what
+// keeps the nil-Observer configuration at its pre-registry cost.
+type instruments struct {
+	swapOuts, swapIns               *metrics.Counter
+	rawBytes, movedBytes            *metrics.Counter
+	compressed, verified            *metrics.Counter
+	encodeFallbacks, allocFallbacks *metrics.Counter
+	decodeRetries, decodeRecoveries *metrics.Counter
+}
+
+func newInstruments(r *metrics.Registry) instruments {
+	return instruments{
+		swapOuts:         r.Counter("executor_swap_outs_total"),
+		swapIns:          r.Counter("executor_swap_ins_total"),
+		rawBytes:         r.Counter("executor_raw_bytes_total"),
+		movedBytes:       r.Counter("executor_moved_bytes_total"),
+		compressed:       r.Counter("executor_compressed_tensors_total"),
+		verified:         r.Counter("executor_verified_total"),
+		encodeFallbacks:  r.Counter("executor_fallbacks_total", metrics.L("site", "encode")),
+		allocFallbacks:   r.Counter("executor_fallbacks_total", metrics.L("site", "host-alloc")),
+		decodeRetries:    r.Counter("executor_decode_retries_total"),
+		decodeRecoveries: r.Counter("executor_decode_recoveries_total"),
+	}
+}
+
+// codecLabel names the payload encoding for per-codec series: the codec
+// for compressed blobs, "raw" for uncompressed ones (including fallbacks).
+func codecLabel(compressed bool, alg compress.Algorithm) metrics.Label {
+	if compressed {
+		return metrics.L("codec", alg.String())
+	}
+	return metrics.L("codec", "raw")
+}
+
+// observeSwapOut records the deep (Observer-only) view of one swap-out:
+// per-codec volume, encode timing, a wall-clock span, and fallback events.
+// t0/t1 bound the whole operation in seconds since the executor epoch.
+func (e *Executor) observeSwapOut(name string, compressed bool, alg compress.Algorithm, blobLen int, encDur time.Duration, t0, t1 float64, encodeFellBack, allocFellBack bool) {
+	o := e.obs
+	if o == nil {
+		return
+	}
+	r := o.Reg()
+	lab := codecLabel(compressed, alg)
+	r.Counter("executor_moved_bytes_by_codec_total", lab).Add(float64(blobLen))
+	r.HistogramWith("executor_blob_bytes", metrics.ByteBuckets(), lab).Observe(float64(blobLen))
+	if encDur > 0 {
+		r.Histogram("executor_encode_seconds", lab).Observe(encDur.Seconds())
+	}
+	o.Span("swap-out", "o:"+name, t0, t1)
+	if encodeFellBack {
+		o.Emit("executor.fallback", "tensor", name, "site", "encode")
+	}
+	if allocFellBack {
+		o.Emit("executor.fallback", "tensor", name, "site", "host-alloc")
+	}
+}
+
+// observeSwapIn records the deep view of one swap-in: decode timing, a
+// wall-clock span, and retry/recovery events.
+func (e *Executor) observeSwapIn(name string, compressed bool, alg compress.Algorithm, decDur time.Duration, t0, t1 float64, retried, recovered bool) {
+	o := e.obs
+	if o == nil {
+		return
+	}
+	lab := codecLabel(compressed, alg)
+	if decDur > 0 {
+		o.Reg().Histogram("executor_decode_seconds", lab).Observe(decDur.Seconds())
+	}
+	o.Span("swap-in", "p:"+name, t0, t1)
+	if retried {
+		outcome := "failed"
+		if recovered {
+			outcome = "recovered"
+		}
+		o.Emit("executor.decode_retry", "tensor", name, "outcome", outcome)
+	}
+}
+
+// sinceEpoch is the executor's wall clock for spans, in seconds.
+func (e *Executor) sinceEpoch() float64 { return time.Since(e.epoch).Seconds() }

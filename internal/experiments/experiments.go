@@ -13,6 +13,7 @@ import (
 	"cswap/internal/core"
 	"cswap/internal/dnn"
 	"cswap/internal/gpu"
+	"cswap/internal/metrics"
 )
 
 // Config controls experiment scale. The zero value runs at paper scale;
@@ -27,6 +28,9 @@ type Config struct {
 	EpochStride int
 	// Epochs is the training-run length (default 50).
 	Epochs int
+	// Observer, when non-nil, is threaded into every deployment an
+	// experiment builds, accumulating metrics across workloads.
+	Observer *metrics.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +69,7 @@ func (c Config) newFramework(model, gpuName string, ds dnn.Dataset) (*core.Frame
 		Epochs:        c.Epochs,
 		Seed:          c.Seed,
 		SamplesPerAlg: c.SamplesPerAlg,
+		Observer:      c.Observer,
 	})
 	if err != nil {
 		return nil, nil, err

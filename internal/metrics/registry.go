@@ -1,0 +1,287 @@
+// Package metrics is a dependency-free metrics registry for the CSWAP
+// runtime: counters, gauges, and fixed-log-bucket histograms, labeled by
+// codec/tensor/site, with snapshot export through pluggable sinks
+// (JSON-lines and Prometheus text exposition).
+//
+// The registry is the single backing store for every ad-hoc counter the
+// repo used to scatter across executor.Stats, SimResult, and the cmd/
+// tools: instruments are cheap atomic cells that hot paths pre-resolve
+// once and update lock-free, so a registry-backed view costs no
+// allocations per operation. All instrument methods and the registry
+// lookups are nil-receiver safe — a nil *Registry hands out nil
+// instruments whose operations no-op — which is what lets an optional
+// Observer cost ~zero when absent.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension of a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L constructs a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// value is a float64 cell updated with atomic compare-and-swap; counters
+// and gauges share it.
+type value struct {
+	bits atomic.Uint64
+}
+
+func (v *value) add(delta float64) {
+	for {
+		old := v.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if v.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (v *value) set(x float64) { v.bits.Store(math.Float64bits(x)) }
+func (v *value) load() float64 { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing metric. The nil counter no-ops,
+// so call sites need no guards when metrics are disabled.
+type Counter struct {
+	v value
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds a non-negative delta; negative deltas are dropped (a counter
+// never goes down).
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	c.v.add(delta)
+}
+
+// Value returns the accumulated total (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.load()
+}
+
+// Gauge is a set-to-current-value metric. The nil gauge no-ops.
+type Gauge struct {
+	v value
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(x float64) {
+	if g == nil {
+		return
+	}
+	g.v.set(x)
+}
+
+// Add shifts the current value.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(delta)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at start
+// with the given factor — the fixed log-scale bucket layouts histograms
+// use. It panics on a non-positive start, a factor ≤ 1, or n < 1
+// (mis-specified buckets are a programming error, not runtime input).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: invalid bucket spec (start=%v factor=%v n=%d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// DefaultBuckets spans 1 µs to 100 s in half-decade steps — the range of
+// every duration the simulator and executor observe (kernel times, DMA
+// transfers, exposed stalls, whole iterations).
+func DefaultBuckets() []float64 { return ExpBuckets(1e-6, math.Sqrt(10), 17) }
+
+// ByteBuckets spans 256 B to 4 GiB in ×4 steps — blob and tensor sizes.
+func ByteBuckets() []float64 { return ExpBuckets(256, 4, 13) }
+
+// Histogram accumulates observations into fixed upper-bound buckets
+// (first bucket with bound ≥ v wins; larger values overflow into an
+// implicit +Inf bucket). Observe is lock-free. The nil histogram no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	sum    value
+	n      atomic.Int64
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.sum.add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Bounds returns the bucket upper bounds (the +Inf overflow is implicit).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// Registry holds named, labeled instruments. Lookup methods register on
+// first use and return the same cell for the same (name, labels)
+// afterwards; hot paths should resolve once and hold the pointer. The nil
+// registry hands out nil instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*labeled[*Counter]
+	gauges   map[string]*labeled[*Gauge]
+	hists    map[string]*labeled[*Histogram]
+}
+
+type labeled[T any] struct {
+	name   string
+	labels []Label
+	inst   T
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*labeled[*Counter]{},
+		gauges:   map[string]*labeled[*Gauge]{},
+		hists:    map[string]*labeled[*Histogram]{},
+	}
+}
+
+// key builds the canonical identity of (name, labels); labels are sorted
+// so call-site order never mints a duplicate series.
+func key(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range ls {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String(), ls
+}
+
+// Counter returns the counter for (name, labels), registering it on first
+// use. Nil-safe: a nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k, ls := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.counters[k]
+	if !ok {
+		e = &labeled[*Counter]{name: name, labels: ls, inst: &Counter{}}
+		r.counters[k] = e
+	}
+	return e.inst
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k, ls := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.gauges[k]
+	if !ok {
+		e = &labeled[*Gauge]{name: name, labels: ls, inst: &Gauge{}}
+		r.gauges[k] = e
+	}
+	return e.inst
+}
+
+// Histogram returns the histogram for (name, labels) with DefaultBuckets,
+// registering it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.HistogramWith(name, nil, labels...)
+}
+
+// HistogramWith is Histogram with explicit bucket upper bounds (nil selects
+// DefaultBuckets). The first registration of a name fixes its buckets;
+// later callers get the existing series regardless of the bounds they pass.
+func (r *Registry) HistogramWith(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k, ls := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.hists[k]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultBuckets()
+		} else {
+			bounds = append([]float64(nil), bounds...)
+			if !sort.Float64sAreSorted(bounds) || len(bounds) == 0 {
+				panic(fmt.Sprintf("metrics: histogram %q bounds must be sorted and non-empty", name))
+			}
+		}
+		e = &labeled[*Histogram]{name: name, labels: ls, inst: &Histogram{
+			bounds: bounds,
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}}
+		r.hists[k] = e
+	}
+	return e.inst
+}

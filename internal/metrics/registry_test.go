@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentStreams drives shared instruments from parallel
+// goroutines the way concurrent swap streams drive the executor's
+// registry; run under -race it also proves the lookup path and the
+// atomic cells are data-race free.
+func TestRegistryConcurrentStreams(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Re-resolve through the registry every time to stress the
+				// map path, not just the atomic cells.
+				r.Counter("swap_outs_total").Inc()
+				r.Counter("moved_bytes_total", L("codec", "ZVC")).Add(4)
+				r.Gauge("inflight").Add(1)
+				r.Histogram("stall_seconds").Observe(float64(i%7) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	if got := r.Counter("swap_outs_total").Value(); got != total {
+		t.Fatalf("swap_outs_total = %v, want %d", got, total)
+	}
+	if got := r.Counter("moved_bytes_total", L("codec", "ZVC")).Value(); got != 4*total {
+		t.Fatalf("moved_bytes_total = %v, want %d", got, 4*total)
+	}
+	if got := r.Gauge("inflight").Value(); got != total {
+		t.Fatalf("inflight = %v, want %d", got, total)
+	}
+	if got := r.Histogram("stall_seconds").Count(); got != total {
+		t.Fatalf("stall_seconds count = %v, want %d", got, total)
+	}
+}
+
+func TestCounterIgnoresNegativeAndLabelOrder(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bytes", L("a", "1"), L("b", "2"))
+	c.Add(-5)
+	if c.Value() != 0 {
+		t.Fatalf("negative delta applied: %v", c.Value())
+	}
+	c.Add(3)
+	// Same labels in a different call-site order must hit the same series.
+	if r.Counter("bytes", L("b", "2"), L("a", "1")) != c {
+		t.Fatal("label order minted a new series")
+	}
+	if r.Counter("bytes", L("b", "2")) == c {
+		t.Fatal("different label set aliased an existing series")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the placement rule: an observation
+// lands in the first bucket whose upper bound is ≥ the value, with
+// everything above the last bound in the +Inf overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("h", []float64{1, 10, 100})
+	cases := []struct {
+		v    float64
+		want int // bucket index; 3 = +Inf overflow
+	}{
+		{-1, 0},
+		{0, 0},
+		{0.5, 0},
+		{1, 0}, // on-boundary values belong to their bound's bucket (le semantics)
+		{1.0001, 1},
+		{10, 1},
+		{99.9, 2},
+		{100, 2},
+		{100.0001, 3},
+		{1e12, 3},
+	}
+	for _, tc := range cases {
+		before := make([]int64, 4)
+		for i := range before {
+			before[i] = h.counts[i].Load()
+		}
+		h.Observe(tc.v)
+		for i := range before {
+			delta := h.counts[i].Load() - before[i]
+			switch {
+			case i == tc.want && delta != 1:
+				t.Fatalf("Observe(%v): bucket %d delta %d, want 1", tc.v, i, delta)
+			case i != tc.want && delta != 0:
+				t.Fatalf("Observe(%v): bucket %d delta %d, want 0", tc.v, i, delta)
+			}
+		}
+	}
+	if got := h.Count(); got != int64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", got, len(cases))
+	}
+	h.Observe(math.NaN())
+	if got := h.Count(); got != int64(len(cases)) {
+		t.Fatal("NaN observation was counted")
+	}
+}
+
+func TestExpBucketsLayouts(t *testing.T) {
+	b := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+	d := DefaultBuckets()
+	if len(d) != 17 || d[0] != 1e-6 {
+		t.Fatalf("DefaultBuckets = %v", d)
+	}
+	if math.Abs(d[16]-100) > 1e-9 {
+		t.Fatalf("DefaultBuckets top = %v, want ~100", d[16])
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i] <= d[i-1] {
+			t.Fatalf("DefaultBuckets not increasing at %d: %v", i, d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bucket spec accepted")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
+}
+
+// TestNilSafety proves the disabled-observability path: nil registries,
+// instruments, and observers all no-op instead of crashing, which is what
+// lets instrumented code run unguarded.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry produced series")
+	}
+
+	var o *Observer
+	o.Span("s", "l", 0, 1)
+	o.Emit("e", "k", "v")
+	o.Reg().Counter("x").Inc()
+	if _, err := o.ChromeTrace(); err != nil {
+		t.Fatalf("nil observer ChromeTrace: %v", err)
+	}
+}
+
+func TestObserverSpanCountsBadSpans(t *testing.T) {
+	o := NewObserver()
+	o.Span("exec", "enc:ReLU1", 0, 1)
+	o.Span("exec", "enc:ReLU2", 5, 4) // inverted: dropped, counted, no panic
+	if len(o.Trace.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(o.Trace.Spans))
+	}
+	if got := o.Metrics.Counter("observer_bad_spans_total").Value(); got != 1 {
+		t.Fatalf("observer_bad_spans_total = %v, want 1", got)
+	}
+}
+
+func TestObserverEmit(t *testing.T) {
+	var got []Event
+	o := NewObserver()
+	o.OnEvent = func(e Event) { got = append(got, e) }
+	o.Emit("bo.probe", "grid", "128", "block", "64")
+	o.Emit("plain")
+	if len(got) != 2 {
+		t.Fatalf("events = %d, want 2", len(got))
+	}
+	if got[0].Name != "bo.probe" || got[0].Attrs["grid"] != "128" || got[0].Attrs["block"] != "64" {
+		t.Fatalf("event 0 = %+v", got[0])
+	}
+	if got[1].Attrs != nil {
+		t.Fatalf("attr-less event got attrs %v", got[1].Attrs)
+	}
+}

@@ -1,0 +1,315 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CounterSnapshot is one counter series at snapshot time.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// GaugeSnapshot is one gauge series at snapshot time.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// BucketSnapshot is one histogram bucket: the count of observations that
+// landed in it (non-cumulative; each sink decides the presentation). The
+// overflow bucket carries UpperBound +Inf, which sinks encode themselves —
+// it is not JSON-representable directly.
+type BucketSnapshot struct {
+	UpperBound float64
+	Count      int64
+}
+
+// HistogramSnapshot is one histogram series at snapshot time.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Sum     float64           `json:"sum"`
+	Count   int64             `json:"count"`
+	Buckets []BucketSnapshot  `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every registered series, ordered
+// deterministically (by name, then label set).
+type Snapshot struct {
+	Counters   []CounterSnapshot
+	Gauges     []GaugeSnapshot
+	Histograms []HistogramSnapshot
+}
+
+func labelMap(ls []Label) map[string]string {
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+func sortKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, labels[k])
+	}
+	return b.String()
+}
+
+// Snapshot copies the registry's current state. Nil-safe: a nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for _, e := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{
+			Name: e.name, Labels: labelMap(e.labels), Value: e.inst.Value(),
+		})
+	}
+	for _, e := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{
+			Name: e.name, Labels: labelMap(e.labels), Value: e.inst.Value(),
+		})
+	}
+	for _, e := range r.hists {
+		h := e.inst
+		hs := HistogramSnapshot{
+			Name: e.name, Labels: labelMap(e.labels),
+			Sum: h.Sum(), Count: h.Count(),
+			Buckets: make([]BucketSnapshot, len(h.bounds)+1),
+		}
+		for i := range h.bounds {
+			hs.Buckets[i] = BucketSnapshot{UpperBound: h.bounds[i], Count: h.counts[i].Load()}
+		}
+		hs.Buckets[len(h.bounds)] = BucketSnapshot{
+			UpperBound: math.Inf(1), Count: h.counts[len(h.bounds)].Load(),
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	r.mu.Unlock()
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return sortKey(s.Counters[i].Name, s.Counters[i].Labels) < sortKey(s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return sortKey(s.Gauges[i].Name, s.Gauges[i].Labels) < sortKey(s.Gauges[j].Name, s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return sortKey(s.Histograms[i].Name, s.Histograms[i].Labels) < sortKey(s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+	return s
+}
+
+// Counter returns the snapshotted value of a counter series (0, false when
+// absent) — the read side of the registry-backed views.
+func (s *Snapshot) Counter(name string, labels ...Label) (float64, bool) {
+	want := labelMap(labels)
+	for _, c := range s.Counters {
+		if c.Name == name && sortKey(name, c.Labels) == sortKey(name, want) {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sink consumes one metrics snapshot.
+type Sink interface {
+	Write(s *Snapshot) error
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines sink.
+
+// jsonLine is the on-disk record: one JSON object per series per line.
+type jsonLine struct {
+	Type   string            `json:"type"` // "counter" | "gauge" | "histogram"
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	Count  int64             `json:"count,omitempty"`
+	// Buckets holds "le:count" pairs; +Inf is the literal "+Inf".
+	Buckets []string `json:"buckets,omitempty"`
+}
+
+func encodeBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// JSONLines writes a snapshot as JSON lines: one self-describing object
+// per series, machine-diffable against another snapshot or the paper's
+// Figure 8/9 breakdowns.
+type JSONLines struct {
+	W io.Writer
+}
+
+// Write implements Sink.
+func (j JSONLines) Write(s *Snapshot) error {
+	w := bufio.NewWriter(j.W)
+	enc := json.NewEncoder(w)
+	for _, c := range s.Counters {
+		if err := enc.Encode(jsonLine{Type: "counter", Name: c.Name, Labels: c.Labels, Value: c.Value}); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := enc.Encode(jsonLine{Type: "gauge", Name: g.Name, Labels: g.Labels, Value: g.Value}); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		line := jsonLine{Type: "histogram", Name: h.Name, Labels: h.Labels, Sum: h.Sum, Count: h.Count}
+		for _, b := range h.Buckets {
+			line.Buckets = append(line.Buckets, fmt.Sprintf("%s:%d", encodeBound(b.UpperBound), b.Count))
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// ParseJSONLines reads a snapshot back from its JSON-lines form — the
+// round-trip used by tests and by tools that diff two snapshots.
+func ParseJSONLines(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var line jsonLine
+		if err := json.Unmarshal([]byte(text), &line); err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		switch line.Type {
+		case "counter":
+			s.Counters = append(s.Counters, CounterSnapshot{Name: line.Name, Labels: line.Labels, Value: line.Value})
+		case "gauge":
+			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: line.Name, Labels: line.Labels, Value: line.Value})
+		case "histogram":
+			hs := HistogramSnapshot{Name: line.Name, Labels: line.Labels, Sum: line.Sum, Count: line.Count}
+			for _, b := range line.Buckets {
+				cut := strings.LastIndexByte(b, ':')
+				if cut < 0 {
+					return nil, fmt.Errorf("metrics: line %d: malformed bucket %q", lineNo, b)
+				}
+				var bound float64
+				if b[:cut] == "+Inf" {
+					bound = math.Inf(1)
+				} else {
+					v, err := strconv.ParseFloat(b[:cut], 64)
+					if err != nil {
+						return nil, fmt.Errorf("metrics: line %d: bucket bound %q: %w", lineNo, b[:cut], err)
+					}
+					bound = v
+				}
+				count, err := strconv.ParseInt(b[cut+1:], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("metrics: line %d: bucket count %q: %w", lineNo, b[cut+1:], err)
+				}
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: bound, Count: count})
+			}
+			s.Histograms = append(s.Histograms, hs)
+		default:
+			return nil, fmt.Errorf("metrics: line %d: unknown series type %q", lineNo, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text-exposition sink.
+
+// Prometheus writes a snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// cumulative _bucket/_sum/_count families.
+type Prometheus struct {
+	W io.Writer
+}
+
+func promLabels(labels map[string]string, extra ...string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Write implements Sink.
+func (p Prometheus) Write(s *Snapshot) error {
+	w := bufio.NewWriter(p.W)
+	typed := map[string]bool{}
+	family := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	for _, c := range s.Counters {
+		family(c.Name, "counter")
+		fmt.Fprintf(w, "%s%s %s\n", c.Name, promLabels(c.Labels), promValue(c.Value))
+	}
+	for _, g := range s.Gauges {
+		family(g.Name, "gauge")
+		fmt.Fprintf(w, "%s%s %s\n", g.Name, promLabels(g.Labels), promValue(g.Value))
+	}
+	for _, h := range s.Histograms {
+		family(h.Name, "histogram")
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", encodeBound(b.UpperBound)), cum)
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, promLabels(h.Labels), promValue(h.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", h.Name, promLabels(h.Labels), h.Count)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenRegistry builds the fixed registry both sink tests snapshot.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("executor_swap_outs_total").Add(3)
+	r.Counter("executor_moved_bytes_total", L("codec", "ZVC")).Add(1024)
+	r.Gauge("sim_throughput").Set(2.5)
+	h := r.HistogramWith("sim_stall_seconds", []float64{0.5, 1, 2})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(4)
+	return r
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Prometheus{W: &buf}).Write(goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+			goldenPath, buf.String(), want)
+	}
+}
+
+func TestJSONLinesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	snap := goldenRegistry().Snapshot()
+	if err := (JSONLines{W: &buf}).Write(snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSONLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Counters) != len(snap.Counters) ||
+		len(back.Gauges) != len(snap.Gauges) ||
+		len(back.Histograms) != len(snap.Histograms) {
+		t.Fatalf("round trip shape: %+v vs %+v", back, snap)
+	}
+	if v, ok := back.Counter("executor_moved_bytes_total", L("codec", "ZVC")); !ok || v != 1024 {
+		t.Fatalf("moved bytes = %v (present=%v)", v, ok)
+	}
+	if v, ok := back.Counter("executor_swap_outs_total"); !ok || v != 3 {
+		t.Fatalf("swap outs = %v (present=%v)", v, ok)
+	}
+	h := back.Histograms[0]
+	if h.Name != "sim_stall_seconds" || h.Count != 3 || h.Sum != 4.75 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if len(h.Buckets) != 4 || !math.IsInf(h.Buckets[3].UpperBound, 1) {
+		t.Fatalf("buckets = %+v", h.Buckets)
+	}
+	if h.Buckets[0].Count != 2 || h.Buckets[3].Count != 1 {
+		t.Fatalf("bucket counts = %+v", h.Buckets)
+	}
+}
+
+func TestParseJSONLinesRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json\n",
+		`{"type":"sparkline","name":"x"}` + "\n",
+		`{"type":"histogram","name":"x","buckets":["nope"]}` + "\n",
+		`{"type":"histogram","name":"x","buckets":["abc:1"]}` + "\n",
+		`{"type":"histogram","name":"x","buckets":["1:xyz"]}` + "\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseJSONLines(bytes.NewBufferString(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+	// Blank lines are tolerated.
+	s, err := ParseJSONLines(bytes.NewBufferString("\n\n"))
+	if err != nil || len(s.Counters) != 0 {
+		t.Fatalf("blank input: %v %+v", err, s)
+	}
+}
+
+func TestSnapshotOrderingIsDeterministic(t *testing.T) {
+	mk := func() *Snapshot {
+		r := NewRegistry()
+		r.Counter("b_total").Inc()
+		r.Counter("a_total", L("x", "2")).Inc()
+		r.Counter("a_total", L("x", "1")).Inc()
+		return r.Snapshot()
+	}
+	s := mk()
+	if s.Counters[0].Name != "a_total" || s.Counters[0].Labels["x"] != "1" {
+		t.Fatalf("order = %+v", s.Counters)
+	}
+	if s.Counters[2].Name != "b_total" {
+		t.Fatalf("order = %+v", s.Counters)
+	}
+	var b1, b2 bytes.Buffer
+	if err := (JSONLines{W: &b1}).Write(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if err := (JSONLines{W: &b2}).Write(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two identical registries serialised differently")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"cswap/internal/compress"
 	"cswap/internal/costmodel"
 	"cswap/internal/gpu"
+	"cswap/internal/metrics"
 	"cswap/internal/profiler"
 )
 
@@ -142,6 +143,9 @@ type CSWAP struct {
 	Launch compress.Launch
 	// Algorithms restricts the candidate codecs (default: all four).
 	Algorithms []compress.Algorithm
+	// Observer, when non-nil, counts every advisor verdict
+	// (costmodel_decisions_total by verdict/codec) as Plan runs.
+	Observer *metrics.Observer
 }
 
 // Name implements Framework.
@@ -156,6 +160,7 @@ func (c CSWAP) Plan(np *profiler.NetworkProfile, d *gpu.Device) *Plan {
 	p := &Plan{Framework: "CSWAP", Tensors: make([]TensorPlan, len(np.Tensors))}
 	for i, t := range np.Tensors {
 		dec, alg, predC, predDC := c.decide(np, i)
+		dec.Observe(c.Observer, alg.String())
 		tp := TensorPlan{TransferRatio: 1}
 		if dec.Compress {
 			// Simulate with the true kernel-model durations, not the

@@ -6,6 +6,7 @@ import (
 
 	"cswap/internal/dnn"
 	"cswap/internal/gpu"
+	"cswap/internal/metrics"
 	"cswap/internal/pcie"
 	"cswap/internal/profiler"
 	"cswap/internal/sim"
@@ -42,6 +43,11 @@ type Options struct {
 	// when backward compute stalls. It is never slower than the default
 	// one-ahead policy.
 	EagerPrefetch bool
+	// Observer, when non-nil, receives the iteration's metrics: per-stream
+	// busy time, exposed-stall histograms, and per-codec decision counts.
+	// When Trace is nil and the observer carries a timeline, spans are
+	// recorded there. Nil costs nothing.
+	Observer *metrics.Observer
 }
 
 // DefaultInterference is the default SM-contention charge for software
@@ -111,6 +117,14 @@ func Simulate(m *dnn.Model, d *gpu.Device, np *profiler.NetworkProfile, plan *Pl
 			res, err = nil, fmt.Errorf("swap: invalid simulation input: %v", r)
 		}
 	}()
+	// The observer's timeline doubles as the span target when no explicit
+	// Trace is configured. Within Simulate the engine is single-threaded,
+	// so direct appends are safe; inverted spans would be simulator bugs,
+	// which is exactly what Timeline.Add's panic (converted to an error by
+	// the recover above) is reserved for.
+	if opt.Trace == nil && opt.Observer != nil {
+		opt.Trace = opt.Observer.Trace
+	}
 	rng := stats.NewRNG(opt.Seed)
 	jit := func(v float64) float64 {
 		if opt.Jitter <= 0 || v == 0 {
@@ -390,5 +404,43 @@ func Simulate(m *dnn.Model, d *gpu.Device, np *profiler.NetworkProfile, plan *Pl
 	if res.IterationTime > 0 {
 		res.Throughput = float64(m.Batch) / res.IterationTime
 	}
+	res.record(opt.Observer, plan)
 	return res, nil
+}
+
+// record publishes the iteration's emergent timing into the observer's
+// registry: stream occupancies, exposed-stall distributions, and the
+// plan's per-codec decision mix.
+func (r *Result) record(o *metrics.Observer, plan *Plan) {
+	reg := o.Reg()
+	if reg == nil {
+		return
+	}
+	reg.Counter("sim_iterations_total").Inc()
+	reg.Counter("sim_stream_busy_seconds_total", metrics.L("stream", "compute")).Add(r.ComputeBusy)
+	reg.Counter("sim_stream_busy_seconds_total", metrics.L("stream", "kernel")).Add(r.KernelBusy)
+	reg.Counter("sim_stream_busy_seconds_total", metrics.L("stream", "d2h")).Add(r.D2HBusy)
+	reg.Counter("sim_stream_busy_seconds_total", metrics.L("stream", "h2d")).Add(r.H2DBusy)
+	reg.Counter("sim_exposed_seconds_total").Add(r.SwapExposed)
+	reg.Histogram("sim_iteration_seconds").Observe(r.IterationTime)
+	hf := reg.Histogram("sim_exposed_stall_seconds", metrics.L("pass", "forward"))
+	hb := reg.Histogram("sim_exposed_stall_seconds", metrics.L("pass", "backward"))
+	for i := range r.Tensors {
+		hf.Observe(r.Tensors[i].ExposedF)
+		hb.Observe(r.Tensors[i].ExposedB)
+	}
+	for _, tp := range plan.Tensors {
+		switch {
+		case tp.Skip:
+			reg.Counter("sim_decisions_total", metrics.L("action", "skip"), metrics.L("codec", "none")).Inc()
+		case tp.Compress:
+			reg.Counter("sim_decisions_total", metrics.L("action", "compress"), metrics.L("codec", tp.Alg.String())).Inc()
+		default:
+			reg.Counter("sim_decisions_total", metrics.L("action", "raw"), metrics.L("codec", "none")).Inc()
+		}
+	}
+	o.Emit("sim.iteration",
+		"framework", r.Framework,
+		"iteration_seconds", fmt.Sprintf("%g", r.IterationTime),
+		"exposed_seconds", fmt.Sprintf("%g", r.SwapExposed))
 }

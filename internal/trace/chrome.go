@@ -26,7 +26,7 @@ type chromeEvent struct {
 func (t *Timeline) ChromeTrace() ([]byte, error) {
 	streams := t.Streams()
 	tid := map[string]int{}
-	var events []chromeEvent
+	events := []chromeEvent{} // non-nil so an empty timeline exports [] not null
 	for i, s := range streams {
 		tid[s] = i
 		events = append(events, chromeEvent{

@@ -5,7 +5,9 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -23,13 +25,30 @@ type Timeline struct {
 	Spans []Span
 }
 
-// Add records a span. Inverted intervals are rejected with a panic: they
-// indicate a simulator bug, not bad input.
+// ErrInvalidSpan rejects spans whose interval is inverted or not a real
+// number; AddChecked wraps it with the offending span's identity.
+var ErrInvalidSpan = errors.New("trace: invalid span")
+
+// Add records a span. Invalid intervals are rejected with a panic: the
+// simulator feeds Add from its own event engine, where an inverted span
+// indicates a simulator bug, not bad input. Instrumentation paths fed by
+// wall clocks or user-supplied replay data must use AddChecked instead.
 func (t *Timeline) Add(stream, label string, start, end float64) {
-	if end < start {
-		panic(fmt.Sprintf("trace: inverted span %s/%s [%v,%v]", stream, label, start, end))
+	if err := t.AddChecked(stream, label, start, end); err != nil {
+		panic(err.Error())
+	}
+}
+
+// AddChecked records a span, returning ErrInvalidSpan (wrapped with the
+// span's stream and label) for inverted or NaN/Inf intervals instead of
+// panicking — the right failure mode when spans come from measurements or
+// replayed data rather than simulator invariants.
+func (t *Timeline) AddChecked(stream, label string, start, end float64) error {
+	if end < start || math.IsNaN(start) || math.IsNaN(end) || math.IsInf(start, 0) || math.IsInf(end, 0) {
+		return fmt.Errorf("%w: %s/%s [%v,%v]", ErrInvalidSpan, stream, label, start, end)
 	}
 	t.Spans = append(t.Spans, Span{Stream: stream, Label: label, Start: start, End: end})
+	return nil
 }
 
 // Streams returns the distinct stream names in first-seen order.

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -34,6 +36,45 @@ func TestAddPanicsOnInvertedSpan(t *testing.T) {
 		}
 	}()
 	tl.Add("x", "y", 5, 4)
+}
+
+func TestAddCheckedRejectsBadSpansWithoutPanic(t *testing.T) {
+	tl := &Timeline{}
+	bad := [][2]float64{
+		{5, 4},
+		{math.NaN(), 1},
+		{0, math.NaN()},
+		{math.Inf(1), math.Inf(1)},
+		{0, math.Inf(1)},
+	}
+	for _, b := range bad {
+		err := tl.AddChecked("x", "y", b[0], b[1])
+		if !errors.Is(err, ErrInvalidSpan) {
+			t.Fatalf("AddChecked(%v, %v) = %v, want ErrInvalidSpan", b[0], b[1], err)
+		}
+	}
+	if len(tl.Spans) != 0 {
+		t.Fatalf("bad spans were recorded: %v", tl.Spans)
+	}
+	if err := tl.AddChecked("x", "y", 1, 1); err != nil {
+		t.Fatalf("zero-length span rejected: %v", err)
+	}
+	if err := tl.AddChecked("x", "y", 1, 2); err != nil {
+		t.Fatalf("valid span rejected: %v", err)
+	}
+	if len(tl.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(tl.Spans))
+	}
+}
+
+func TestEmptyChromeTraceIsArray(t *testing.T) {
+	blob, err := (&Timeline{}).ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "[]" {
+		t.Fatalf("empty trace = %s, want []", blob)
+	}
 }
 
 func TestRenderContainsStreamsAndMarks(t *testing.T) {
