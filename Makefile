@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all cover bench report csv examples clean
+.PHONY: all build vet test race race-all cover bench bench-compress bench-diff report csv examples clean
 
 all: build test
 
@@ -31,6 +31,21 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -json -run='^$$' ./... > BENCH_metrics.json
 	@grep -c '"Action":"output"' BENCH_metrics.json >/dev/null && echo "wrote BENCH_metrics.json"
+
+# Codec hot-path benchmarks -> machine-readable BENCH_compress.json
+# baseline (committed; cmd/cswap-benchdiff strips the -GOMAXPROCS suffix so
+# the file diffs across machines).
+bench-compress:
+	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath' -benchmem -count=3 -run='^$$' \
+		./internal/compress/ ./internal/executor/ \
+		| $(GO) run ./cmd/cswap-benchdiff -write BENCH_compress.json
+
+# Allocation-regression gate: rerun the codec benchmarks and fail on >10%
+# ns/op or ANY allocs/op regression against the committed baseline.
+bench-diff:
+	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath' -benchmem -count=3 -run='^$$' \
+		./internal/compress/ ./internal/executor/ \
+		| $(GO) run ./cmd/cswap-benchdiff -baseline BENCH_compress.json
 
 # Full evaluation -> REPORT.md (and CSV series under data/).
 report:

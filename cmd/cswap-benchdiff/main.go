@@ -1,0 +1,206 @@
+// Command cswap-benchdiff turns `go test -bench -benchmem` text output into
+// a machine-readable JSON baseline and gates regressions against it — the
+// allocation-regression gate for the codec hot path.
+//
+// Capture a baseline:
+//
+//	go test -bench=. -benchmem -run='^$' ./internal/compress/ | cswap-benchdiff -write BENCH_compress.json
+//
+// Diff a fresh run against it (exit 1 on regression):
+//
+//	go test -bench=. -benchmem -run='^$' ./internal/compress/ | cswap-benchdiff -baseline BENCH_compress.json
+//
+// A regression is a ns/op increase beyond -threshold (default 10%) or ANY
+// allocs/op increase: timing noise gets a tolerance band, allocation counts
+// are deterministic and get none. Benchmark names are normalised by
+// stripping the trailing -GOMAXPROCS suffix so baselines diff across
+// machines with different core counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the persisted file format.
+type Baseline struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// procSuffix matches the -N GOMAXPROCS suffix go test appends to names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark results from `go test -bench` text output.
+// Unrecognised lines (headers, PASS, test logs) are skipped.
+func parseBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		res := Result{Name: procSuffix.ReplaceAllString(fields[0], "")}
+		seenNs := false
+		// After the iteration count, measurements come as (value, unit)
+		// pairs; keep the units the gate cares about.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad value %q in %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seenNs = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if seenNs {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark lines found in input")
+	}
+	out = mergeRepeats(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// mergeRepeats collapses -count=N repetitions of one benchmark into a
+// single result: minimum ns/op and B/op (the least-noisy estimate of the
+// code's true cost) but maximum allocs/op (allocation counts are
+// deterministic, so any elevated sample is a real behaviour, not noise).
+func mergeRepeats(results []Result) []Result {
+	idx := map[string]int{}
+	var out []Result
+	for _, r := range results {
+		i, ok := idx[r.Name]
+		if !ok {
+			idx[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = r.NsPerOp
+		}
+		if r.BytesPerOp < out[i].BytesPerOp {
+			out[i].BytesPerOp = r.BytesPerOp
+		}
+		if r.AllocsPerOp > out[i].AllocsPerOp {
+			out[i].AllocsPerOp = r.AllocsPerOp
+		}
+	}
+	return out
+}
+
+func writeBaseline(path string, results []Result) error {
+	data, err := json.MarshalIndent(Baseline{Benchmarks: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// diff compares current results to the baseline and returns the number of
+// regressions, printing one line per benchmark.
+func diff(w io.Writer, baseline, current []Result, threshold float64) int {
+	base := map[string]Result{}
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	regressions := 0
+	for _, c := range current {
+		b, ok := base[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "  NEW   %-50s %12.0f ns/op %8.0f allocs/op\n", c.Name, c.NsPerOp, c.AllocsPerOp)
+			continue
+		}
+		delete(base, c.Name)
+		nsDelta := 0.0
+		if b.NsPerOp > 0 {
+			nsDelta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		status := "ok"
+		if c.AllocsPerOp > b.AllocsPerOp {
+			status = "ALLOC-REGRESSION"
+			regressions++
+		} else if nsDelta > threshold {
+			status = "TIME-REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-5s %-50s %+7.1f%% ns/op  allocs %g -> %g\n",
+			status, c.Name, 100*nsDelta, b.AllocsPerOp, c.AllocsPerOp)
+	}
+	for name := range base {
+		fmt.Fprintf(w, "  GONE  %-50s (in baseline, not in this run)\n", name)
+	}
+	return regressions
+}
+
+func main() {
+	write := flag.String("write", "", "write parsed results to this JSON baseline file")
+	baselinePath := flag.String("baseline", "", "compare against this JSON baseline; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional ns/op increase before failing")
+	flag.Parse()
+	if (*write == "") == (*baselinePath == "") {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -write or -baseline is required")
+		os.Exit(2)
+	}
+
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *write != "" {
+		if err := writeBaseline(*write, current); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(current), *write)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if n := diff(os.Stdout, base.Benchmarks, current, *threshold); n > 0 {
+		fmt.Printf("benchdiff: %d regression(s) against %s\n", n, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions against %s (threshold %.0f%% ns/op, 0 allocs/op)\n",
+		*baselinePath, *threshold*100)
+}

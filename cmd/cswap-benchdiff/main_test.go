@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cswap/internal/compress
+cpu: Intel(R) Xeon(R)
+BenchmarkCodecEncode/ZVC-8     	   50000	     23456 ns/op	2794.20 MB/s	       0 B/op	       0 allocs/op
+BenchmarkCodecDecode/ZVC-16    	   60000	     19000 ns/op	     128 B/op	       2 allocs/op
+PASS
+ok  	cswap/internal/compress	3.2s
+`
+
+func TestParseBenchStripsProcSuffix(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(got))
+	}
+	// Sorted by name; the -8/-16 GOMAXPROCS suffixes must be gone.
+	if got[0].Name != "BenchmarkCodecDecode/ZVC" || got[1].Name != "BenchmarkCodecEncode/ZVC" {
+		t.Fatalf("names = %q, %q", got[0].Name, got[1].Name)
+	}
+	if got[1].NsPerOp != 23456 || got[1].AllocsPerOp != 0 || got[1].BytesPerOp != 0 {
+		t.Fatalf("encode result = %+v", got[1])
+	}
+	if got[0].AllocsPerOp != 2 || got[0].BytesPerOp != 128 {
+		t.Fatalf("decode result = %+v", got[0])
+	}
+}
+
+func TestParseBenchRejectsEmptyInput(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("want error for input with no benchmark lines")
+	}
+}
+
+func TestMergeRepeatsMinNsMaxAllocs(t *testing.T) {
+	in := "BenchmarkX-8 10 1500 ns/op 0 B/op 3 allocs/op\n" +
+		"BenchmarkX-8 10 1000 ns/op 0 B/op 4 allocs/op\n" +
+		"BenchmarkX-8 10 1200 ns/op 0 B/op 3 allocs/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("merged to %d results, want 1", len(got))
+	}
+	if got[0].NsPerOp != 1000 || got[0].AllocsPerOp != 4 {
+		t.Fatalf("merged = %+v, want min ns 1000 / max allocs 4", got[0])
+	}
+}
+
+func TestDiffRegressionRules(t *testing.T) {
+	base := []Result{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 2},
+		{Name: "B", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "C", NsPerOp: 1000, AllocsPerOp: 0},
+	}
+	cases := []struct {
+		name    string
+		current []Result
+		want    int
+	}{
+		{"within tolerance", []Result{{Name: "A", NsPerOp: 1050, AllocsPerOp: 2}}, 0},
+		{"ns regression over 10%", []Result{{Name: "A", NsPerOp: 1200, AllocsPerOp: 2}}, 1},
+		{"any alloc regression", []Result{{Name: "B", NsPerOp: 900, AllocsPerOp: 1}}, 1},
+		{"alloc improvement ok", []Result{{Name: "A", NsPerOp: 1000, AllocsPerOp: 0}}, 0},
+		{"new benchmark not a failure", []Result{{Name: "D", NsPerOp: 9999, AllocsPerOp: 99}}, 0},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		if got := diff(&sb, base, tc.current, 0.10); got != tc.want {
+			t.Errorf("%s: %d regressions, want %d\n%s", tc.name, got, tc.want, sb.String())
+		}
+	}
+}

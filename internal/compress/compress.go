@@ -56,6 +56,12 @@ func Algorithms() []Algorithm { return []Algorithm{ZVC, RLE, CSR, LZ4} }
 // Codec compresses and decompresses flat float32 tensors. Implementations
 // must round-trip bit-identically: Decode(Encode(x)) == x for every x,
 // including NaN payload bits (tensors are opaque data on the swap path).
+//
+// Encode and Decode are convenience wrappers over the allocation-free core
+// contract: AppendEncode writes into a caller-supplied buffer and DecodeInto
+// scatters into a caller-supplied destination, so the hot path (the parallel
+// container and the swapping executor) can recycle buffers across swaps. For
+// a given input, AppendEncode produces exactly the bytes Encode produces.
 type Codec interface {
 	// Algorithm reports which algorithm this codec implements.
 	Algorithm() Algorithm
@@ -64,6 +70,21 @@ type Codec interface {
 	// Decode reverses Encode. It returns an error for truncated or
 	// corrupted input rather than panicking.
 	Decode(blob []byte) ([]float32, error)
+	// AppendEncode compresses src and appends the blob to dst, returning
+	// the extended slice. When cap(dst)-len(dst) >= MaxEncodedLen(len(src))
+	// it performs no allocation. The appended bytes are identical to
+	// Encode(src).
+	AppendEncode(dst []byte, src []float32) []byte
+	// DecodeInto reverses Encode into the caller-owned dst, whose length
+	// must equal the blob's element count (ErrDstSize otherwise). On
+	// success every element of dst has been written — a dirty recycled
+	// buffer is fully overwritten; on error dst's contents are
+	// unspecified.
+	DecodeInto(dst []float32, blob []byte) error
+	// MaxEncodedLen returns an upper bound on the encoded size of any
+	// n-element tensor, used to pre-size append destinations. It is a
+	// cheap arithmetic bound, not a tight estimate.
+	MaxEncodedLen(n int) int
 }
 
 // New returns the codec for the given algorithm.
@@ -107,7 +128,20 @@ var (
 	ErrCorrupt = errors.New("compress: corrupt blob")
 	// ErrAlgorithmMismatch reports decoding a blob with the wrong codec.
 	ErrAlgorithmMismatch = errors.New("compress: algorithm mismatch")
+	// ErrDstSize reports a DecodeInto destination whose length differs
+	// from the blob's declared element count — structural misuse by the
+	// caller, not data corruption, so it is not Recoverable.
+	ErrDstSize = errors.New("compress: destination length mismatch")
 )
+
+// checkDst validates a DecodeInto destination against the blob's declared
+// element count.
+func checkDst(dst []float32, n int) error {
+	if len(dst) != n {
+		return fmt.Errorf("%w: dst holds %d elements, blob declares %d", ErrDstSize, len(dst), n)
+	}
+	return nil
+}
 
 func putHeader(dst []byte, a Algorithm, n int) []byte {
 	dst = append(dst, byte(a))

@@ -17,7 +17,14 @@ const csrRowWidth = 1024
 
 func (csrCodec) Algorithm() Algorithm { return CSR }
 
-func (csrCodec) Encode(src []float32) []byte {
+// MaxEncodedLen bounds the blob at the full row-pointer array plus an
+// index and a value for every element non-zero.
+func (csrCodec) MaxEncodedLen(n int) int {
+	rows := (n + csrRowWidth - 1) / csrRowWidth
+	return headerSize + 4*(rows+1) + 8*n
+}
+
+func (c csrCodec) Encode(src []float32) []byte {
 	rows := (len(src) + csrRowWidth - 1) / csrRowWidth
 	nnz := 0
 	for _, v := range src {
@@ -26,10 +33,15 @@ func (csrCodec) Encode(src []float32) []byte {
 		}
 	}
 	blob := make([]byte, 0, headerSize+4*(rows+1)+8*nnz)
-	blob = putHeader(blob, CSR, len(src))
+	return c.AppendEncode(blob, src)
+}
+
+func (csrCodec) AppendEncode(dst []byte, src []float32) []byte {
+	rows := (len(src) + csrRowWidth - 1) / csrRowWidth
+	dst = putHeader(dst, CSR, len(src))
 	// Row pointers: rows+1 cumulative non-zero counts.
 	count := uint32(0)
-	blob = appendUint32(blob, count)
+	dst = appendUint32(dst, count)
 	for r := 0; r < rows; r++ {
 		start := r * csrRowWidth
 		end := start + csrRowWidth
@@ -41,7 +53,7 @@ func (csrCodec) Encode(src []float32) []byte {
 				count++
 			}
 		}
-		blob = appendUint32(blob, count)
+		dst = appendUint32(dst, count)
 	}
 	// Column indices. The paper's CSR accounting charges a full 4-byte
 	// index per non-zero ("Instead of using a float as an index for each
@@ -49,55 +61,73 @@ func (csrCodec) Encode(src []float32) []byte {
 	// sparsity it contrasts with ZVC's 3 %; we keep that layout.
 	for i, v := range src {
 		if v != 0 {
-			blob = appendUint32(blob, uint32(i%csrRowWidth))
+			dst = appendUint32(dst, uint32(i%csrRowWidth))
 		}
 	}
 	// Values.
 	for _, v := range src {
 		if v != 0 {
-			blob = appendFloat32(blob, v)
+			dst = appendFloat32(dst, v)
 		}
 	}
-	return blob
+	return dst
 }
 
-func (csrCodec) Decode(blob []byte) ([]float32, error) {
-	n, payload, err := parseHeader(blob, CSR)
+func (c csrCodec) Decode(blob []byte) ([]float32, error) {
+	n, _, err := parseHeader(blob, CSR)
 	if err != nil {
 		return nil, err
+	}
+	dst := make([]float32, n)
+	if err := c.DecodeInto(dst, blob); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func (csrCodec) DecodeInto(dst []float32, blob []byte) error {
+	n, payload, err := parseHeader(blob, CSR)
+	if err != nil {
+		return err
+	}
+	if err := checkDst(dst, n); err != nil {
+		return err
 	}
 	rows := (n + csrRowWidth - 1) / csrRowWidth
 	ptrBytes := 4 * (rows + 1)
 	if len(payload) < ptrBytes {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	rowPtr := make([]uint32, rows+1)
-	for i := range rowPtr {
-		rowPtr[i] = binary.LittleEndian.Uint32(payload[i*4:])
+	// Row pointers are read in place from the payload; no materialised
+	// pointer slice on the hot path.
+	rowPtr := func(i int) uint32 {
+		return binary.LittleEndian.Uint32(payload[i*4:])
 	}
-	nnz := int(rowPtr[rows])
-	if rowPtr[0] != 0 || nnz > n {
-		return nil, ErrCorrupt
+	nnz := int(rowPtr(rows))
+	if rowPtr(0) != 0 || nnz > n {
+		return ErrCorrupt
 	}
 	colBase := ptrBytes
 	valBase := colBase + 4*nnz
 	if len(payload) != valBase+4*nnz {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	dst := make([]float32, n)
+	// The scatter below writes only non-zeros, so a dirty recycled dst is
+	// cleared first.
+	clear(dst)
 	for r := 0; r < rows; r++ {
-		lo, hi := int(rowPtr[r]), int(rowPtr[r+1])
+		lo, hi := int(rowPtr(r)), int(rowPtr(r+1))
 		if lo > hi || hi > nnz {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		for k := lo; k < hi; k++ {
 			col := int(binary.LittleEndian.Uint32(payload[colBase+4*k:]))
 			idx := r*csrRowWidth + col
 			if col >= csrRowWidth || idx >= n {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 			dst[idx] = readFloat32(payload[valBase+4*k:])
 		}
 	}
-	return dst, nil
+	return nil
 }

@@ -2,6 +2,7 @@ package compress
 
 import (
 	"container/heap"
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -31,12 +32,31 @@ func (huffmanCodec) Algorithm() Algorithm { return Huffman }
 
 const huffMaxCodeLen = 56 // fits the decoder's uint64 bit buffer
 
-func (huffmanCodec) Encode(src []float32) []byte {
-	raw := floatsToBytes(src)
-	blob := make([]byte, 0, headerSize+256+len(raw))
-	blob = putHeader(blob, Huffman, len(src))
-	if len(raw) == 0 {
-		return blob
+// MaxEncodedLen bounds the blob via Huffman optimality: the built code
+// minimises total bits over all prefix codes, including the fixed 8-bit
+// code, so the packed stream never exceeds the 4·n raw bytes (+1 for bit
+// padding) after the 256-byte length table.
+func (huffmanCodec) MaxEncodedLen(n int) int {
+	if n == 0 {
+		return headerSize
+	}
+	return headerSize + 256 + 4*n + 1
+}
+
+func (c huffmanCodec) Encode(src []float32) []byte {
+	blob := make([]byte, 0, headerSize+256+len(src)*4)
+	return c.AppendEncode(blob, src)
+}
+
+func (huffmanCodec) AppendEncode(dst []byte, src []float32) []byte {
+	dst = putHeader(dst, Huffman, len(src))
+	if len(src) == 0 {
+		return dst
+	}
+	p := getScratch(len(src) * 4)
+	raw := *p
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(raw[i*4:], float32bits(v))
 	}
 
 	var freq [256]int64
@@ -45,7 +65,7 @@ func (huffmanCodec) Encode(src []float32) []byte {
 	}
 	lengths := huffmanCodeLengths(freq[:])
 	codes := canonicalCodes(lengths)
-	blob = append(blob, lengths[:]...)
+	dst = append(dst, lengths[:]...)
 
 	// Bit-pack MSB-first.
 	var acc uint64
@@ -56,28 +76,44 @@ func (huffmanCodec) Encode(src []float32) []byte {
 		nbits += uint(c.len)
 		for nbits >= 8 {
 			nbits -= 8
-			blob = append(blob, byte(acc>>nbits))
+			dst = append(dst, byte(acc>>nbits))
 		}
 	}
 	if nbits > 0 {
-		blob = append(blob, byte(acc<<(8-nbits)))
+		dst = append(dst, byte(acc<<(8-nbits)))
 	}
-	return blob
+	putScratch(p)
+	return dst
 }
 
-func (huffmanCodec) Decode(blob []byte) ([]float32, error) {
-	n, payload, err := parseHeader(blob, Huffman)
+func (c huffmanCodec) Decode(blob []byte) ([]float32, error) {
+	n, _, err := parseHeader(blob, Huffman)
 	if err != nil {
 		return nil, err
 	}
+	dst := make([]float32, n)
+	if err := c.DecodeInto(dst, blob); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func (huffmanCodec) DecodeInto(dst []float32, blob []byte) error {
+	n, payload, err := parseHeader(blob, Huffman)
+	if err != nil {
+		return err
+	}
+	if err := checkDst(dst, n); err != nil {
+		return err
+	}
 	if n == 0 {
 		if len(payload) != 0 {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
-		return []float32{}, nil
+		return nil
 	}
 	if len(payload) < 256 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	var lengths [256]byte
 	copy(lengths[:], payload[:256])
@@ -85,9 +121,12 @@ func (huffmanCodec) Decode(blob []byte) ([]float32, error) {
 
 	dec, err := newHuffmanDecoder(lengths)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	raw := make([]byte, n*4)
+	// Stage through pooled raw bytes; every byte is written on success.
+	p := getScratch(n * 4)
+	defer putScratch(p)
+	raw := *p
 	var acc uint64
 	var nbits uint
 	pos := 0
@@ -95,13 +134,13 @@ func (huffmanCodec) Decode(blob []byte) ([]float32, error) {
 		sym, consumed, ok := dec.next(acc, nbits)
 		for !ok {
 			if pos >= len(data) {
-				return nil, ErrTruncated
+				return ErrTruncated
 			}
 			acc = acc<<8 | uint64(data[pos])
 			nbits += 8
 			pos++
 			if nbits > 64-8 {
-				return nil, fmt.Errorf("%w: oversized huffman code", ErrCorrupt)
+				return fmt.Errorf("%w: oversized huffman code", ErrCorrupt)
 			}
 			sym, consumed, ok = dec.next(acc, nbits)
 		}
@@ -111,9 +150,12 @@ func (huffmanCodec) Decode(blob []byte) ([]float32, error) {
 	}
 	// Remaining bits must be padding only.
 	if pos != len(data) || nbits >= 8 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	return bytesToFloats(raw), nil
+	for i := range dst {
+		dst[i] = readFloat32(raw[i*4:])
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,9 @@
 package compress
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // lz4Codec implements the LZ4 block format (the dictionary-matching codec
 // from Section IV-E, "abcde_bcde → abcde_(5,4)") over the raw little-endian
@@ -30,30 +33,36 @@ func lz4Hash(u uint32) uint32 {
 	return (u * 2654435761) >> (32 - lz4HashLog)
 }
 
-// floatsToBytes serialises src as little-endian float32 bits.
-func floatsToBytes(src []float32) []byte {
-	b := make([]byte, len(src)*4)
+// lz4Tables recycles the compressor's hash-chain head tables.
+var lz4Tables = sync.Pool{
+	New: func() interface{} { return new([1 << lz4HashLog]int32) },
+}
+
+// MaxEncodedLen bounds the blob by the incompressible case: every raw byte
+// a literal, plus one length-extension byte per 255 literals and slack for
+// token/offset framing. Sequences containing matches only shrink the total
+// (a match costs ≤3 bytes plus extensions yet covers ≥4 raw bytes).
+func (lz4Codec) MaxEncodedLen(n int) int {
+	raw := 4 * n
+	return headerSize + raw + raw/255 + 64
+}
+
+func (c lz4Codec) Encode(src []float32) []byte {
+	raw := len(src) * 4
+	blob := make([]byte, 0, headerSize+raw+raw/255+16)
+	return c.AppendEncode(blob, src)
+}
+
+func (lz4Codec) AppendEncode(dst []byte, src []float32) []byte {
+	p := getScratch(len(src) * 4)
+	raw := *p
 	for i, v := range src {
-		binary.LittleEndian.PutUint32(b[i*4:], float32bits(v))
+		binary.LittleEndian.PutUint32(raw[i*4:], float32bits(v))
 	}
-	return b
-}
-
-// bytesToFloats is the inverse of floatsToBytes. len(b) must be a multiple
-// of 4.
-func bytesToFloats(b []byte) []float32 {
-	out := make([]float32, len(b)/4)
-	for i := range out {
-		out[i] = readFloat32(b[i*4:])
-	}
-	return out
-}
-
-func (lz4Codec) Encode(src []float32) []byte {
-	raw := floatsToBytes(src)
-	blob := make([]byte, 0, headerSize+len(raw)+len(raw)/255+16)
-	blob = putHeader(blob, LZ4, len(src))
-	return lz4CompressBlock(blob, raw)
+	dst = putHeader(dst, LZ4, len(src))
+	dst = lz4CompressBlock(dst, raw)
+	putScratch(p)
+	return dst
 }
 
 // lz4CompressBlock appends the LZ4 block encoding of raw to dst.
@@ -108,7 +117,12 @@ func lz4CompressBlock(dst, raw []byte) []byte {
 		return emitSeq(raw, 0, 0)
 	}
 
-	var table [1 << lz4HashLog]int32
+	// The 256 KiB hash table exceeds the compiler's stack-variable limit
+	// and would heap-allocate per call; recycle it instead. The reset loop
+	// below makes a dirty pooled table safe.
+	tp := lz4Tables.Get().(*[1 << lz4HashLog]int32)
+	defer lz4Tables.Put(tp)
+	table := tp
 	for i := range table {
 		table[i] = -1
 	}
@@ -143,16 +157,38 @@ func lz4CompressBlock(dst, raw []byte) []byte {
 	return emitSeq(raw[anchor:], 0, 0)
 }
 
-func (lz4Codec) Decode(blob []byte) ([]float32, error) {
-	n, payload, err := parseHeader(blob, LZ4)
+func (c lz4Codec) Decode(blob []byte) ([]float32, error) {
+	n, _, err := parseHeader(blob, LZ4)
 	if err != nil {
 		return nil, err
 	}
-	raw := make([]byte, n*4)
-	if err := lz4DecompressBlock(raw, payload); err != nil {
+	dst := make([]float32, n)
+	if err := c.DecodeInto(dst, blob); err != nil {
 		return nil, err
 	}
-	return bytesToFloats(raw), nil
+	return dst, nil
+}
+
+func (lz4Codec) DecodeInto(dst []float32, blob []byte) error {
+	n, payload, err := parseHeader(blob, LZ4)
+	if err != nil {
+		return err
+	}
+	if err := checkDst(dst, n); err != nil {
+		return err
+	}
+	// Stage through pooled raw bytes; the block decoder fills every byte on
+	// success, so a dirty recycled scratch buffer is harmless.
+	p := getScratch(n * 4)
+	raw := *p
+	err = lz4DecompressBlock(raw, payload)
+	if err == nil {
+		for i := range dst {
+			dst[i] = readFloat32(raw[i*4:])
+		}
+	}
+	putScratch(p)
+	return err
 }
 
 // lz4DecompressBlock decodes an LZ4 block into dst, which must be exactly

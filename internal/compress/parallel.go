@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 )
 
 // Launch is a GPU kernel launch geometry: the (grid, block) pair CSWAP
@@ -68,6 +67,9 @@ func (h *Hooks) chunkDecode(alg Algorithm, chunk int) error {
 //	then the concatenated per-chunk codec blobs.
 const parallelMarker = 0x50
 
+// parHeaderSize is the fixed container prefix before the chunk directory.
+const parHeaderSize = 14
+
 // maxParallelElems bounds the element count a container header may claim;
 // anything larger is treated as corrupt before any allocation happens.
 const maxParallelElems = math.MaxInt32
@@ -88,19 +90,83 @@ func ParallelEncodeWith(alg Algorithm, src []float32, launch Launch, hooks *Hook
 	if err := launch.Validate(); err != nil {
 		return nil, err
 	}
+	bound, err := MaxParallelEncodedLen(alg, len(src), launch)
+	if err != nil {
+		return nil, err
+	}
+	return AppendParallelEncodeWith(make([]byte, 0, bound), alg, src, launch, hooks)
+}
+
+// MaxParallelEncodedLen returns an upper bound on the container size
+// AppendParallelEncode can produce for an n-element tensor at the given
+// launch, derived arithmetically from the codec's per-chunk MaxEncodedLen.
+// Callers use it to pre-size append destinations (e.g. arena buffers) so
+// the encode path performs no allocation.
+func MaxParallelEncodedLen(alg Algorithm, n int, launch Launch) (int, error) {
+	codec, err := New(alg)
+	if err != nil {
+		return 0, err
+	}
+	per, k := chunkShape(n, launch.Grid)
+	last := n - (k-1)*per
+	if last > per {
+		last = per // single-chunk case: the chunk holds all n <= per elements
+	}
+	return parHeaderSize + 8*k + (k-1)*codec.MaxEncodedLen(per) + codec.MaxEncodedLen(last), nil
+}
+
+// AppendParallelEncode appends the parallel container encoding of src to
+// dst, returning the extended slice. The appended bytes are identical to
+// ParallelEncode's output for the same launch. When cap(dst)-len(dst) is at
+// least MaxParallelEncodedLen, no allocation occurs: every chunk encodes
+// directly into a disjoint span of dst and the spans are then compacted in
+// place — there is no per-chunk blob or concatenation copy.
+func AppendParallelEncode(dst []byte, alg Algorithm, src []float32, launch Launch) ([]byte, error) {
+	return AppendParallelEncodeWith(dst, alg, src, launch, nil)
+}
+
+// AppendParallelEncodeWith is AppendParallelEncode with per-chunk hooks.
+func AppendParallelEncodeWith(dst []byte, alg Algorithm, src []float32, launch Launch, hooks *Hooks) ([]byte, error) {
+	if err := launch.Validate(); err != nil {
+		return nil, err
+	}
 	codec, err := New(alg)
 	if err != nil {
 		return nil, err
 	}
 	chunks := chunkBounds(len(src), launch.Grid)
-	blobs := make([][]byte, len(chunks))
-	errs := make([]error, len(chunks))
-	runWorkers(len(chunks), workerCount(launch, len(chunks)), func(i int) {
+	k := len(chunks)
+
+	// Reserve the header, the directory, and one worst-case span per chunk.
+	// Every non-last chunk has the same element count, hence the same bound.
+	base := len(dst)
+	dirEnd := base + parHeaderSize + 8*k
+	maxPer := codec.MaxEncodedLen(chunks[0].hi - chunks[0].lo)
+	need := dirEnd + (k-1)*maxPer + codec.MaxEncodedLen(chunks[k-1].hi-chunks[k-1].lo)
+	if cap(dst) < need {
+		grown := make([]byte, need, need+(need-base)/4)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:need]
+	}
+
+	// Each chunk encodes into its own capacity-capped span; the three-index
+	// slice keeps appends inside the reservation. encoded records where each
+	// blob actually lives — normally the span itself, or an escaped append
+	// allocation if a MaxEncodedLen bound were ever violated (the compaction
+	// below copies from wherever the blob is, so correctness never depends
+	// on the bound).
+	encoded := make([][]byte, k)
+	errs := make([]error, k)
+	runWorkers(k, workerCount(launch, k), func(i int) {
 		if herr := hooks.chunkEncode(alg, i); herr != nil {
-			errs[i] = chunkErr(alg, i, len(chunks), herr)
+			errs[i] = chunkErr(alg, i, k, herr)
 			return
 		}
-		blobs[i] = codec.Encode(src[chunks[i].lo:chunks[i].hi])
+		off := dirEnd + i*maxPer
+		lim := off + codec.MaxEncodedLen(chunks[i].hi-chunks[i].lo)
+		encoded[i] = codec.AppendEncode(dst[off:off:lim], src[chunks[i].lo:chunks[i].hi])
 	})
 	for _, e := range errs {
 		if e != nil {
@@ -108,26 +174,20 @@ func ParallelEncodeWith(alg Algorithm, src []float32, launch Launch, hooks *Hook
 		}
 	}
 
-	total := 14 + 8*len(chunks)
-	for _, b := range blobs {
-		total += len(b)
+	// Header, directory, then left-compaction. Chunk i's final position
+	// starts at dirEnd + sum(len(b_j), j<i) <= dirEnd + i*maxPer, its
+	// scratch position, so the ascending copy never clobbers unread bytes.
+	dst[base] = parallelMarker
+	dst[base+1] = byte(alg)
+	binary.LittleEndian.PutUint64(dst[base+2:], uint64(len(src)))
+	binary.LittleEndian.PutUint32(dst[base+10:], uint32(k))
+	w := dirEnd
+	for i, b := range encoded {
+		binary.LittleEndian.PutUint64(dst[base+parHeaderSize+8*i:], uint64(len(b)))
+		copy(dst[w:], b)
+		w += len(b)
 	}
-	out := make([]byte, 0, total)
-	out = append(out, parallelMarker, byte(alg))
-	var u64 [8]byte
-	binary.LittleEndian.PutUint64(u64[:], uint64(len(src)))
-	out = append(out, u64[:]...)
-	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], uint32(len(chunks)))
-	out = append(out, u32[:]...)
-	for _, b := range blobs {
-		binary.LittleEndian.PutUint64(u64[:], uint64(len(b)))
-		out = append(out, u64[:]...)
-	}
-	for _, b := range blobs {
-		out = append(out, b...)
-	}
-	return out, nil
+	return dst[:w], nil
 }
 
 // ParallelDecode reverses ParallelEncode, decoding chunks concurrently with
@@ -150,22 +210,73 @@ func ParallelDecodeWith(blob []byte, launch Launch, hooks *Hooks) ([]float32, er
 	if err := launch.Validate(); err != nil {
 		return nil, err
 	}
-	if len(blob) < 14 {
-		return nil, fmt.Errorf("%w: parallel container header", ErrTruncated)
+	pc, err := parseParallelContainer(blob)
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]float32, pc.n)
+	if err := pc.decodeInto(dst, blob, launch, hooks); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ParallelDecodeInto reverses ParallelEncode into the caller-owned dst,
+// whose length must equal the container's declared element count
+// (ErrDstSize otherwise). Each chunk scatters straight into its span of
+// dst with no intermediate slices; on success every element of dst has
+// been written, so a dirty recycled buffer is fully overwritten. On error
+// dst's contents are unspecified.
+func ParallelDecodeInto(dst []float32, blob []byte, launch Launch) error {
+	return ParallelDecodeIntoWith(dst, blob, launch, nil)
+}
+
+// ParallelDecodeIntoWith is ParallelDecodeInto with per-chunk hooks.
+func ParallelDecodeIntoWith(dst []float32, blob []byte, launch Launch, hooks *Hooks) error {
+	if err := launch.Validate(); err != nil {
+		return err
+	}
+	pc, err := parseParallelContainer(blob)
+	if err != nil {
+		return err
+	}
+	if len(dst) != pc.n {
+		return fmt.Errorf("%w: dst holds %d elements, container declares %d",
+			ErrDstSize, len(dst), pc.n)
+	}
+	return pc.decodeInto(dst, blob, launch, hooks)
+}
+
+// parContainer is a validated view over a parallel container blob.
+type parContainer struct {
+	codec   Codec
+	alg     Algorithm
+	n       int
+	bounds  []span // element spans, one per chunk
+	offsets []int  // len(bounds)+1 absolute byte offsets of chunk blobs
+}
+
+// parseParallelContainer performs the full structural validation described
+// on ParallelDecodeWith and returns the chunk layout. Nothing is allocated
+// proportional to the (untrusted) declared element count.
+func parseParallelContainer(blob []byte) (parContainer, error) {
+	var pc parContainer
+	if len(blob) < parHeaderSize {
+		return pc, fmt.Errorf("%w: parallel container header", ErrTruncated)
 	}
 	if blob[0] != parallelMarker {
-		return nil, fmt.Errorf("%w: not a parallel container", ErrCorrupt)
+		return pc, fmt.Errorf("%w: not a parallel container", ErrCorrupt)
 	}
 	// The algorithm byte must map to a known codec before anything is
 	// allocated on the strength of the header.
 	alg := Algorithm(blob[1])
 	codec, err := New(alg)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return pc, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	n := int(binary.LittleEndian.Uint64(blob[2:10]))
 	if n < 0 || n > maxParallelElems {
-		return nil, fmt.Errorf("%w: container claims %d elements", ErrCorrupt, n)
+		return pc, fmt.Errorf("%w: container claims %d elements", ErrCorrupt, n)
 	}
 	numChunks := int(binary.LittleEndian.Uint32(blob[10:14]))
 	// Chunks are 32-element aligned and non-empty (except the single empty
@@ -176,99 +287,104 @@ func ParallelDecodeWith(blob []byte, launch Launch, hooks *Hooks) ([]float32, er
 		maxChunks = 1
 	}
 	if numChunks < 1 || numChunks > maxChunks {
-		return nil, fmt.Errorf("%w: %d chunks for %d elements (max %d)",
+		return pc, fmt.Errorf("%w: %d chunks for %d elements (max %d)",
 			ErrCorrupt, numChunks, n, maxChunks)
 	}
-	dirEnd := 14 + 8*numChunks
+	dirEnd := parHeaderSize + 8*numChunks
 	if len(blob) < dirEnd {
-		return nil, fmt.Errorf("%w: chunk directory", ErrTruncated)
+		return pc, fmt.Errorf("%w: chunk directory", ErrTruncated)
 	}
-	lengths := make([]int, numChunks)
-	pos := dirEnd
-	for i := range lengths {
-		lengths[i] = int(binary.LittleEndian.Uint64(blob[14+8*i:]))
-		if lengths[i] < 0 || pos+lengths[i] > len(blob) {
-			return nil, chunkErr(alg, i, numChunks, ErrTruncated)
+	offsets := make([]int, numChunks+1)
+	offsets[0] = dirEnd
+	for i := 0; i < numChunks; i++ {
+		length := int(binary.LittleEndian.Uint64(blob[parHeaderSize+8*i:]))
+		if length < 0 || offsets[i]+length > len(blob) {
+			return pc, chunkErr(alg, i, numChunks, ErrTruncated)
 		}
-		pos += lengths[i]
+		offsets[i+1] = offsets[i] + length
 	}
-	if pos != len(blob) {
-		return nil, fmt.Errorf("%w: directory covers %d bytes, payload has %d",
-			ErrCorrupt, pos-dirEnd, len(blob)-dirEnd)
+	if offsets[numChunks] != len(blob) {
+		return pc, fmt.Errorf("%w: directory covers %d bytes, payload has %d",
+			ErrCorrupt, offsets[numChunks]-dirEnd, len(blob)-dirEnd)
 	}
-	offsets := make([]int, numChunks)
-	off := dirEnd
-	for i := range offsets {
-		offsets[i] = off
-		off += lengths[i]
-	}
-	// Cross-check every chunk's own header against the container before
-	// allocating the destination: each must carry the container's
-	// algorithm, and the per-chunk element counts must sum to n.
-	var declared uint64
-	for i := range lengths {
-		chunk := blob[offsets[i] : offsets[i]+lengths[i]]
-		if len(chunk) < headerSize {
-			return nil, chunkErr(alg, i, numChunks, ErrTruncated)
-		}
-		if Algorithm(chunk[0]) != alg {
-			return nil, chunkErr(alg, i, numChunks, fmt.Errorf(
-				"%w: chunk algorithm byte %d, container is %s", ErrCorrupt, chunk[0], alg))
-		}
-		declared += binary.LittleEndian.Uint64(chunk[1:9])
-	}
-	if declared != uint64(n) {
-		return nil, fmt.Errorf("%w: chunks declare %d elements, container claims %d",
-			ErrCorrupt, declared, n)
-	}
-
 	bounds := chunkBounds(n, numChunks)
 	if len(bounds) != numChunks {
-		return nil, fmt.Errorf("%w: chunk count %d inconsistent with %d elements",
+		return pc, fmt.Errorf("%w: chunk count %d inconsistent with %d elements",
 			ErrCorrupt, numChunks, n)
 	}
-	dst := make([]float32, n)
+	// Cross-check every chunk's own header against the container before
+	// the destination is touched: each must carry the container's algorithm
+	// and declare exactly its span's element count (which also forces the
+	// counts to sum to n). Classifying a count mismatch here keeps it
+	// ErrCorrupt — recoverable data corruption — rather than surfacing as a
+	// structural ErrDstSize from the per-chunk DecodeInto.
+	for i := range bounds {
+		chunk := blob[offsets[i]:offsets[i+1]]
+		if len(chunk) < headerSize {
+			return pc, chunkErr(alg, i, numChunks, ErrTruncated)
+		}
+		if Algorithm(chunk[0]) != alg {
+			return pc, chunkErr(alg, i, numChunks, fmt.Errorf(
+				"%w: chunk algorithm byte %d, container is %s", ErrCorrupt, chunk[0], alg))
+		}
+		if count := binary.LittleEndian.Uint64(chunk[1:9]); count != uint64(bounds[i].hi-bounds[i].lo) {
+			return pc, chunkErr(alg, i, numChunks, fmt.Errorf(
+				"%w: chunk declares %d elements, span holds %d",
+				ErrCorrupt, count, bounds[i].hi-bounds[i].lo))
+		}
+	}
+	return parContainer{codec: codec, alg: alg, n: n, bounds: bounds, offsets: offsets}, nil
+}
+
+// decodeInto runs the per-chunk decodes, scattering each chunk straight
+// into its span of dst.
+func (pc parContainer) decodeInto(dst []float32, blob []byte, launch Launch, hooks *Hooks) error {
+	numChunks := len(pc.bounds)
 	errs := make([]error, numChunks)
 	runWorkers(numChunks, workerCount(launch, numChunks), func(i int) {
-		if herr := hooks.chunkDecode(alg, i); herr != nil {
-			errs[i] = chunkErr(alg, i, numChunks, herr)
+		if herr := hooks.chunkDecode(pc.alg, i); herr != nil {
+			errs[i] = chunkErr(pc.alg, i, numChunks, herr)
 			return
 		}
-		part, derr := codec.Decode(blob[offsets[i] : offsets[i]+lengths[i]])
-		if derr != nil {
-			errs[i] = chunkErr(alg, i, numChunks, derr)
-			return
+		chunk := blob[pc.offsets[i]:pc.offsets[i+1]]
+		if derr := pc.codec.DecodeInto(dst[pc.bounds[i].lo:pc.bounds[i].hi], chunk); derr != nil {
+			errs[i] = chunkErr(pc.alg, i, numChunks, derr)
 		}
-		if len(part) != bounds[i].hi-bounds[i].lo {
-			errs[i] = chunkErr(alg, i, numChunks, fmt.Errorf(
-				"%w: decoded to %d elements, want %d", ErrCorrupt, len(part), bounds[i].hi-bounds[i].lo))
-			return
-		}
-		copy(dst[bounds[i].lo:], part)
 	})
 	for _, e := range errs {
 		if e != nil {
-			return nil, e
+			return e
 		}
 	}
-	return dst, nil
+	return nil
 }
 
 type span struct{ lo, hi int }
+
+// chunkShape returns the 32-aligned per-chunk element count and the number
+// of chunks chunkBounds produces for (n, grid).
+func chunkShape(n, grid int) (per, k int) {
+	if grid < 1 {
+		grid = 1
+	}
+	per = (n + grid - 1) / grid
+	per = (per + 31) &^ 31
+	if per == 0 {
+		per = 32
+	}
+	k = (n + per - 1) / per
+	if k < 1 {
+		k = 1
+	}
+	return per, k
+}
 
 // chunkBounds splits n elements into at most grid 32-aligned spans; the last
 // span absorbs the remainder. Fewer spans than grid are produced when the
 // tensor is small.
 func chunkBounds(n, grid int) []span {
-	if grid < 1 {
-		grid = 1
-	}
-	per := (n + grid - 1) / grid
-	per = (per + 31) &^ 31
-	if per == 0 {
-		per = 32
-	}
-	var out []span
+	per, k := chunkShape(n, grid)
+	out := make([]span, 0, k)
 	for lo := 0; lo < n; lo += per {
 		hi := lo + per
 		if hi > n {
@@ -276,16 +392,23 @@ func chunkBounds(n, grid int) []span {
 		}
 		out = append(out, span{lo, hi})
 	}
-	if out == nil {
-		out = []span{{0, 0}}
+	if len(out) == 0 {
+		out = append(out, span{0, 0})
 	}
 	return out
 }
 
-// workerCount bounds host-side concurrency. The Block/64 factor models more
-// resident warps per "SM", but the workers are CPU-bound here, so the
-// scaled count never exceeds the machine's parallelism: scaling applies
-// only below the GOMAXPROCS cap, not past it.
+// workerCount bounds host-side concurrency for a parallel codec call.
+//
+// The Block/64 factor models the launch's occupancy, not a thread count:
+// Block 64 keeps 2 warps resident per "SM" and Block 128 keeps 4, so a
+// 128-thread block asks for twice the concurrency of a 64-thread one, the
+// way the paper's two block sizes trade occupancy against scheduling slack.
+// The workers are CPU-bound here, so the scaled count never exceeds the
+// machine's parallelism: scaling applies only below the GOMAXPROCS cap,
+// not past it — at the cap, workerCount(Block=128) == workerCount(Block=64)
+// by design, and the geometry only changes the chunk partitioning (hence
+// the bytes), not the host thread count.
 func workerCount(l Launch, jobs int) int {
 	maxW := runtime.GOMAXPROCS(0)
 	w := maxW * l.Block / 64
@@ -299,33 +422,4 @@ func workerCount(l Launch, jobs int) int {
 		w = 1
 	}
 	return w
-}
-
-// runWorkers runs fn(i) for i in [0,jobs) with the given concurrency.
-func runWorkers(jobs, workers int, fn func(int)) {
-	if jobs == 0 {
-		return
-	}
-	if workers <= 1 || jobs == 1 {
-		for i := 0; i < jobs; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < jobs; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

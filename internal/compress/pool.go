@@ -1,0 +1,130 @@
+package compress
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the package's two reuse mechanisms for the codec hot
+// path: a persistent worker pool that replaces per-call goroutine churn,
+// and a sync.Pool of byte scratch buffers for the codecs that serialise
+// through a raw little-endian byte image (LZ4, Huffman).
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool.
+//
+// ParallelEncode/ParallelDecode used to spawn and tear down a goroutine
+// pool on every call — pure overhead on the hottest path in the repo, paid
+// once per swap. The workers below start lazily on the first parallel call,
+// are sized to GOMAXPROCS at that moment, and live for the process. Work
+// is claimed with an atomic index counter rather than a channel of indices,
+// so dispatch is one atomic add per chunk instead of a blocking goroutine
+// handoff per chunk.
+
+// parTask is one parallel (de)compression call: fn(i) for i in [0, jobs).
+// Workers and the submitting goroutine race on next to claim indices; wg
+// tracks the pool workers that were handed the task.
+type parTask struct {
+	fn   func(int)
+	jobs int
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// run claims and executes job indices until the task is exhausted.
+func (t *parTask) run() {
+	for {
+		i := t.next.Add(1) - 1
+		if int(i) >= t.jobs {
+			return
+		}
+		t.fn(int(i))
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan *parTask
+)
+
+// poolStart launches the persistent workers. Sized to GOMAXPROCS at first
+// use: workerCount never asks for more host concurrency than that, so one
+// resident worker per P is enough to saturate any launch geometry.
+func poolStart() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	poolCh = make(chan *parTask, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range poolCh {
+				t.run()
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// runWorkers runs fn(i) for i in [0,jobs) with at most the given
+// concurrency. The calling goroutine always participates, so a task never
+// waits idle on pool availability; pool workers only add parallelism. The
+// buffered submission channel never blocks the caller: if the pool is
+// saturated by concurrent swap streams, the surplus helper slots are
+// dropped and the work still completes on the claimants already running.
+func runWorkers(jobs, workers int, fn func(int)) {
+	if jobs == 0 {
+		return
+	}
+	if workers <= 1 || jobs == 1 {
+		for i := 0; i < jobs; i++ {
+			fn(i)
+		}
+		return
+	}
+	poolOnce.Do(poolStart)
+	t := &parTask{fn: fn, jobs: jobs}
+	helpers := workers - 1
+	t.wg.Add(helpers)
+	for h := 0; h < helpers; h++ {
+		select {
+		case poolCh <- t:
+		default:
+			t.wg.Done() // pool saturated; shed the helper slot
+		}
+	}
+	t.run()
+	t.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Byte scratch pool.
+//
+// LZ4 and Huffman operate on the tensor's raw little-endian bytes; their
+// encode and decode paths need a 4·n-byte staging buffer that used to be a
+// fresh allocation per call (per chunk, on the parallel path). The pool
+// recycles them process-wide. Ownership rule: a scratch buffer is borrowed
+// for the duration of one encode/decode call and must be returned before
+// the call's result escapes — nothing in a returned blob or decoded tensor
+// may alias scratch memory.
+
+var byteScratch = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getScratch borrows a byte buffer of length n.
+func getScratch(n int) *[]byte {
+	p := byteScratch.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putScratch returns a buffer borrowed with getScratch.
+func putScratch(p *[]byte) { byteScratch.Put(p) }

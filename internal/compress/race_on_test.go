@@ -1,0 +1,9 @@
+//go:build race
+
+package compress
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which makes sync.Pool drop puts at random to widen its race
+// coverage — so allocation counts are nondeterministic and the
+// AllocsPerRun gates must not run.
+const raceEnabled = true

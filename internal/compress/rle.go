@@ -23,13 +23,26 @@ const rleMaxRun = 0xFFFF
 
 func (rleCodec) Algorithm() Algorithm { return RLE }
 
-func (rleCodec) Encode(src []float32) []byte {
+// MaxEncodedLen bounds the blob by charging every element the worst
+// per-element token cost: an isolated literal preceded by no zeros costs a
+// 4-byte token plus its 4-byte value; every other token amortises better.
+func (rleCodec) MaxEncodedLen(n int) int {
+	return headerSize + 8*n
+}
+
+func (c rleCodec) Encode(src []float32) []byte {
+	// Size hint matches the historical Encode: the common sparse case, not
+	// the adversarial bound.
 	blob := make([]byte, 0, headerSize+len(src)*4/2+64)
-	blob = putHeader(blob, RLE, len(src))
+	return c.AppendEncode(blob, src)
+}
+
+func (rleCodec) AppendEncode(dst []byte, src []float32) []byte {
+	dst = putHeader(dst, RLE, len(src))
 	var u16 [2]byte
 	putU16 := func(v int) {
 		binary.LittleEndian.PutUint16(u16[:], uint16(v))
-		blob = append(blob, u16[:]...)
+		dst = append(dst, u16[:]...)
 	}
 	i := 0
 	for i < len(src) {
@@ -60,7 +73,7 @@ func (rleCodec) Encode(src []float32) []byte {
 			putU16(zeroRun)
 			putU16(chunk)
 			for _, v := range lits[:chunk] {
-				blob = appendFloat32(blob, v)
+				dst = appendFloat32(dst, v)
 			}
 			lits = lits[chunk:]
 			zeroRun = 0
@@ -69,29 +82,46 @@ func (rleCodec) Encode(src []float32) []byte {
 			}
 		}
 	}
-	return blob
+	return dst
 }
 
-func (rleCodec) Decode(blob []byte) ([]float32, error) {
-	n, payload, err := parseHeader(blob, RLE)
+func (c rleCodec) Decode(blob []byte) ([]float32, error) {
+	n, _, err := parseHeader(blob, RLE)
 	if err != nil {
 		return nil, err
 	}
 	dst := make([]float32, n)
+	if err := c.DecodeInto(dst, blob); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func (rleCodec) DecodeInto(dst []float32, blob []byte) error {
+	n, payload, err := parseHeader(blob, RLE)
+	if err != nil {
+		return err
+	}
+	if err := checkDst(dst, n); err != nil {
+		return err
+	}
 	out, pos := 0, 0
 	for pos < len(payload) {
 		if pos+4 > len(payload) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		zeroRun := int(binary.LittleEndian.Uint16(payload[pos:]))
 		litCount := int(binary.LittleEndian.Uint16(payload[pos+2:]))
 		pos += 4
 		if out+zeroRun+litCount > n {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
-		out += zeroRun // destination is pre-zeroed
+		// Zero runs are written explicitly: dst may be a dirty recycled
+		// buffer, so nothing can rely on it being pre-zeroed.
+		clear(dst[out : out+zeroRun])
+		out += zeroRun
 		if pos+litCount*4 > len(payload) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		for j := 0; j < litCount; j++ {
 			dst[out] = readFloat32(payload[pos:])
@@ -100,7 +130,7 @@ func (rleCodec) Decode(blob []byte) ([]float32, error) {
 		}
 	}
 	if out != n {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	return dst, nil
+	return nil
 }

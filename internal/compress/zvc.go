@@ -12,11 +12,19 @@ type zvcCodec struct{}
 
 func (zvcCodec) Algorithm() Algorithm { return ZVC }
 
-func (zvcCodec) Encode(src []float32) []byte {
-	// Size hint: bitmaps + worst case all non-zero.
+// MaxEncodedLen bounds the blob at one bitmap word per group plus every
+// element non-zero.
+func (zvcCodec) MaxEncodedLen(n int) int {
+	return headerSize + ((n+31)/32)*4 + n*4
+}
+
+func (c zvcCodec) Encode(src []float32) []byte {
+	return c.AppendEncode(make([]byte, 0, c.MaxEncodedLen(len(src))), src)
+}
+
+func (zvcCodec) AppendEncode(dst []byte, src []float32) []byte {
+	dst = putHeader(dst, ZVC, len(src))
 	groups := (len(src) + 31) / 32
-	blob := make([]byte, 0, headerSize+groups*4+len(src)*4)
-	blob = putHeader(blob, ZVC, len(src))
 	var valbuf [4]byte
 	for g := 0; g < groups; g++ {
 		start := g * 32
@@ -30,28 +38,42 @@ func (zvcCodec) Encode(src []float32) []byte {
 				bitmap |= 1 << uint(i-start)
 			}
 		}
-		blob = appendUint32(blob, bitmap)
+		dst = appendUint32(dst, bitmap)
 		for i := start; i < end; i++ {
 			if src[i] != 0 {
 				binary.LittleEndian.PutUint32(valbuf[:], float32bits(src[i]))
-				blob = append(blob, valbuf[:]...)
+				dst = append(dst, valbuf[:]...)
 			}
 		}
 	}
-	return blob
+	return dst
 }
 
-func (zvcCodec) Decode(blob []byte) ([]float32, error) {
-	n, payload, err := parseHeader(blob, ZVC)
+func (c zvcCodec) Decode(blob []byte) ([]float32, error) {
+	n, _, err := parseHeader(blob, ZVC)
 	if err != nil {
 		return nil, err
 	}
 	dst := make([]float32, n)
+	if err := c.DecodeInto(dst, blob); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func (zvcCodec) DecodeInto(dst []float32, blob []byte) error {
+	n, payload, err := parseHeader(blob, ZVC)
+	if err != nil {
+		return err
+	}
+	if err := checkDst(dst, n); err != nil {
+		return err
+	}
 	groups := (n + 31) / 32
 	pos := 0
 	for g := 0; g < groups; g++ {
 		if pos+4 > len(payload) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		bitmap := binary.LittleEndian.Uint32(payload[pos:])
 		pos += 4
@@ -61,21 +83,24 @@ func (zvcCodec) Decode(blob []byte) ([]float32, error) {
 			end = n
 			// Bits beyond the tail must be clear.
 			if bitmap>>(uint(end-start)) != 0 {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 		}
+		// Zeros are written explicitly: dst may be a dirty recycled buffer.
 		for i := start; i < end; i++ {
 			if bitmap&(1<<uint(i-start)) != 0 {
 				if pos+4 > len(payload) {
-					return nil, ErrTruncated
+					return ErrTruncated
 				}
 				dst[i] = readFloat32(payload[pos:])
 				pos += 4
+			} else {
+				dst[i] = 0
 			}
 		}
 	}
 	if pos != len(payload) {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	return dst, nil
+	return nil
 }

@@ -1,0 +1,89 @@
+package executor
+
+import (
+	"math/bits"
+	"sync"
+
+	"cswap/internal/metrics"
+)
+
+// arena recycles the byte buffers that flow through the swap hot path:
+// compressed encode outputs and fault-injected transfer copies. (Raw swap
+// buffers stay on the devmem.Cache, which models the pinned-host buffer
+// reuse; the arena owns only what the cache does not.)
+//
+// Buffers are size-classed by power-of-two capacity: get(n) draws from the
+// class of ceil(log2(n)), and put files a buffer under floor(log2(cap)), so
+// any buffer popped from a class satisfies every request routed to it —
+// including blobs that grew past their original reservation.
+//
+// Ownership rule: a buffer leaves the arena at get and returns at exactly
+// one recycle point, after the structure that held it (a Handle's blob, a
+// transfer copy) has released it. Nothing may retain a view into a buffer
+// across its put.
+type arena struct {
+	classes [arenaClassCount]sync.Pool
+	// hits/misses split gets by whether a pooled buffer was available;
+	// puts counts buffers accepted back. Registered so the Observer's
+	// registry exposes reuse effectiveness next to the swap counters.
+	hits, misses, puts *metrics.Counter
+}
+
+const (
+	arenaMinShift   = 6  // 64 B: smaller buffers are cheaper to allocate than to track
+	arenaMaxShift   = 30 // 1 GiB: larger buffers would pin too much memory in the pool
+	arenaClassCount = arenaMaxShift - arenaMinShift + 1
+)
+
+func newArena(r *metrics.Registry) *arena {
+	return &arena{
+		hits:   r.Counter("executor_arena_gets_total", metrics.L("outcome", "hit")),
+		misses: r.Counter("executor_arena_gets_total", metrics.L("outcome", "miss")),
+		puts:   r.Counter("executor_arena_puts_total"),
+	}
+}
+
+// arenaClass returns the size class index for a request or capacity of n
+// bytes, and whether n is poolable at all.
+func arenaClass(n int) (int, bool) {
+	if n <= 0 {
+		return 0, false
+	}
+	shift := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if shift < arenaMinShift {
+		shift = arenaMinShift
+	}
+	if shift > arenaMaxShift {
+		return 0, false
+	}
+	return shift - arenaMinShift, true
+}
+
+// get returns a zero-length buffer with capacity at least n.
+func (a *arena) get(n int) []byte {
+	class, ok := arenaClass(n)
+	if !ok {
+		a.misses.Inc()
+		return make([]byte, 0, n)
+	}
+	if p, _ := a.classes[class].Get().(*[]byte); p != nil {
+		a.hits.Inc()
+		return (*p)[:0]
+	}
+	a.misses.Inc()
+	return make([]byte, 0, 1<<(class+arenaMinShift))
+}
+
+// put recycles a buffer. Buffers whose capacity falls outside the pooled
+// classes are dropped; a buffer is filed under the largest class its
+// capacity fully covers so get's guarantee holds.
+func (a *arena) put(b []byte) {
+	c := cap(b)
+	if c < 1<<arenaMinShift || c > 1<<arenaMaxShift {
+		return
+	}
+	class := bits.Len(uint(c)) - 1 - arenaMinShift // floor(log2(cap))
+	b = b[:0]
+	a.classes[class].Put(&b)
+	a.puts.Inc()
+}

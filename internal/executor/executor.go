@@ -73,6 +73,7 @@ type Executor struct {
 	device *devmem.Pool
 	host   *devmem.Pool
 	cache  *devmem.Cache
+	arena  *arena
 	hooks  *compress.Hooks
 
 	// reg backs the Stats view: the Observer's registry when one is
@@ -150,6 +151,12 @@ type Handle struct {
 	compressed bool
 	elems      int
 	checksum   uint64
+
+	// scratch retains the tensor's float32 backing across a swap-out so the
+	// swap-in decodes straight into it instead of allocating a fresh slice.
+	// It models the device allocation the real executor would reuse; its
+	// contents are meaningless while the handle is Swapped.
+	scratch []float32
 }
 
 // Name returns the tensor's registration name.
@@ -193,6 +200,7 @@ func New(cfg Config) (*Executor, error) {
 		device: devmem.NewPool("device", cfg.DeviceCapacity),
 		host:   devmem.NewPool("pinned-host", cfg.HostCapacity),
 		cache:  devmem.NewCache(),
+		arena:  newArena(reg),
 		live:   map[int]*Handle{},
 		reg:    reg,
 		ins:    newInstruments(reg),
@@ -276,7 +284,10 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 		if timed {
 			encStart = time.Now()
 		}
-		b, err := compress.ParallelEncodeWith(alg, h.data, e.cfg.Launch, e.hooks)
+		// The encode output lands in an arena buffer sized by the codec's
+		// worst-case bound, so the whole compressed path allocates nothing
+		// once the arena is warm.
+		b, err := e.arenaEncode(alg, h.data)
 		if timed {
 			encDur = time.Since(encStart)
 		}
@@ -296,9 +307,7 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	// The bytes that land in the host pool are the transferred copy; a
 	// transfer-out fault corrupts the stored blob persistently.
 	if mutated, ok := inj.MutateBlob(faultinject.SiteTransferOut, blob); ok {
-		if !compressed {
-			e.cache.Put(blob)
-		}
+		e.recycleBlob(blob, compressed)
 		blob = mutated
 	}
 	hostBlock, err := e.host.Alloc(int64(len(blob)))
@@ -312,14 +321,13 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 			e.cache.Put(raw)
 			return fmt.Errorf("executor: host pool: %w", err)
 		}
+		e.arena.put(blob) // the compressed blob never ships
 		compressed = false
 		allocFellBack = true
 		blob, hostBlock, err = raw, rawBlock, nil
 	}
 	if err != nil {
-		if !compressed {
-			e.cache.Put(blob)
-		}
+		e.recycleBlob(blob, compressed)
 		return fmt.Errorf("executor: host pool: %w", err)
 	}
 	if err := h.devBlock.Free(); err != nil {
@@ -330,6 +338,7 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	h.hostBlock = hostBlock
 	h.alg = alg
 	h.compressed = compressed
+	h.scratch = h.data // retained for the swap-in to decode into
 	h.data = nil
 	h.devBlock = nil
 	h.state = Swapped
@@ -350,6 +359,24 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 		e.observeSwapOut(h.name, compressed, alg, len(blob), encDur, t0, e.sinceEpoch(), encodeFellBack, allocFellBack)
 	}
 	return nil
+}
+
+// arenaEncode runs the parallel encode into an arena buffer sized by the
+// codec's worst-case bound, so the encode itself allocates nothing. On
+// error the buffer goes straight back to the arena; on success the caller
+// owns the returned blob and recycles it via recycleBlob.
+func (e *Executor) arenaEncode(alg compress.Algorithm, data []float32) ([]byte, error) {
+	bound, err := compress.MaxParallelEncodedLen(alg, len(data), e.cfg.Launch)
+	if err != nil {
+		return nil, err
+	}
+	buf := e.arena.get(bound)
+	blob, err := compress.AppendParallelEncodeWith(buf, alg, data, e.cfg.Launch, e.hooks)
+	if err != nil {
+		e.arena.put(buf)
+		return nil, err
+	}
+	return blob, nil
 }
 
 // SwapIn restores the tensor to device memory, decompressing if needed and
@@ -381,22 +408,29 @@ func (e *Executor) SwapIn(h *Handle) error {
 		t0 = e.sinceEpoch()
 	}
 
-	decode := func(blob []byte) ([]float32, error) {
+	// The decode lands in the float32 backing retained at swap-out — the
+	// tensor's own storage, so a warm round trip allocates no new slice.
+	// The defensive make only fires for handles predating the retention
+	// (there are none in practice).
+	dst := h.scratch
+	if cap(dst) < h.elems {
+		dst = make([]float32, h.elems)
+	} else {
+		dst = dst[:h.elems]
+	}
+	decode := func(blob []byte) error {
 		if h.compressed {
-			return compress.ParallelDecodeWith(blob, e.cfg.Launch, e.hooks)
+			return compress.ParallelDecodeIntoWith(dst, blob, e.cfg.Launch, e.hooks)
 		}
 		if len(blob) != h.elems*4 {
-			return nil, fmt.Errorf("%w: raw blob is %d bytes, want %d",
+			return fmt.Errorf("%w: raw blob is %d bytes, want %d",
 				compress.ErrTruncated, len(blob), h.elems*4)
 		}
-		return rawDecode(blob), nil
+		rawDecodeInto(dst, blob)
+		return nil
 	}
-	check := func(data []float32) error {
-		if len(data) != h.elems {
-			return fmt.Errorf("%w: restored %d elements, want %d",
-				compress.ErrCorrupt, len(data), h.elems)
-		}
-		if e.cfg.Verify && checksum(data) != h.checksum {
+	check := func() error {
+		if e.cfg.Verify && checksum(dst) != h.checksum {
 			return fmt.Errorf("%w: %s", ErrVerification, h.name)
 		}
 		return nil
@@ -409,23 +443,30 @@ func (e *Executor) SwapIn(h *Handle) error {
 	if timed {
 		decStart = time.Now()
 	}
-	data, derr := decode(transfer)
+	derr := decode(transfer)
 	if timed {
 		decDur = time.Since(decStart)
 	}
 	if derr == nil {
-		derr = check(data)
+		derr = check()
 	}
 	retried, recovered := false, false
 	if derr != nil && retryable(derr, transient) {
+		// Retry from the retained blob, overwriting whatever the failed
+		// attempt left in dst.
 		retried = true
-		if data2, rerr := decode(h.blob); rerr != nil {
+		if rerr := decode(h.blob); rerr != nil {
 			derr = rerr
-		} else if rerr = check(data2); rerr != nil {
+		} else if rerr = check(); rerr != nil {
 			derr = rerr
 		} else {
-			data, derr, recovered = data2, nil, true
+			derr, recovered = nil, true
 		}
+	}
+	if transient {
+		// The in-flight copy is dead after the decode attempts, pass or
+		// fail; only h.blob survives a failed restore.
+		e.arena.put(transfer)
 	}
 	if derr != nil {
 		_ = devBlock.Free()
@@ -441,13 +482,12 @@ func (e *Executor) SwapIn(h *Handle) error {
 		_ = devBlock.Free()
 		return err
 	}
-	// The raw buffer returns to the cache only after the restore is
-	// committed — donating it earlier would let a later swap-out scribble
-	// over a blob a failed swap-in still needs for its retry.
-	if !h.compressed {
-		e.cache.Put(h.blob)
-	}
-	h.data = data
+	// The blob returns to its pool only after the restore is committed —
+	// recycling it earlier would let a later swap-out scribble over bytes a
+	// failed swap-in still needs for its retry.
+	e.recycleBlob(h.blob, h.compressed)
+	h.data = dst
+	h.scratch = nil
 	h.devBlock = devBlock
 	h.blob = nil
 	h.hostBlock = nil
@@ -483,6 +523,18 @@ func retryable(err error, transient bool) bool {
 	return compress.Recoverable(err)
 }
 
+// recycleBlob returns a swapped payload to its owner once nothing holds a
+// view into it: compressed blobs (and fault-injected transfer copies) to
+// the arena, raw buffers to the pinned-buffer cache that models
+// cudaMallocHost reuse.
+func (e *Executor) recycleBlob(blob []byte, compressed bool) {
+	if compressed {
+		e.arena.put(blob)
+	} else {
+		e.cache.Put(blob)
+	}
+}
+
 // Free releases the tensor from whichever pool holds it.
 func (e *Executor) Free(h *Handle) error {
 	switch h.state {
@@ -494,14 +546,13 @@ func (e *Executor) Free(h *Handle) error {
 		if err := h.hostBlock.Free(); err != nil {
 			return err
 		}
-		if !h.compressed {
-			e.cache.Put(h.blob)
-		}
+		e.recycleBlob(h.blob, h.compressed)
 	case Freed:
 		return fmt.Errorf("%w: %s", ErrFreed, h.name)
 	}
 	h.state = Freed
 	h.data = nil
+	h.scratch = nil
 	h.blob = nil
 	h.devBlock = nil
 	h.hostBlock = nil

@@ -721,9 +721,13 @@ func TestConcurrentSwapStreamsUnderFaults(t *testing.T) {
 	inj := faultinject.New(
 		faultinject.Fault{Site: faultinject.SiteEncode, Mode: faultinject.Fail, After: 3, Every: 17},
 		faultinject.Fault{Site: faultinject.SiteTransferIn, Mode: faultinject.Corrupt, After: 2, Every: 5},
-		// A decode pass covers 16 chunk-ops (grid 16), so Every must exceed
-		// 32 or the one-shot retry can itself be re-injected and surface.
-		faultinject.Fault{Site: faultinject.SiteDecode, Mode: faultinject.Fail, After: 7, Every: 37},
+		// A decode pass covers 16 chunk-ops (grid 16) and the injector's
+		// counter is shared by ALL workers, so the spacing must exceed the
+		// worst-case window between one stream's fault and its one-shot
+		// retry: up to 32 of its own ops plus a concurrent decode pass from
+		// each of the other 7 streams (32 + 7*32 = 256), or the retry can
+		// itself be re-injected and surface.
+		faultinject.Fault{Site: faultinject.SiteDecode, Mode: faultinject.Fail, After: 7, Every: 271},
 	)
 	e, err := New(Config{
 		DeviceCapacity: 8 << 20,

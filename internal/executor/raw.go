@@ -18,13 +18,13 @@ func rawEncode(data []float32, cache *devmem.Cache) []byte {
 	return buf
 }
 
-// rawDecode reverses rawEncode.
-func rawDecode(buf []byte) []float32 {
-	out := make([]float32, len(buf)/4)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+// rawDecodeInto reverses rawEncode into the caller-owned dst; buf must hold
+// exactly 4·len(dst) bytes. Every element is written, so a dirty recycled
+// destination is fully overwritten.
+func rawDecodeInto(dst []float32, buf []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
 	}
-	return out
 }
 
 func floatBits(v float32) uint32 { return math.Float32bits(v) }
