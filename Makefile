@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all cover bench bench-compress bench-diff report csv examples clean
+.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check report csv examples clean
 
 all: build test
 
@@ -15,13 +15,15 @@ vet:
 test: vet
 	$(GO) test ./...
 
-# Race-check the swapping data path (the concurrent hot path) and the
-# lock-free metrics registry.
+# Race-check the swapping data path (the concurrent hot path, including
+# the async pipeline's bounded-window tests) and the lock-free metrics
+# registry. The watchdog turns a deadlocked drain/backpressure wait into a
+# goroutine dump instead of a hung CI job.
 race:
-	$(GO) test -race ./internal/executor/... ./internal/compress/... ./internal/metrics/...
+	$(GO) test -race -timeout 300s ./internal/executor/... ./internal/compress/... ./internal/metrics/...
 
 race-all:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 600s ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -34,7 +36,11 @@ bench:
 
 # Codec hot-path benchmarks -> machine-readable BENCH_compress.json
 # baseline (committed; cmd/cswap-benchdiff strips the -GOMAXPROCS suffix so
-# the file diffs across machines).
+# the file diffs across machines). Regenerate whenever internal/compress
+# gains or loses code: the tight decode loops are sensitive to function
+# placement (a new function can shift a hot loop onto an unlucky address
+# for ~2x ns/op with identical machine code), so ns/op is only comparable
+# between binaries with the same layout. allocs/op is layout-immune.
 bench-compress:
 	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath' -benchmem -count=3 -run='^$$' \
 		./internal/compress/ ./internal/executor/ \
@@ -46,6 +52,11 @@ bench-diff:
 	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath' -benchmem -count=3 -run='^$$' \
 		./internal/compress/ ./internal/executor/ \
 		| $(GO) run ./cmd/cswap-benchdiff -baseline BENCH_compress.json
+
+# Umbrella gate: everything a change must pass before it lands — build,
+# vet+test, the race detector over the swap path, and the allocation-
+# regression gate against the committed benchmark baseline.
+check: build test race bench-diff
 
 # Full evaluation -> REPORT.md (and CSV series under data/).
 report:

@@ -313,9 +313,36 @@ type (
 	IterationReport = executor.IterationReport
 	// SparsityProfile holds per-tensor sparsity trajectories over epochs.
 	SparsityProfile = sparsity.Profile
+	// SwapTicket is the awaitable future returned by the asynchronous
+	// swap API (Executor.SwapOutAsync / SwapInAsync / Prefetch): Wait
+	// blocks for the operation's outcome, Done supports select.
+	SwapTicket = executor.Ticket
+	// HandleState is a tensor handle's storage state (resident, swapped,
+	// freed, or one of the transitional swapping states an in-flight
+	// operation holds).
+	HandleState = executor.State
 )
 
-// NewExecutor creates a functional swapping executor.
+// Executor errors a caller may want to test for.
+var (
+	// ErrHandleBusy reports that another swap holds the handle; wait for
+	// the in-flight operation (its SwapTicket, or the synchronous call)
+	// and retry.
+	ErrHandleBusy = executor.ErrBusy
+	// ErrExecutorClosed reports a Register or async submission after
+	// Executor.Close.
+	ErrExecutorClosed = executor.ErrClosed
+)
+
+// DefaultMaxInFlight is the async pipeline's bounded in-flight window when
+// ExecutorConfig.MaxInFlight is zero.
+const DefaultMaxInFlight = executor.DefaultMaxInFlight
+
+// NewExecutor creates a functional swapping executor. Each tensor handle
+// is guarded by a state machine — concurrent misuse of one handle returns
+// ErrHandleBusy instead of corrupting memory — and the asynchronous API
+// (SwapOutAsync, SwapInAsync, Prefetch, Drain) pipelines swaps through a
+// bounded in-flight window so transfers overlap compute.
 func NewExecutor(cfg ExecutorConfig) (*Executor, error) { return executor.New(cfg) }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,8 @@
 // swapped out through each codec into a pinned-host pool, swapped back in,
 // and verified — then a scaled VGG16 iteration runs end to end, showing the
 // memory relief swapping buys and the byte volume compression saves.
+// Finally the async pipeline overlaps a whole layer's swap-outs and
+// prefetches them back, with the in-flight window visible in the metrics.
 package main
 
 import (
@@ -86,4 +88,58 @@ func main() {
 	fmt.Printf("  bytes over the link:   %.2f MB of %.2f MB raw (ratio %.3f)\n",
 		float64(rep.MovedBytes)/(1<<20), float64(rep.RawBytes)/(1<<20), rep.Ratio())
 	fmt.Printf("  every tensor restored bit-exact: %d verified\n", iterExec.Stats().Verified)
+
+	// Part 3: the async pipeline. Eight activations stream out through
+	// SwapOutAsync — the executor keeps up to MaxInFlight swaps running on
+	// its worker pool while the caller moves on — then Prefetch brings them
+	// back ahead of use. The observer's gauges show the overlap.
+	obs := cswap.NewObserver()
+	asyncExec, err := cswap.NewExecutor(cswap.ExecutorConfig{
+		DeviceCapacity: 64 << 20,
+		HostCapacity:   64 << 20,
+		Verify:         true,
+		MaxInFlight:    4,
+		Observer:       obs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer asyncExec.Close()
+
+	const streams = 8
+	handles := make([]*cswap.TensorHandle, streams)
+	for i := range handles {
+		h, err := asyncExec.Register(fmt.Sprintf("act-%d", i), gen.SizedUniform(2<<20, 0.65))
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles[i] = h
+	}
+	tickets := make([]*cswap.SwapTicket, streams)
+	for i, h := range handles {
+		tickets[i] = asyncExec.SwapOutAsync(h, true, cswap.ZVC)
+	}
+	for _, tk := range tickets {
+		if err := tk.Wait(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i, h := range handles {
+		tickets[i] = asyncExec.Prefetch(h)
+	}
+	asyncExec.Drain()
+	for _, tk := range tickets {
+		if err := tk.Err(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	snap := asyncExec.Registry().Snapshot()
+	peak, _ := snap.Gauge("executor_async_inflight_peak")
+	submitted, _ := snap.Counter("executor_async_submitted_total", cswap.MetricLabel("op", "swap-out"))
+	prefetched, _ := snap.Counter("executor_async_submitted_total", cswap.MetricLabel("op", "prefetch"))
+	fmt.Printf("\nAsync pipeline, %d tensors of 2 MB, window %d:\n", streams, cswap.DefaultMaxInFlight)
+	fmt.Printf("  swap-outs submitted:   %.0f   prefetches: %.0f\n", submitted, prefetched)
+	fmt.Printf("  in-flight peak:        %.0f  (swaps genuinely overlapped)\n", peak)
+	fmt.Printf("  restores verified:     %d, all bit-exact\n", asyncExec.Stats().Verified)
 }

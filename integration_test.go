@@ -5,8 +5,10 @@ package cswap_test
 // advisor, tuner, simulator, and executor agree with each other.
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"cswap"
 	"cswap/internal/experiments"
@@ -108,6 +110,101 @@ func TestIntegrationFullLifecycle(t *testing.T) {
 		if plan.Tensors[i].Compress != plan2.Tensors[i].Compress {
 			t.Fatalf("resumed decision %d differs", i)
 		}
+	}
+}
+
+// TestIntegrationAsyncPipelineOverlap drives overlapped swap-out and
+// prefetch streams through the public API: several tensors' swaps must be
+// genuinely in flight at once (in-flight gauge observed above 1), every
+// restore must be byte-exact under Verify, and concurrent misuse of a
+// single handle must surface as ErrHandleBusy rather than corruption.
+func TestIntegrationAsyncPipelineOverlap(t *testing.T) {
+	// A per-chunk codec delay makes each swap far outlive its submission,
+	// so the bounded window genuinely fills.
+	inj := cswap.NewFaultInjector(
+		cswap.Fault{Site: cswap.FaultSiteEncode, Mode: cswap.FaultDelay, Every: 1, Delay: 2 * time.Millisecond},
+	)
+	obs := cswap.NewObserver()
+	exec, err := cswap.NewExecutor(cswap.ExecutorConfig{
+		DeviceCapacity: 64 << 20,
+		HostCapacity:   64 << 20,
+		Verify:         true,
+		MaxInFlight:    4,
+		Faults:         inj,
+		Observer:       obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+
+	gen := cswap.NewTensorGenerator(11)
+	const tensors = 6
+	handles := make([]*cswap.TensorHandle, tensors)
+	want := make([][]float32, tensors)
+	for i := range handles {
+		src := gen.Uniform(1<<14, 0.6)
+		want[i] = append([]float32(nil), src.Data...)
+		h, err := exec.Register("act", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+
+	// Stream the swap-outs; misusing handle 0 while its swap is in flight
+	// must be rejected, not interleaved.
+	tickets := make([]*cswap.SwapTicket, tensors)
+	for i, h := range handles {
+		tickets[i] = exec.SwapOutAsync(h, true, cswap.ZVC)
+		if i == 0 {
+			if err := exec.SwapOut(h, true, cswap.ZVC); !errors.Is(err, cswap.ErrHandleBusy) {
+				t.Fatalf("concurrent SwapOut on busy handle: %v", err)
+			}
+		}
+	}
+	for i, tk := range tickets {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("swap-out %d: %v", i, err)
+		}
+	}
+	exec.Drain()
+
+	// Prefetch everything back and verify byte-exact restores.
+	for i, h := range handles {
+		tickets[i] = exec.Prefetch(h)
+	}
+	for i, tk := range tickets {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("prefetch %d: %v", i, err)
+		}
+	}
+	for i, h := range handles {
+		got, err := h.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("tensor %d: restore differs at element %d", i, j)
+			}
+		}
+	}
+
+	snap := exec.Registry().Snapshot()
+	peak, ok := snap.Gauge("executor_async_inflight_peak")
+	if !ok || peak <= 1 {
+		t.Fatalf("async in-flight peak = %v (present=%v); want > 1", peak, ok)
+	}
+	if cur, _ := snap.Gauge("executor_async_inflight"); cur != 0 {
+		t.Fatalf("in-flight gauge %v after Drain", cur)
+	}
+	stats := exec.Stats()
+	if stats.BusyRejections == 0 {
+		t.Fatal("busy rejection not counted")
+	}
+	if stats.SwapOuts != tensors || stats.SwapIns != tensors {
+		t.Fatalf("stats = %+v", stats)
 	}
 }
 

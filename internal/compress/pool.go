@@ -98,6 +98,24 @@ func runWorkers(jobs, workers int, fn func(int)) {
 	t.wg.Wait()
 }
 
+// Go schedules fn on the package's persistent worker pool, starting the
+// pool on first use. Unlike the chunk helpers runWorkers dispatches, a Go
+// submission is never shed: the send blocks until a worker (or channel
+// slot) frees up, so the work is guaranteed to run. This is the seam the
+// swapping executor's async pipeline shares the codec workers through —
+// one resident pool serves both chunk-level parallelism and
+// operation-level asynchrony, so async swaps never add goroutine churn.
+//
+// fn must not call Go (a worker blocked submitting to its own pool can
+// deadlock a saturated pool); calling runWorkers from fn is safe, because
+// chunk helpers shed rather than block and the caller always participates.
+func Go(fn func()) {
+	poolOnce.Do(poolStart)
+	t := &parTask{fn: func(int) { fn() }, jobs: 1}
+	t.wg.Add(1)
+	poolCh <- t
+}
+
 // ---------------------------------------------------------------------------
 // Byte scratch pool.
 //

@@ -1,0 +1,269 @@
+package executor
+
+import (
+	"fmt"
+	"sync"
+
+	"cswap/internal/compress"
+)
+
+// This file is the asynchronous swap pipeline built on the guarded handle
+// state machine: SwapOutAsync / SwapInAsync / Prefetch claim the handle
+// synchronously (so misuse surfaces immediately as a failed Ticket), take
+// one slot of a bounded in-flight window (backpressure: submission blocks
+// while the window is full), and run the codec + pool work on the compress
+// package's persistent worker pool. Drain is the completion barrier; Close
+// drains and then refuses new work. The paper's premise — swap traffic
+// overlapping compute (Fig. 2's execution flows, Eq. 1's hidden windows) —
+// is exactly what this buys the caller: issue transfers ahead of the
+// consumer, keep computing, and Wait only when the data is needed.
+
+// Ticket is the awaitable future returned by the asynchronous swap API.
+// A Ticket completes exactly once, after the operation has committed (or
+// rolled back) the handle's state; Wait and Done may be used from any
+// number of goroutines.
+type Ticket struct {
+	op   string // "swap-out" | "swap-in" | "prefetch"
+	name string // tensor name, for spans and errors
+	done chan struct{}
+	err  error
+}
+
+// newTicket returns a pending ticket.
+func newTicket(op, name string) *Ticket {
+	return &Ticket{op: op, name: name, done: make(chan struct{})}
+}
+
+// completedTicket returns a ticket that is already done with the given
+// error — the shape immediate failures (and no-op prefetches) take.
+func completedTicket(op, name string, err error) *Ticket {
+	t := newTicket(op, name)
+	t.complete(err)
+	return t
+}
+
+// complete resolves the ticket. The error write happens before the channel
+// close, so any goroutine unblocked by Done/Wait observes it.
+func (t *Ticket) complete(err error) {
+	t.err = err
+	close(t.done)
+}
+
+// Done returns a channel closed when the operation has completed; after
+// it is closed, Err reports the outcome. Use it to select across tickets.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the operation completes and returns its error.
+func (t *Ticket) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// Err returns the operation's error, or nil while it is still in flight.
+// Prefer Wait unless polling.
+func (t *Ticket) Err() error {
+	select {
+	case <-t.done:
+		return t.err
+	default:
+		return nil
+	}
+}
+
+// Op returns which operation the ticket tracks ("swap-out", "swap-in",
+// or "prefetch").
+func (t *Ticket) Op() string { return t.op }
+
+// asyncGate is the bounded in-flight window. Slots are acquired at
+// submission time in the caller's goroutine — a full window blocks the
+// submitter, which is the backpressure the pipeline promises — and
+// released when the operation commits. The gauge, peak, and queue-depth
+// instruments are updated under the gate's lock so their readings are
+// consistent with the count.
+type asyncGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	max      int
+	inflight int
+	peak     int
+	closed   bool
+	ins      *instruments
+}
+
+func (g *asyncGate) init(max int, ins *instruments) {
+	g.max = max
+	g.ins = ins
+	g.cond = sync.NewCond(&g.mu)
+}
+
+// acquire takes one in-flight slot, blocking while the window is full.
+// It reports whether the caller had to wait (backpressure) and fails with
+// ErrClosed once the gate is closed.
+func (g *asyncGate) acquire() (waited bool, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.inflight >= g.max && !g.closed {
+		waited = true
+		g.cond.Wait()
+	}
+	if g.closed {
+		return waited, ErrClosed
+	}
+	g.inflight++
+	if g.inflight > g.peak {
+		g.peak = g.inflight
+		g.ins.asyncPeak.Set(float64(g.peak))
+	}
+	g.ins.asyncInflight.Set(float64(g.inflight))
+	g.ins.asyncDepth.Observe(float64(g.inflight))
+	return waited, nil
+}
+
+// release returns one slot and wakes blocked submitters and drainers.
+func (g *asyncGate) release() {
+	g.mu.Lock()
+	g.inflight--
+	g.ins.asyncInflight.Set(float64(g.inflight))
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// drain blocks until no operation holds a slot.
+func (g *asyncGate) drain() {
+	g.mu.Lock()
+	for g.inflight > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// close refuses further acquires and wakes every waiter.
+func (g *asyncGate) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// submitAsync is the shared async submission path: it claims the handle,
+// takes an in-flight slot, and dispatches the operation body to the
+// shared persistent worker pool. Claim failures (ErrBusy, wrong state,
+// ErrFreed) and a closed executor resolve the ticket immediately;
+// otherwise the ticket completes when the body has committed the handle's
+// final state.
+func (e *Executor) submitAsync(h *Handle, op string, from, to State, run func() error) *Ticket {
+	t := newTicket(op, h.name)
+	if err := e.claim(h, from, to, t); err != nil {
+		t.complete(err)
+		return t
+	}
+	e.ins.asyncSubmitted(op).Inc()
+	timed := e.obs != nil
+	var tSubmit float64
+	if timed {
+		tSubmit = e.sinceEpoch()
+	}
+	waited, err := e.gate.acquire()
+	if err != nil {
+		// Closed while waiting for a slot: nothing ran, so the claim rolls
+		// straight back to the state it came from.
+		h.commit(from)
+		t.complete(err)
+		return t
+	}
+	if waited {
+		e.ins.asyncBackpressure.Inc()
+	}
+	compress.Go(func() {
+		if timed {
+			// The queue stage: submission to execution start. The swap
+			// body records its own swap-out/swap-in span after this.
+			e.obs.Span("async-queue", op+":"+t.name, tSubmit, e.sinceEpoch())
+		}
+		err := run() // commits the handle state before returning
+		t.complete(err)
+		e.gate.release()
+	})
+	return t
+}
+
+// SwapOutAsync is SwapOut as a pipeline stage: it claims the handle and
+// returns a Ticket immediately (blocking only for an in-flight slot when
+// the window is full). Misuse — the handle busy, already swapped, or
+// freed — resolves the ticket with the same error the synchronous call
+// would return.
+func (e *Executor) SwapOutAsync(h *Handle, doCompress bool, alg compress.Algorithm) *Ticket {
+	return e.submitAsync(h, "swap-out", Resident, SwappingOut, func() error {
+		return e.swapOut(h, doCompress, alg)
+	})
+}
+
+// SwapInAsync is SwapIn as a pipeline stage; see SwapOutAsync for the
+// ticket semantics.
+func (e *Executor) SwapInAsync(h *Handle) *Ticket {
+	return e.submitAsync(h, "swap-in", Swapped, SwappingIn, func() error {
+		return e.swapIn(h)
+	})
+}
+
+// Prefetch requests that the tensor be resident ahead of its consumer —
+// DELTA-style lookahead. It is an idempotent SwapInAsync: a Resident
+// handle completes immediately with nil; a handle already being swapped
+// in *asynchronously* returns that operation's ticket (both callers await
+// one restore); only a Swapped handle issues new work. A handle being
+// swapped out, freed, or held by a synchronous SwapIn resolves with
+// ErrBusy/ErrFreed like any other misuse.
+func (e *Executor) Prefetch(h *Handle) *Ticket {
+	h.mu.Lock()
+	switch h.state {
+	case Resident:
+		h.mu.Unlock()
+		return completedTicket("prefetch", h.name, nil)
+	case SwappingIn:
+		if t := h.pending; t != nil {
+			h.mu.Unlock()
+			return t
+		}
+		name := h.name
+		h.mu.Unlock()
+		e.ins.busyRejections.Inc()
+		return completedTicket("prefetch", name,
+			fmt.Errorf("%w: %s (synchronous swap-in in flight)", ErrBusy, name))
+	}
+	h.mu.Unlock()
+	// The state may change between the peek above and the claim below;
+	// submitAsync re-checks under the handle lock and resolves the ticket
+	// with the accurate error if it lost the race.
+	return e.submitAsync(h, "prefetch", Swapped, SwappingIn, func() error {
+		return e.swapIn(h)
+	})
+}
+
+// Drain blocks until every asynchronous operation in flight at any point
+// during the call has completed and committed its handle state. It is a
+// barrier, not a shutdown: submissions stay legal during and after a
+// drain (a concurrent submitter can extend the wait). All tickets issued
+// before Drain returns are resolved once it does.
+func (e *Executor) Drain() { e.gate.drain() }
+
+// InFlight returns the number of asynchronous operations currently
+// holding a slot in the bounded window.
+func (e *Executor) InFlight() int {
+	e.gate.mu.Lock()
+	defer e.gate.mu.Unlock()
+	return e.gate.inflight
+}
+
+// Close drains the async pipeline and shuts the executor's intake:
+// subsequent Register calls and async submissions fail with ErrClosed.
+// Live handles remain readable and may still be driven synchronously
+// (swapping in a tensor you still hold is not new work). Close is
+// idempotent.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.gate.close()
+	e.gate.drain()
+	return nil
+}

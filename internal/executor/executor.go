@@ -21,6 +21,18 @@
 // wrapped with codec and chunk context (compress.ChunkError), never as
 // silent wrong data. Fault injection for all of these paths is wired
 // through internal/faultinject via Config.Faults.
+//
+// # Concurrency
+//
+// Every handle carries a guarded state machine: an operation first claims
+// the handle (Resident→SwappingOut, Swapped→SwappingIn) under the handle's
+// lock, owns its storage exclusively while the transitional state holds,
+// and commits the final state when done. Concurrent misuse of one handle —
+// two goroutines swapping it at once, a Free racing a swap — fails fast
+// with ErrBusy instead of corrupting memory. Distinct handles may always
+// be driven concurrently; the async API (SwapOutAsync / SwapInAsync /
+// Prefetch, see async.go) builds its bounded in-flight pipeline on exactly
+// this guarantee.
 package executor
 
 import (
@@ -42,7 +54,19 @@ var (
 	ErrNotSwapped   = errors.New("executor: tensor not swapped out")
 	ErrFreed        = errors.New("executor: tensor already freed")
 	ErrVerification = errors.New("executor: swapped-in tensor differs from original")
+	// ErrBusy reports that another operation holds the handle: a swap is
+	// in flight on it (SwappingOut/SwappingIn). The caller raced itself —
+	// wait for the in-flight operation (its Ticket, or the synchronous
+	// call) and retry.
+	ErrBusy = errors.New("executor: handle busy")
+	// ErrClosed reports that the executor has been closed; no new tensors
+	// or async work are accepted.
+	ErrClosed = errors.New("executor: closed")
 )
+
+// DefaultMaxInFlight is the async pipeline's in-flight window when
+// Config.MaxInFlight is zero.
+const DefaultMaxInFlight = 4
 
 // Config configures an executor.
 type Config struct {
@@ -55,6 +79,12 @@ type Config struct {
 	// executor's integrity guarantee during bring-up and tests; disable
 	// for throughput measurements.
 	Verify bool
+	// MaxInFlight bounds how many asynchronous operations (SwapOutAsync,
+	// SwapInAsync, Prefetch) may be in flight at once; a submission past
+	// the bound blocks until a slot frees — backpressure, not an error.
+	// Zero selects DefaultMaxInFlight. Synchronous SwapOut/SwapIn calls
+	// do not consume slots.
+	MaxInFlight int
 	// Faults optionally injects deterministic failures into the data path
 	// (codec work, pool allocations, transfers). Nil injects nothing.
 	Faults *faultinject.Injector
@@ -85,11 +115,14 @@ type Executor struct {
 	obs   *metrics.Observer
 	epoch time.Time
 
-	// mu guards the handle registry; counters are atomic registry cells.
-	// The per-handle state machine is safe across concurrent swap streams
-	// as long as each handle is driven by one goroutine at a time (the
-	// codec work itself runs outside the lock).
+	// gate is the async pipeline's bounded in-flight window (async.go).
+	gate asyncGate
+
+	// mu guards the handle registry and the closed flag; counters are
+	// atomic registry cells. Per-handle state is guarded by each handle's
+	// own lock (see Handle).
 	mu     sync.Mutex
+	closed bool
 	nextID int
 	live   map[int]*Handle
 }
@@ -113,6 +146,9 @@ type Stats struct {
 	// attempt failed and was retried from the retained host blob;
 	// DecodeRecoveries counts the retries that restored the tensor.
 	DecodeRetries, DecodeRecoveries int
+	// BusyRejections counts operations refused with ErrBusy because
+	// another swap held the handle.
+	BusyRejections int
 }
 
 // Ratio returns moved/raw bytes over the executor's lifetime.
@@ -129,19 +165,48 @@ func (s Stats) Fallbacks() int { return s.EncodeFallbacks + s.AllocFallbacks }
 // State of a handle's backing storage.
 type State int
 
-// Handle states.
+// Handle states. Resident/Swapped/Freed are the stable states;
+// SwappingOut/SwappingIn are transitional claims held by exactly one
+// in-flight operation (DESIGN.md §10 documents the legal transitions).
 const (
-	Resident State = iota // data lives in the device pool
-	Swapped               // data lives (possibly compressed) in the host pool
-	Freed                 // released
+	Resident    State = iota // data lives in the device pool
+	Swapped                  // data lives (possibly compressed) in the host pool
+	Freed                    // released
+	SwappingOut              // a swap-out owns the handle
+	SwappingIn               // a swap-in owns the handle
 )
+
+// String names the state for errors and logs.
+func (s State) String() string {
+	switch s {
+	case Resident:
+		return "resident"
+	case Swapped:
+		return "swapped"
+	case Freed:
+		return "freed"
+	case SwappingOut:
+		return "swapping-out"
+	case SwappingIn:
+		return "swapping-in"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
 
 // Handle identifies one registered tensor.
 type Handle struct {
 	id   int
 	name string
 
-	state    State
+	// mu guards state and pending. The storage fields below are owned
+	// exclusively by whichever operation holds the transitional state, so
+	// they need no lock of their own: claim and commit both pass through
+	// mu, which orders one operation's writes before the next one's reads.
+	mu      sync.Mutex
+	state   State
+	pending *Ticket // the async ticket driving a transitional state, if any
+
 	data     []float32 // resident payload
 	devBlock *devmem.Block
 
@@ -163,7 +228,11 @@ type Handle struct {
 func (h *Handle) Name() string { return h.name }
 
 // State returns the handle's current storage state.
-func (h *Handle) State() State { return h.state }
+func (h *Handle) State() State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
 
 // Compressed reports whether the swapped payload is a codec blob — false
 // for raw swaps, including compressed swap-outs that fell back to raw.
@@ -174,16 +243,60 @@ func (h *Handle) Bytes() int64 { return int64(h.elems) * tensor.BytesPerElement 
 
 // Data returns the resident payload, or ErrNotResident.
 func (h *Handle) Data() ([]float32, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.state != Resident {
 		return nil, fmt.Errorf("%w: %s", ErrNotResident, h.name)
 	}
 	return h.data, nil
 }
 
+// claim moves the handle from the stable state `from` into the
+// transitional state `to`, recording the async ticket (nil for the
+// synchronous API) that now owns it. A handle in any other state refuses
+// the claim with an error naming why: ErrBusy for transitional states,
+// ErrFreed after Free, or a plain misuse error for the wrong stable state.
+func (h *Handle) claim(from, to State, t *Ticket) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state == from {
+		h.state = to
+		h.pending = t
+		return nil
+	}
+	switch h.state {
+	case Freed:
+		return fmt.Errorf("%w: %s", ErrFreed, h.name)
+	case SwappingOut, SwappingIn:
+		return fmt.Errorf("%w: %s (%s in flight)", ErrBusy, h.name, h.state)
+	case Swapped:
+		return fmt.Errorf("executor: %s already swapped out", h.name)
+	case Resident:
+		return fmt.Errorf("executor: %s already resident", h.name)
+	}
+	return fmt.Errorf("executor: %s in unexpected state %s", h.name, h.state)
+}
+
+// commit releases a claim by installing the final (or, on failure, the
+// rolled-back original) stable state. Only the operation holding the
+// transitional state may call it.
+func (h *Handle) commit(to State) {
+	h.mu.Lock()
+	h.state = to
+	h.pending = nil
+	h.mu.Unlock()
+}
+
 // New creates an executor with the given pools.
 func New(cfg Config) (*Executor, error) {
 	if cfg.DeviceCapacity <= 0 || cfg.HostCapacity <= 0 {
 		return nil, fmt.Errorf("executor: capacities must be positive")
+	}
+	if cfg.MaxInFlight < 0 {
+		return nil, fmt.Errorf("executor: MaxInFlight must be non-negative")
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
 	}
 	if cfg.Launch.Grid == 0 {
 		cfg.Launch = compress.Launch{Grid: 128, Block: 64}
@@ -207,6 +320,7 @@ func New(cfg Config) (*Executor, error) {
 		obs:    cfg.Observer,
 		epoch:  time.Now(),
 	}
+	e.gate.init(cfg.MaxInFlight, &e.ins)
 	if inj := cfg.Faults; inj != nil {
 		e.device.SetAllocHook(func(int64) error { return inj.Fail(faultinject.SiteDeviceAlloc) })
 		e.host.SetAllocHook(func(int64) error { return inj.Fail(faultinject.SiteHostAlloc) })
@@ -227,18 +341,14 @@ func New(cfg Config) (*Executor, error) {
 // Register places a tensor into device memory, taking ownership of its
 // data slice. It fails with devmem.ErrOutOfMemory when the device pool is
 // full — the caller must swap something out first, exactly the pressure
-// that motivates swapping.
+// that motivates swapping — and with ErrClosed after Close; the device
+// reservation is released whenever registration cannot complete.
 func (e *Executor) Register(name string, t *tensor.Tensor) (*Handle, error) {
 	block, err := e.device.Alloc(int64(t.SizeBytes()))
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	e.nextID++
-	id := e.nextID
-	e.mu.Unlock()
 	h := &Handle{
-		id:       id,
 		name:     name,
 		state:    Resident,
 		data:     t.Data,
@@ -247,6 +357,13 @@ func (e *Executor) Register(name string, t *tensor.Tensor) (*Handle, error) {
 		checksum: checksum(t.Data),
 	}
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = block.Free()
+		return nil, fmt.Errorf("%w: register %s", ErrClosed, name)
+	}
+	e.nextID++
+	h.id = e.nextID
 	e.live[h.id] = h
 	e.mu.Unlock()
 	return h, nil
@@ -261,14 +378,28 @@ func (e *Executor) Register(name string, t *tensor.Tensor) (*Handle, error) {
 // the compressed blob cannot be allocated in the host pool, the tensor
 // degrades to a raw swap-out (the cDMA-style raw path) and the fallback is
 // counted in Stats. Only a raw-path allocation failure surfaces, leaving
-// the tensor resident and intact.
+// the tensor resident and intact. A handle already being swapped by
+// another goroutine returns ErrBusy.
 func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) error {
-	switch h.state {
-	case Swapped:
-		return fmt.Errorf("executor: %s already swapped out", h.name)
-	case Freed:
-		return fmt.Errorf("%w: %s", ErrFreed, h.name)
+	if err := e.claim(h, Resident, SwappingOut, nil); err != nil {
+		return err
 	}
+	return e.swapOut(h, doCompress, alg)
+}
+
+// claim is Handle.claim plus the executor-level busy accounting.
+func (e *Executor) claim(h *Handle, from, to State, t *Ticket) error {
+	err := h.claim(from, to, t)
+	if err != nil && errors.Is(err, ErrBusy) {
+		e.ins.busyRejections.Inc()
+	}
+	return err
+}
+
+// swapOut is the swap-out body. The caller has claimed SwappingOut; the
+// body owns the handle's storage until it commits Swapped (success) or
+// rolls back to Resident (failure, tensor intact).
+func (e *Executor) swapOut(h *Handle, doCompress bool, alg compress.Algorithm) error {
 	inj := e.cfg.Faults
 	timed := e.obs != nil // deep instrumentation only when observed
 	var t0 float64
@@ -319,6 +450,8 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 		rawBlock, rerr := e.host.Alloc(int64(len(raw)))
 		if rerr != nil {
 			e.cache.Put(raw)
+			e.arena.put(blob) // neither copy ships; both go home
+			h.commit(Resident)
 			return fmt.Errorf("executor: host pool: %w", err)
 		}
 		e.arena.put(blob) // the compressed blob never ships
@@ -328,10 +461,13 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	}
 	if err != nil {
 		e.recycleBlob(blob, compressed)
+		h.commit(Resident)
 		return fmt.Errorf("executor: host pool: %w", err)
 	}
 	if err := h.devBlock.Free(); err != nil {
 		_ = hostBlock.Free()
+		e.recycleBlob(blob, compressed)
+		h.commit(Resident)
 		return err
 	}
 	h.blob = blob
@@ -341,7 +477,7 @@ func (e *Executor) SwapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	h.scratch = h.data // retained for the swap-in to decode into
 	h.data = nil
 	h.devBlock = nil
-	h.state = Swapped
+	h.commit(Swapped)
 
 	e.ins.swapOuts.Inc()
 	e.ins.rawBytes.Add(float64(h.Bytes()))
@@ -388,16 +524,24 @@ func (e *Executor) arenaEncode(alg compress.Algorithm, data []float32) ([]byte, 
 // truncation, or an injected fault — not structural misuse), SwapIn retries
 // once from the retained blob before surfacing the failure. A surfaced
 // decode failure carries codec and chunk context (compress.ChunkError);
-// wrong data is never returned silently.
+// wrong data is never returned silently. Every failure is atomic: the
+// handle stays cleanly Swapped with its retained blob intact, so the call
+// is safe to retry. A handle already being swapped by another goroutine
+// returns ErrBusy.
 func (e *Executor) SwapIn(h *Handle) error {
-	switch h.state {
-	case Resident:
-		return fmt.Errorf("executor: %s already resident", h.name)
-	case Freed:
-		return fmt.Errorf("%w: %s", ErrFreed, h.name)
+	if err := e.claim(h, Swapped, SwappingIn, nil); err != nil {
+		return err
 	}
+	return e.swapIn(h)
+}
+
+// swapIn is the swap-in body. The caller has claimed SwappingIn; the body
+// owns the handle's storage until it commits Resident (success) or rolls
+// back to Swapped (failure, retained blob intact, retry-safe).
+func (e *Executor) swapIn(h *Handle) error {
 	devBlock, err := e.device.Alloc(h.Bytes())
 	if err != nil {
+		h.commit(Swapped)
 		return fmt.Errorf("executor: device pool: %w", err)
 	}
 	inj := e.cfg.Faults
@@ -470,6 +614,10 @@ func (e *Executor) SwapIn(h *Handle) error {
 	}
 	if derr != nil {
 		_ = devBlock.Free()
+		// Keep the (possibly grown) decode buffer on the handle so a retry
+		// reuses it; its contents are meaningless while Swapped.
+		h.scratch = dst
+		h.commit(Swapped)
 		if retried {
 			e.ins.decodeRetries.Inc()
 		}
@@ -479,8 +627,13 @@ func (e *Executor) SwapIn(h *Handle) error {
 		return fmt.Errorf("executor: restore %s: %w", h.name, derr)
 	}
 	if err := h.hostBlock.Free(); err != nil {
+		// Atomic failure: the device reservation is released, the decode
+		// buffer is retained, and the handle rolls back cleanly to Swapped
+		// with its blob and host block untouched — retry-safe.
 		_ = devBlock.Free()
-		return err
+		h.scratch = dst
+		h.commit(Swapped)
+		return fmt.Errorf("executor: restore %s: %w", h.name, err)
 	}
 	// The blob returns to its pool only after the restore is committed —
 	// recycling it earlier would let a later swap-out scribble over bytes a
@@ -491,7 +644,7 @@ func (e *Executor) SwapIn(h *Handle) error {
 	h.devBlock = devBlock
 	h.blob = nil
 	h.hostBlock = nil
-	h.state = Resident
+	h.commit(Resident)
 	e.ins.swapIns.Inc()
 	if e.cfg.Verify {
 		e.ins.verified.Inc()
@@ -535,22 +688,37 @@ func (e *Executor) recycleBlob(blob []byte, compressed bool) {
 	}
 }
 
-// Free releases the tensor from whichever pool holds it.
+// Free releases the tensor from whichever pool holds it. A handle with a
+// swap in flight returns ErrBusy — wait for the operation, then Free.
 func (e *Executor) Free(h *Handle) error {
-	switch h.state {
+	h.mu.Lock()
+	prev := h.state
+	switch prev {
+	case SwappingOut, SwappingIn:
+		h.mu.Unlock()
+		e.ins.busyRejections.Inc()
+		return fmt.Errorf("%w: %s (%s in flight)", ErrBusy, h.name, prev)
+	case Freed:
+		h.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrFreed, h.name)
+	}
+	// Claim the handle directly into Freed; storage below is released
+	// outside the lock under the same exclusive-ownership rule as swaps.
+	h.state = Freed
+	h.mu.Unlock()
+	switch prev {
 	case Resident:
 		if err := h.devBlock.Free(); err != nil {
+			h.commit(prev)
 			return err
 		}
 	case Swapped:
 		if err := h.hostBlock.Free(); err != nil {
+			h.commit(prev)
 			return err
 		}
 		e.recycleBlob(h.blob, h.compressed)
-	case Freed:
-		return fmt.Errorf("%w: %s", ErrFreed, h.name)
 	}
-	h.state = Freed
 	h.data = nil
 	h.scratch = nil
 	h.blob = nil
@@ -578,6 +746,7 @@ func (e *Executor) Stats() Stats {
 		AllocFallbacks:    int(e.ins.allocFallbacks.Value()),
 		DecodeRetries:     int(e.ins.decodeRetries.Value()),
 		DecodeRecoveries:  int(e.ins.decodeRecoveries.Value()),
+		BusyRejections:    int(e.ins.busyRejections.Value()),
 	}
 }
 

@@ -792,6 +792,90 @@ func TestConcurrentSwapStreamsUnderFaults(t *testing.T) {
 	}
 }
 
+// TestSwapOutDevFreeFailureRecyclesBlob pins the blob-leak fix: when the
+// device block cannot be released after the host copy landed, the encoded
+// (or raw) blob must go back to its pool — arena puts (or cache puts)
+// account for it — and the swap-out rolls back with the host reservation
+// released.
+func TestSwapOutDevFreeFailureRecyclesBlob(t *testing.T) {
+	for _, compressed := range []bool{true, false} {
+		e := newTestExecutor(t, 1<<22, 1<<22)
+		tn := tensor.NewGenerator(60).Uniform(20000, 0.6)
+		h, err := e.Register("x", tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sabotage: release the device block out from under the handle so
+		// the swap-out's own Free fails with ErrDoubleFree.
+		if err := h.devBlock.Free(); err != nil {
+			t.Fatal(err)
+		}
+		arenaPuts := e.arena.puts.Value()
+		cachePuts := e.CacheStats().Puts
+		if err := e.SwapOut(h, compressed, compress.ZVC); !errors.Is(err, devmem.ErrDoubleFree) {
+			t.Fatalf("compressed=%v: err = %v, want ErrDoubleFree", compressed, err)
+		}
+		if h.State() != Resident {
+			t.Fatalf("compressed=%v: failed swap-out left state %s", compressed, h.State())
+		}
+		if e.HostStats().Used != 0 {
+			t.Fatalf("compressed=%v: failed swap-out leaked host memory", compressed)
+		}
+		if compressed {
+			if got := e.arena.puts.Value(); got != arenaPuts+1 {
+				t.Fatalf("arena puts %v -> %v: encoded blob leaked on the dev-free failure path", arenaPuts, got)
+			}
+		} else {
+			if got := e.CacheStats().Puts; got != cachePuts+1 {
+				t.Fatalf("cache puts %v -> %v: raw blob leaked on the dev-free failure path", cachePuts, got)
+			}
+		}
+	}
+}
+
+// TestSwapInHostFreeFailureAtomic pins the atomic-failure fix: when the
+// host block cannot be released after a successful decode, the handle
+// must stay cleanly Swapped — retained blob intact, device reservation
+// released, bookkeeping consistent — and the failure must look identical
+// on a retry.
+func TestSwapInHostFreeFailureAtomic(t *testing.T) {
+	e := newTestExecutor(t, 1<<22, 1<<22)
+	tn := tensor.NewGenerator(61).Uniform(20000, 0.6)
+	h, err := e.Register("x", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: release the host block out from under the handle so the
+	// swap-in's commit-time Free fails with ErrDoubleFree.
+	if err := h.hostBlock.Free(); err != nil {
+		t.Fatal(err)
+	}
+	blob := h.blob
+	for attempt := 0; attempt < 2; attempt++ { // the failure is retry-stable
+		if err := e.SwapIn(h); !errors.Is(err, devmem.ErrDoubleFree) {
+			t.Fatalf("attempt %d: err = %v, want ErrDoubleFree", attempt, err)
+		}
+		if h.State() != Swapped {
+			t.Fatalf("attempt %d: failed swap-in left state %s, want swapped", attempt, h.State())
+		}
+		if &h.blob[0] != &blob[0] || h.hostBlock == nil {
+			t.Fatalf("attempt %d: retained blob or host block lost on the failure path", attempt)
+		}
+		if e.DeviceStats().Used != 0 {
+			t.Fatalf("attempt %d: failed swap-in leaked device memory", attempt)
+		}
+		if h.scratch == nil {
+			t.Fatalf("attempt %d: decode buffer dropped instead of retained", attempt)
+		}
+		if st := e.Stats(); st.SwapIns != 0 {
+			t.Fatalf("attempt %d: failed swap-in counted as committed: %+v", attempt, st)
+		}
+	}
+}
+
 func TestConcurrentSwapStreams(t *testing.T) {
 	// Several goroutines each drive their own tensors through the full
 	// register/swap-out/swap-in/free cycle against shared pools — the

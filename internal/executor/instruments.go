@@ -17,6 +17,19 @@ type instruments struct {
 	compressed, verified            *metrics.Counter
 	encodeFallbacks, allocFallbacks *metrics.Counter
 	decodeRetries, decodeRecoveries *metrics.Counter
+	busyRejections                  *metrics.Counter
+
+	// Async pipeline instruments: the in-flight gauge and its high-water
+	// mark, the queue-depth histogram (one observation per submission, of
+	// the window occupancy it saw), backpressure stalls, and per-op
+	// submission counters.
+	asyncInflight     *metrics.Gauge
+	asyncPeak         *metrics.Gauge
+	asyncDepth        *metrics.Histogram
+	asyncBackpressure *metrics.Counter
+	submittedOut      *metrics.Counter
+	submittedIn       *metrics.Counter
+	submittedPrefetch *metrics.Counter
 }
 
 func newInstruments(r *metrics.Registry) instruments {
@@ -31,6 +44,27 @@ func newInstruments(r *metrics.Registry) instruments {
 		allocFallbacks:   r.Counter("executor_fallbacks_total", metrics.L("site", "host-alloc")),
 		decodeRetries:    r.Counter("executor_decode_retries_total"),
 		decodeRecoveries: r.Counter("executor_decode_recoveries_total"),
+		busyRejections:   r.Counter("executor_busy_rejections_total"),
+
+		asyncInflight:     r.Gauge("executor_async_inflight"),
+		asyncPeak:         r.Gauge("executor_async_inflight_peak"),
+		asyncDepth:        r.HistogramWith("executor_async_queue_depth", metrics.ExpBuckets(1, 2, 10)),
+		asyncBackpressure: r.Counter("executor_async_backpressure_total"),
+		submittedOut:      r.Counter("executor_async_submitted_total", metrics.L("op", "swap-out")),
+		submittedIn:       r.Counter("executor_async_submitted_total", metrics.L("op", "swap-in")),
+		submittedPrefetch: r.Counter("executor_async_submitted_total", metrics.L("op", "prefetch")),
+	}
+}
+
+// asyncSubmitted returns the pre-resolved submission counter for an op.
+func (i *instruments) asyncSubmitted(op string) *metrics.Counter {
+	switch op {
+	case "swap-out":
+		return i.submittedOut
+	case "swap-in":
+		return i.submittedIn
+	default:
+		return i.submittedPrefetch
 	}
 }
 

@@ -134,6 +134,18 @@ func (s *Snapshot) Counter(name string, labels ...Label) (float64, bool) {
 	return 0, false
 }
 
+// Gauge returns the snapshotted value of a gauge series (0, false when
+// absent) — e.g. the executor's async in-flight gauge and its peak.
+func (s *Snapshot) Gauge(name string, labels ...Label) (float64, bool) {
+	want := labelMap(labels)
+	for _, g := range s.Gauges {
+		if g.Name == name && sortKey(name, g.Labels) == sortKey(name, want) {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
 // Sink consumes one metrics snapshot.
 type Sink interface {
 	Write(s *Snapshot) error

@@ -68,6 +68,15 @@ func TestJSONLinesRoundTrip(t *testing.T) {
 	if h.Buckets[0].Count != 2 || h.Buckets[3].Count != 1 {
 		t.Fatalf("bucket counts = %+v", h.Buckets)
 	}
+	if v, ok := back.Gauge("sim_throughput"); !ok || v != 2.5 {
+		t.Fatalf("gauge read-back = %v (present=%v)", v, ok)
+	}
+	if _, ok := back.Gauge("sim_throughput", L("stream", "dma")); ok {
+		t.Fatal("gauge lookup matched a label set that was never registered")
+	}
+	if _, ok := back.Gauge("absent"); ok {
+		t.Fatal("gauge lookup matched an absent series")
+	}
 }
 
 func TestParseJSONLinesRejectsGarbage(t *testing.T) {
