@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check report csv examples clean
+.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke report csv examples clean
 
 all: build test
 
@@ -16,11 +16,14 @@ test: vet
 	$(GO) test ./...
 
 # Race-check the swapping data path (the concurrent hot path, including
-# the async pipeline's bounded-window tests) and the lock-free metrics
-# registry. The watchdog turns a deadlocked drain/backpressure wait into a
-# goroutine dump instead of a hung CI job.
+# the async pipeline's bounded-window tests), the lock-free metrics
+# registry, and the serving layer (frame codec, service, client — the e2e
+# ladder drives concurrent HTTP swaps through all three). The watchdog
+# turns a deadlocked drain/backpressure wait into a goroutine dump instead
+# of a hung CI job.
 race:
-	$(GO) test -race -timeout 300s ./internal/executor/... ./internal/compress/... ./internal/metrics/...
+	$(GO) test -race -timeout 300s ./internal/executor/... ./internal/compress/... ./internal/metrics/... \
+		./internal/server/... ./internal/wire/... ./client/...
 
 race-all:
 	$(GO) test -race -timeout 600s ./...
@@ -54,9 +57,23 @@ bench-diff:
 		| $(GO) run ./cmd/cswap-benchdiff -baseline BENCH_compress.json
 
 # Umbrella gate: everything a change must pass before it lands — build,
-# vet+test, the race detector over the swap path, and the allocation-
-# regression gate against the committed benchmark baseline.
-check: build test race bench-diff
+# vet+test, the race detector over the swap path, the allocation-
+# regression gate against the committed benchmark baseline, and the
+# daemon smoke test.
+check: build test race bench-diff serve-smoke
+
+# Serve-smoke: boot the real cswapd daemon on an ephemeral port, drive it
+# with the example client, assert the swap counters moved via /metrics,
+# then SIGTERM it and require a clean drained exit.
+serve-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/cswapd" ./cmd/cswapd || exit 1; \
+	"$$tmp/cswapd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -device 256 -host 1024 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "serve-smoke: daemon never wrote its address"; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	$(GO) run ./examples/swap-server -connect "http://$$addr" -smoke || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid && wait $$pid && echo "serve-smoke: clean drained exit"
 
 # Full evaluation -> REPORT.md (and CSV series under data/).
 report:
@@ -71,6 +88,7 @@ examples:
 	$(GO) run ./examples/framework-comparison
 	$(GO) run ./examples/real-swap
 	$(GO) run ./examples/vgg16-imagenet
+	$(GO) run ./examples/swap-server
 
 clean:
 	rm -f test_output.txt bench_output.txt BENCH_metrics.json

@@ -1,0 +1,339 @@
+// Package client is the Go client for cswapd, the CSWAP swap service
+// daemon: a thin, dependency-free (stdlib-only) wrapper that speaks the
+// wire package's length-prefixed binary frames over HTTP with connection
+// reuse, per-tenant namespacing, and retry-with-backoff on the service's
+// bounded-refusal answers (409 busy, 429 saturated).
+//
+//	c := client.New("http://127.0.0.1:7077", client.WithTenant("trainer-a"))
+//	if err := c.Register(ctx, "conv1/act", data); err != nil { ... }
+//	if err := c.SwapOut(ctx, "conv1/act", true, client.ZVC); err != nil { ... }
+//	restored, err := c.SwapIn(ctx, "conv1/act")
+//
+// The service answers saturation and per-tensor contention with refusals
+// rather than queueing; the client turns those into bounded retries so a
+// well-behaved caller sees backpressure as latency, not errors. Every
+// other failure surfaces as a typed sentinel (ErrQuota, ErrNotFound, ...)
+// wrapped with the server's message.
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cswap/internal/compress"
+	"cswap/internal/wire"
+)
+
+// Algorithm re-exports the codec selector so client users need no other
+// cswap import; the constants are identical to the root package's.
+type Algorithm = compress.Algorithm
+
+// The compression algorithms a swap-out may request.
+const (
+	ZVC = compress.ZVC
+	RLE = compress.RLE
+	CSR = compress.CSR
+	LZ4 = compress.LZ4
+)
+
+// Typed client errors; each wraps the server's message text.
+var (
+	// ErrBusy survives the retry budget on 409: another request holds the
+	// tensor. Back off and retry.
+	ErrBusy = errors.New("cswap client: tensor busy")
+	// ErrSaturated survives the retry budget on 429: the service's
+	// admission window is full.
+	ErrSaturated = errors.New("cswap client: service saturated")
+	// ErrQuota reports the tenant's device-memory quota is exhausted.
+	ErrQuota = errors.New("cswap client: tenant quota exceeded")
+	// ErrOutOfMemory reports the shared device pool is exhausted.
+	ErrOutOfMemory = errors.New("cswap client: service out of device memory")
+	// ErrNotFound reports an operation on an unregistered tensor.
+	ErrNotFound = errors.New("cswap client: unknown tensor")
+	// ErrExists reports registering a name the tenant already holds.
+	ErrExists = errors.New("cswap client: tensor already registered")
+	// ErrState reports an operation illegal in the tensor's current state
+	// (e.g. swapping out a tensor that is already swapped).
+	ErrState = errors.New("cswap client: operation illegal in tensor state")
+	// ErrUnavailable reports a draining or closed service.
+	ErrUnavailable = errors.New("cswap client: service unavailable")
+	// ErrProtocol reports a malformed frame or an unexpected response.
+	ErrProtocol = errors.New("cswap client: protocol error")
+)
+
+// Client talks to one cswapd instance. It is safe for concurrent use; all
+// requests share one http.Client whose transport pools connections.
+type Client struct {
+	base       string
+	tenant     string
+	hc         *http.Client
+	maxRetries int
+	backoff    time.Duration
+	maxPayload uint32
+	sleep      func(context.Context, time.Duration) error
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTenant namespaces every request under the given tenant session.
+func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
+
+// WithHTTPClient substitutes the underlying http.Client (custom
+// transports, test doubles). The default pools keep-alive connections.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry sets the retry budget for busy/saturated refusals and the
+// base backoff, which doubles per attempt (the server's Retry-After hint
+// is honored when it is longer). WithRetry(0, 0) disables retries.
+func WithRetry(maxRetries int, base time.Duration) Option {
+	return func(c *Client) { c.maxRetries, c.backoff = maxRetries, base }
+}
+
+// WithMaxPayload caps the response frames the client will decode.
+func WithMaxPayload(n uint32) Option { return func(c *Client) { c.maxPayload = n } }
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:7077").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		tenant:     "",
+		maxRetries: 8,
+		backoff:    25 * time.Millisecond,
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        32,
+				MaxIdleConnsPerHost: 32,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		sleep: sleepCtx,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Register places a float32 tensor in the service's device pool under the
+// client's tenant namespace. The data slice is not retained.
+func (c *Client) Register(ctx context.Context, name string, data []float32) error {
+	_, err := c.do(ctx, "/v1/register",
+		&wire.Frame{Type: wire.TypeRegister, Name: name, Data: data}, wire.TypeAck)
+	return err
+}
+
+// SwapOut moves the tensor to the service's host pool, compressed with
+// alg when compress is true.
+func (c *Client) SwapOut(ctx context.Context, name string, compress bool, alg Algorithm) error {
+	_, err := c.do(ctx, "/v1/swap-out",
+		&wire.Frame{Type: wire.TypeSwapOut, Name: name, Compress: compress, Alg: alg}, wire.TypeAck)
+	return err
+}
+
+// SwapIn restores the tensor to device residency and returns its data.
+func (c *Client) SwapIn(ctx context.Context, name string) ([]float32, error) {
+	f, err := c.do(ctx, "/v1/swap-in",
+		&wire.Frame{Type: wire.TypeSwapIn, Name: name}, wire.TypeTensorData)
+	if err != nil {
+		return nil, err
+	}
+	return f.Data, nil
+}
+
+// Prefetch asks the service to make the tensor resident ahead of need;
+// it is idempotent on already-resident tensors.
+func (c *Client) Prefetch(ctx context.Context, name string) error {
+	_, err := c.do(ctx, "/v1/prefetch",
+		&wire.Frame{Type: wire.TypePrefetch, Name: name}, wire.TypeAck)
+	return err
+}
+
+// Free releases the tensor and returns its bytes to the tenant quota.
+func (c *Client) Free(ctx context.Context, name string) error {
+	_, err := c.do(ctx, "/v1/free",
+		&wire.Frame{Type: wire.TypeFree, Name: name}, wire.TypeAck)
+	return err
+}
+
+// Health probes /healthz; nil means the service is up and not draining.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: healthz status %d", ErrUnavailable, resp.StatusCode)
+	}
+	return nil
+}
+
+// Metrics scrapes /metrics and returns the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%w: metrics status %d", ErrUnavailable, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+// retryable reports whether a refusal is worth another attempt: the
+// bounded-refusal answers (busy, saturated) and the drain window.
+func retryable(status int) bool {
+	return status == http.StatusConflict || status == http.StatusTooManyRequests ||
+		status == http.StatusServiceUnavailable
+}
+
+// do sends one framed request, retrying bounded refusals with doubling
+// backoff (honoring a longer server Retry-After), and decodes a response
+// frame of the wanted type.
+func (c *Client) do(ctx context.Context, path string, f *wire.Frame, want wire.Type) (*wire.Frame, error) {
+	body, err := wire.Encode(f)
+	if err != nil {
+		return nil, err
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.send(ctx, path, body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			defer resp.Body.Close()
+			out, err := wire.Read(resp.Body, c.maxPayload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: decoding %s response: %v", ErrProtocol, path, err)
+			}
+			if out.Type != want {
+				return nil, fmt.Errorf("%w: %s answered %s frame, want %s", ErrProtocol, path, out.Type, want)
+			}
+			return out, nil
+		}
+		last = responseError(resp)
+		hint := retryAfter(resp)
+		drain(resp.Body)
+		// 409 "exists"/"state" conflicts are not contention: retrying the
+		// identical request cannot succeed.
+		if !retryable(resp.StatusCode) ||
+			(!errors.Is(last, ErrBusy) && !errors.Is(last, ErrSaturated) && !errors.Is(last, ErrUnavailable)) {
+			return nil, last
+		}
+		if attempt >= c.maxRetries {
+			return nil, fmt.Errorf("%w (after %d retries)", last, attempt)
+		}
+		// Double per attempt, capped: a generous retry budget must not turn
+		// into minutes-long (or overflowing) sleeps.
+		const maxBackoff = time.Second
+		d := c.backoff
+		for i := 0; i < attempt && d < maxBackoff; i++ {
+			d *= 2
+		}
+		if d > maxBackoff {
+			d = maxBackoff
+		}
+		if hint > d {
+			d = hint
+		}
+		if d > 0 {
+			if err := c.sleep(ctx, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// send issues one POST with the tenant header.
+func (c *Client) send(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if c.tenant != "" {
+		req.Header.Set("X-CSwap-Tenant", c.tenant)
+	}
+	return c.hc.Do(req)
+}
+
+// responseError maps a non-200 response onto the client's sentinel errors
+// using the service's machine-readable code header.
+func responseError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	text := strings.TrimSpace(string(msg))
+	code := resp.Header.Get("X-CSwap-Error")
+	var sentinel error
+	switch code {
+	case "busy":
+		sentinel = ErrBusy
+	case "saturated":
+		sentinel = ErrSaturated
+	case "quota":
+		sentinel = ErrQuota
+	case "oom":
+		sentinel = ErrOutOfMemory
+	case "not-found":
+		sentinel = ErrNotFound
+	case "exists":
+		sentinel = ErrExists
+	case "state":
+		sentinel = ErrState
+	case "draining":
+		sentinel = ErrUnavailable
+	default:
+		return fmt.Errorf("%w: status %d: %s", ErrProtocol, resp.StatusCode, text)
+	}
+	return fmt.Errorf("%w: %s", sentinel, text)
+}
+
+// retryAfter parses the Retry-After hint (whole seconds), zero if absent.
+func retryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// drain discards and closes a response body so the connection returns to
+// the keep-alive pool.
+func drain(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	_ = body.Close()
+}

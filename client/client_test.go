@@ -1,0 +1,235 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cswap/internal/wire"
+)
+
+// stub is a scripted cswapd: it answers each request from a queue of
+// canned responses, recording what it saw.
+type stub struct {
+	t         *testing.T
+	responses []stubResponse
+	calls     atomic.Int32
+	tenants   chan string
+}
+
+type stubResponse struct {
+	status int
+	code   string // X-CSwap-Error
+	retry  string // Retry-After
+	frame  *wire.Frame
+}
+
+func (s *stub) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(s.calls.Add(1)) - 1
+		if s.tenants != nil {
+			s.tenants <- r.Header.Get("X-CSwap-Tenant")
+		}
+		if n >= len(s.responses) {
+			s.t.Errorf("unexpected request #%d to %s", n, r.URL.Path)
+			w.WriteHeader(http.StatusTeapot)
+			return
+		}
+		resp := s.responses[n]
+		if resp.status != http.StatusOK {
+			if resp.code != "" {
+				w.Header().Set("X-CSwap-Error", resp.code)
+			}
+			if resp.retry != "" {
+				w.Header().Set("Retry-After", resp.retry)
+			}
+			http.Error(w, "scripted failure", resp.status)
+			return
+		}
+		b, err := wire.Encode(resp.frame)
+		if err != nil {
+			s.t.Fatal(err)
+		}
+		_, _ = w.Write(b)
+	})
+}
+
+// newStubClient wires a scripted server to a client whose sleeps are
+// captured instead of slept.
+func newStubClient(t *testing.T, s *stub, opts ...Option) (*Client, *[]time.Duration) {
+	t.Helper()
+	s.t = t
+	hs := httptest.NewServer(s.handler())
+	t.Cleanup(hs.Close)
+	var slept []time.Duration
+	c := New(hs.URL, opts...)
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	return c, &slept
+}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	s := &stub{responses: []stubResponse{
+		{status: 429, code: "saturated", retry: "0"},
+		{status: 429, code: "saturated", retry: "0"},
+		{status: 200, frame: &wire.Frame{Type: wire.TypeAck, Name: "x"}},
+	}}
+	c, slept := newStubClient(t, s, WithRetry(5, 10*time.Millisecond))
+	if err := c.SwapOut(context.Background(), "x", true, ZVC); err != nil {
+		t.Fatalf("swap-out through two 429s: %v", err)
+	}
+	if got := s.calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	// Backoff doubles: 10ms then 20ms (Retry-After "0" doesn't override).
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Errorf("backoff sleeps = %v, want %v", *slept, want)
+	}
+}
+
+func TestRetryHonorsLongerRetryAfter(t *testing.T) {
+	s := &stub{responses: []stubResponse{
+		{status: 429, code: "saturated", retry: "2"},
+		{status: 200, frame: &wire.Frame{Type: wire.TypeAck, Name: "x"}},
+	}}
+	c, slept := newStubClient(t, s, WithRetry(5, 10*time.Millisecond))
+	if err := c.Free(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 2*time.Second {
+		t.Errorf("sleeps = %v, want [2s] (server hint beats base backoff)", *slept)
+	}
+}
+
+func TestRetryOn409Busy(t *testing.T) {
+	s := &stub{responses: []stubResponse{
+		{status: 409, code: "busy", retry: "0"},
+		{status: 200, frame: &wire.Frame{Type: wire.TypeAck, Name: "x"}},
+	}}
+	c, _ := newStubClient(t, s, WithRetry(5, time.Millisecond))
+	if err := c.Prefetch(context.Background(), "x"); err != nil {
+		t.Fatalf("prefetch through a busy refusal: %v", err)
+	}
+	if got := s.calls.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2", got)
+	}
+}
+
+func TestConflictNotRetried(t *testing.T) {
+	// 409 with a non-contention code (exists, state) must not be retried:
+	// the identical request cannot succeed.
+	for _, tc := range []struct {
+		code string
+		want error
+	}{
+		{"exists", ErrExists},
+		{"state", ErrState},
+	} {
+		s := &stub{responses: []stubResponse{{status: 409, code: tc.code}}}
+		c, slept := newStubClient(t, s, WithRetry(5, time.Millisecond))
+		err := c.Register(context.Background(), "x", []float32{1})
+		if !errors.Is(err, tc.want) {
+			t.Errorf("code %s: err = %v, want %v", tc.code, err, tc.want)
+		}
+		if s.calls.Load() != 1 || len(*slept) != 0 {
+			t.Errorf("code %s: %d calls, sleeps %v — conflict was retried", tc.code, s.calls.Load(), *slept)
+		}
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	s := &stub{responses: []stubResponse{
+		{status: 429, code: "saturated", retry: "0"},
+		{status: 429, code: "saturated", retry: "0"},
+		{status: 429, code: "saturated", retry: "0"},
+	}}
+	c, _ := newStubClient(t, s, WithRetry(2, time.Millisecond))
+	err := c.SwapOut(context.Background(), "x", false, 0)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if !strings.Contains(err.Error(), "retries") {
+		t.Errorf("exhausted-retry error %q should say how many retries ran", err)
+	}
+	if got := s.calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestErrorCodeMapping(t *testing.T) {
+	cases := []struct {
+		status int
+		code   string
+		want   error
+	}{
+		{507, "quota", ErrQuota},
+		{507, "oom", ErrOutOfMemory},
+		{404, "not-found", ErrNotFound},
+		{409, "exists", ErrExists},
+		{409, "state", ErrState},
+		{410, "state", ErrState},
+		{503, "draining", ErrUnavailable},
+		{500, "internal", ErrProtocol},
+		{400, "bad-frame", ErrProtocol},
+	}
+	for _, tc := range cases {
+		s := &stub{responses: []stubResponse{{status: tc.status, code: tc.code}}}
+		c, _ := newStubClient(t, s, WithRetry(0, 0))
+		err := c.SwapOut(context.Background(), "x", true, ZVC)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("status %d code %s: err = %v, want %v", tc.status, tc.code, err, tc.want)
+		}
+	}
+}
+
+func TestTenantHeaderSent(t *testing.T) {
+	s := &stub{
+		responses: []stubResponse{{status: 200, frame: &wire.Frame{Type: wire.TypeAck, Name: "x"}}},
+		tenants:   make(chan string, 1),
+	}
+	c, _ := newStubClient(t, s, WithTenant("trainer-b"))
+	if err := c.Free(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-s.tenants; got != "trainer-b" {
+		t.Errorf("tenant header = %q, want trainer-b", got)
+	}
+}
+
+func TestWrongResponseTypeIsProtocolError(t *testing.T) {
+	// An ack where tensor data belongs is a protocol error, not a panic.
+	s := &stub{responses: []stubResponse{
+		{status: 200, frame: &wire.Frame{Type: wire.TypeAck, Name: "x"}},
+	}}
+	c, _ := newStubClient(t, s)
+	if _, err := c.SwapIn(context.Background(), "x"); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestContextCancelsRetryLoop(t *testing.T) {
+	s := &stub{responses: []stubResponse{
+		{status: 429, code: "saturated", retry: "0"},
+		{status: 429, code: "saturated", retry: "0"},
+	}}
+	s.t = t
+	hs := httptest.NewServer(s.handler())
+	t.Cleanup(hs.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(hs.URL, WithRetry(10, time.Millisecond))
+	c.sleep = func(ctx context.Context, _ time.Duration) error {
+		cancel() // the deadline lands while the client is backing off
+		return ctx.Err()
+	}
+	if err := c.SwapOut(ctx, "x", true, ZVC); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,105 @@
+// Command cswapd runs the CSWAP swap service daemon: a multi-tenant,
+// network-facing front end over the functional swapping executor. Clients
+// (the client package, or anything speaking the wire frame protocol over
+// HTTP) register float32 tensors, swap them out through the real codecs to
+// the pinned-host pool, and swap them back bit-exactly; /metrics exposes
+// the shared registry in Prometheus text format.
+//
+// Usage:
+//
+//	cswapd [-addr :7077] [-addr-file PATH] [-device 1024] [-host 4096]
+//	       [-max-inflight 4] [-quota 0] [-verify] [-grid 128] [-block 64]
+//
+// Sizes are MiB; -quota 0 grants each tenant the full device capacity.
+// SIGINT/SIGTERM shut the daemon down gracefully: intake stops (503s),
+// open requests finish, the executor drains its in-flight tickets, and
+// only then does the process exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cswap/internal/compress"
+	"cswap/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7077", "listen address (host:port; port 0 picks an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts wrapping -addr :0)")
+	deviceMiB := flag.Int64("device", 1024, "device pool capacity, MiB")
+	hostMiB := flag.Int64("host", 4096, "pinned-host pool capacity, MiB")
+	maxInFlight := flag.Int("max-inflight", 0, "bound on concurrent swap operations (0 = executor default)")
+	quotaMiB := flag.Int64("quota", 0, "per-tenant device-memory quota, MiB (0 = full device capacity)")
+	verify := flag.Bool("verify", true, "checksum-verify every restore")
+	grid := flag.Int("grid", 0, "codec launch grid (0 = executor default)")
+	block := flag.Int("block", 0, "codec launch block (0 = executor default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on waiting out open requests at shutdown")
+	flag.Parse()
+
+	cfg := server.Config{
+		DeviceCapacity: *deviceMiB << 20,
+		HostCapacity:   *hostMiB << 20,
+		MaxInFlight:    *maxInFlight,
+		TenantQuota:    *quotaMiB << 20,
+		Verify:         *verify,
+	}
+	if *grid > 0 {
+		cfg.Launch = compress.Launch{Grid: *grid, Block: *block}
+	}
+	svc, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("cswapd listening on %s (device %d MiB, host %d MiB)\n",
+		ln.Addr(), *deviceMiB, *hostMiB)
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("cswapd: %s: draining", s)
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+
+	// Shutdown ordering: stop intake first so new requests see 503 while
+	// open ones finish, wait the handlers out, then drain and close the
+	// executor — no in-flight ticket is abandoned.
+	svc.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("cswapd: http shutdown: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Printf("cswapd: close: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("cswapd: serve: %v", err)
+	}
+	log.Printf("cswapd: drained, exiting")
+}

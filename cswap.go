@@ -47,6 +47,7 @@ import (
 	"cswap/internal/memdb"
 	"cswap/internal/metrics"
 	"cswap/internal/profiler"
+	"cswap/internal/server"
 	"cswap/internal/sparsity"
 	"cswap/internal/swap"
 	"cswap/internal/tensor"
@@ -474,3 +475,34 @@ func MetricLabel(key, value string) MetricsLabel { return metrics.L(key, value) 
 func ParseMetricsJSONLines(r io.Reader) (*MetricsSnapshot, error) {
 	return metrics.ParseJSONLines(r)
 }
+
+// ---------------------------------------------------------------------------
+// Swap service (cswapd): multi-tenant serving over the executor.
+
+type (
+	// SwapServer is the network-facing swap service: it multiplexes
+	// per-tenant tensor sessions onto one Executor behind an HTTP + binary
+	// frame protocol, with quotas, admission control, and /metrics. Mount
+	// SwapServer.Handler on any listener, or run the cswapd daemon.
+	SwapServer = server.Server
+	// SwapServerConfig sizes the service's executor and sets its tenant
+	// quotas, admission window, and shutdown hints.
+	SwapServerConfig = server.Config
+)
+
+// Swap-service errors a caller may want to test for.
+var (
+	// ErrTenantQuotaExceeded reports a register refused by the tenant's
+	// device-memory quota (before the shared pool was touched).
+	ErrTenantQuotaExceeded = server.ErrQuotaExceeded
+	// ErrUnknownTensor reports a swap operation on a name the tenant never
+	// registered or already freed.
+	ErrUnknownTensor = server.ErrUnknownTensor
+	// ErrAlreadyRegistered reports a duplicate register within a tenant.
+	ErrAlreadyRegistered = server.ErrAlreadyRegistered
+)
+
+// NewSwapServer builds a swap service and its executor. The caller owns
+// the listener: mount Handler, and on shutdown stop the listener first,
+// then Close the server to drain and close the executor.
+func NewSwapServer(cfg SwapServerConfig) (*SwapServer, error) { return server.New(cfg) }

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -59,6 +60,29 @@ func (t *Ticket) Wait() error {
 	return t.err
 }
 
+// WaitContext blocks until the operation completes or ctx is done,
+// whichever comes first. A context error abandons the wait, not the work:
+// the operation keeps running on the pool, still commits (or rolls back)
+// the handle's state, and still releases its in-flight slot — the caller
+// may re-Wait the same ticket later, or Drain for the barrier. This is the
+// deadline-propagation seam a serving layer needs: a client whose request
+// times out stops waiting without leaving the handle machine torn.
+func (t *Ticket) WaitContext(ctx context.Context) error {
+	// An already-resolved ticket reports its outcome even under a dead
+	// context: the work is done, so the deadline no longer applies.
+	select {
+	case <-t.done:
+		return t.err
+	default:
+	}
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		return fmt.Errorf("executor: %s %s: %w", t.op, t.name, ctx.Err())
+	}
+}
+
 // Err returns the operation's error, or nil while it is still in flight.
 // Prefer Wait unless polling.
 func (t *Ticket) Err() error {
@@ -98,13 +122,18 @@ func (g *asyncGate) init(max int, ins *instruments) {
 
 // acquire takes one in-flight slot, blocking while the window is full.
 // It reports whether the caller had to wait (backpressure) and fails with
-// ErrClosed once the gate is closed.
-func (g *asyncGate) acquire() (waited bool, err error) {
+// ErrClosed once the gate is closed, or with the context's error if ctx
+// is done first — deadline-aware slot acquisition, so a submitter with a
+// budget is not held hostage by a saturated window.
+func (g *asyncGate) acquire(ctx context.Context) (waited bool, err error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for g.inflight >= g.max && !g.closed {
+		if err := ctx.Err(); err != nil {
+			return waited, err
+		}
 		waited = true
-		g.cond.Wait()
+		g.waitCtx(ctx)
 	}
 	if g.closed {
 		return waited, ErrClosed
@@ -117,6 +146,32 @@ func (g *asyncGate) acquire() (waited bool, err error) {
 	g.ins.asyncInflight.Set(float64(g.inflight))
 	g.ins.asyncDepth.Observe(float64(g.inflight))
 	return waited, nil
+}
+
+// waitCtx is cond.Wait with an additional wake-up when ctx is done. The
+// caller holds g.mu. The watcher goroutine takes g.mu before broadcasting:
+// since Wait releases the lock atomically as it sleeps, a watcher started
+// while the lock is held cannot broadcast before the waiter is actually
+// waiting — no missed wake-up. The broadcast may rouse unrelated waiters;
+// they re-check their condition and sleep again.
+func (g *asyncGate) waitCtx(ctx context.Context) {
+	done := ctx.Done()
+	if done == nil {
+		g.cond.Wait()
+		return
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			g.mu.Lock()
+			g.mu.Unlock() //nolint:staticcheck // empty section: the lock cycle orders us after cond.Wait's release
+			g.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+	g.cond.Wait()
+	close(stop)
 }
 
 // release returns one slot and wakes blocked submitters and drainers.
@@ -151,7 +206,7 @@ func (g *asyncGate) close() {
 // ErrFreed) and a closed executor resolve the ticket immediately;
 // otherwise the ticket completes when the body has committed the handle's
 // final state.
-func (e *Executor) submitAsync(h *Handle, op string, from, to State, run func() error) *Ticket {
+func (e *Executor) submitAsync(ctx context.Context, h *Handle, op string, from, to State, run func() error) *Ticket {
 	t := newTicket(op, h.name)
 	if err := e.claim(h, from, to, t); err != nil {
 		t.complete(err)
@@ -163,12 +218,12 @@ func (e *Executor) submitAsync(h *Handle, op string, from, to State, run func() 
 	if timed {
 		tSubmit = e.sinceEpoch()
 	}
-	waited, err := e.gate.acquire()
+	waited, err := e.gate.acquire(ctx)
 	if err != nil {
-		// Closed while waiting for a slot: nothing ran, so the claim rolls
-		// straight back to the state it came from.
+		// Closed (or the context expired) while waiting for a slot: nothing
+		// ran, so the claim rolls straight back to the state it came from.
 		h.commit(from)
-		t.complete(err)
+		t.complete(fmt.Errorf("executor: %s %s: %w", op, h.name, err))
 		return t
 	}
 	if waited {
@@ -193,7 +248,17 @@ func (e *Executor) submitAsync(h *Handle, op string, from, to State, run func() 
 // freed — resolves the ticket with the same error the synchronous call
 // would return.
 func (e *Executor) SwapOutAsync(h *Handle, doCompress bool, alg compress.Algorithm) *Ticket {
-	return e.submitAsync(h, "swap-out", Resident, SwappingOut, func() error {
+	return e.SwapOutAsyncCtx(context.Background(), h, doCompress, alg)
+}
+
+// SwapOutAsyncCtx is SwapOutAsync with deadline-aware slot acquisition:
+// if ctx is done before a slot in the bounded window frees up, the ticket
+// resolves with the context's error and the handle rolls back to Resident
+// untouched. The context governs only the submission wait — once the
+// operation is dispatched it runs to completion regardless of ctx (use
+// Ticket.WaitContext to bound the wait for the result).
+func (e *Executor) SwapOutAsyncCtx(ctx context.Context, h *Handle, doCompress bool, alg compress.Algorithm) *Ticket {
+	return e.submitAsync(ctx, h, "swap-out", Resident, SwappingOut, func() error {
 		return e.swapOut(h, doCompress, alg)
 	})
 }
@@ -201,7 +266,13 @@ func (e *Executor) SwapOutAsync(h *Handle, doCompress bool, alg compress.Algorit
 // SwapInAsync is SwapIn as a pipeline stage; see SwapOutAsync for the
 // ticket semantics.
 func (e *Executor) SwapInAsync(h *Handle) *Ticket {
-	return e.submitAsync(h, "swap-in", Swapped, SwappingIn, func() error {
+	return e.SwapInAsyncCtx(context.Background(), h)
+}
+
+// SwapInAsyncCtx is SwapInAsync with deadline-aware slot acquisition; see
+// SwapOutAsyncCtx for the context semantics.
+func (e *Executor) SwapInAsyncCtx(ctx context.Context, h *Handle) *Ticket {
+	return e.submitAsync(ctx, h, "swap-in", Swapped, SwappingIn, func() error {
 		return e.swapIn(h)
 	})
 }
@@ -214,6 +285,12 @@ func (e *Executor) SwapInAsync(h *Handle) *Ticket {
 // swapped out, freed, or held by a synchronous SwapIn resolves with
 // ErrBusy/ErrFreed like any other misuse.
 func (e *Executor) Prefetch(h *Handle) *Ticket {
+	return e.PrefetchCtx(context.Background(), h)
+}
+
+// PrefetchCtx is Prefetch with deadline-aware slot acquisition; see
+// SwapOutAsyncCtx for the context semantics.
+func (e *Executor) PrefetchCtx(ctx context.Context, h *Handle) *Ticket {
 	h.mu.Lock()
 	switch h.state {
 	case Resident:
@@ -234,7 +311,7 @@ func (e *Executor) Prefetch(h *Handle) *Ticket {
 	// The state may change between the peek above and the claim below;
 	// submitAsync re-checks under the handle lock and resolves the ticket
 	// with the accurate error if it lost the race.
-	return e.submitAsync(h, "prefetch", Swapped, SwappingIn, func() error {
+	return e.submitAsync(ctx, h, "prefetch", Swapped, SwappingIn, func() error {
 		return e.swapIn(h)
 	})
 }

@@ -270,9 +270,11 @@ func (h *Handle) claim(from, to State, t *Ticket) error {
 	case SwappingOut, SwappingIn:
 		return fmt.Errorf("%w: %s (%s in flight)", ErrBusy, h.name, h.state)
 	case Swapped:
-		return fmt.Errorf("executor: %s already swapped out", h.name)
+		// Wrapped so callers (the serving layer especially) can classify
+		// state-machine misuse without parsing message text.
+		return fmt.Errorf("%w: %s already swapped out", ErrNotResident, h.name)
 	case Resident:
-		return fmt.Errorf("executor: %s already resident", h.name)
+		return fmt.Errorf("%w: %s already resident", ErrNotSwapped, h.name)
 	}
 	return fmt.Errorf("executor: %s in unexpected state %s", h.name, h.state)
 }

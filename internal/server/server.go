@@ -1,0 +1,528 @@
+// Package server is the network-facing swap service: it multiplexes many
+// tenants onto one swapping executor, the way the paper frames CSWAP as a
+// shared substrate under a training framework (and cDMA models its DMA
+// engines as a service many streams contend over).
+//
+// The protocol is HTTP for the envelope — routing, status codes, deadline
+// propagation — with the wire package's length-prefixed binary frames as
+// the request and response bodies. Five operations (register, swap-out,
+// swap-in, prefetch, free) act on per-tenant tensor namespaces; /metrics
+// exposes the shared registry in Prometheus text format and /healthz the
+// liveness/draining state.
+//
+// Three admission layers keep the shared executor healthy under load:
+//
+//   - Per-tenant device-memory quotas, charged at register time before the
+//     shared pool is touched, so tenants fail individually, not each other.
+//   - A non-blocking admission window sized to the executor's MaxInFlight:
+//     a saturated window answers 429 + Retry-After instead of queueing
+//     without bound — the service-level face of the async pipeline's
+//     backpressure.
+//   - Per-tensor request locks that answer 409 "busy" on contention — the
+//     executor's ErrBusy discipline surfaced at the HTTP boundary, and the
+//     guarantee that a response encodes a tensor no concurrent request is
+//     mutating.
+//
+// Shutdown is ordered: stop intake (everything answers 503), let in-flight
+// handlers finish, Drain() the executor's ticket window, then Close it.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cswap/internal/compress"
+	"cswap/internal/devmem"
+	"cswap/internal/executor"
+	"cswap/internal/faultinject"
+	"cswap/internal/metrics"
+	"cswap/internal/tensor"
+	"cswap/internal/wire"
+)
+
+// TenantHeader names the HTTP header that selects a tenant session.
+// Requests without it share the DefaultTenant namespace.
+const (
+	TenantHeader  = "X-CSwap-Tenant"
+	ErrorHeader   = "X-CSwap-Error" // short machine-readable error code
+	DefaultTenant = "default"
+)
+
+// Error codes carried in ErrorHeader. Clients key retry behaviour off
+// these rather than parsing message text.
+const (
+	CodeBusy      = "busy"      // per-tensor contention or executor ErrBusy: retry after backoff
+	CodeSaturated = "saturated" // admission window full: retry after Retry-After
+	CodeQuota     = "quota"     // tenant quota exceeded: free something first
+	CodeOOM       = "oom"       // shared pool exhausted
+	CodeNotFound  = "not-found" // unknown tensor
+	CodeExists    = "exists"    // duplicate register
+	CodeState     = "state"     // operation illegal in the tensor's state
+	CodeDraining  = "draining"  // server shutting down
+	CodeBadFrame  = "bad-frame" // malformed wire frame
+	CodeTimeout   = "timeout"   // request context died mid-operation
+	CodeInternal  = "internal"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DeviceCapacity and HostCapacity size the shared executor pools.
+	DeviceCapacity, HostCapacity int64
+	// MaxInFlight bounds the executor's async window and, equally, the
+	// server's admission window: at most this many swap operations hold
+	// slots at once; the rest see 429. Zero selects the executor default.
+	MaxInFlight int
+	// Launch is the codec partitioning geometry (zero selects the
+	// executor's default).
+	Launch compress.Launch
+	// Verify enables the executor's post-restore checksum check.
+	Verify bool
+	// TenantQuota is the per-tenant registered-bytes quota. Zero grants
+	// each tenant the full device capacity (no subdivision); the shared
+	// pool still enforces the global bound.
+	TenantQuota int64
+	// MaxPayload caps the wire frames the server will decode; zero
+	// selects wire.DefaultMaxPayload.
+	MaxPayload uint32
+	// RetryAfter is the hint returned with 429/409 responses. Zero
+	// selects one second (Retry-After has whole-second granularity).
+	RetryAfter time.Duration
+	// Observer optionally supplies the instrumentation surface. Nil
+	// creates a registry-only observer (no span timeline — a daemon must
+	// not accumulate spans without bound).
+	Observer *metrics.Observer
+	// Faults optionally injects data-path faults into the executor, for
+	// tests proving the service degrades instead of dropping sessions.
+	Faults *faultinject.Injector
+}
+
+// instruments are the server's pre-resolved metric cells; per-tenant
+// series are resolved per request (registry lookups are cheap and the
+// label space is small).
+type instruments struct {
+	backpressure *metrics.Counter // 429s: admission window full
+	busy         *metrics.Counter // 409s: per-tensor contention
+	sessions     *metrics.Gauge
+	reg          *metrics.Registry
+}
+
+// Server multiplexes tenant sessions onto one executor.
+type Server struct {
+	cfg   Config
+	exec  *executor.Executor
+	obs   *metrics.Observer
+	ins   instruments
+	admit chan struct{}
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	draining bool
+}
+
+// New builds a server and its executor.
+func New(cfg Config) (*Server, error) {
+	if cfg.Observer == nil {
+		cfg.Observer = &metrics.Observer{Metrics: metrics.NewRegistry()}
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = executor.DefaultMaxInFlight
+	}
+	if cfg.TenantQuota == 0 {
+		cfg.TenantQuota = cfg.DeviceCapacity
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	exec, err := executor.New(executor.Config{
+		DeviceCapacity: cfg.DeviceCapacity,
+		HostCapacity:   cfg.HostCapacity,
+		Launch:         cfg.Launch,
+		Verify:         cfg.Verify,
+		MaxInFlight:    cfg.MaxInFlight,
+		Faults:         cfg.Faults,
+		Observer:       cfg.Observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Observer.Reg()
+	s := &Server{
+		cfg:  cfg,
+		exec: exec,
+		obs:  cfg.Observer,
+		ins: instruments{
+			backpressure: reg.Counter("server_backpressure_total"),
+			busy:         reg.Counter("server_busy_total"),
+			sessions:     reg.Gauge("server_sessions"),
+			reg:          reg,
+		},
+		admit:    make(chan struct{}, cfg.MaxInFlight),
+		sessions: map[string]*session{},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/register", s.instrumented("register", s.handleRegister))
+	s.mux.HandleFunc("POST /v1/swap-out", s.instrumented("swap-out", s.handleSwapOut))
+	s.mux.HandleFunc("POST /v1/swap-in", s.instrumented("swap-in", s.handleSwapIn))
+	s.mux.HandleFunc("POST /v1/prefetch", s.instrumented("prefetch", s.handlePrefetch))
+	s.mux.HandleFunc("POST /v1/free", s.instrumented("free", s.handleFree))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler, for mounting on any listener.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Executor exposes the shared executor (tests and embedders).
+func (s *Server) Executor() *executor.Executor { return s.exec }
+
+// Registry exposes the shared metrics registry backing /metrics.
+func (s *Server) Registry() *metrics.Registry { return s.ins.reg }
+
+// Drain stops intake: every subsequent /v1/ request (and /healthz) answers
+// 503 with the draining code. In-flight requests are unaffected.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Close shuts the service down in order: stop intake, wait out the
+// executor's in-flight tickets (Drain barrier), then close the executor.
+// The HTTP listener's own shutdown — waiting for handlers to return — is
+// the caller's first step (http.Server.Shutdown), so by the time Close's
+// Drain runs, no handler is still submitting.
+func (s *Server) Close() error {
+	s.Drain()
+	s.exec.Drain()
+	return s.exec.Close()
+}
+
+// session returns the tenant's session, creating it on first use.
+func (s *Server) session(tenant string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[tenant]
+	if !ok {
+		sess = newSession(tenant, s.cfg.TenantQuota, s.ins.reg)
+		s.sessions[tenant] = sess
+		s.ins.sessions.Set(float64(len(s.sessions)))
+	}
+	return sess
+}
+
+// isDraining reports whether intake is stopped.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// tenantOf extracts the request's tenant name.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// instrumented wraps an operation handler with the draining gate and the
+// per-tenant request/latency series.
+func (s *Server) instrumented(op string, fn func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.isDraining() {
+			s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+			return
+		}
+		tenant := tenantOf(r)
+		s.ins.reg.Counter("server_requests_total",
+			metrics.L("tenant", tenant), metrics.L("op", op)).Inc()
+		start := time.Now()
+		fn(w, r)
+		s.ins.reg.Histogram("server_request_seconds", metrics.L("op", op)).
+			Observe(time.Since(start).Seconds())
+	}
+}
+
+// fail writes an error response: the machine code in ErrorHeader, the
+// human message in the body.
+func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set(ErrorHeader, code)
+	if status == http.StatusTooManyRequests || code == CodeBusy || code == CodeDraining {
+		// Truncated to whole seconds; "0" is a legal hint meaning "retry
+		// immediately" and lets tests run sub-second backoff loops.
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+	}
+	http.Error(w, msg, status)
+}
+
+// failErr maps a service/executor error onto an HTTP response.
+func (s *Server) failErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errEntryBusy), errors.Is(err, executor.ErrBusy):
+		s.ins.busy.Inc()
+		s.fail(w, http.StatusConflict, CodeBusy, err.Error())
+	case errors.Is(err, ErrQuotaExceeded):
+		s.fail(w, http.StatusInsufficientStorage, CodeQuota, err.Error())
+	case errors.Is(err, devmem.ErrOutOfMemory):
+		s.fail(w, http.StatusInsufficientStorage, CodeOOM, err.Error())
+	case errors.Is(err, ErrUnknownTensor):
+		s.fail(w, http.StatusNotFound, CodeNotFound, err.Error())
+	case errors.Is(err, ErrAlreadyRegistered):
+		s.fail(w, http.StatusConflict, CodeExists, err.Error())
+	case errors.Is(err, executor.ErrFreed):
+		s.fail(w, http.StatusGone, CodeState, err.Error())
+	case errors.Is(err, executor.ErrClosed):
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
+	default:
+		// "already swapped/resident" misuse and everything else the state
+		// machine refuses: a conflict the client can resolve, not a server
+		// fault — but genuinely unknown failures are 500s.
+		if errors.Is(err, executor.ErrNotResident) || errors.Is(err, executor.ErrNotSwapped) {
+			s.fail(w, http.StatusConflict, CodeState, err.Error())
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}
+
+// readFrame decodes the request body as one frame of the expected type.
+func (s *Server) readFrame(w http.ResponseWriter, r *http.Request, want wire.Type) (*wire.Frame, bool) {
+	f, err := wire.Read(r.Body, s.cfg.MaxPayload)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, CodeBadFrame, err.Error())
+		return nil, false
+	}
+	if f.Type != want {
+		s.fail(w, http.StatusBadRequest, CodeBadFrame,
+			fmt.Sprintf("server: %s endpoint got %s frame", want, f.Type))
+		return nil, false
+	}
+	return f, true
+}
+
+// writeFrame encodes and writes a response frame.
+func (s *Server) writeFrame(w http.ResponseWriter, f *wire.Frame) {
+	b, err := wire.Encode(f)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	_, _ = w.Write(b)
+}
+
+// qualified is the executor-facing tensor name, namespaced by tenant so
+// spans and per-tensor series stay distinct across sessions.
+func qualified(tenant, name string) string { return tenant + "/" + name }
+
+// handleRegister admits the tensor against the tenant quota, then places
+// it in the shared device pool.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypeRegister)
+	if !ok {
+		return
+	}
+	tenant := tenantOf(r)
+	sess := s.session(tenant)
+	bytes := int64(len(f.Data)) * tensor.BytesPerElement
+	ent, err := sess.reserve(f.Name, bytes)
+	if err != nil {
+		if errors.Is(err, ErrQuotaExceeded) {
+			s.ins.reg.Counter("server_quota_rejections_total", metrics.L("tenant", tenant)).Inc()
+		}
+		s.failErr(w, err)
+		return
+	}
+	h, err := s.exec.Register(qualified(tenant, f.Name), tensor.FromSlice(f.Data))
+	if err != nil {
+		sess.release(f.Name, ent)
+		ent.mu.Unlock()
+		s.failErr(w, err)
+		return
+	}
+	ent.h = h
+	ent.mu.Unlock()
+	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}
+
+// admitSlot claims one admission slot without blocking; a full window is
+// the 429 path — bounded refusal, not unbounded queueing.
+func (s *Server) admitSlot(w http.ResponseWriter) bool {
+	select {
+	case s.admit <- struct{}{}:
+		return true
+	default:
+		s.ins.backpressure.Inc()
+		s.fail(w, http.StatusTooManyRequests, CodeSaturated,
+			fmt.Sprintf("server: %d swap operations in flight", cap(s.admit)))
+		return false
+	}
+}
+
+// finishAsync releases an entry lock and admission slot once the ticket
+// has fully resolved. When the handler's context died first, the release
+// runs in a goroutine so the admission slot stays held exactly as long as
+// the executor window slot it mirrors.
+func (s *Server) finishAsync(t *executor.Ticket, ent *entry) {
+	_ = t.Wait()
+	ent.mu.Unlock()
+	<-s.admit
+}
+
+// swapOp runs one admission-gated async operation against an entry and
+// waits for it under the request context. On success the entry is
+// returned still locked and still holding the admission slot — the caller
+// reads what it needs, unlocks, and releases.
+func (s *Server) swapOp(w http.ResponseWriter, r *http.Request, sess *session, name string,
+	submit func(*entry) *executor.Ticket) (*entry, bool) {
+	ent, err := sess.acquire(name)
+	if err != nil {
+		s.failErr(w, err)
+		return nil, false
+	}
+	if !s.admitSlot(w) {
+		ent.mu.Unlock()
+		return nil, false
+	}
+	t := submit(ent)
+	if err := t.WaitContext(r.Context()); err != nil {
+		select {
+		case <-t.Done():
+			// The ticket resolved (possibly racing the dying context):
+			// report its actual outcome.
+			if opErr := t.Err(); opErr != nil {
+				ent.mu.Unlock()
+				<-s.admit
+				s.failErr(w, opErr)
+				return nil, false
+			}
+			return ent, true
+		default:
+			// The client stopped waiting mid-operation. The work still
+			// runs to completion; the entry lock and admission slot follow
+			// the ticket, not the request.
+			go s.finishAsync(t, ent)
+			s.fail(w, http.StatusRequestTimeout, CodeTimeout, err.Error())
+			return nil, false
+		}
+	}
+	return ent, true
+}
+
+// handleSwapOut moves the tensor to the host pool through the async
+// pipeline, compressing per the request.
+func (s *Server) handleSwapOut(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypeSwapOut)
+	if !ok {
+		return
+	}
+	sess := s.session(tenantOf(r))
+	ent, ok := s.swapOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
+		return s.exec.SwapOutAsyncCtx(r.Context(), ent.h, f.Compress, f.Alg)
+	})
+	if !ok {
+		return
+	}
+	ent.mu.Unlock()
+	<-s.admit
+	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}
+
+// handleSwapIn restores the tensor and streams it back.
+func (s *Server) handleSwapIn(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypeSwapIn)
+	if !ok {
+		return
+	}
+	sess := s.session(tenantOf(r))
+	ent, ok := s.swapOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
+		return s.exec.SwapInAsyncCtx(r.Context(), ent.h)
+	})
+	if !ok {
+		return
+	}
+	data, err := ent.h.Data()
+	if err != nil {
+		ent.mu.Unlock()
+		<-s.admit
+		s.failErr(w, err)
+		return
+	}
+	// Encode while the entry lock still excludes concurrent mutation of
+	// this tensor; the frame owns a copy once Encode returns.
+	b, encErr := wire.Encode(&wire.Frame{Type: wire.TypeTensorData, Name: f.Name, Data: data})
+	ent.mu.Unlock()
+	<-s.admit
+	if encErr != nil {
+		s.fail(w, http.StatusInternalServerError, CodeInternal, encErr.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	_, _ = w.Write(b)
+}
+
+// handlePrefetch requests residency ahead of need; an already-resident
+// tensor acks immediately.
+func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypePrefetch)
+	if !ok {
+		return
+	}
+	sess := s.session(tenantOf(r))
+	ent, ok := s.swapOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
+		return s.exec.PrefetchCtx(r.Context(), ent.h)
+	})
+	if !ok {
+		return
+	}
+	ent.mu.Unlock()
+	<-s.admit
+	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}
+
+// handleFree releases the tensor and returns its bytes to the quota.
+func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypeFree)
+	if !ok {
+		return
+	}
+	sess := s.session(tenantOf(r))
+	ent, err := sess.acquire(f.Name)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	if err := s.exec.Free(ent.h); err != nil {
+		ent.mu.Unlock()
+		s.failErr(w, err)
+		return
+	}
+	sess.release(f.Name, ent)
+	ent.mu.Unlock()
+	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}
+
+// handleMetrics exposes the shared registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = (metrics.Prometheus{W: w}).Write(s.ins.reg.Snapshot())
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cswap/internal/executor"
+	"cswap/internal/metrics"
+)
+
+// ErrQuotaExceeded reports that a register would push a tenant past its
+// device-memory quota. It is a per-tenant admission refusal, enforced
+// before the shared devmem pool is touched, so one tenant's appetite
+// cannot starve the others out of the device.
+var ErrQuotaExceeded = errors.New("server: tenant device-memory quota exceeded")
+
+// ErrAlreadyRegistered reports a register for a name the tenant already
+// holds.
+var ErrAlreadyRegistered = errors.New("server: tensor already registered")
+
+// ErrUnknownTensor reports an operation on a name the tenant never
+// registered (or already freed).
+var ErrUnknownTensor = errors.New("server: unknown tensor")
+
+// errEntryBusy reports that another request of the same tenant holds the
+// tensor right now; it maps to the same retry guidance as the executor's
+// ErrBusy.
+var errEntryBusy = errors.New("server: tensor busy")
+
+// session is one tenant's view of the service: its registered tensors and
+// its quota accounting. Sessions are created on first use of a tenant
+// name and live until the server shuts down — freeing every tensor empties
+// a session but keeps it (and its metric series) warm.
+type session struct {
+	tenant string
+	quota  int64 // bound on the tenant's registered (live) tensor bytes
+	used   *metrics.Gauge
+
+	mu      sync.Mutex
+	usedB   int64
+	entries map[string]*entry
+}
+
+// entry is one registered tensor. Its lock serialises same-tensor requests
+// inside the server: handlers TryLock and answer "busy, retry" instead of
+// queueing, which both preserves the executor's ErrBusy discipline at the
+// HTTP boundary and keeps a response's view of the tensor's data exclusive
+// while it is encoded.
+type entry struct {
+	mu sync.Mutex
+	h  *executor.Handle
+	// bytes is the tensor's uncompressed footprint, the unit of quota
+	// accounting (what the tensor pins on device while resident).
+	bytes int64
+}
+
+func newSession(tenant string, quota int64, reg *metrics.Registry) *session {
+	s := &session{
+		tenant:  tenant,
+		quota:   quota,
+		used:    reg.Gauge("server_tenant_used_bytes", metrics.L("tenant", tenant)),
+		entries: map[string]*entry{},
+	}
+	reg.Gauge("server_tenant_quota_bytes", metrics.L("tenant", tenant)).Set(float64(quota))
+	return s
+}
+
+// reserve admits `bytes` of new registration against the quota and
+// installs a placeholder entry, locked by the caller. The caller must
+// commit (entry.h set) or abort (release) it. Admitting before touching
+// the executor means a rejected tenant never consumes shared pool
+// capacity, and the placeholder makes duplicate names of one tenant —
+// including two concurrent registers — a clean conflict.
+func (s *session) reserve(name string, bytes int64) (*entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[name]; ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrAlreadyRegistered, s.tenant, name)
+	}
+	if s.quota > 0 && s.usedB+bytes > s.quota {
+		return nil, fmt.Errorf("%w: %s holds %d of %d bytes, register needs %d",
+			ErrQuotaExceeded, s.tenant, s.usedB, s.quota, bytes)
+	}
+	ent := &entry{bytes: bytes}
+	ent.mu.Lock()
+	s.entries[name] = ent
+	s.usedB += bytes
+	s.used.Set(float64(s.usedB))
+	return ent, nil
+}
+
+// release removes an entry and returns its bytes to the quota — the abort
+// path of a failed register and the commit path of a free. The caller
+// holds the entry's lock.
+func (s *session) release(name string, ent *entry) {
+	s.mu.Lock()
+	delete(s.entries, name)
+	s.usedB -= ent.bytes
+	s.used.Set(float64(s.usedB))
+	s.mu.Unlock()
+}
+
+// lookup returns the tenant's entry for name.
+func (s *session) lookup(name string) (*entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrUnknownTensor, s.tenant, name)
+	}
+	return ent, nil
+}
+
+// acquire looks the tensor up and claims its request lock without
+// blocking: contention answers errEntryBusy — the HTTP layer's bounded
+// analogue of the executor's ErrBusy — rather than queueing the request.
+func (s *session) acquire(name string) (*entry, error) {
+	ent, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if !ent.mu.TryLock() {
+		return nil, fmt.Errorf("%w: %s/%s (request in flight)", errEntryBusy, s.tenant, name)
+	}
+	if ent.h == nil {
+		// A placeholder whose register aborted between lookup and lock.
+		ent.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s/%s", ErrUnknownTensor, s.tenant, name)
+	}
+	return ent, nil
+}
+
+// Used returns the tenant's registered bytes (for tests and introspection).
+func (s *session) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usedB
+}

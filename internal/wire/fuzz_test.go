@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"cswap/internal/compress"
+)
+
+// FuzzFrameRoundTrip is the wire-protocol counterpart of the codec
+// container's FuzzParallelRoundTrip: arbitrary bytes fed to the frame
+// decoder must either decode into a frame that re-encodes and re-decodes
+// to an equal frame, or fail inside the declared error taxonomy —
+// compress.ErrTruncated / compress.ErrCorrupt (recoverable: retransmit)
+// or ErrTooLarge (policy refusal). Panics and silent misdecodes are the
+// bugs this hunts: hostile length prefixes, truncation at every boundary,
+// and bit flips all arrive here as plain byte mutations of the corpus.
+func FuzzFrameRoundTrip(f *testing.F) {
+	for _, fr := range []*Frame{
+		{Type: TypeRegister, Name: "conv1/act", Data: []float32{0, 1.5, -2.25, 0, 7}},
+		{Type: TypeSwapOut, Name: "t", Compress: true, Alg: compress.LZ4},
+		{Type: TypeSwapOut, Name: "t", Compress: false, Alg: 0},
+		{Type: TypeSwapIn, Name: "fc7/act"},
+		{Type: TypePrefetch, Name: "p"},
+		{Type: TypeFree, Name: "f"},
+		{Type: TypeTensorData, Name: "resp", Data: []float32{3}},
+		{Type: TypeAck, Name: "ok"},
+	} {
+		b, err := Encode(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		// Seed the obvious hostile shapes too: truncations at the header
+		// and name boundaries, and a flipped length byte.
+		f.Add(b[:HeaderLen/2])
+		f.Add(b[:HeaderLen])
+		if len(b) > HeaderLen+1 {
+			f.Add(b[:HeaderLen+1])
+		}
+		flipped := append([]byte(nil), b...)
+		flipped[9] ^= 0x80
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CSWP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data, 1<<20)
+		if err != nil {
+			if !compress.Recoverable(err) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("decode error outside the taxonomy: %v", err)
+			}
+			return
+		}
+		// Anything that decodes must re-encode canonically and round-trip.
+		out, err := Encode(fr)
+		if err != nil {
+			t.Fatalf("decoded frame %+v refuses to re-encode: %v", fr, err)
+		}
+		back, err := Decode(out, 1<<20)
+		if err != nil {
+			t.Fatalf("re-encoded frame fails to decode: %v", err)
+		}
+		if !Equal(fr, back) {
+			t.Fatalf("round trip drift: %+v -> %+v", fr, back)
+		}
+	})
+}

@@ -1,0 +1,341 @@
+// Package wire is the cswapd service's binary frame protocol: the
+// length-prefixed envelope that carries register/swap-out/swap-in/
+// prefetch/free payloads (and their tensor-bearing responses) over HTTP
+// bodies between the Go client and the swap daemon.
+//
+// A frame is a fixed 16-byte header followed by the payload:
+//
+//	[0:4)   magic "CSWP"
+//	[4]     version (currently 1)
+//	[5]     frame type
+//	[6:8)   flags, big-endian (must be zero in version 1)
+//	[8:12)  payload length, big-endian
+//	[12:16) CRC-32 (IEEE) of the payload, big-endian
+//
+// The payload always begins with a length-prefixed tensor name
+// (uint16 length + bytes); register and tensor-data frames follow it with
+// an explicit element count and the raw little-endian float32 data, and
+// swap-out frames with the compress flag and algorithm byte. Every inner
+// length is cross-checked against the outer one, so a frame either decodes
+// exactly or fails loudly.
+//
+// Malformed frames reuse the compress package's recoverable-error
+// taxonomy: bytes missing at any boundary surface as compress.ErrTruncated
+// and structural damage (bad magic, CRC mismatch, lying inner lengths,
+// trailing bytes) as compress.ErrCorrupt, so compress.Recoverable reports
+// exactly the frames a client can sensibly retransmit. The one
+// deliberately unrecoverable refusal is ErrTooLarge — a hostile or
+// misconfigured length prefix past the decoder's cap, rejected before any
+// allocation happens.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"cswap/internal/compress"
+)
+
+// Protocol constants.
+const (
+	// Version is the protocol version this package speaks.
+	Version = 1
+	// HeaderLen is the fixed frame-header size in bytes.
+	HeaderLen = 16
+	// MaxNameLen bounds the tensor-name field.
+	MaxNameLen = 4096
+	// DefaultMaxPayload is the decoder's payload cap when the caller
+	// passes zero: 1 GiB, matching the executor arena's largest class.
+	DefaultMaxPayload = 1 << 30
+)
+
+var magic = [4]byte{'C', 'S', 'W', 'P'}
+
+// ErrTooLarge reports a payload length prefix past the decoder's cap. It
+// is a policy refusal, not data damage, and deliberately does not satisfy
+// compress.Recoverable: retransmitting the same frame cannot succeed.
+var ErrTooLarge = fmt.Errorf("wire: frame payload exceeds cap")
+
+// Type is the frame opcode.
+type Type uint8
+
+// Frame types. Register..Free are requests; TensorData and Ack are
+// responses (errors travel as HTTP status codes, not frames).
+const (
+	TypeRegister   Type = iota + 1 // name + element count + float32 data
+	TypeSwapOut                    // name + compress flag + algorithm
+	TypeSwapIn                     // name
+	TypePrefetch                   // name
+	TypeFree                       // name
+	TypeTensorData                 // name + element count + float32 data
+	TypeAck                        // name
+)
+
+// String names the frame type for errors and logs.
+func (t Type) String() string {
+	switch t {
+	case TypeRegister:
+		return "register"
+	case TypeSwapOut:
+		return "swap-out"
+	case TypeSwapIn:
+		return "swap-in"
+	case TypePrefetch:
+		return "prefetch"
+	case TypeFree:
+		return "free"
+	case TypeTensorData:
+		return "tensor-data"
+	case TypeAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+func (t Type) valid() bool { return t >= TypeRegister && t <= TypeAck }
+
+// hasData reports whether the type carries an element count + float32
+// payload after the name.
+func (t Type) hasData() bool { return t == TypeRegister || t == TypeTensorData }
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type Type
+	// Name is the tensor name the operation addresses (non-empty).
+	Name string
+	// Compress and Alg are meaningful for TypeSwapOut only.
+	Compress bool
+	Alg      compress.Algorithm
+	// Data is the float32 payload of register and tensor-data frames.
+	Data []float32
+}
+
+// truncErr and corruptErr wrap the compress taxonomy with frame context.
+func truncErr(format string, args ...any) error {
+	return fmt.Errorf("wire: %s: %w", fmt.Sprintf(format, args...), compress.ErrTruncated)
+}
+
+func corruptErr(format string, args ...any) error {
+	return fmt.Errorf("wire: %s: %w", fmt.Sprintf(format, args...), compress.ErrCorrupt)
+}
+
+// payloadLen returns the encoded payload size for f, validating the
+// fields an encoder controls (name length, swap-out algorithm).
+func (f *Frame) payloadLen() (int, error) {
+	if !f.Type.valid() {
+		return 0, fmt.Errorf("wire: cannot encode unknown frame type %d", uint8(f.Type))
+	}
+	if f.Name == "" {
+		return 0, fmt.Errorf("wire: cannot encode frame with empty name")
+	}
+	if len(f.Name) > MaxNameLen {
+		return 0, fmt.Errorf("wire: name of %d bytes exceeds limit %d", len(f.Name), MaxNameLen)
+	}
+	n := 2 + len(f.Name)
+	switch {
+	case f.Type.hasData():
+		n += 4 + 4*len(f.Data)
+	case f.Type == TypeSwapOut:
+		n += 2
+	}
+	return n, nil
+}
+
+// Append encodes f onto dst and returns the extended slice.
+func Append(dst []byte, f *Frame) ([]byte, error) {
+	plen, err := f.payloadLen()
+	if err != nil {
+		return dst, err
+	}
+	start := len(dst)
+	dst = append(dst, magic[:]...)
+	dst = append(dst, Version, byte(f.Type), 0, 0) // flags must be zero
+	dst = binary.BigEndian.AppendUint32(dst, uint32(plen))
+	dst = append(dst, 0, 0, 0, 0) // CRC placeholder
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Name)))
+	dst = append(dst, f.Name...)
+	switch {
+	case f.Type.hasData():
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Data)))
+		for _, v := range f.Data {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+		}
+	case f.Type == TypeSwapOut:
+		var c byte
+		if f.Compress {
+			c = 1
+		}
+		dst = append(dst, c, byte(f.Alg))
+	}
+	crc := crc32.ChecksumIEEE(dst[start+HeaderLen:])
+	binary.BigEndian.PutUint32(dst[start+12:start+16], crc)
+	return dst, nil
+}
+
+// Encode returns f's wire encoding.
+func Encode(f *Frame) ([]byte, error) {
+	plen, err := f.payloadLen()
+	if err != nil {
+		return nil, err
+	}
+	return Append(make([]byte, 0, HeaderLen+plen), f)
+}
+
+// parseHeader validates a complete 16-byte header and returns the payload
+// length. maxPayload of zero selects DefaultMaxPayload.
+func parseHeader(h []byte, maxPayload uint32) (plen uint32, crc uint32, typ Type, err error) {
+	if maxPayload == 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if [4]byte(h[0:4]) != magic {
+		return 0, 0, 0, corruptErr("bad magic %q", h[0:4])
+	}
+	if h[4] != Version {
+		return 0, 0, 0, corruptErr("unsupported version %d", h[4])
+	}
+	typ = Type(h[5])
+	if !typ.valid() {
+		return 0, 0, 0, corruptErr("unknown frame type %d", h[5])
+	}
+	if flags := binary.BigEndian.Uint16(h[6:8]); flags != 0 {
+		return 0, 0, 0, corruptErr("non-zero flags %#x", flags)
+	}
+	plen = binary.BigEndian.Uint32(h[8:12])
+	if plen > maxPayload {
+		return 0, 0, 0, fmt.Errorf("%w: %d bytes, cap %d", ErrTooLarge, plen, maxPayload)
+	}
+	return plen, binary.BigEndian.Uint32(h[12:16]), typ, nil
+}
+
+// parsePayload decodes the CRC-verified payload bytes of a frame of the
+// given type. Every inner length is checked against the payload bounds and
+// trailing bytes are refused, so corruption the CRC happened to miss still
+// cannot decode.
+func parsePayload(typ Type, p []byte) (*Frame, error) {
+	if len(p) < 2 {
+		return nil, truncErr("payload of %d bytes lacks name length", len(p))
+	}
+	nameLen := int(binary.BigEndian.Uint16(p[0:2]))
+	if nameLen == 0 {
+		return nil, corruptErr("empty tensor name")
+	}
+	if nameLen > MaxNameLen {
+		return nil, corruptErr("name of %d bytes exceeds limit %d", nameLen, MaxNameLen)
+	}
+	if len(p) < 2+nameLen {
+		return nil, corruptErr("name of %d bytes overruns payload of %d", nameLen, len(p))
+	}
+	f := &Frame{Type: typ, Name: string(p[2 : 2+nameLen])}
+	rest := p[2+nameLen:]
+	switch {
+	case typ.hasData():
+		if len(rest) < 4 {
+			return nil, corruptErr("%s frame lacks element count", typ)
+		}
+		elems := binary.BigEndian.Uint32(rest[0:4])
+		body := rest[4:]
+		if uint64(len(body)) != uint64(elems)*4 {
+			return nil, corruptErr("%s frame claims %d elements but carries %d bytes", typ, elems, len(body))
+		}
+		f.Data = make([]float32, elems)
+		for i := range f.Data {
+			f.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i : 4*i+4]))
+		}
+	case typ == TypeSwapOut:
+		if len(rest) != 2 {
+			return nil, corruptErr("swap-out frame carries %d option bytes, want 2", len(rest))
+		}
+		switch rest[0] {
+		case 0:
+		case 1:
+			f.Compress = true
+		default:
+			return nil, corruptErr("swap-out compress flag %d", rest[0])
+		}
+		f.Alg = compress.Algorithm(rest[1])
+		if f.Compress {
+			if _, err := compress.New(f.Alg); err != nil {
+				return nil, corruptErr("swap-out algorithm byte %d", rest[1])
+			}
+		}
+	default:
+		if len(rest) != 0 {
+			return nil, corruptErr("%s frame carries %d trailing bytes", typ, len(rest))
+		}
+	}
+	return f, nil
+}
+
+// Decode parses exactly one frame from b, refusing trailing bytes.
+// maxPayload of zero selects DefaultMaxPayload.
+func Decode(b []byte, maxPayload uint32) (*Frame, error) {
+	if len(b) < HeaderLen {
+		return nil, truncErr("%d bytes, need %d-byte header", len(b), HeaderLen)
+	}
+	plen, crc, typ, err := parseHeader(b[:HeaderLen], maxPayload)
+	if err != nil {
+		return nil, err
+	}
+	body := b[HeaderLen:]
+	if uint64(len(body)) < uint64(plen) {
+		return nil, truncErr("payload has %d of %d bytes", len(body), plen)
+	}
+	if uint64(len(body)) > uint64(plen) {
+		return nil, corruptErr("%d trailing bytes after payload", uint64(len(body))-uint64(plen))
+	}
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return nil, corruptErr("payload CRC %#x, header says %#x", got, crc)
+	}
+	return parsePayload(typ, body)
+}
+
+// Read parses one frame from a stream: the fixed header first (so a
+// hostile length prefix is rejected before any payload allocation), then
+// exactly the declared payload. An EOF mid-frame surfaces as
+// compress.ErrTruncated like its in-memory counterpart.
+func Read(r io.Reader, maxPayload uint32) (*Frame, error) {
+	var h [HeaderLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, truncErr("stream ended inside header")
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	plen, crc, typ, err := parseHeader(h[:], maxPayload)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, plen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, truncErr("stream ended inside payload")
+		}
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return nil, corruptErr("payload CRC %#x, header says %#x", got, crc)
+	}
+	return parsePayload(typ, body)
+}
+
+// Equal reports whether two frames are semantically identical — the
+// round-trip invariant the fuzzer pins (float payloads compare by bit
+// pattern, so NaNs round-trip like any other tensor value).
+func Equal(a, b *Frame) bool {
+	if a.Type != b.Type || a.Name != b.Name || a.Compress != b.Compress || a.Alg != b.Alg {
+		return false
+	}
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}

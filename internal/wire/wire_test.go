@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+
+	"cswap/internal/compress"
+)
+
+// sampleFrames covers every frame type, including a NaN-bearing tensor
+// payload (tensors are opaque bits on the swap path).
+func sampleFrames() []*Frame {
+	return []*Frame{
+		{Type: TypeRegister, Name: "conv1/act", Data: []float32{0, 1.5, -2.25, float32(math.NaN()), 0}},
+		{Type: TypeSwapOut, Name: "conv1/act", Compress: true, Alg: compress.ZVC},
+		{Type: TypeSwapOut, Name: "conv1/act", Compress: false},
+		{Type: TypeSwapIn, Name: "conv1/act"},
+		{Type: TypePrefetch, Name: "fc7/act"},
+		{Type: TypeFree, Name: "fc7/act"},
+		{Type: TypeTensorData, Name: "t", Data: []float32{3.25}},
+		{Type: TypeAck, Name: "t"},
+		{Type: TypeRegister, Name: "empty", Data: nil},
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	for _, f := range sampleFrames() {
+		b, err := Encode(f)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", f.Type, err)
+		}
+		got, err := Decode(b, 0)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", f.Type, err)
+		}
+		if !Equal(f, got) {
+			t.Errorf("%v: round trip mismatch: sent %+v, got %+v", f.Type, f, got)
+		}
+		// The streaming reader must agree with the in-memory decoder.
+		rf, err := Read(bytes.NewReader(b), 0)
+		if err != nil {
+			t.Fatalf("Read(%v): %v", f.Type, err)
+		}
+		if !Equal(f, rf) {
+			t.Errorf("%v: Read mismatch", f.Type)
+		}
+	}
+}
+
+// TestTruncationEveryBoundary chops a valid frame at every byte offset;
+// each prefix must fail with the recoverable taxonomy, never decode.
+func TestTruncationEveryBoundary(t *testing.T) {
+	for _, f := range sampleFrames() {
+		b, err := Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := Decode(b[:cut], 0); err == nil {
+				t.Fatalf("%v: prefix of %d/%d bytes decoded", f.Type, cut, len(b))
+			} else if !compress.Recoverable(err) {
+				t.Fatalf("%v: prefix of %d bytes: %v not in the recoverable taxonomy", f.Type, cut, err)
+			}
+			if _, err := Read(bytes.NewReader(b[:cut]), 0); err == nil {
+				t.Fatalf("%v: Read of %d/%d-byte prefix succeeded", f.Type, cut, len(b))
+			}
+		}
+	}
+}
+
+// TestHostileLengthPrefix plants the maximum length prefix in an otherwise
+// valid header: both decoders must refuse before allocating the claimed
+// payload.
+func TestHostileLengthPrefix(t *testing.T) {
+	b, err := Encode(&Frame{Type: TypeSwapIn, Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(b[8:12], math.MaxUint32)
+	if _, err := Decode(b, 0); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Decode with 4 GiB length prefix: %v, want ErrTooLarge", err)
+	}
+	if _, err := Read(bytes.NewReader(b), 0); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Read with 4 GiB length prefix: %v, want ErrTooLarge", err)
+	}
+	// A length under the cap but past the actual bytes is truncation.
+	binary.BigEndian.PutUint32(b[8:12], 1<<20)
+	if _, err := Decode(b, 0); !errors.Is(err, compress.ErrTruncated) {
+		t.Errorf("Decode with overlong length: %v, want ErrTruncated", err)
+	}
+	// A caller-supplied cap tightens the policy refusal.
+	big, err := Encode(&Frame{Type: TypeRegister, Name: "big", Data: make([]float32, 1024)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, derr := Decode(big, 64)
+	if !errors.Is(derr, ErrTooLarge) {
+		t.Errorf("Decode past caller cap: %v, want ErrTooLarge", derr)
+	}
+	if compress.Recoverable(derr) {
+		t.Error("ErrTooLarge must not be recoverable: retransmission cannot succeed")
+	}
+}
+
+func TestCRCDetectsPayloadDamage(t *testing.T) {
+	f := &Frame{Type: TypeRegister, Name: "damaged", Data: []float32{1, 2, 3, 4}}
+	b, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < 8; bit++ {
+		mutated := append([]byte(nil), b...)
+		mutated[len(mutated)-1] ^= 1 << bit
+		if _, err := Decode(mutated, 0); !errors.Is(err, compress.ErrCorrupt) {
+			t.Errorf("bit %d flip: %v, want ErrCorrupt", bit, err)
+		}
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	valid, err := Encode(&Frame{Type: TypeAck, Name: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func([]byte)) []byte {
+		b := append([]byte(nil), valid...)
+		fn(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"bad magic", mutate(func(b []byte) { b[0] = 'X' })},
+		{"bad version", mutate(func(b []byte) { b[4] = 99 })},
+		{"unknown type", mutate(func(b []byte) { b[5] = 200 })},
+		{"zero type", mutate(func(b []byte) { b[5] = 0 })},
+		{"non-zero flags", mutate(func(b []byte) { b[6] = 1 })},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0xAA)},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.b, 0); !errors.Is(err, compress.ErrCorrupt) {
+			t.Errorf("%s: %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+}
+
+func TestInnerLengthCrossChecks(t *testing.T) {
+	// A register frame whose element count disagrees with the bytes it
+	// carries must refuse even though the CRC is recomputed to match.
+	f := &Frame{Type: TypeRegister, Name: "n", Data: []float32{1, 2}}
+	b, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload layout: u16 nameLen | name | u32 elems | data.
+	elemsOff := HeaderLen + 2 + len(f.Name)
+	binary.BigEndian.PutUint32(b[elemsOff:elemsOff+4], 3)
+	reCRC(b)
+	if _, err := Decode(b, 0); !errors.Is(err, compress.ErrCorrupt) {
+		t.Errorf("element-count lie: %v, want ErrCorrupt", err)
+	}
+
+	// A name length pointing past the payload end.
+	b2, err := Encode(&Frame{Type: TypeFree, Name: "ab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint16(b2[HeaderLen:HeaderLen+2], 500)
+	reCRC(b2)
+	if _, err := Decode(b2, 0); !errors.Is(err, compress.ErrCorrupt) {
+		t.Errorf("name overrun: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEncodeRefusesInvalidFrames(t *testing.T) {
+	bad := []*Frame{
+		{Type: TypeAck, Name: ""},
+		{Type: Type(99), Name: "x"},
+		{Type: TypeAck, Name: strings.Repeat("n", MaxNameLen+1)},
+	}
+	for _, f := range bad {
+		if _, err := Encode(f); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", f)
+		}
+	}
+}
+
+func TestSwapOutOptionValidation(t *testing.T) {
+	b, err := Encode(&Frame{Type: TypeSwapOut, Name: "x", Compress: true, Alg: compress.RLE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagOff := len(b) - 2
+	b[flagOff] = 7 // compress flag must be 0 or 1
+	reCRC(b)
+	if _, err := Decode(b, 0); !errors.Is(err, compress.ErrCorrupt) {
+		t.Errorf("bad compress flag: %v, want ErrCorrupt", err)
+	}
+	b[flagOff] = 1
+	b[flagOff+1] = 250 // unknown algorithm byte
+	reCRC(b)
+	if _, err := Decode(b, 0); !errors.Is(err, compress.ErrCorrupt) {
+		t.Errorf("bad algorithm byte: %v, want ErrCorrupt", err)
+	}
+}
+
+// reCRC recomputes the header CRC after a test mutates payload bytes.
+func reCRC(b []byte) {
+	binary.BigEndian.PutUint32(b[12:16], crc32.ChecksumIEEE(b[HeaderLen:]))
+}
