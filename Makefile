@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke report csv examples clean
+.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke tune-smoke report csv examples clean
 
 all: build test
 
@@ -45,22 +45,25 @@ bench:
 # for ~2x ns/op with identical machine code), so ns/op is only comparable
 # between binaries with the same layout. allocs/op is layout-immune.
 bench-compress:
-	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath' -benchmem -count=3 -run='^$$' \
-		./internal/compress/ ./internal/executor/ \
+	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath|BenchmarkServerRoundTrip' -benchmem -count=3 -run='^$$' \
+		./internal/compress/ ./internal/executor/ ./internal/server/ \
 		| $(GO) run ./cmd/cswap-benchdiff -write BENCH_compress.json
 
 # Allocation-regression gate: rerun the codec benchmarks and fail on >10%
-# ns/op or ANY allocs/op regression against the committed baseline.
+# ns/op or ANY allocs/op regression against the committed baseline. The
+# server round trip crosses the HTTP stack and the scheduler, so it gets
+# the lenient band (5x ns/op threshold, 10% allocs/op) instead of the
+# strict codec-loop rules.
 bench-diff:
-	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath' -benchmem -count=3 -run='^$$' \
-		./internal/compress/ ./internal/executor/ \
-		| $(GO) run ./cmd/cswap-benchdiff -baseline BENCH_compress.json
+	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath|BenchmarkServerRoundTrip' -benchmem -count=3 -run='^$$' \
+		./internal/compress/ ./internal/executor/ ./internal/server/ \
+		| $(GO) run ./cmd/cswap-benchdiff -baseline BENCH_compress.json -lenient 'ServerRoundTrip'
 
 # Umbrella gate: everything a change must pass before it lands — build,
 # vet+test, the race detector over the swap path, the allocation-
 # regression gate against the committed benchmark baseline, and the
 # daemon smoke test.
-check: build test race bench-diff serve-smoke
+check: build test race bench-diff serve-smoke tune-smoke
 
 # Serve-smoke: boot the real cswapd daemon on an ephemeral port, drive it
 # with the example client, assert the swap counters moved via /metrics,
@@ -74,6 +77,24 @@ serve-smoke:
 	addr=$$(cat "$$tmp/addr"); \
 	$(GO) run ./examples/swap-server -connect "http://$$addr" -smoke || { kill $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid && wait $$pid && echo "serve-smoke: clean drained exit"
+
+# Tune-smoke: boot cswapd with the online tuner on, drive a drifting-
+# sparsity workload through the Auto selector, and assert the tuner's
+# codec-switch counter moved. The tuner knobs mirror the e2e test: a small
+# grid so Huffman's per-chunk code table amortizes on smoke-sized tensors,
+# a glacial modeled link so ratio dominates kernel noise, fast ticks and a
+# two-swap evidence budget so the smoke completes in seconds.
+tune-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/cswapd" ./cmd/cswapd || exit 1; \
+	"$$tmp/cswapd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -device 256 -host 1024 \
+		-grid 4 -block 64 -tune -tune-interval 50ms -tune-link 131072 \
+		-tune-min-swaps 2 -tune-probe 16384 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "tune-smoke: daemon never wrote its address"; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	$(GO) run ./examples/swap-server -connect "http://$$addr" -drift || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid && wait $$pid && echo "tune-smoke: clean drained exit"
 
 # Full evaluation -> REPORT.md (and CSV series under data/).
 report:

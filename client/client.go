@@ -35,12 +35,16 @@ import (
 // cswap import; the constants are identical to the root package's.
 type Algorithm = compress.Algorithm
 
-// The compression algorithms a swap-out may request.
+// The compression algorithms a swap-out may request. Auto delegates the
+// choice to the service: the tenant's tuned codec when cswapd runs with
+// -tune, else the best modeled ratio for the tensor's sparsity.
 const (
-	ZVC = compress.ZVC
-	RLE = compress.RLE
-	CSR = compress.CSR
-	LZ4 = compress.LZ4
+	Auto = compress.Auto
+	ZVC  = compress.ZVC
+	RLE  = compress.RLE
+	CSR  = compress.CSR
+	LZ4  = compress.LZ4
+	HUF  = compress.Huffman
 )
 
 // Typed client errors; each wraps the server's message text.
@@ -321,12 +325,31 @@ func responseError(resp *http.Response) error {
 	return fmt.Errorf("%w: %s", sentinel, text)
 }
 
-// retryAfter parses the Retry-After hint (whole seconds), zero if absent.
+// retryAfter parses the Retry-After hint, zero if absent or garbage. RFC
+// 9110 §10.2.3 allows both forms: delta-seconds and an HTTP-date (taken
+// relative to the Date header when the server sent one, else local now —
+// a past date means "retry immediately").
 func retryAfter(resp *http.Response) time.Duration {
-	if v := resp.Header.Get("Retry-After"); v != "" {
-		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
 		}
+		return time.Duration(secs) * time.Second
+	}
+	at, err := http.ParseTime(v)
+	if err != nil {
+		return 0
+	}
+	now := time.Now()
+	if d, err := http.ParseTime(resp.Header.Get("Date")); err == nil {
+		now = d
+	}
+	if hint := at.Sub(now); hint > 0 {
+		return hint
 	}
 	return 0
 }

@@ -233,3 +233,47 @@ func TestContextCancelsRetryLoop(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+func TestRetryAfterParsing(t *testing.T) {
+	// RFC 9110 §10.2.3: Retry-After = delta-seconds | HTTP-date. The date
+	// form is taken relative to the response's Date header so a skewed
+	// client clock cannot stretch the hint.
+	date := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name       string
+		retryAfter string
+		date       string
+		want       time.Duration
+	}{
+		{"absent", "", "", 0},
+		{"seconds", "3", "", 3 * time.Second},
+		{"zero seconds", "0", "", 0},
+		{"negative seconds", "-5", "", 0},
+		{"http date", date.Add(30 * time.Second).Format(http.TimeFormat), date.Format(http.TimeFormat), 30 * time.Second},
+		{"http date in the past", date.Add(-time.Minute).Format(http.TimeFormat), date.Format(http.TimeFormat), 0},
+		{"rfc850 date", date.Add(10 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), date.Format(http.TimeFormat), 10 * time.Second},
+		{"garbage", "soon", "", 0},
+		{"garbage mixed", "12 parsecs", "", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			if tc.retryAfter != "" {
+				resp.Header.Set("Retry-After", tc.retryAfter)
+			}
+			if tc.date != "" {
+				resp.Header.Set("Date", tc.date)
+			}
+			if got := retryAfter(resp); got != tc.want {
+				t.Fatalf("retryAfter(%q) = %v, want %v", tc.retryAfter, got, tc.want)
+			}
+		})
+	}
+	// Date-form without a Date header falls back to the local clock: a
+	// far-future date must yield a positive hint.
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", time.Now().Add(time.Hour).UTC().Format(http.TimeFormat))
+	if got := retryAfter(resp); got <= 50*time.Minute || got > time.Hour {
+		t.Fatalf("future-date hint = %v, want ≈1h", got)
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -76,7 +77,35 @@ func TestDiffRegressionRules(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var sb strings.Builder
-		if got := diff(&sb, base, tc.current, 0.10); got != tc.want {
+		if got := diff(&sb, base, tc.current, 0.10, nil); got != tc.want {
+			t.Errorf("%s: %d regressions, want %d\n%s", tc.name, got, tc.want, sb.String())
+		}
+	}
+}
+
+func TestDiffLenientPattern(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkServerRoundTrip", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkCodecDecode", NsPerOp: 1000, AllocsPerOp: 0},
+	}
+	lenient := regexp.MustCompile(`ServerRoundTrip`)
+	cases := []struct {
+		name    string
+		current []Result
+		want    int
+	}{
+		// 5x the 10% threshold and 10% alloc slack for the matching name.
+		{"lenient absorbs 40% ns", []Result{{Name: "BenchmarkServerRoundTrip", NsPerOp: 1400, AllocsPerOp: 100}}, 0},
+		{"lenient fails past 50% ns", []Result{{Name: "BenchmarkServerRoundTrip", NsPerOp: 1600, AllocsPerOp: 100}}, 1},
+		{"lenient absorbs 10% allocs", []Result{{Name: "BenchmarkServerRoundTrip", NsPerOp: 1000, AllocsPerOp: 109}}, 0},
+		{"lenient fails past 10% allocs", []Result{{Name: "BenchmarkServerRoundTrip", NsPerOp: 1000, AllocsPerOp: 115}}, 1},
+		// Non-matching names keep the strict rules.
+		{"strict name keeps zero alloc tolerance", []Result{{Name: "BenchmarkCodecDecode", NsPerOp: 1000, AllocsPerOp: 1}}, 1},
+		{"strict name keeps 10% ns threshold", []Result{{Name: "BenchmarkCodecDecode", NsPerOp: 1150, AllocsPerOp: 0}}, 1},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		if got := diff(&sb, base, tc.current, 0.10, lenient); got != tc.want {
 			t.Errorf("%s: %d regressions, want %d\n%s", tc.name, got, tc.want, sb.String())
 		}
 	}

@@ -9,8 +9,13 @@
 //
 //	cswapd [-addr :7077] [-addr-file PATH] [-device 1024] [-host 4096]
 //	       [-max-inflight 4] [-quota 0] [-verify] [-grid 128] [-block 64]
+//	       [-tune] [-tune-interval 2s] [-tune-drift 0.15]
 //
 // Sizes are MiB; -quota 0 grants each tenant the full device capacity.
+// -tune enables the online per-tenant tuner: swap-outs requesting the Auto
+// algorithm follow its live codec verdicts, and the launch geometry is
+// re-probed as tenant sparsity profiles drift (see /metrics,
+// server_tuner_* series).
 // SIGINT/SIGTERM shut the daemon down gracefully: intake stops (503s),
 // open requests finish, the executor drains its in-flight tickets, and
 // only then does the process exit.
@@ -44,6 +49,12 @@ func main() {
 	grid := flag.Int("grid", 0, "codec launch grid (0 = executor default)")
 	block := flag.Int("block", 0, "codec launch block (0 = executor default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on waiting out open requests at shutdown")
+	tune := flag.Bool("tune", false, "enable the online per-tenant tuner (Auto swap-outs follow its verdicts)")
+	tuneInterval := flag.Duration("tune-interval", 0, "tuner tick period (0 = 2s default)")
+	tuneDrift := flag.Float64("tune-drift", 0, "EWMA-sparsity drift that triggers a retune (0 = 0.15 default)")
+	tuneLink := flag.Float64("tune-link", 0, "modeled swap-link bandwidth, bytes/s (0 = 12e9 default)")
+	tuneMinSwaps := flag.Int("tune-min-swaps", 0, "swap-outs required before the tuner acts on a tenant (0 = 4 default)")
+	tuneProbe := flag.Int("tune-probe", 0, "synthetic probe tensor size, elements (0 = 64Ki default)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -52,6 +63,14 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		TenantQuota:    *quotaMiB << 20,
 		Verify:         *verify,
+		Tuner: server.TunerConfig{
+			Enabled:         *tune,
+			Interval:        *tuneInterval,
+			DriftThreshold:  *tuneDrift,
+			LinkBytesPerSec: *tuneLink,
+			MinSwaps:        *tuneMinSwaps,
+			ProbeElems:      *tuneProbe,
+		},
 	}
 	if *grid > 0 {
 		cfg.Launch = compress.Launch{Grid: *grid, Block: *block}

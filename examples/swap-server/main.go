@@ -13,6 +13,13 @@
 // With -smoke the example additionally scrapes /metrics and exits
 // non-zero unless the swap counters moved — the assertion the Makefile's
 // serve-smoke target builds on.
+//
+// With -drift the example instead drives a drifting-sparsity workload
+// against a tuner-enabled daemon (cswapd -tune): dense tensors swapped
+// through the Auto selector until the tuner issues a Huffman verdict, then
+// sparse tensors until the codec-switch counter moves. It exits non-zero
+// if the tuner never reacts — the assertion behind the Makefile's
+// tune-smoke target.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"time"
 
 	"cswap"
 	"cswap/client"
@@ -34,7 +42,19 @@ var errExit = false
 func main() {
 	connect := flag.String("connect", "", "drive an external daemon at this base URL instead of an in-process service")
 	smoke := flag.Bool("smoke", false, "assert non-zero swap counters via /metrics and exit non-zero on failure")
+	drift := flag.Bool("drift", false, "drive a drifting-sparsity workload and assert the tuner switched codecs (requires cswapd -tune)")
 	flag.Parse()
+
+	if *drift {
+		if *connect == "" {
+			log.Fatal("-drift requires -connect (a cswapd started with -tune)")
+		}
+		if err := driveDrift(*connect); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("drift: ok")
+		return
+	}
 
 	base := *connect
 	if base == "" {
@@ -138,4 +158,62 @@ func sample(text, series string) string {
 		}
 	}
 	return ""
+}
+
+// driveDrift swaps a dense workload through the Auto selector until the
+// tuner issues a Huffman verdict, then switches the workload sparse and
+// waits for the tuner's codec-switch counter to move. Each phase keeps the
+// workload live (the tuner only acts on tenants with fresh evidence) and
+// fails after a deadline.
+func driveDrift(base string) error {
+	ctx := context.Background()
+	const tenant = "drifter"
+	c := client.New(base, client.WithTenant(tenant))
+	gen := cswap.NewTensorGenerator(42)
+	mc := client.New(base)
+
+	cycle := func(name string) error {
+		if err := c.SwapOut(ctx, name, true, client.Auto); err != nil {
+			return fmt.Errorf("drift: swap-out %s: %w", name, err)
+		}
+		if _, err := c.SwapIn(ctx, name); err != nil {
+			return fmt.Errorf("drift: swap-in %s: %w", name, err)
+		}
+		return nil
+	}
+	// Prometheus label sets are alphabetical, so codec sorts before tenant.
+	waitSeries := func(name, series string) error {
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if err := cycle(name); err != nil {
+				return err
+			}
+			text, err := mc.Metrics(ctx)
+			if err != nil {
+				return err
+			}
+			if v := sample(text, series); v != "" && v != "0" {
+				fmt.Printf("drift: %s = %s\n", series, v)
+				return nil
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return fmt.Errorf("drift: %s never moved", series)
+	}
+
+	if err := c.Register(ctx, "act0", gen.Uniform(16384, 0).Data); err != nil {
+		return err
+	}
+	if err := waitSeries("act0",
+		`server_tuner_verdicts_total{codec="HUF",tenant="`+tenant+`"}`); err != nil {
+		return err
+	}
+	if err := c.Free(ctx, "act0"); err != nil {
+		return err
+	}
+	if err := c.Register(ctx, "act1", gen.Uniform(16384, 0.95).Data); err != nil {
+		return err
+	}
+	return waitSeries("act1",
+		`server_tuner_codec_switches_total{tenant="`+tenant+`"}`)
 }

@@ -31,9 +31,19 @@ const (
 	LZ4                      // LZ4 block-format dictionary compression
 )
 
+// Auto is not a codec: it is the wire-level selector value (the zero
+// Algorithm, so legacy frames that never set an algorithm byte mean it
+// implicitly) by which a swap-out delegates the codec choice to the
+// service. New(Auto) fails — the server must resolve it to a concrete
+// algorithm (the tenant's tuned codec, or the best modeled ratio for the
+// tensor's sparsity) before touching a codec.
+const Auto Algorithm = 0
+
 // String returns the conventional upper-case algorithm name.
 func (a Algorithm) String() string {
 	switch a {
+	case Auto:
+		return "auto"
 	case ZVC:
 		return "ZVC"
 	case RLE:

@@ -83,6 +83,15 @@ func FuzzParallelRoundTrip(f *testing.F) {
 		f.Add(payload, ai, uint16(9), uint32(2), uint8(1))   // flip in element count
 		f.Add(payload, ai, uint16(300), uint32(99), uint8(2))
 	}
+	// Adversarial Huffman code tables: flips landing inside the first
+	// chunk's 256-byte length table (which starts at dir end + chunk
+	// header) zero a live length (under-subscribed) or inflate a dead one
+	// (over-subscribed); the decoder must reject or stay bit-exact, never
+	// panic. algSel 4 selects Huffman, grid 1 keeps a single chunk so the
+	// table position is stable.
+	for off := uint32(0); off < 256; off += 37 {
+		f.Add(payload, uint8(4), uint16(0), uint32(14+8+9)+off, uint8(2))
+	}
 
 	f.Fuzz(func(t *testing.T, raw []byte, algSel uint8, gridSel uint16, pos uint32, op uint8) {
 		algs := ExtendedAlgorithms()
@@ -163,6 +172,20 @@ func FuzzDecodeRobustness(f *testing.F) {
 	f.Add(MustNew(Huffman).Encode([]float32{1, 1, 0, 2}))
 	f.Add([]byte{})
 	f.Add([]byte{1, 255, 255, 255, 255, 255, 255, 255, 255})
+	// Hand-crafted Huffman blobs with degenerate code tables. Under-
+	// subscribed: one 8-bit code covering a sliver of the code space, with
+	// too little data behind it. Over-subscribed: three 1-bit codes
+	// (Kraft 1.5) that the decoder must refuse outright.
+	undersub := make([]byte, 9+256+4)
+	undersub[0] = byte(Huffman)
+	binary.LittleEndian.PutUint64(undersub[1:9], 2)
+	undersub[9+7] = 8 // only symbol 7, length 8
+	f.Add(undersub)
+	oversub := make([]byte, 9+256+8)
+	oversub[0] = byte(Huffman)
+	binary.LittleEndian.PutUint64(oversub[1:9], 2)
+	oversub[9+0], oversub[9+1], oversub[9+2] = 1, 1, 1
+	f.Add(oversub)
 
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		// Cap the claimed element count so a hostile header cannot force

@@ -1,10 +1,9 @@
 package compress
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"sync"
 )
 
 // Huffman is an extension codec beyond the paper's four ("we wish to
@@ -54,6 +53,7 @@ func (huffmanCodec) AppendEncode(dst []byte, src []float32) []byte {
 		return dst
 	}
 	p := getScratch(len(src) * 4)
+	defer putScratch(p)
 	raw := *p
 	for i, v := range src {
 		binary.LittleEndian.PutUint32(raw[i*4:], float32bits(v))
@@ -67,7 +67,9 @@ func (huffmanCodec) AppendEncode(dst []byte, src []float32) []byte {
 	codes := canonicalCodes(lengths)
 	dst = append(dst, lengths[:]...)
 
-	// Bit-pack MSB-first.
+	// Bit-pack MSB-first. nbits stays below 8 between symbols and every
+	// code is at most huffMaxCodeLen bits, so the accumulator never
+	// overflows its 64 bits.
 	var acc uint64
 	var nbits uint
 	for _, b := range raw {
@@ -82,7 +84,6 @@ func (huffmanCodec) AppendEncode(dst []byte, src []float32) []byte {
 	if nbits > 0 {
 		dst = append(dst, byte(acc<<(8-nbits)))
 	}
-	putScratch(p)
 	return dst
 }
 
@@ -119,7 +120,7 @@ func (huffmanCodec) DecodeInto(dst []float32, blob []byte) error {
 	copy(lengths[:], payload[:256])
 	data := payload[256:]
 
-	dec, err := newHuffmanDecoder(lengths)
+	dec, err := cachedHuffmanDecoder(lengths)
 	if err != nil {
 		return err
 	}
@@ -161,67 +162,143 @@ func (huffmanCodec) DecodeInto(dst []float32, blob []byte) error {
 // ---------------------------------------------------------------------------
 // Code construction.
 
-type huffNode struct {
-	freq        int64
-	symbol      int // <256 leaf, else internal
-	order       int // deterministic tie-break
-	left, right *huffNode
+// huffBuilder holds the whole tree-construction workspace as fixed-size
+// arrays so building code lengths performs no per-node heap allocations:
+// nodes are integer ids (leaves first, in symbol order, then internals in
+// creation order) with a binary min-heap of ids keyed on (freq, id). The
+// (freq, id) key is a total order, so the pop sequence — and therefore the
+// emitted code lengths — is byte-identical to the previous
+// container/heap-of-pointers construction.
+type huffBuilder struct {
+	nodeFreq [511]int64 // id → subtree frequency
+	parent   [511]int16 // id → parent id (root: -1)
+	sym      [256]int16 // leaf id → byte symbol
+	heap     [256]int16 // live node ids, min-heap order
+	size     int
 }
 
-type huffHeap []*huffNode
-
-func (h huffHeap) Len() int { return len(h) }
-func (h huffHeap) Less(i, j int) bool {
-	if h[i].freq != h[j].freq {
-		return h[i].freq < h[j].freq
+func (b *huffBuilder) less(i, j int) bool {
+	x, y := b.heap[i], b.heap[j]
+	if b.nodeFreq[x] != b.nodeFreq[y] {
+		return b.nodeFreq[x] < b.nodeFreq[y]
 	}
-	return h[i].order < h[j].order
+	return x < y
 }
-func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
-func (h *huffHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return v
+
+func (b *huffBuilder) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= b.size {
+			return
+		}
+		m := l
+		if r := l + 1; r < b.size && b.less(r, l) {
+			m = r
+		}
+		if !b.less(m, i) {
+			return
+		}
+		b.heap[i], b.heap[m] = b.heap[m], b.heap[i]
+		i = m
+	}
+}
+
+func (b *huffBuilder) pop() int16 {
+	top := b.heap[0]
+	b.size--
+	b.heap[0] = b.heap[b.size]
+	b.siftDown(0)
+	return top
+}
+
+func (b *huffBuilder) push(id int16) {
+	i := b.size
+	b.heap[i] = id
+	b.size++
+	for i > 0 {
+		p := (i - 1) / 2
+		if !b.less(i, p) {
+			break
+		}
+		b.heap[i], b.heap[p] = b.heap[p], b.heap[i]
+		i = p
+	}
+}
+
+// build computes code lengths for freq into lengths and returns the
+// maximum depth (0 when freq is empty). Absent symbols keep length 0.
+func (b *huffBuilder) build(freq *[256]int64, lengths *[256]byte) int {
+	n := 0
+	for s, f := range freq {
+		if f > 0 {
+			b.nodeFreq[n] = f
+			b.sym[n] = int16(s)
+			b.heap[n] = int16(n)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		lengths[b.sym[0]] = 1
+		return 1
+	}
+	b.size = n
+	for i := n/2 - 1; i >= 0; i-- {
+		b.siftDown(i)
+	}
+	next := int16(n)
+	for b.size > 1 {
+		x := b.pop()
+		y := b.pop()
+		b.nodeFreq[next] = b.nodeFreq[x] + b.nodeFreq[y]
+		b.parent[x] = next
+		b.parent[y] = next
+		b.push(next)
+		next++
+	}
+	root := b.heap[0]
+	b.parent[root] = -1
+	maxDepth := 0
+	for i := 0; i < n; i++ {
+		d := 0
+		for p := int16(i); b.parent[p] >= 0; p = b.parent[p] {
+			d++
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+		lengths[b.sym[i]] = byte(d)
+	}
+	return maxDepth
 }
 
 // huffmanCodeLengths returns the per-symbol code lengths for the frequency
 // table (0 for absent symbols). A single-symbol input gets length 1.
+//
+// Lengths are limited to huffMaxCodeLen: an extremely skewed table (e.g.
+// Fibonacci-distributed frequencies) can push the optimal tree past the
+// decoder's 56-bit accumulator, so when that happens the frequencies are
+// dampened (halved, floored at 1) and the tree rebuilt until it fits.
+// Dampening preserves a true Huffman tree over the adjusted frequencies,
+// so the code stays prefix-free with Kraft sum exactly 1 — it converges
+// because equal frequencies yield depth ⌈log2 256⌉ = 8.
 func huffmanCodeLengths(freq []int64) [256]byte {
 	var lengths [256]byte
-	h := &huffHeap{}
-	order := 0
-	for sym, f := range freq {
-		if f > 0 {
-			heap.Push(h, &huffNode{freq: f, symbol: sym, order: order})
-			order++
+	var f [256]int64
+	copy(f[:], freq)
+	for {
+		var b huffBuilder
+		if b.build(&f, &lengths) <= huffMaxCodeLen {
+			return lengths
+		}
+		for i := range f {
+			if f[i] > 0 {
+				f[i] = f[i]>>1 | 1
+			}
 		}
 	}
-	if h.Len() == 1 {
-		lengths[(*h)[0].symbol] = 1
-		return lengths
-	}
-	for h.Len() > 1 {
-		a := heap.Pop(h).(*huffNode)
-		b := heap.Pop(h).(*huffNode)
-		heap.Push(h, &huffNode{freq: a.freq + b.freq, symbol: 256, order: order, left: a, right: b})
-		order++
-	}
-	root := heap.Pop(h).(*huffNode)
-	var walk func(n *huffNode, depth byte)
-	walk = func(n *huffNode, depth byte) {
-		if n.symbol < 256 {
-			lengths[n.symbol] = depth
-			return
-		}
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
-	}
-	walk(root, 0)
-	return lengths
 }
 
 type huffCode struct {
@@ -229,78 +306,110 @@ type huffCode struct {
 	len  byte
 }
 
-// canonicalCodes assigns canonical codes (sorted by length then symbol).
+// canonicalCodes assigns canonical codes (ordered by length, then symbol)
+// via per-length counting — no sorting, no allocation: the first code of
+// each length is derived from the code-length histogram (the classic
+// bl_count recurrence) and symbols claim codes of their length in symbol
+// order, which is exactly canonical order.
 func canonicalCodes(lengths [256]byte) [256]huffCode {
-	type entry struct {
-		sym int
-		ln  byte
-	}
-	var entries []entry
-	for sym, ln := range lengths {
+	var count [huffMaxCodeLen + 2]int
+	for _, ln := range lengths {
 		if ln > 0 {
-			entries = append(entries, entry{sym, ln})
+			count[ln]++
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].ln != entries[j].ln {
-			return entries[i].ln < entries[j].ln
-		}
-		return entries[i].sym < entries[j].sym
-	})
-	var codes [256]huffCode
+	var next [huffMaxCodeLen + 2]uint64
 	code := uint64(0)
-	prevLen := byte(0)
-	for _, e := range entries {
-		code <<= uint(e.ln - prevLen)
-		codes[e.sym] = huffCode{code: code, len: e.ln}
-		code++
-		prevLen = e.ln
+	for ln := 1; ln <= huffMaxCodeLen; ln++ {
+		code = (code + uint64(count[ln-1])) << 1
+		next[ln] = code
+	}
+	var codes [256]huffCode
+	for sym, ln := range lengths {
+		if ln == 0 {
+			continue
+		}
+		codes[sym] = huffCode{code: next[ln], len: ln}
+		next[ln]++
 	}
 	return codes
 }
 
-// huffmanDecoder decodes canonical codes via per-length first-code/offset
-// tables.
+// ---------------------------------------------------------------------------
+// Decoding.
+
+// huffTableBits sizes the decoder's primary lookup table: any code of at
+// most this many bits decodes with a single table load instead of the
+// per-length scan. 11 bits covers every code the encoder emits for typical
+// tensor byte streams while keeping the table at 4 KiB per decoder.
+const huffTableBits = 11
+
+// huffmanDecoder decodes canonical codes via a primary lookup table for
+// short codes with per-length first-code/offset tables as the fallback for
+// longer ones. Decoders are immutable after construction and shared
+// concurrently through the package-level cache.
 type huffmanDecoder struct {
 	maxLen    byte
 	firstCode [huffMaxCodeLen + 2]uint64 // first canonical code of each length
 	count     [huffMaxCodeLen + 2]int    // symbols per length
 	offset    [huffMaxCodeLen + 2]int    // index of first symbol of each length
-	symbols   []byte                     // canonical symbol order
+	nsyms     int
+	symbols   [256]byte                 // canonical symbol order
+	table     [1 << huffTableBits]uint16 // len<<8 | symbol; 0 = no code ≤ huffTableBits bits
+}
+
+// huffDecCacheMax bounds the decoder cache. Parallel-container blobs carry
+// one code table per chunk, so steady-state working sets reach hundreds of
+// distinct tables; adversarial inputs could mint unlimited ones, hence the
+// clear-on-full eviction (each decoder is ~5 KiB).
+const huffDecCacheMax = 1024
+
+var huffDecCache = struct {
+	sync.Mutex
+	m map[[256]byte]*huffmanDecoder
+}{m: make(map[[256]byte]*huffmanDecoder)}
+
+// cachedHuffmanDecoder returns a shared decoder for the code-length table,
+// building and memoising it on first sight. Invalid tables are not cached:
+// rejecting them is already cheap and caching errors would let adversarial
+// blobs fill the map with garbage.
+func cachedHuffmanDecoder(lengths [256]byte) (*huffmanDecoder, error) {
+	huffDecCache.Lock()
+	d := huffDecCache.m[lengths]
+	huffDecCache.Unlock()
+	if d != nil {
+		return d, nil
+	}
+	d, err := newHuffmanDecoder(lengths)
+	if err != nil {
+		return nil, err
+	}
+	huffDecCache.Lock()
+	if len(huffDecCache.m) >= huffDecCacheMax {
+		huffDecCache.m = make(map[[256]byte]*huffmanDecoder, huffDecCacheMax)
+	}
+	huffDecCache.m[lengths] = d
+	huffDecCache.Unlock()
+	return d, nil
 }
 
 func newHuffmanDecoder(lengths [256]byte) (*huffmanDecoder, error) {
 	d := &huffmanDecoder{}
-	type entry struct {
-		sym int
-		ln  byte
-	}
-	var entries []entry
-	for sym, ln := range lengths {
+	for _, ln := range lengths {
 		if ln == 0 {
 			continue
 		}
 		if ln > huffMaxCodeLen {
 			return nil, fmt.Errorf("%w: code length %d", ErrCorrupt, ln)
 		}
-		entries = append(entries, entry{sym, ln})
 		if ln > d.maxLen {
 			d.maxLen = ln
 		}
 		d.count[ln]++
+		d.nsyms++
 	}
-	if len(entries) == 0 {
+	if d.nsyms == 0 {
 		return nil, fmt.Errorf("%w: empty code table", ErrCorrupt)
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].ln != entries[j].ln {
-			return entries[i].ln < entries[j].ln
-		}
-		return entries[i].sym < entries[j].sym
-	})
-	d.symbols = make([]byte, len(entries))
-	for i, e := range entries {
-		d.symbols[i] = byte(e.sym)
 	}
 	// Kraft check and canonical first codes.
 	code := uint64(0)
@@ -314,17 +423,62 @@ func newHuffmanDecoder(lengths [256]byte) (*huffmanDecoder, error) {
 		idx += d.count[ln]
 		kraft += float64(d.count[ln]) / float64(uint64(1)<<uint(ln))
 	}
-	if len(entries) > 1 && kraft > 1.0000001 {
+	if d.nsyms > 1 && kraft > 1.0000001 {
 		return nil, fmt.Errorf("%w: over-subscribed code table", ErrCorrupt)
+	}
+	// Fill the canonical symbol list: walking symbols in ascending order
+	// and appending each at its length's cursor IS (length, symbol) order.
+	var fill [huffMaxCodeLen + 2]int
+	copy(fill[:], d.offset[:])
+	for sym, ln := range lengths {
+		if ln == 0 {
+			continue
+		}
+		rank := fill[ln] - d.offset[ln]
+		d.symbols[fill[ln]] = byte(sym)
+		fill[ln]++
+		if ln <= huffTableBits {
+			// Every huffTableBits-bit window starting with this code maps
+			// to it; the Kraft bound keeps base+span within the table.
+			e := uint16(ln)<<8 | uint16(sym)
+			base := (d.firstCode[ln] + uint64(rank)) << (huffTableBits - uint(ln))
+			span := uint64(1) << (huffTableBits - uint(ln))
+			for j := uint64(0); j < span; j++ {
+				d.table[base+j] = e
+			}
+		}
 	}
 	return d, nil
 }
 
 // next attempts to decode one symbol from the top of the accumulator
 // holding nbits valid bits. It reports the symbol, bits consumed, and
-// whether a full code was available.
+// whether a full code was available. Short codes resolve through the
+// primary table; only codes longer than huffTableBits fall back to the
+// per-length scan.
 func (d *huffmanDecoder) next(acc uint64, nbits uint) (sym byte, consumed uint, ok bool) {
-	for ln := byte(1); ln <= d.maxLen && uint(ln) <= nbits; ln++ {
+	if nbits > 0 {
+		var idx uint64
+		if nbits >= huffTableBits {
+			idx = acc >> (nbits - huffTableBits)
+		} else {
+			idx = acc << (huffTableBits - nbits) & (1<<huffTableBits - 1)
+		}
+		if e := d.table[idx]; e != 0 {
+			if ln := uint(e >> 8); ln <= nbits {
+				return byte(e), ln, true
+			}
+			// The window's owning code needs more bits than we hold, and
+			// any shorter code would own the window instead: no match yet.
+			return 0, 0, false
+		}
+		if nbits <= huffTableBits {
+			// All codes of ≤ nbits bits live in the table; a zero entry
+			// means nothing this short matches.
+			return 0, 0, false
+		}
+	}
+	for ln := byte(huffTableBits + 1); ln <= d.maxLen && uint(ln) <= nbits; ln++ {
 		if d.count[ln] == 0 {
 			continue
 		}

@@ -198,6 +198,138 @@ func TestHuffmanQuickProperty(t *testing.T) {
 	}
 }
 
+// fibonacciFreq returns a frequency table whose optimal Huffman tree is a
+// maximally skewed vine: symbol i lands at depth ≈ n-i, so n live symbols
+// need codes up to ~n-1 bits. 90 symbols stay within int64 yet demand
+// codes far beyond huffMaxCodeLen without the length-limit fallback.
+func fibonacciFreq() []int64 {
+	freq := make([]int64, 256)
+	a, b := int64(1), int64(1)
+	for i := 0; i < 90; i++ {
+		freq[i] = a
+		a, b = b, a+b
+	}
+	return freq
+}
+
+func TestHuffmanDepthGuardFibonacci(t *testing.T) {
+	freq := fibonacciFreq()
+	lengths := huffmanCodeLengths(freq)
+	var kraft float64
+	for i := 0; i < 90; i++ {
+		ln := lengths[i]
+		if ln == 0 {
+			t.Fatalf("symbol %d lost its code", i)
+		}
+		if ln > huffMaxCodeLen {
+			t.Fatalf("symbol %d got a %d-bit code, limit %d", i, ln, huffMaxCodeLen)
+		}
+		kraft += 1 / float64(uint64(1)<<uint(ln))
+	}
+	for i := 90; i < 256; i++ {
+		if lengths[i] != 0 {
+			t.Fatalf("absent symbol %d got length %d", i, lengths[i])
+		}
+	}
+	// The dampened rebuild is still a true Huffman tree: complete code.
+	if math.Abs(kraft-1) > 1e-9 {
+		t.Fatalf("Kraft sum %v, want 1", kraft)
+	}
+	if _, err := newHuffmanDecoder(lengths); err != nil {
+		t.Fatalf("decoder rejects the length-limited table: %v", err)
+	}
+}
+
+func TestHuffmanFibonacciTableRoundTrips(t *testing.T) {
+	// Bit-pack a byte stream under the length-limited Fibonacci table and
+	// decode it through the public path: before the depth guard this blob
+	// shape was self-rejecting (encoder emitted >56-bit codes its own
+	// decoder refused as ErrCorrupt).
+	freq := fibonacciFreq()
+	lengths := huffmanCodeLengths(freq)
+	codes := canonicalCodes(lengths)
+
+	const n = 64 // elements → 256 raw bytes
+	raw := make([]byte, n*4)
+	for i := range raw {
+		raw[i] = byte(i % 90)
+	}
+	blob := putHeader(nil, Huffman, n)
+	blob = append(blob, lengths[:]...)
+	var acc uint64
+	var nbits uint
+	for _, b := range raw {
+		c := codes[b]
+		acc = acc<<uint64(c.len) | uint64(c.code)
+		nbits += uint(c.len)
+		for nbits >= 8 {
+			nbits -= 8
+			blob = append(blob, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		blob = append(blob, byte(acc<<(8-nbits)))
+	}
+
+	got, err := MustNew(Huffman).Decode(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Float32bits(got[i]) != math.Float32bits(readFloat32(raw[i*4:])) {
+			t.Fatalf("mismatch at element %d", i)
+		}
+	}
+}
+
+func TestHuffmanDecoderCache(t *testing.T) {
+	blob := MustNew(Huffman).Encode(tensor.NewGenerator(9).Uniform(2000, 0.4).Data)
+	var lengths [256]byte
+	copy(lengths[:], blob[headerSize:headerSize+256])
+	d1, err := cachedHuffmanDecoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := cachedHuffmanDecoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("same code table built two decoders")
+	}
+	// Invalid tables are rejected, not cached.
+	var bad [256]byte
+	for i := range bad {
+		bad[i] = 1
+	}
+	if _, err := cachedHuffmanDecoder(bad); err == nil {
+		t.Fatal("over-subscribed table accepted")
+	}
+	huffDecCache.Lock()
+	_, cachedBad := huffDecCache.m[bad]
+	huffDecCache.Unlock()
+	if cachedBad {
+		t.Fatal("invalid table was cached")
+	}
+	// The cache stays bounded under a flood of distinct tables:
+	// single-symbol tables (symbol × length) mint well over the cap.
+	for sym := 0; sym < 256; sym++ {
+		for ln := byte(1); ln <= 8; ln++ {
+			var tbl [256]byte
+			tbl[sym] = ln
+			if _, err := cachedHuffmanDecoder(tbl); err != nil {
+				t.Fatalf("single-symbol table rejected: %v", err)
+			}
+		}
+	}
+	huffDecCache.Lock()
+	size := len(huffDecCache.m)
+	huffDecCache.Unlock()
+	if size > huffDecCacheMax {
+		t.Fatalf("cache grew to %d entries, cap %d", size, huffDecCacheMax)
+	}
+}
+
 func TestCanonicalCodesPrefixFree(t *testing.T) {
 	// Build codes from a skewed distribution and verify the prefix-free
 	// property exhaustively.

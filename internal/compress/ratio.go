@@ -58,12 +58,17 @@ func EstimateCompressedBytes(a Algorithm, originalBytes int64, sparsity float64)
 }
 
 // BestRatioAlgorithm returns the algorithm with the smallest estimated
-// ratio at the given sparsity. Ties break in favour of the cheaper codec
-// (the Algorithms() order, which is also ascending modeled kernel time).
+// ratio at the given sparsity, over the full extended codec set — Huffman
+// is the only codec that beats 1.0 on dense tensors, so excluding it (as
+// an earlier version did by slicing the base set) froze dense profiles out
+// of compression entirely. Ties break in favour of the cheaper codec: the
+// strict `<` keeps the earlier entry, and ExtendedAlgorithms() is ordered
+// by ascending modeled kernel time.
 func BestRatioAlgorithm(sparsity float64) Algorithm {
-	best := ZVC
-	bestR := EstimateRatio(ZVC, sparsity)
-	for _, a := range Algorithms()[1:] {
+	algs := ExtendedAlgorithms()
+	best := algs[0]
+	bestR := EstimateRatio(best, sparsity)
+	for _, a := range algs[1:] {
 		if r := EstimateRatio(a, sparsity); r < bestR {
 			best, bestR = a, r
 		}

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cswap/internal/compress"
@@ -117,6 +118,13 @@ type Executor struct {
 
 	// gate is the async pipeline's bounded in-flight window (async.go).
 	gate asyncGate
+
+	// launch is the active codec partitioning geometry, packed grid<<32 |
+	// block in an atomic so the tuner can retarget it while swaps are in
+	// flight; each operation reads it exactly once. It is device-global:
+	// launch geometry models how the kernel occupies the GPU, which is
+	// shared hardware, unlike the per-tenant codec choice.
+	launch atomic.Uint64
 
 	// mu guards the handle registry and the closed flag; counters are
 	// atomic registry cells. Per-handle state is guarded by each handle's
@@ -323,6 +331,7 @@ func New(cfg Config) (*Executor, error) {
 		epoch:  time.Now(),
 	}
 	e.gate.init(cfg.MaxInFlight, &e.ins)
+	e.launch.Store(packLaunch(cfg.Launch))
 	if inj := cfg.Faults; inj != nil {
 		e.device.SetAllocHook(func(int64) error { return inj.Fail(faultinject.SiteDeviceAlloc) })
 		e.host.SetAllocHook(func(int64) error { return inj.Fail(faultinject.SiteHostAlloc) })
@@ -499,17 +508,41 @@ func (e *Executor) swapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	return nil
 }
 
+func packLaunch(l compress.Launch) uint64 {
+	return uint64(l.Grid)<<32 | uint64(l.Block)
+}
+
+// Launch returns the active launch geometry.
+func (e *Executor) Launch() compress.Launch {
+	v := e.launch.Load()
+	return compress.Launch{Grid: int(v >> 32), Block: int(v & 0xffffffff)}
+}
+
+// SetLaunch retargets the codec partitioning geometry for subsequent
+// swaps; in-flight operations finish at the geometry they started with
+// (each reads the launch once at entry). Decode partitioning comes from
+// the blob's chunk directory, so a blob encoded at the old geometry
+// decodes correctly after a retune.
+func (e *Executor) SetLaunch(l compress.Launch) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	e.launch.Store(packLaunch(l))
+	return nil
+}
+
 // arenaEncode runs the parallel encode into an arena buffer sized by the
 // codec's worst-case bound, so the encode itself allocates nothing. On
 // error the buffer goes straight back to the arena; on success the caller
 // owns the returned blob and recycles it via recycleBlob.
 func (e *Executor) arenaEncode(alg compress.Algorithm, data []float32) ([]byte, error) {
-	bound, err := compress.MaxParallelEncodedLen(alg, len(data), e.cfg.Launch)
+	launch := e.Launch() // one read: bound and encode must agree
+	bound, err := compress.MaxParallelEncodedLen(alg, len(data), launch)
 	if err != nil {
 		return nil, err
 	}
 	buf := e.arena.get(bound)
-	blob, err := compress.AppendParallelEncodeWith(buf, alg, data, e.cfg.Launch, e.hooks)
+	blob, err := compress.AppendParallelEncodeWith(buf, alg, data, launch, e.hooks)
 	if err != nil {
 		e.arena.put(buf)
 		return nil, err
@@ -564,9 +597,10 @@ func (e *Executor) swapIn(h *Handle) error {
 	} else {
 		dst = dst[:h.elems]
 	}
+	launch := e.Launch() // one read; chunk bounds come from the blob itself
 	decode := func(blob []byte) error {
 		if h.compressed {
-			return compress.ParallelDecodeIntoWith(dst, blob, e.cfg.Launch, e.hooks)
+			return compress.ParallelDecodeIntoWith(dst, blob, launch, e.hooks)
 		}
 		if len(blob) != h.elems*4 {
 			return fmt.Errorf("%w: raw blob is %d bytes, want %d",

@@ -22,7 +22,10 @@ type TimePredictor struct {
 
 // TrainTimePredictor generates per-algorithm datasets from the device's
 // kernel model at the given launch geometry and fits the bucketed LR
-// sub-models. samplesPerAlg ≤ 0 uses the paper's 3000.
+// sub-models. samplesPerAlg ≤ 0 uses the paper's 3000. The extended codec
+// set is trained, not just the paper's four: an advisor can only pick a
+// codec the predictor has a model for, and training only Algorithms()
+// silently excluded Huffman from every downstream selection.
 func TrainTimePredictor(d *gpu.Device, launch compress.Launch, samplesPerAlg int, seed int64) (*TimePredictor, error) {
 	tp := &TimePredictor{
 		Device: d,
@@ -30,7 +33,7 @@ func TrainTimePredictor(d *gpu.Device, launch compress.Launch, samplesPerAlg int
 		comp:   make(map[compress.Algorithm]*BucketedLR),
 		decomp: make(map[compress.Algorithm]*BucketedLR),
 	}
-	for _, alg := range compress.Algorithms() {
+	for _, alg := range compress.ExtendedAlgorithms() {
 		ds := Generate(d, alg, launch, samplesPerAlg, seed+int64(alg))
 		mc := NewBucketedLR()
 		if err := mc.Fit(ds.X, ds.YC); err != nil {

@@ -1,0 +1,55 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"cswap/client"
+	"cswap/internal/server"
+	"cswap/internal/tensor"
+)
+
+// BenchmarkServerRoundTrip measures one full service round trip — an Auto
+// swap-out resolved by the server plus the swap-in streaming the tensor
+// back — through the real HTTP stack and wire codec. It rides in the
+// bench-diff gate under the lenient rules (cswap-benchdiff -lenient): the
+// path crosses the network stack, the scheduler, and the executor's async
+// pipeline, so its ns/op and allocs/op carry noise the tight codec-loop
+// thresholds would flake on; what the gate catches here is gross
+// regressions — an allocation storm or a serialization cliff, not a cache
+// miss.
+func BenchmarkServerRoundTrip(b *testing.B) {
+	s, err := server.New(server.Config{
+		DeviceCapacity: 64 << 20,
+		HostCapacity:   64 << 20,
+		Verify:         true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() {
+		hs.Close()
+		_ = s.Close()
+	}()
+	c := client.New(hs.URL)
+	ctx := context.Background()
+
+	data := tensor.NewGenerator(1).Uniform(64*1024, 0.6).Data
+	if err := c.Register(ctx, "bench0", data); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SwapOut(ctx, "bench0", true, client.Auto); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.SwapIn(ctx, "bench0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

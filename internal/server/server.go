@@ -98,6 +98,10 @@ type Config struct {
 	// Faults optionally injects data-path faults into the executor, for
 	// tests proving the service degrades instead of dropping sessions.
 	Faults *faultinject.Injector
+	// Tuner configures the online per-tenant self-tuning loop (tuner.go).
+	// The zero value leaves tuning off; Auto swap-outs then fall back to
+	// the analytic ratio model per tensor.
+	Tuner TunerConfig
 }
 
 // instruments are the server's pre-resolved metric cells; per-tenant
@@ -118,6 +122,7 @@ type Server struct {
 	ins   instruments
 	admit chan struct{}
 	mux   *http.ServeMux
+	tuner *tuner
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -172,6 +177,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/free", s.instrumented("free", s.handleFree))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.Tuner.Enabled {
+		s.tuner = startTuner(s, cfg.Tuner)
+	}
 	return s, nil
 }
 
@@ -199,6 +207,11 @@ func (s *Server) Drain() {
 // Drain runs, no handler is still submitting.
 func (s *Server) Close() error {
 	s.Drain()
+	if s.tuner != nil {
+		// Stop the tuner before the executor drains: a probe never races
+		// shutdown, and no SetLaunch lands on a closing executor.
+		s.tuner.Stop()
+	}
 	s.exec.Drain()
 	return s.exec.Close()
 }
@@ -348,6 +361,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ent.h = h
+	ent.sparsity = sliceSparsity(f.Data)
 	ent.mu.Unlock()
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
 }
@@ -425,7 +439,9 @@ func (s *Server) handleSwapOut(w http.ResponseWriter, r *http.Request) {
 	}
 	sess := s.session(tenantOf(r))
 	ent, ok := s.swapOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
-		return s.exec.SwapOutAsyncCtx(r.Context(), ent.h, f.Compress, f.Alg)
+		sess.observeSwap(ent.sparsity, ent.bytes)
+		doCompress, alg := s.resolveCodec(sess, ent, f.Compress, f.Alg)
+		return s.exec.SwapOutAsyncCtx(r.Context(), ent.h, doCompress, alg)
 	})
 	if !ok {
 		return
@@ -433,6 +449,49 @@ func (s *Server) handleSwapOut(w http.ResponseWriter, r *http.Request) {
 	ent.mu.Unlock()
 	<-s.admit
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}
+
+// resolveCodec turns a swap-out request's codec choice into a concrete
+// one. Explicit algorithms pass through untouched; Auto delegates to the
+// service: the tenant's standing tuner verdict when one exists (which may
+// be "don't compress"), else the analytic best-ratio codec for this
+// tensor's measured sparsity. Every Auto resolution is counted so
+// operators can see what the service decided on the tenant's behalf.
+func (s *Server) resolveCodec(sess *session, ent *entry, reqCompress bool, reqAlg compress.Algorithm) (bool, compress.Algorithm) {
+	if !reqCompress || reqAlg != compress.Auto {
+		return reqCompress, reqAlg
+	}
+	doCompress, alg := true, compress.BestRatioAlgorithm(ent.sparsity)
+	if v, ok := sess.currentVerdict(); ok {
+		doCompress, alg = v.compress, v.alg
+	}
+	label := "raw"
+	if doCompress {
+		label = alg.String()
+	}
+	s.ins.reg.Counter("server_auto_codec_total",
+		metrics.L("tenant", sess.tenant), metrics.L("codec", label)).Inc()
+	if !doCompress {
+		// The executor ignores the algorithm on a raw swap; ZVC keeps the
+		// value well-formed.
+		return false, compress.ZVC
+	}
+	return true, alg
+}
+
+// sliceSparsity is the zero fraction of a register payload (1 for the
+// empty tensor: nothing to compress).
+func sliceSparsity(data []float32) float64 {
+	if len(data) == 0 {
+		return 1
+	}
+	zeros := 0
+	for _, v := range data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(len(data))
 }
 
 // handleSwapIn restores the tensor and streams it back.

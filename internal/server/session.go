@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cswap/internal/compress"
 	"cswap/internal/executor"
 	"cswap/internal/metrics"
 )
@@ -40,6 +41,101 @@ type session struct {
 	mu      sync.Mutex
 	usedB   int64
 	entries map[string]*entry
+
+	// Tuning state (guarded by mu): the live workload profile the tuner
+	// folds swap-outs into, and the current/previous codec verdicts. prev
+	// is the rollback target when cur's realized cost belies its
+	// prediction.
+	prof      tenantProfile
+	cur, prev verdict
+}
+
+// profileAlpha is the EWMA smoothing factor for the tenant workload
+// profile: heavy enough that a genuine phase change (a new layer's
+// activations, a densified model) shows within a handful of swaps, light
+// enough that one outlier tensor does not trigger a retune.
+const profileAlpha = 0.3
+
+// tenantProfile is what the tuner knows about a tenant's swap-out stream:
+// exponentially weighted sparsity and size, plus the swap count since the
+// tuner last acted (its evidence budget).
+type tenantProfile struct {
+	ewmaSparsity float64
+	ewmaBytes    float64
+	swaps        int64
+	seeded       bool
+}
+
+// verdict is one tuner decision for a tenant: what an Auto swap-out
+// resolves to, at which observed sparsity it was made, and the cost model's
+// predicted per-swap cost backing it (the rollback comparison point).
+type verdict struct {
+	valid      bool
+	compress   bool
+	alg        compress.Algorithm
+	atSparsity float64
+	predicted  float64
+}
+
+// codecLabel is the verdict's metric label value: the codec name, or "raw"
+// when the verdict is not to compress.
+func (v verdict) codecLabel() string {
+	if !v.compress {
+		return "raw"
+	}
+	return v.alg.String()
+}
+
+// observeSwap folds one swap-out into the tenant profile.
+func (s *session) observeSwap(sparsity float64, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.prof.seeded {
+		s.prof = tenantProfile{ewmaSparsity: sparsity, ewmaBytes: float64(bytes), seeded: true}
+	} else {
+		s.prof.ewmaSparsity += profileAlpha * (sparsity - s.prof.ewmaSparsity)
+		s.prof.ewmaBytes += profileAlpha * (float64(bytes) - s.prof.ewmaBytes)
+	}
+	s.prof.swaps++
+}
+
+// currentVerdict returns the tuner's standing verdict, if any.
+func (s *session) currentVerdict() (verdict, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur, s.cur.valid
+}
+
+// tunerState snapshots the profile and both verdicts for one tuner pass.
+func (s *session) tunerState() (tenantProfile, verdict, verdict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prof, s.cur, s.prev
+}
+
+// setVerdict installs a new verdict, demoting the old one to the rollback
+// slot and resetting the evidence budget.
+func (s *session) setVerdict(v verdict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prev = s.cur
+	s.cur = v
+	s.prof.swaps = 0
+}
+
+// rollbackVerdict reverts to the previous verdict (when one exists),
+// re-anchoring it at the current profile so the revert itself does not
+// immediately read as drift. Reports whether a rollback happened.
+func (s *session) rollbackVerdict() (verdict, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.prev.valid {
+		return verdict{}, false
+	}
+	s.cur, s.prev = s.prev, s.cur
+	s.cur.atSparsity = s.prof.ewmaSparsity
+	s.prof.swaps = 0
+	return s.cur, true
 }
 
 // entry is one registered tensor. Its lock serialises same-tensor requests
@@ -53,6 +149,11 @@ type entry struct {
 	// bytes is the tensor's uncompressed footprint, the unit of quota
 	// accounting (what the tensor pins on device while resident).
 	bytes int64
+	// sparsity is the zero fraction measured at register time — the
+	// per-tensor signal behind Auto codec resolution and the tenant
+	// profile the tuner tracks. Written once under mu before the register
+	// response; read under the entry lock afterwards.
+	sparsity float64
 }
 
 func newSession(tenant string, quota int64, reg *metrics.Registry) *session {

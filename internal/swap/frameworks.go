@@ -141,7 +141,8 @@ type CSWAP struct {
 	Predictor TimePredictor
 	// Launch is the BO-tuned kernel geometry (required).
 	Launch compress.Launch
-	// Algorithms restricts the candidate codecs (default: all four).
+	// Algorithms restricts the candidate codecs (default: the full
+	// extended set — codecs the Predictor has no model for are skipped).
 	Algorithms []compress.Algorithm
 	// Observer, when non-nil, counts every advisor verdict
 	// (costmodel_decisions_total by verdict/codec) as Plan runs.
@@ -155,7 +156,7 @@ func (CSWAP) Name() string { return "CSWAP" }
 func (c CSWAP) Plan(np *profiler.NetworkProfile, d *gpu.Device) *Plan {
 	algs := c.Algorithms
 	if len(algs) == 0 {
-		algs = compress.Algorithms()
+		algs = compress.ExtendedAlgorithms()
 	}
 	p := &Plan{Framework: "CSWAP", Tensors: make([]TensorPlan, len(np.Tensors))}
 	for i, t := range np.Tensors {
@@ -189,7 +190,7 @@ func (c CSWAP) decide(np *profiler.NetworkProfile, i int) (costmodel.Decision, c
 	t := np.Tensors[i]
 	algs := c.Algorithms
 	if len(algs) == 0 {
-		algs = compress.Algorithms()
+		algs = compress.ExtendedAlgorithms()
 	}
 	if t.Bytes < MinCompressBytes {
 		base := costmodel.Params{

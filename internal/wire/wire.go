@@ -257,7 +257,9 @@ func parsePayload(typ Type, p []byte) (*Frame, error) {
 			return nil, corruptErr("swap-out compress flag %d", rest[0])
 		}
 		f.Alg = compress.Algorithm(rest[1])
-		if f.Compress {
+		// Auto (the zero byte) is a legal selector, not a codec: the server
+		// resolves it to a concrete algorithm at swap time.
+		if f.Compress && f.Alg != compress.Auto {
 			if _, err := compress.New(f.Alg); err != nil {
 				return nil, corruptErr("swap-out algorithm byte %d", rest[1])
 			}
