@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke tune-smoke report csv examples clean
+.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke tune-smoke cluster-smoke report csv examples clean
 
 all: build test
 
@@ -23,7 +23,7 @@ test: vet
 # of a hung CI job.
 race:
 	$(GO) test -race -timeout 300s ./internal/executor/... ./internal/compress/... ./internal/metrics/... \
-		./internal/server/... ./internal/wire/... ./client/...
+		./internal/placement/... ./internal/server/... ./internal/wire/... ./client/...
 
 race-all:
 	$(GO) test -race -timeout 600s ./...
@@ -63,7 +63,7 @@ bench-diff:
 # vet+test, the race detector over the swap path, the allocation-
 # regression gate against the committed benchmark baseline, and the
 # daemon smoke test.
-check: build test race bench-diff serve-smoke tune-smoke
+check: build test race bench-diff serve-smoke tune-smoke cluster-smoke
 
 # Serve-smoke: boot the real cswapd daemon on an ephemeral port, drive it
 # with the example client, assert the swap counters moved via /metrics,
@@ -95,6 +95,20 @@ tune-smoke:
 	addr=$$(cat "$$tmp/addr"); \
 	$(GO) run ./examples/swap-server -connect "http://$$addr" -drift || { kill $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid && wait $$pid && echo "tune-smoke: clean drained exit"
+
+# Cluster-smoke: boot cswapd as a 3-shard cluster on an ephemeral port,
+# drive it with the cluster-aware example client (keys spread across every
+# shard, live drain of shard 1, bit-exact restores, per-shard /metrics
+# assertions), then SIGTERM it and require a clean drained exit.
+cluster-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/cswapd" ./cmd/cswapd || exit 1; \
+	"$$tmp/cswapd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -shards 3 -device 256 -host 1024 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "cluster-smoke: daemon never wrote its address"; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	$(GO) run ./examples/swap-server -connect "http://$$addr" -cluster || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid && wait $$pid && echo "cluster-smoke: clean drained exit"
 
 # Full evaluation -> REPORT.md (and CSV series under data/).
 report:

@@ -294,7 +294,7 @@ func BenchmarkAblationCodecChoice(b *testing.B) {
 			planner := swap.CSWAP{Predictor: fw.Predictor, Launch: fw.Launch,
 				Algorithms: []compress.Algorithm{a}}
 			r, err := cswap.Simulate(model, device, np, planner.Plan(np, device),
-				cswap.DefaultSimOptions(1))
+				cswap.NewSimOptions(cswap.WithSeed(1)))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -327,7 +327,7 @@ func BenchmarkAblationSelective(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, f := range frameworks {
 			r, err := cswap.Simulate(model, device, np, f.Plan(np, device),
-				cswap.DefaultSimOptions(1))
+				cswap.NewSimOptions(cswap.WithSeed(1)))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -352,7 +352,7 @@ func BenchmarkAblationTuning(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			r, err := fw.SimulateIteration(45, cswap.DefaultSimOptions(1))
+			r, err := fw.SimulateIteration(45, cswap.NewSimOptions(cswap.WithSeed(1)))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -486,7 +486,7 @@ func BenchmarkAblationExtendedCodecs(b *testing.B) {
 		} {
 			planner := swap.CSWAP{Predictor: extendedPredictor{fw}, Launch: fw.Launch, Algorithms: tc.algs}
 			r, err := cswap.Simulate(model, device, np, planner.Plan(np, device),
-				cswap.DefaultSimOptions(1))
+				cswap.NewSimOptions(cswap.WithSeed(1)))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -540,7 +540,7 @@ func BenchmarkAblationMemoryBudget(b *testing.B) {
 			{"budget200pct-iter-ms", total * 2},
 		} {
 			ma := cswap.MemoryAware{Inner: fw.Planner(), BudgetBytes: tc.budget, Model: model}
-			r, err := cswap.Simulate(model, device, np, ma.Plan(np, device), cswap.DefaultSimOptions(1))
+			r, err := cswap.Simulate(model, device, np, ma.Plan(np, device), cswap.NewSimOptions(cswap.WithSeed(1)))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -603,7 +603,7 @@ func BenchmarkAblationHostCodec(b *testing.B) {
 		b.Fatal(err)
 	}
 	device := fw.Config.Device
-	vdnn, err := cswap.Simulate(model, device, np, cswap.VDNN{}.Plan(np, device), cswap.DefaultSimOptions(1))
+	vdnn, err := cswap.Simulate(model, device, np, cswap.VDNN{}.Plan(np, device), cswap.NewSimOptions(cswap.WithSeed(1)))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -618,7 +618,7 @@ func BenchmarkAblationHostCodec(b *testing.B) {
 			{"host40GBs-iter-ms", 40e9},
 		} {
 			plan := cswap.VDNNPP{HostThroughput: tc.bw}.Plan(np, device)
-			r, err := cswap.Simulate(model, device, np, plan, cswap.DefaultSimOptions(1))
+			r, err := cswap.Simulate(model, device, np, plan, cswap.NewSimOptions(cswap.WithSeed(1)))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -6,8 +6,14 @@
 //
 //	c := client.New("http://127.0.0.1:7077", client.WithTenant("trainer-a"))
 //	if err := c.Register(ctx, "conv1/act", data); err != nil { ... }
-//	if err := c.SwapOut(ctx, "conv1/act", true, client.ZVC); err != nil { ... }
+//	if err := c.SwapOut(ctx, "conv1/act"); err != nil { ... }          // service picks the codec
+//	if err := c.SwapOut(ctx, "conv1/act", client.WithCodec(client.ZVC)); err != nil { ... }
 //	restored, err := c.SwapIn(ctx, "conv1/act")
+//
+// Against a sharded daemon (cswapd -shards N), NewCluster returns a
+// cluster-aware client that discovers the shard map from /cluster, routes
+// each key to its owning shard, and transparently refreshes its map when
+// the topology changes (a shard drain).
 //
 // The service answers saturation and per-tensor contention with refusals
 // rather than queueing; the client turns those into bounded retries so a
@@ -70,6 +76,10 @@ var (
 	ErrUnavailable = errors.New("cswap client: service unavailable")
 	// ErrProtocol reports a malformed frame or an unexpected response.
 	ErrProtocol = errors.New("cswap client: protocol error")
+	// ErrMisrouted reports that the cluster refused a stale routing hint:
+	// the shard this client computed no longer owns the key. Refresh the
+	// shard map and retry (the cluster client does this automatically).
+	ErrMisrouted = errors.New("cswap client: request misrouted")
 )
 
 // Client talks to one cswapd instance. It is safe for concurrent use; all
@@ -146,12 +156,52 @@ func (c *Client) Register(ctx context.Context, name string, data []float32) erro
 	return err
 }
 
-// SwapOut moves the tensor to the service's host pool, compressed with
-// alg when compress is true.
-func (c *Client) SwapOut(ctx context.Context, name string, compress bool, alg Algorithm) error {
+// SwapOption configures one SwapOut call. The default — no options — is
+// compressed with the Auto selector: the service picks the codec (the
+// tenant's tuned verdict when the daemon runs with -tune, else the best
+// modeled ratio for the tensor's sparsity).
+type SwapOption func(*swapOpts)
+
+type swapOpts struct {
+	compress bool
+	alg      Algorithm
+}
+
+// WithCodec compresses the swap-out with a specific algorithm, overriding
+// the service-side Auto choice.
+func WithCodec(alg Algorithm) SwapOption {
+	return func(o *swapOpts) { o.compress, o.alg = true, alg }
+}
+
+// WithRaw swaps out uncompressed.
+func WithRaw() SwapOption {
+	return func(o *swapOpts) { o.compress, o.alg = false, ZVC }
+}
+
+// SwapOut moves the tensor to the service's host pool. With no options the
+// payload is compressed and the service chooses the codec; WithCodec and
+// WithRaw override.
+func (c *Client) SwapOut(ctx context.Context, name string, opts ...SwapOption) error {
+	o := swapOpts{compress: true, alg: Auto}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	_, err := c.do(ctx, "/v1/swap-out",
-		&wire.Frame{Type: wire.TypeSwapOut, Name: name, Compress: compress, Alg: alg}, wire.TypeAck)
+		&wire.Frame{Type: wire.TypeSwapOut, Name: name, Compress: o.compress, Alg: o.alg}, wire.TypeAck)
 	return err
+}
+
+// SwapOutAlg is the pre-options swap-out signature.
+//
+// Deprecated: use SwapOut with WithCodec or WithRaw.
+func (c *Client) SwapOutAlg(ctx context.Context, name string, compress bool, alg Algorithm) error {
+	if !compress {
+		return c.SwapOut(ctx, name, WithRaw())
+	}
+	if alg == Auto {
+		return c.SwapOut(ctx, name)
+	}
+	return c.SwapOut(ctx, name, WithCodec(alg))
 }
 
 // SwapIn restores the tensor to device residency and returns its data.
@@ -224,17 +274,20 @@ func retryable(status int) bool {
 		status == http.StatusServiceUnavailable
 }
 
+// header is one extra request header (the cluster client's routing hint).
+type header struct{ key, value string }
+
 // do sends one framed request, retrying bounded refusals with doubling
 // backoff (honoring a longer server Retry-After), and decodes a response
 // frame of the wanted type.
-func (c *Client) do(ctx context.Context, path string, f *wire.Frame, want wire.Type) (*wire.Frame, error) {
+func (c *Client) do(ctx context.Context, path string, f *wire.Frame, want wire.Type, extra ...header) (*wire.Frame, error) {
 	body, err := wire.Encode(f)
 	if err != nil {
 		return nil, err
 	}
 	var last error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.send(ctx, path, body)
+		resp, err := c.send(ctx, path, body, extra)
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +336,7 @@ func (c *Client) do(ctx context.Context, path string, f *wire.Frame, want wire.T
 }
 
 // send issues one POST with the tenant header.
-func (c *Client) send(ctx context.Context, path string, body []byte) (*http.Response, error) {
+func (c *Client) send(ctx context.Context, path string, body []byte, extra []header) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -291,6 +344,9 @@ func (c *Client) send(ctx context.Context, path string, body []byte) (*http.Resp
 	req.Header.Set("Content-Type", "application/octet-stream")
 	if c.tenant != "" {
 		req.Header.Set("X-CSwap-Tenant", c.tenant)
+	}
+	for _, h := range extra {
+		req.Header.Set(h.key, h.value)
 	}
 	return c.hc.Do(req)
 }
@@ -319,6 +375,8 @@ func responseError(resp *http.Response) error {
 		sentinel = ErrState
 	case "draining":
 		sentinel = ErrUnavailable
+	case "misrouted":
+		sentinel = ErrMisrouted
 	default:
 		return fmt.Errorf("%w: status %d: %s", ErrProtocol, resp.StatusCode, text)
 	}

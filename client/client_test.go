@@ -82,7 +82,7 @@ func TestRetryOn429ThenSuccess(t *testing.T) {
 		{status: 200, frame: &wire.Frame{Type: wire.TypeAck, Name: "x"}},
 	}}
 	c, slept := newStubClient(t, s, WithRetry(5, 10*time.Millisecond))
-	if err := c.SwapOut(context.Background(), "x", true, ZVC); err != nil {
+	if err := c.SwapOut(context.Background(), "x", WithCodec(ZVC)); err != nil {
 		t.Fatalf("swap-out through two 429s: %v", err)
 	}
 	if got := s.calls.Load(); got != 3 {
@@ -152,7 +152,7 @@ func TestRetriesExhausted(t *testing.T) {
 		{status: 429, code: "saturated", retry: "0"},
 	}}
 	c, _ := newStubClient(t, s, WithRetry(2, time.Millisecond))
-	err := c.SwapOut(context.Background(), "x", false, 0)
+	err := c.SwapOut(context.Background(), "x", WithRaw())
 	if !errors.Is(err, ErrSaturated) {
 		t.Fatalf("err = %v, want ErrSaturated", err)
 	}
@@ -183,7 +183,7 @@ func TestErrorCodeMapping(t *testing.T) {
 	for _, tc := range cases {
 		s := &stub{responses: []stubResponse{{status: tc.status, code: tc.code}}}
 		c, _ := newStubClient(t, s, WithRetry(0, 0))
-		err := c.SwapOut(context.Background(), "x", true, ZVC)
+		err := c.SwapOut(context.Background(), "x", WithCodec(ZVC))
 		if !errors.Is(err, tc.want) {
 			t.Errorf("status %d code %s: err = %v, want %v", tc.status, tc.code, err, tc.want)
 		}
@@ -229,7 +229,7 @@ func TestContextCancelsRetryLoop(t *testing.T) {
 		cancel() // the deadline lands while the client is backing off
 		return ctx.Err()
 	}
-	if err := c.SwapOut(ctx, "x", true, ZVC); !errors.Is(err, context.Canceled) {
+	if err := c.SwapOut(ctx, "x", WithCodec(ZVC)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,165 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"cswap/internal/placement"
+	"cswap/internal/wire"
+)
+
+// fakeCluster is a scripted shard-map server: it serves whatever map it
+// currently holds on /cluster, and on /v1/* refuses any hint that
+// disagrees with that map's ring — the same contract the real router
+// enforces — while recording every hint it saw.
+type fakeCluster struct {
+	t *testing.T
+
+	mu    sync.Mutex
+	m     placement.Map
+	ring  *placement.Ring
+	hints []string
+	posts int
+}
+
+func newFakeCluster(t *testing.T, active ...int) *fakeCluster {
+	f := &fakeCluster{t: t}
+	f.setActive(1, active...)
+	return f
+}
+
+// setActive installs a new topology at the given map version.
+func (f *fakeCluster) setActive(version int, active ...int) {
+	m := placement.Map{Version: version, Replicas: placement.DefaultReplicas}
+	for _, id := range active {
+		m.Shards = append(m.Shards, placement.Shard{ID: id, State: placement.StateActive})
+	}
+	f.mu.Lock()
+	f.m, f.ring = m, m.Ring()
+	f.mu.Unlock()
+}
+
+func (f *fakeCluster) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		m := f.m
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(m)
+	})
+	mux.HandleFunc("POST /v1/", func(w http.ResponseWriter, r *http.Request) {
+		frame, err := wire.Read(r.Body, wire.DefaultMaxPayload)
+		if err != nil {
+			f.t.Errorf("fake cluster: bad frame: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		tenant := r.Header.Get("X-CSwap-Tenant")
+		if tenant == "" {
+			tenant = "default"
+		}
+		hint := r.Header.Get(shardHeader)
+		f.mu.Lock()
+		f.hints = append(f.hints, hint)
+		f.posts++
+		owner, _ := f.ring.Owner(placement.Key(tenant, frame.Name))
+		f.mu.Unlock()
+		if hint != strconv.Itoa(owner) {
+			w.Header().Set("X-CSwap-Error", "misrouted")
+			http.Error(w, "stale hint", http.StatusMisdirectedRequest)
+			return
+		}
+		b, err := wire.Encode(&wire.Frame{Type: wire.TypeAck, Name: frame.Name})
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		_, _ = w.Write(b)
+	})
+	return mux
+}
+
+func (f *fakeCluster) seen() (hints []string, posts int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.hints...), f.posts
+}
+
+// TestClusterClientSendsComputedHint verifies the client hints every
+// request with the owner its own ring computes from the served map.
+func TestClusterClientSendsComputedHint(t *testing.T) {
+	f := newFakeCluster(t, 0, 1, 2)
+	hs := httptest.NewServer(f.handler())
+	t.Cleanup(hs.Close)
+	cc := NewCluster(hs.URL, WithTenant("tn"), WithRetry(0, 0))
+	ctx := context.Background()
+
+	ring := placement.NewRing([]int{0, 1, 2}, 0)
+	for _, name := range []string{"a", "b", "c", "layer7/act"} {
+		if err := cc.Register(ctx, name, make([]float32, 16)); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+		want, _ := ring.Owner(placement.Key("tn", name))
+		hints, _ := f.seen()
+		if got := hints[len(hints)-1]; got != strconv.Itoa(want) {
+			t.Errorf("register %s hinted shard %s, ring owner is %d", name, got, want)
+		}
+	}
+}
+
+// TestClusterClientMisrouteRefreshRetry flips the topology behind the
+// client's cached map and verifies recovery costs exactly one refused
+// attempt plus one refresh — and that a cluster which keeps refusing
+// fresh hints surfaces ErrMisrouted instead of looping.
+func TestClusterClientMisrouteRefreshRetry(t *testing.T) {
+	f := newFakeCluster(t, 0, 1, 2)
+	hs := httptest.NewServer(f.handler())
+	t.Cleanup(hs.Close)
+	cc := NewCluster(hs.URL, WithRetry(0, 0))
+	ctx := context.Background()
+	if err := cc.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a name whose owner changes when shard 1 leaves, then shrink the
+	// topology without telling the client.
+	ring3 := placement.NewRing([]int{0, 1, 2}, 0)
+	var name string
+	for i := 0; ; i++ {
+		n := "moved-" + strconv.Itoa(i)
+		if owner, _ := ring3.Owner(placement.Key("default", n)); owner == 1 {
+			name = n
+			break
+		}
+	}
+	f.setActive(2, 0, 2)
+
+	if err := cc.Register(ctx, name, make([]float32, 16)); err != nil {
+		t.Fatalf("register across hidden topology change: %v", err)
+	}
+	if _, posts := f.seen(); posts != 2 {
+		t.Errorf("recovery took %d POSTs, want 2 (one refusal, one success)", posts)
+	}
+	if got := cc.Map().Version; got != 2 {
+		t.Errorf("client map version = %d, want 2 after refresh", got)
+	}
+
+	// A cluster that refuses every hint is broken: the client must give up
+	// with the typed sentinel after its bounded refresh cycles.
+	f.setActive(3, 0) // served map says shard 0...
+	if err := cc.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	f.ring = placement.NewRing([]int{2}, 0) // ...but routing disagrees forever
+	f.mu.Unlock()
+	if err := cc.Register(ctx, "anything", make([]float32, 16)); !errors.Is(err, ErrMisrouted) {
+		t.Fatalf("endlessly-refusing cluster: %v, want ErrMisrouted", err)
+	}
+}

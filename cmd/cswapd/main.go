@@ -7,15 +7,22 @@
 //
 // Usage:
 //
-//	cswapd [-addr :7077] [-addr-file PATH] [-device 1024] [-host 4096]
-//	       [-max-inflight 4] [-quota 0] [-verify] [-grid 128] [-block 64]
-//	       [-tune] [-tune-interval 2s] [-tune-drift 0.15]
+//	cswapd [-addr :7077] [-addr-file PATH] [-shards 1] [-device 1024]
+//	       [-host 4096] [-max-inflight 4] [-quota 0] [-verify] [-grid 128]
+//	       [-block 64] [-tune] [-tune-interval 2s] [-tune-drift 0.15]
 //
 // Sizes are MiB; -quota 0 grants each tenant the full device capacity.
 // -tune enables the online per-tenant tuner: swap-outs requesting the Auto
 // algorithm follow its live codec verdicts, and the launch geometry is
 // re-probed as tenant sparsity profiles drift (see /metrics,
 // server_tuner_* series).
+// -shards N (N > 1) runs the daemon as a multi-executor cluster: N
+// complete shards — each with its own device/host pools, admission window,
+// and tuner, and with the per-shard knobs above applied to each —
+// consistent-hash-routed by (tenant, tensor) key. /cluster publishes the
+// shard map, /metrics labels every shard's series with shard="N", and
+// POST /admin/drain?shard=N live-migrates one shard's tensors onto the
+// rest.
 // SIGINT/SIGTERM shut the daemon down gracefully: intake stops (503s),
 // open requests finish, the executor drains its in-flight tickets, and
 // only then does the process exit.
@@ -41,6 +48,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":7077", "listen address (host:port; port 0 picks an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts wrapping -addr :0)")
+	shards := flag.Int("shards", 1, "executor shards (>1 runs the consistent-hash cluster; per-shard knobs apply to each)")
 	deviceMiB := flag.Int64("device", 1024, "device pool capacity, MiB")
 	hostMiB := flag.Int64("host", 4096, "pinned-host pool capacity, MiB")
 	maxInFlight := flag.Int("max-inflight", 0, "bound on concurrent swap operations (0 = executor default)")
@@ -57,25 +65,40 @@ func main() {
 	tuneProbe := flag.Int("tune-probe", 0, "synthetic probe tensor size, elements (0 = 64Ki default)")
 	flag.Parse()
 
-	cfg := server.Config{
-		DeviceCapacity: *deviceMiB << 20,
-		HostCapacity:   *hostMiB << 20,
-		MaxInFlight:    *maxInFlight,
-		TenantQuota:    *quotaMiB << 20,
-		Verify:         *verify,
-		Tuner: server.TunerConfig{
+	opts := []server.Option{
+		server.WithDeviceCapacity(*deviceMiB << 20),
+		server.WithHostCapacity(*hostMiB << 20),
+		server.WithMaxInFlight(*maxInFlight),
+		server.WithTenantQuota(*quotaMiB << 20),
+		server.WithVerify(*verify),
+		server.WithTuner(server.TunerConfig{
 			Enabled:         *tune,
 			Interval:        *tuneInterval,
 			DriftThreshold:  *tuneDrift,
 			LinkBytesPerSec: *tuneLink,
 			MinSwaps:        *tuneMinSwaps,
 			ProbeElems:      *tuneProbe,
-		},
+		}),
 	}
 	if *grid > 0 {
-		cfg.Launch = compress.Launch{Grid: *grid, Block: *block}
+		opts = append(opts, server.WithLaunch(compress.Launch{Grid: *grid, Block: *block}))
 	}
-	svc, err := server.New(cfg)
+
+	// service is what the daemon needs from either topology; the default
+	// single-shard Server keeps its unlabeled metric series and hot path,
+	// while -shards N>1 runs the cluster router.
+	type service interface {
+		Handler() http.Handler
+		Drain()
+		Close() error
+	}
+	var svc service
+	var err error
+	if *shards > 1 {
+		svc, err = server.NewCluster(append(opts, server.WithShards(*shards))...)
+	} else {
+		svc, err = server.NewServer(opts...)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,8 +112,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("cswapd listening on %s (device %d MiB, host %d MiB)\n",
-		ln.Addr(), *deviceMiB, *hostMiB)
+	fmt.Printf("cswapd listening on %s (%d shard(s), device %d MiB, host %d MiB per shard)\n",
+		ln.Addr(), *shards, *deviceMiB, *hostMiB)
 
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)

@@ -487,7 +487,44 @@ type (
 	SwapServer = server.Server
 	// SwapServerConfig sizes the service's executor and sets its tenant
 	// quotas, admission window, and shutdown hints.
+	//
+	// Deprecated: build services with NewSwapService and SwapServerOption
+	// functional options instead.
 	SwapServerConfig = server.Config
+	// SwapServerOption is one functional option for NewSwapService and
+	// NewSwapCluster (shard count, pool capacities, quotas, tuner, ...).
+	SwapServerOption = server.Option
+	// SwapCluster is the sharded swap service: N complete SwapServers
+	// behind a consistent-hash router, with per-shard admission and live
+	// shard drain (see cswapd -shards).
+	SwapCluster = server.Cluster
+	// SwapTunerConfig configures the online per-tenant tuner each server
+	// (or cluster shard) runs.
+	SwapTunerConfig = server.TunerConfig
+)
+
+// Functional options for NewSwapService and NewSwapCluster, mirroring
+// NewSimOptions' style. WithServerObserver is named to avoid colliding
+// with the simulator's WithObserver.
+var (
+	// WithSwapShards sets the cluster's shard count (NewSwapCluster).
+	WithSwapShards = server.WithShards
+	// WithSwapDeviceCapacity sizes each shard's device pool in bytes.
+	WithSwapDeviceCapacity = server.WithDeviceCapacity
+	// WithSwapHostCapacity sizes each shard's pinned-host pool in bytes.
+	WithSwapHostCapacity = server.WithHostCapacity
+	// WithSwapMaxInFlight bounds each shard's admission window.
+	WithSwapMaxInFlight = server.WithMaxInFlight
+	// WithSwapTenantQuota sets the per-tenant device quota, per shard.
+	WithSwapTenantQuota = server.WithTenantQuota
+	// WithSwapVerify enables checksum verification of every restore.
+	WithSwapVerify = server.WithVerify
+	// WithSwapLaunch sets the initial codec launch geometry.
+	WithSwapLaunch = server.WithLaunch
+	// WithSwapTuner configures the online per-tenant tuner.
+	WithSwapTuner = server.WithTuner
+	// WithServerObserver attaches an instrumentation surface to the service.
+	WithServerObserver = server.WithObserver
 )
 
 // Swap-service errors a caller may want to test for.
@@ -505,4 +542,20 @@ var (
 // NewSwapServer builds a swap service and its executor. The caller owns
 // the listener: mount Handler, and on shutdown stop the listener first,
 // then Close the server to drain and close the executor.
+//
+// Deprecated: use NewSwapService with functional options.
 func NewSwapServer(cfg SwapServerConfig) (*SwapServer, error) { return server.New(cfg) }
+
+// NewSwapService builds a single-shard swap service from functional
+// options — the options-first replacement for NewSwapServer:
+//
+//	svc, err := cswap.NewSwapService(
+//		cswap.WithSwapDeviceCapacity(1<<30),
+//		cswap.WithSwapHostCapacity(4<<30),
+//	)
+func NewSwapService(opts ...SwapServerOption) (*SwapServer, error) { return server.NewServer(opts...) }
+
+// NewSwapCluster builds a sharded swap service: WithSwapShards(n)
+// complete shards behind a consistent-hash router, each shard sized by
+// the same per-shard options NewSwapService takes.
+func NewSwapCluster(opts ...SwapServerOption) (*SwapCluster, error) { return server.NewCluster(opts...) }

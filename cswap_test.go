@@ -84,7 +84,7 @@ func TestPublicEndToEndFramework(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := fw.SimulateIteration(49, cswap.DefaultSimOptions(1))
+	r, err := fw.SimulateIteration(49, cswap.NewSimOptions(cswap.WithSeed(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestPublicEndToEndFramework(t *testing.T) {
 		t.Fatal(err)
 	}
 	rv, err := cswap.Simulate(m, fw.Config.Device, np, cswap.VDNN{}.Plan(np, fw.Config.Device),
-		cswap.DefaultSimOptions(1))
+		cswap.NewSimOptions(cswap.WithSeed(1)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,7 +60,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt := cswap.DefaultSimOptions(int64(epoch))
+		opt := cswap.NewSimOptions(cswap.WithSeed(int64(epoch)))
 		for _, f := range frameworks {
 			r, err := cswap.Simulate(model, device, np, f.Plan(np, device), opt)
 			if err != nil {

@@ -52,7 +52,7 @@ func main() {
 	}
 
 	// Simulate the iteration under CSWAP and under plain vDNN.
-	opt := cswap.DefaultSimOptions(1)
+	opt := cswap.NewSimOptions(cswap.WithSeed(1))
 	rc, err := fw.SimulateIteration(epoch, opt)
 	if err != nil {
 		log.Fatal(err)

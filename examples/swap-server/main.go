@@ -20,6 +20,14 @@
 // sparse tensors until the codec-switch counter moves. It exits non-zero
 // if the tuner never reacts — the assertion behind the Makefile's
 // tune-smoke target.
+//
+// With -cluster the example drives a sharded daemon (cswapd -shards 3, or
+// an in-process 3-shard cluster when -connect is absent) with the
+// cluster-aware client: three tenants spread tensors across every shard,
+// restores are verified bit-exact, one shard is drained live, and the
+// survivors must restore every migrated tensor bit-exactly. /metrics must
+// show per-shard swap counters and a non-zero rebalance count — the
+// assertions behind the Makefile's cluster-smoke target.
 package main
 
 import (
@@ -43,6 +51,7 @@ func main() {
 	connect := flag.String("connect", "", "drive an external daemon at this base URL instead of an in-process service")
 	smoke := flag.Bool("smoke", false, "assert non-zero swap counters via /metrics and exit non-zero on failure")
 	drift := flag.Bool("drift", false, "drive a drifting-sparsity workload and assert the tuner switched codecs (requires cswapd -tune)")
+	clusterMode := flag.Bool("cluster", false, "drive a sharded daemon with the cluster client: spread keys, drain a shard, verify bit-exact restores")
 	flag.Parse()
 
 	if *drift {
@@ -56,15 +65,42 @@ func main() {
 		return
 	}
 
+	if *clusterMode {
+		base := *connect
+		if base == "" {
+			cl, err := cswap.NewSwapCluster(
+				cswap.WithSwapShards(3),
+				cswap.WithSwapDeviceCapacity(64<<20),
+				cswap.WithSwapHostCapacity(256<<20),
+				cswap.WithSwapVerify(true),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			hs := httptest.NewServer(cl.Handler())
+			defer func() {
+				hs.Close()
+				_ = cl.Close()
+			}()
+			base = hs.URL
+			fmt.Printf("in-process 3-shard cluster at %s\n", base)
+		}
+		if err := driveCluster(base); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("cluster: ok")
+		return
+	}
+
 	base := *connect
 	if base == "" {
 		// In-process service: same code path cswapd runs, mounted on an
 		// httptest listener so the example is self-contained.
-		svc, err := cswap.NewSwapServer(cswap.SwapServerConfig{
-			DeviceCapacity: 64 << 20,
-			HostCapacity:   256 << 20,
-			Verify:         true,
-		})
+		svc, err := cswap.NewSwapService(
+			cswap.WithSwapDeviceCapacity(64<<20),
+			cswap.WithSwapHostCapacity(256<<20),
+			cswap.WithSwapVerify(true),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,7 +136,7 @@ func main() {
 		if err := c.Register(ctx, "act0", data); err != nil {
 			log.Fatal(err)
 		}
-		if err := c.SwapOut(ctx, "act0", true, tn.alg); err != nil {
+		if err := c.SwapOut(ctx, "act0", client.WithCodec(tn.alg)); err != nil {
 			log.Fatal(err)
 		}
 		got, err := c.SwapIn(ctx, "act0")
@@ -160,6 +196,115 @@ func sample(text, series string) string {
 	return ""
 }
 
+// driveCluster exercises the sharded service end to end: three tenants
+// spread tensors over every shard through the cluster-aware client, every
+// restore is verified bit-exact, one shard is drained live, and every
+// migrated tensor must restore bit-exactly from its new shard.
+func driveCluster(base string) error {
+	ctx := context.Background()
+	gen := cswap.NewTensorGenerator(7)
+	mc := client.New(base)
+
+	tenants := []string{"trainer-a", "trainer-b", "trainer-c"}
+	clients := map[string]*client.ClusterClient{}
+	for _, tn := range tenants {
+		cc := client.NewCluster(base, client.WithTenant(tn))
+		if err := cc.Refresh(ctx); err != nil {
+			return fmt.Errorf("cluster: refresh: %w", err)
+		}
+		clients[tn] = cc
+	}
+	m := clients[tenants[0]].Map()
+	fmt.Printf("cluster: %d shards, map version %d\n", len(m.Shards), m.Version)
+	if len(m.Shards) < 2 {
+		return fmt.Errorf("cluster: want a sharded daemon (cswapd -shards N), got %d shard(s)", len(m.Shards))
+	}
+
+	type key struct{ tenant, name string }
+	want := map[key][]float32{}
+	const perTenant = 12
+	for _, tn := range tenants {
+		cc := clients[tn]
+		for i := 0; i < perTenant; i++ {
+			name := fmt.Sprintf("layer%d/act", i)
+			data := gen.Uniform(4096, float64(i%5)/5).Data
+			want[key{tn, name}] = append([]float32(nil), data...)
+			if err := cc.Register(ctx, name, data); err != nil {
+				return fmt.Errorf("cluster: register %s/%s: %w", tn, name, err)
+			}
+			if err := cc.SwapOut(ctx, name); err != nil {
+				return fmt.Errorf("cluster: swap-out %s/%s: %w", tn, name, err)
+			}
+		}
+	}
+
+	// verify restores every tensor bit-exactly and swaps it back out, so
+	// each stage leaves the population swapped (the state a drain migrates).
+	verify := func(stage string) error {
+		for k, w := range want {
+			got, err := clients[k.tenant].SwapIn(ctx, k.name)
+			if err != nil {
+				return fmt.Errorf("cluster: %s swap-in %s/%s: %w", stage, k.tenant, k.name, err)
+			}
+			exact := len(got) == len(w)
+			for i := 0; exact && i < len(w); i++ {
+				exact = math.Float32bits(got[i]) == math.Float32bits(w[i])
+			}
+			if !exact {
+				return fmt.Errorf("cluster: %s restore of %s/%s is not bit-exact", stage, k.tenant, k.name)
+			}
+			if err := clients[k.tenant].SwapOut(ctx, k.name); err != nil {
+				return fmt.Errorf("cluster: %s re-swap-out %s/%s: %w", stage, k.tenant, k.name, err)
+			}
+		}
+		return nil
+	}
+	if err := verify("pre-drain"); err != nil {
+		return err
+	}
+
+	// Every shard must have seen swap traffic: the ring spread the keys.
+	text, err := mc.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	for _, s := range m.Shards {
+		series := fmt.Sprintf(`executor_swap_outs_total{shard="%d"}`, s.ID)
+		if v := sample(text, series); v == "" || v == "0" {
+			return fmt.Errorf("cluster: %s = %q, want non-zero (keys not spread)", series, v)
+		}
+	}
+
+	// Drain one shard live; its tensors migrate to the survivors.
+	const victim = 1
+	if err := clients[tenants[0]].DrainShard(ctx, victim); err != nil {
+		return fmt.Errorf("cluster: drain shard %d: %w", victim, err)
+	}
+	m2 := clients[tenants[0]].Map()
+	drained := false
+	for _, s := range m2.Shards {
+		if s.ID == victim && s.State == "drained" {
+			drained = true
+		}
+	}
+	if !drained || m2.Version <= m.Version {
+		return fmt.Errorf("cluster: map after drain = %+v, want shard %d drained and a newer version", m2, victim)
+	}
+	if err := verify("post-drain"); err != nil {
+		return err
+	}
+	text, err = mc.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	if v := sample(text, "cluster_rebalanced_tensors_total"); v == "" || v == "0" {
+		return fmt.Errorf("cluster: cluster_rebalanced_tensors_total = %q, want non-zero", v)
+	}
+	fmt.Printf("cluster: drained shard %d, rebalanced %s tensors, all restores bit-exact\n",
+		victim, sample(text, "cluster_rebalanced_tensors_total"))
+	return nil
+}
+
 // driveDrift swaps a dense workload through the Auto selector until the
 // tuner issues a Huffman verdict, then switches the workload sparse and
 // waits for the tuner's codec-switch counter to move. Each phase keeps the
@@ -173,7 +318,7 @@ func driveDrift(base string) error {
 	mc := client.New(base)
 
 	cycle := func(name string) error {
-		if err := c.SwapOut(ctx, name, true, client.Auto); err != nil {
+		if err := c.SwapOut(ctx, name); err != nil {
 			return fmt.Errorf("drift: swap-out %s: %w", name, err)
 		}
 		if _, err := c.SwapIn(ctx, name); err != nil {

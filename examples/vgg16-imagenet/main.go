@@ -35,7 +35,7 @@ func main() {
 	fmt.Println("epoch  compressed  CSWAP iter(ms)  vDNN iter(ms)  speedup  stall saved")
 	var sumC, sumV float64
 	for epoch := 0; epoch < 50; epoch += 5 {
-		opt := cswap.DefaultSimOptions(42 + int64(epoch))
+		opt := cswap.NewSimOptions(cswap.WithSeed(42 + int64(epoch)))
 		rc, err := fw.SimulateIteration(epoch, opt)
 		if err != nil {
 			log.Fatal(err)

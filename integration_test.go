@@ -41,7 +41,7 @@ func TestIntegrationFullLifecycle(t *testing.T) {
 
 	// 2. Whole-run estimate: CSWAP beats vDNN and the advantage grows as
 	// sparsity rises across the run.
-	te, err := fw.EstimateTraining(5, cswap.DefaultSimOptions(5))
+	te, err := fw.EstimateTraining(5, cswap.NewSimOptions(cswap.WithSeed(5)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -177,7 +177,20 @@ func (h *Histogram) Bounds() []float64 {
 // first use and return the same cell for the same (name, labels)
 // afterwards; hot paths should resolve once and hold the pointer. The nil
 // registry hands out nil instruments.
+//
+// A Registry is a view over a shared store: Sub derives a view whose every
+// series carries additional base labels (e.g. shard="2"), while all views
+// share one backing store — a Snapshot taken through any view sees every
+// series, which is how a cluster's per-shard components write shard-
+// labeled series into one /metrics exposition without knowing they are
+// sharded.
 type Registry struct {
+	store *store
+	base  []Label
+}
+
+// store is the backing state all views of one registry share.
+type store struct {
 	mu       sync.Mutex
 	counters map[string]*labeled[*Counter]
 	gauges   map[string]*labeled[*Gauge]
@@ -192,11 +205,40 @@ type labeled[T any] struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	return &Registry{store: &store{
 		counters: map[string]*labeled[*Counter]{},
 		gauges:   map[string]*labeled[*Gauge]{},
 		hists:    map[string]*labeled[*Histogram]{},
+	}}
+}
+
+// Sub returns a view of r that stamps base onto every series it touches,
+// in addition to call-site labels. Views share r's backing store; Sub of
+// a Sub accumulates labels. Nil-safe: a nil registry's view is nil.
+func (r *Registry) Sub(base ...Label) *Registry {
+	if r == nil || len(base) == 0 {
+		return r
 	}
+	merged := append(append([]Label(nil), r.base...), base...)
+	return &Registry{store: r.store, base: merged}
+}
+
+// BaseLabels returns the labels this view stamps onto every series (nil
+// for the root view). Callers reading a shared Snapshot use these to find
+// their own series among other views'.
+func (r *Registry) BaseLabels() []Label {
+	if r == nil || len(r.base) == 0 {
+		return nil
+	}
+	return append([]Label(nil), r.base...)
+}
+
+// withBase merges the view's base labels with call-site labels.
+func (r *Registry) withBase(labels []Label) []Label {
+	if len(r.base) == 0 {
+		return labels
+	}
+	return append(append([]Label(nil), r.base...), labels...)
 }
 
 // key builds the canonical identity of (name, labels); labels are sorted
@@ -224,13 +266,13 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	k, ls := key(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.counters[k]
+	k, ls := key(name, r.withBase(labels))
+	r.store.mu.Lock()
+	defer r.store.mu.Unlock()
+	e, ok := r.store.counters[k]
 	if !ok {
 		e = &labeled[*Counter]{name: name, labels: ls, inst: &Counter{}}
-		r.counters[k] = e
+		r.store.counters[k] = e
 	}
 	return e.inst
 }
@@ -240,13 +282,13 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	k, ls := key(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.gauges[k]
+	k, ls := key(name, r.withBase(labels))
+	r.store.mu.Lock()
+	defer r.store.mu.Unlock()
+	e, ok := r.store.gauges[k]
 	if !ok {
 		e = &labeled[*Gauge]{name: name, labels: ls, inst: &Gauge{}}
-		r.gauges[k] = e
+		r.store.gauges[k] = e
 	}
 	return e.inst
 }
@@ -264,10 +306,10 @@ func (r *Registry) HistogramWith(name string, bounds []float64, labels ...Label)
 	if r == nil {
 		return nil
 	}
-	k, ls := key(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.hists[k]
+	k, ls := key(name, r.withBase(labels))
+	r.store.mu.Lock()
+	defer r.store.mu.Unlock()
+	e, ok := r.store.hists[k]
 	if !ok {
 		if bounds == nil {
 			bounds = DefaultBuckets()
@@ -281,7 +323,7 @@ func (r *Registry) HistogramWith(name string, bounds []float64, labels ...Label)
 			bounds: bounds,
 			counts: make([]atomic.Int64, len(bounds)+1),
 		}}
-		r.hists[k] = e
+		r.store.hists[k] = e
 	}
 	return e.inst
 }

@@ -186,3 +186,60 @@ func TestObserverEmit(t *testing.T) {
 		t.Fatalf("attr-less event got attrs %v", got[1].Attrs)
 	}
 }
+
+// TestSubRegistryLabelsSeries: a Sub view stamps its base labels onto
+// every series while sharing the root's backing store — distinct shards
+// get distinct cells, and one snapshot sees them all.
+func TestSubRegistryLabelsSeries(t *testing.T) {
+	root := NewRegistry()
+	s0 := root.Sub(L("shard", "0"))
+	s1 := root.Sub(L("shard", "1"))
+
+	s0.Counter("swaps_total").Add(3)
+	s1.Counter("swaps_total").Add(5)
+	s0.Counter("swaps_total", L("codec", "ZVC")).Inc()
+	root.Counter("swaps_total").Add(7) // unlabeled root series is its own cell
+
+	snap := root.Snapshot()
+	if v, ok := snap.Counter("swaps_total", L("shard", "0")); !ok || v != 3 {
+		t.Errorf("shard 0 series = %v (ok=%v), want 3", v, ok)
+	}
+	if v, ok := snap.Counter("swaps_total", L("shard", "1")); !ok || v != 5 {
+		t.Errorf("shard 1 series = %v (ok=%v), want 5", v, ok)
+	}
+	if v, ok := snap.Counter("swaps_total", L("codec", "ZVC"), L("shard", "0")); !ok || v != 1 {
+		t.Errorf("shard 0 codec series = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := snap.Counter("swaps_total"); !ok || v != 7 {
+		t.Errorf("root series = %v (ok=%v), want 7", v, ok)
+	}
+	// A snapshot through a sub view is the same shared store.
+	if v, ok := s1.Snapshot().Counter("swaps_total", L("shard", "0")); !ok || v != 3 {
+		t.Errorf("snapshot via sub view: shard 0 = %v (ok=%v), want 3", v, ok)
+	}
+}
+
+func TestSubRegistryBaseLabels(t *testing.T) {
+	root := NewRegistry()
+	if root.BaseLabels() != nil {
+		t.Errorf("root BaseLabels = %v, want nil", root.BaseLabels())
+	}
+	sub := root.Sub(L("shard", "2")).Sub(L("tier", "hot"))
+	base := sub.BaseLabels()
+	if len(base) != 2 || base[0] != L("shard", "2") || base[1] != L("tier", "hot") {
+		t.Errorf("nested BaseLabels = %v", base)
+	}
+	// Same (name, merged labels) resolves to the same cell from either path.
+	a := sub.Counter("x_total")
+	b := root.Counter("x_total", L("tier", "hot"), L("shard", "2"))
+	if a != b {
+		t.Error("sub view and explicit labels minted different cells")
+	}
+	var nilReg *Registry
+	if nilReg.Sub(L("a", "b")) != nil {
+		t.Error("nil registry Sub must stay nil")
+	}
+	if nilReg.Sub(L("a", "b")).Counter("x") != nil {
+		t.Error("nil sub view must hand out nil instruments")
+	}
+}

@@ -83,18 +83,18 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return s
 	}
-	r.mu.Lock()
-	for _, e := range r.counters {
+	r.store.mu.Lock()
+	for _, e := range r.store.counters {
 		s.Counters = append(s.Counters, CounterSnapshot{
 			Name: e.name, Labels: labelMap(e.labels), Value: e.inst.Value(),
 		})
 	}
-	for _, e := range r.gauges {
+	for _, e := range r.store.gauges {
 		s.Gauges = append(s.Gauges, GaugeSnapshot{
 			Name: e.name, Labels: labelMap(e.labels), Value: e.inst.Value(),
 		})
 	}
-	for _, e := range r.hists {
+	for _, e := range r.store.hists {
 		h := e.inst
 		hs := HistogramSnapshot{
 			Name: e.name, Labels: labelMap(e.labels),
@@ -109,7 +109,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		s.Histograms = append(s.Histograms, hs)
 	}
-	r.mu.Unlock()
+	r.store.mu.Unlock()
 	sort.Slice(s.Counters, func(i, j int) bool {
 		return sortKey(s.Counters[i].Name, s.Counters[i].Labels) < sortKey(s.Counters[j].Name, s.Counters[j].Labels)
 	})

@@ -1,0 +1,144 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys synthesises a deterministic tenant/tensor key population shaped
+// like real traffic: a handful of tenants, each with a run of layer
+// activations.
+func keys(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i%7)
+		out = append(out, Key(tenant, fmt.Sprintf("layer%d/act%d", i%53, i)))
+	}
+	return out
+}
+
+// TestDistributionWithinBand pins the acceptance bound: at 10k keys every
+// shard's share stays within ±20% of uniform, for every cluster size the
+// daemon plausibly runs.
+func TestDistributionWithinBand(t *testing.T) {
+	const n = 10000
+	ks := keys(n)
+	for shards := 2; shards <= 8; shards++ {
+		ids := make([]int, shards)
+		for i := range ids {
+			ids[i] = i
+		}
+		ring := NewRing(ids, 0)
+		counts := map[int]int{}
+		for _, k := range ks {
+			owner, ok := ring.Owner(k)
+			if !ok {
+				t.Fatalf("%d shards: no owner for %q", shards, k)
+			}
+			counts[owner]++
+		}
+		uniform := float64(n) / float64(shards)
+		for _, id := range ids {
+			got := float64(counts[id])
+			if got < 0.8*uniform || got > 1.2*uniform {
+				t.Errorf("%d shards: shard %d owns %v keys, want within ±20%% of %v",
+					shards, id, got, uniform)
+			}
+		}
+	}
+}
+
+// TestStableUnderRemoval is consistent hashing's contract: removing a
+// shard moves exactly the keys it owned — every other key keeps its owner.
+func TestStableUnderRemoval(t *testing.T) {
+	ks := keys(10000)
+	before := NewRing([]int{0, 1, 2, 3}, 0)
+	after := NewRing([]int{0, 1, 3}, 0) // shard 2 drained
+	moved := 0
+	for _, k := range ks {
+		was, _ := before.Owner(k)
+		now, _ := after.Owner(k)
+		if was != 2 && now != was {
+			t.Fatalf("key %q moved %d→%d though shard 2 was removed", k, was, now)
+		}
+		if was == 2 {
+			if now == 2 {
+				t.Fatalf("key %q still owned by removed shard 2", k)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed shard; test is vacuous")
+	}
+}
+
+// TestStableUnderAddition mirrors removal: a new shard captures keys but
+// never shuffles keys between pre-existing shards.
+func TestStableUnderAddition(t *testing.T) {
+	ks := keys(10000)
+	before := NewRing([]int{0, 1, 2}, 0)
+	after := NewRing([]int{0, 1, 2, 3}, 0)
+	captured := 0
+	for _, k := range ks {
+		was, _ := before.Owner(k)
+		now, _ := after.Owner(k)
+		if now != was && now != 3 {
+			t.Fatalf("key %q moved %d→%d though only shard 3 was added", k, was, now)
+		}
+		if now == 3 {
+			captured++
+		}
+	}
+	// The new shard should take roughly its fair quarter.
+	if captured < 1500 || captured > 3500 {
+		t.Errorf("added shard captured %d of 10000 keys, want roughly 2500", captured)
+	}
+}
+
+// TestDeterminism: two independently built rings from the same map agree
+// on every key — the property that lets client and server route without
+// coordination.
+func TestDeterminism(t *testing.T) {
+	a := NewRing([]int{0, 1, 2}, 128)
+	b := NewRing([]int{0, 1, 2}, 128)
+	for _, k := range keys(1000) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("rings disagree on %q: %d vs %d", k, oa, ob)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	if _, ok := NewRing(nil, 0).Owner("x"); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	var nilRing *Ring
+	if _, ok := nilRing.Owner("x"); ok {
+		t.Error("nil ring claimed an owner")
+	}
+}
+
+func TestMapHelpers(t *testing.T) {
+	m := &Map{Version: 3, Shards: []Shard{
+		{ID: 0, State: StateActive},
+		{ID: 1, State: StateDraining},
+		{ID: 2, State: StateActive},
+	}}
+	ids := m.ActiveIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("ActiveIDs = %v, want [0 2]", ids)
+	}
+	ring := m.Ring()
+	for _, k := range keys(1000) {
+		owner, ok := ring.Owner(k)
+		if !ok || owner == 1 {
+			t.Fatalf("map ring placed %q on draining shard (owner=%d ok=%v)", k, owner, ok)
+		}
+	}
+	if got := Key("a", "t0"); got != "a/t0" {
+		t.Errorf("Key = %q, want a/t0", got)
+	}
+}

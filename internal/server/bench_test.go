@@ -20,11 +20,10 @@ import (
 // regressions — an allocation storm or a serialization cliff, not a cache
 // miss.
 func BenchmarkServerRoundTrip(b *testing.B) {
-	s, err := server.New(server.Config{
-		DeviceCapacity: 64 << 20,
-		HostCapacity:   64 << 20,
-		Verify:         true,
-	})
+	s, err := server.NewServer(
+		server.WithDeviceCapacity(64<<20),
+		server.WithHostCapacity(64<<20),
+		server.WithVerify(true))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,7 +44,7 @@ func BenchmarkServerRoundTrip(b *testing.B) {
 	b.SetBytes(int64(len(data)) * 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.SwapOut(ctx, "bench0", true, client.Auto); err != nil {
+		if err := c.SwapOut(ctx, "bench0"); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := c.SwapIn(ctx, "bench0"); err != nil {

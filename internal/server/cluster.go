@@ -1,0 +1,566 @@
+package server
+
+// Cluster shards the swap service across N executors. Each shard is a
+// complete Server — its own device/host pools, admission window, tenant
+// sessions, and tuner — so every admission decision (quota 507,
+// backpressure 429, per-tensor busy 409) is made per shard, and one
+// shard's saturation never refuses another shard's traffic. A consistent-
+// hash ring over the active shards (internal/placement) decides which
+// shard owns each (tenant, tensor) key; the router peeks the tensor name
+// out of the wire frame, dispatches to the owner, and validates the
+// client's routing hint so a cluster-aware client and the server always
+// agree on placement or find out immediately (421 misrouted).
+//
+// Topology changes are versioned: the /cluster endpoint publishes the
+// shard map, and a drain (POST /admin/drain?shard=N) marks the shard
+// draining, bumps the version, and migrates every tensor it holds to the
+// ring's new owners over the existing swap wire format — each tensor is
+// encoded as a TensorData frame and decoded on arrival, so a migrated
+// tensor restores byte-identically. While a drain runs, requests for
+// not-yet-moved tensors fall back from the ring owner to the draining
+// shard, so clients see at worst a retryable refusal, never a lost tensor.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cswap/internal/compress"
+	"cswap/internal/executor"
+	"cswap/internal/metrics"
+	"cswap/internal/placement"
+	"cswap/internal/tensor"
+	"cswap/internal/wire"
+)
+
+// Cluster-routing headers. A cluster-aware client sends ShardHeader with
+// the shard it computed from its cached map; the router answers 421 with
+// OwnerHeader when the hint disagrees with the current ring, so the
+// client knows to refresh its map and retry.
+const (
+	ShardHeader      = "X-CSwap-Shard"
+	OwnerHeader      = "X-CSwap-Owner"
+	MapVersionHeader = "X-CSwap-Map-Version"
+)
+
+// CodeMisrouted is the ErrorHeader code for a stale routing hint.
+const CodeMisrouted = "misrouted"
+
+// clusterInstruments are the cluster-level metric cells; per-shard series
+// live in each shard's shard="N"-labeled registry view.
+type clusterInstruments struct {
+	misrouted    *metrics.Counter // 421s: stale client routing hints
+	fallbacks    *metrics.Counter // requests served by a draining shard
+	rebTensors   *metrics.Counter // tensors moved by drains
+	rebBytes     *metrics.Counter // bytes moved by drains
+	activeShards *metrics.Gauge
+	mapVersion   *metrics.Gauge
+}
+
+// Cluster multiplexes tenant traffic across shard Servers behind one
+// HTTP handler.
+type Cluster struct {
+	shards     []*Server
+	obs        *metrics.Observer
+	reg        *metrics.Registry
+	ins        clusterInstruments
+	mux        *http.ServeMux
+	maxPayload uint32
+	retryAfter time.Duration
+
+	mu       sync.Mutex
+	states   []string // placement.State* per shard, indexed by shard ID
+	version  int
+	ring     *placement.Ring // over active shards; rebuilt on topology change
+	draining bool
+}
+
+// NewCluster builds an n-shard cluster from functional options (n from
+// WithShards, default 1). Per-shard knobs apply to each shard
+// independently; the observer's registry is shared, with each shard
+// writing through a shard="N"-labeled view.
+func NewCluster(opts ...Option) (*Cluster, error) {
+	o := resolve(opts)
+	cfg := o.cfg
+	if cfg.Observer == nil {
+		cfg.Observer = &metrics.Observer{Metrics: metrics.NewRegistry()}
+	}
+	reg := cfg.Observer.Reg()
+	c := &Cluster{
+		obs:        cfg.Observer,
+		reg:        reg,
+		maxPayload: cfg.MaxPayload,
+		retryAfter: cfg.RetryAfter,
+		version:    1,
+		ins: clusterInstruments{
+			misrouted:    reg.Counter("cluster_misrouted_total"),
+			fallbacks:    reg.Counter("cluster_drain_fallback_total"),
+			rebTensors:   reg.Counter("cluster_rebalanced_tensors_total"),
+			rebBytes:     reg.Counter("cluster_rebalanced_bytes_total"),
+			activeShards: reg.Gauge("cluster_active_shards"),
+			mapVersion:   reg.Gauge("cluster_map_version"),
+		},
+	}
+	if c.maxPayload == 0 {
+		c.maxPayload = wire.DefaultMaxPayload
+	}
+	if c.retryAfter <= 0 {
+		c.retryAfter = time.Second
+	}
+	for i := 0; i < o.shards; i++ {
+		shardCfg := cfg
+		// Shards share the registry through labeled views but not the span
+		// timeline: concurrent shards appending to one timeline would
+		// interleave unrelated streams.
+		shardCfg.Observer = &metrics.Observer{
+			Metrics: reg.Sub(metrics.L("shard", strconv.Itoa(i))),
+			OnEvent: cfg.Observer.OnEvent,
+		}
+		s, err := New(shardCfg)
+		if err != nil {
+			for _, prev := range c.shards {
+				_ = prev.Close()
+			}
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, s)
+		c.states = append(c.states, placement.StateActive)
+	}
+	c.rebuildRingLocked()
+	c.mux = http.NewServeMux()
+	for _, path := range []string{"register", "swap-out", "swap-in", "prefetch", "free"} {
+		c.mux.HandleFunc("POST /v1/"+path, c.route)
+	}
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /cluster", c.handleClusterMap)
+	c.mux.HandleFunc("POST /admin/drain", c.handleDrain)
+	return c, nil
+}
+
+// rebuildRingLocked recomputes the ring over active shards and refreshes
+// the topology gauges. Caller holds c.mu (or is still constructing).
+func (c *Cluster) rebuildRingLocked() {
+	var active []int
+	for i, st := range c.states {
+		if st == placement.StateActive {
+			active = append(active, i)
+		}
+	}
+	c.ring = placement.NewRing(active, placement.DefaultReplicas)
+	c.ins.activeShards.Set(float64(len(active)))
+	c.ins.mapVersion.Set(float64(c.version))
+}
+
+// Handler returns the cluster's HTTP handler.
+func (c *Cluster) Handler() http.Handler { return c.mux }
+
+// Registry exposes the shared metrics registry backing /metrics.
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// NumShards returns the shard count (drained shards included).
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard exposes one shard's Server (tests and embedders).
+func (c *Cluster) Shard(i int) *Server { return c.shards[i] }
+
+// Map returns the current shard map, the same document /cluster serves.
+func (c *Cluster) Map() placement.Map {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := placement.Map{Version: c.version, Replicas: placement.DefaultReplicas}
+	for i, st := range c.states {
+		m.Shards = append(m.Shards, placement.Shard{ID: i, State: st})
+	}
+	return m
+}
+
+// Drain stops intake on the cluster and every shard; in-flight requests
+// finish.
+func (c *Cluster) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	for _, s := range c.shards {
+		s.Drain()
+	}
+}
+
+// Close shuts the cluster down: stop intake everywhere, then close each
+// shard (which drains its executor's in-flight window first).
+func (c *Cluster) Close() error {
+	c.Drain()
+	var first error
+	for _, s := range c.shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (c *Cluster) isDraining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// fail mirrors Server.fail at the cluster boundary.
+func (c *Cluster) fail(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set(ErrorHeader, code)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int(c.retryAfter/time.Second)))
+	}
+	http.Error(w, msg, status)
+}
+
+// route is the cluster's /v1/* entry point: peek the tensor name, find
+// the ring owner, validate the client's hint, dispatch — falling back to
+// draining shards for tensors a live drain has not moved yet.
+func (c *Cluster) route(w http.ResponseWriter, r *http.Request) {
+	if c.isDraining() {
+		c.fail(w, http.StatusServiceUnavailable, CodeDraining, "cluster is draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, wire.HeaderLen+int64(c.maxPayload)+1))
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, CodeBadFrame, err.Error())
+		return
+	}
+	typ, name, err := wire.PeekName(body, c.maxPayload)
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, CodeBadFrame, err.Error())
+		return
+	}
+	key := placement.Key(tenantOf(r), name)
+	c.mu.Lock()
+	ring, version := c.ring, c.version
+	c.mu.Unlock()
+	owner, ok := ring.Owner(key)
+	if !ok {
+		c.fail(w, http.StatusServiceUnavailable, CodeDraining, "cluster has no active shards")
+		return
+	}
+	w.Header().Set(MapVersionHeader, strconv.Itoa(version))
+	if hint := r.Header.Get(ShardHeader); hint != "" && hint != strconv.Itoa(owner) {
+		// The client routed from a stale map. Refuse rather than silently
+		// absorb: the refusal carries the authoritative owner and map
+		// version, and the client refreshes once instead of drifting.
+		c.ins.misrouted.Inc()
+		w.Header().Set(OwnerHeader, strconv.Itoa(owner))
+		c.fail(w, http.StatusMisdirectedRequest, CodeMisrouted,
+			fmt.Sprintf("cluster: key %q is owned by shard %d, not %s", key, owner, hint))
+		return
+	}
+	cw := newCapture()
+	c.dispatch(owner, cw, r, body)
+	// A tensor a live drain has not migrated yet still lives on its old
+	// (draining) shard; the owner answers 404 for it. Registers are exempt
+	// — a new name belongs on the ring owner unconditionally.
+	if cw.status == http.StatusNotFound && cw.header.Get(ErrorHeader) == CodeNotFound &&
+		typ != wire.TypeRegister {
+		for _, d := range c.drainingShards() {
+			dw := newCapture()
+			c.dispatch(d, dw, r, body)
+			if dw.status != http.StatusNotFound {
+				c.ins.fallbacks.Inc()
+				dw.flush(w)
+				return
+			}
+		}
+	}
+	cw.flush(w)
+}
+
+// dispatch forwards the buffered request to one shard's handler.
+func (c *Cluster) dispatch(shard int, w http.ResponseWriter, r *http.Request, body []byte) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	c.shards[shard].Handler().ServeHTTP(wireShard(w, shard), r2)
+}
+
+// drainingShards lists shards currently mid-drain (fallback targets).
+func (c *Cluster) drainingShards() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []int
+	for i, st := range c.states {
+		if st == placement.StateDraining {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// capture buffers one shard's response so the router can inspect the
+// outcome before committing it to the client (the drain-fallback path).
+type capture struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newCapture() *capture { return &capture{header: http.Header{}} }
+
+func (cw *capture) Header() http.Header { return cw.header }
+
+func (cw *capture) WriteHeader(status int) {
+	if cw.status == 0 {
+		cw.status = status
+	}
+}
+
+func (cw *capture) Write(b []byte) (int, error) {
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+	return cw.body.Write(b)
+}
+
+func (cw *capture) flush(w http.ResponseWriter) {
+	for k, vs := range cw.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+	w.WriteHeader(cw.status)
+	_, _ = w.Write(cw.body.Bytes())
+}
+
+// wireShard tags the response with the shard that served it, so clients,
+// tests, and the smoke harness can observe routing decisions.
+func wireShard(w http.ResponseWriter, shard int) http.ResponseWriter {
+	w.Header().Set(ShardHeader, strconv.Itoa(shard))
+	return w
+}
+
+// handleMetrics exposes the shared registry — every shard's labeled
+// series plus the cluster-level ones — in Prometheus text format.
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = (metrics.Prometheus{W: w}).Write(c.reg.Snapshot())
+}
+
+func (c *Cluster) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if c.isDraining() {
+		c.fail(w, http.StatusServiceUnavailable, CodeDraining, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleClusterMap publishes the shard map clients route by.
+func (c *Cluster) handleClusterMap(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(c.Map())
+}
+
+// handleDrain is the admin entry point: drain one shard synchronously,
+// migrating its tensors to the ring's new owners.
+func (c *Cluster) handleDrain(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		c.fail(w, http.StatusBadRequest, CodeBadFrame, "drain: shard query parameter must be an integer")
+		return
+	}
+	tensors, bytesMoved, err := c.DrainShard(id)
+	if err != nil {
+		status := http.StatusConflict
+		if errors.Is(err, errUnknownShard) {
+			status = http.StatusNotFound
+		}
+		c.fail(w, status, CodeState, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"shard": id, "tensors": tensors, "bytes": bytesMoved,
+	})
+}
+
+var errUnknownShard = errors.New("server: unknown shard")
+
+// DrainShard migrates every tensor off shard id and retires it. The shard
+// is first marked draining — the version bumps and the ring excludes it,
+// so no new placements land there — then each tensor is moved to its new
+// ring owner and finally the shard stops intake entirely.
+//
+// A partially failed drain (a tensor's new owner refused it: quota, pool
+// exhaustion) leaves the shard in the draining state with the failed
+// tensors still served through the router's fallback path; the operator
+// fixes capacity and re-issues the drain, which resumes where it left off.
+func (c *Cluster) DrainShard(id int) (tensors int, bytesMoved int64, err error) {
+	c.mu.Lock()
+	if id < 0 || id >= len(c.shards) {
+		c.mu.Unlock()
+		return 0, 0, fmt.Errorf("%w: %d", errUnknownShard, id)
+	}
+	switch c.states[id] {
+	case placement.StateDrained:
+		c.mu.Unlock()
+		return 0, 0, fmt.Errorf("server: shard %d is already drained", id)
+	case placement.StateActive:
+		active := 0
+		for _, st := range c.states {
+			if st == placement.StateActive {
+				active++
+			}
+		}
+		if active <= 1 {
+			c.mu.Unlock()
+			return 0, 0, fmt.Errorf("server: refusing to drain shard %d: it is the last active shard", id)
+		}
+		c.states[id] = placement.StateDraining
+		c.version++
+		c.rebuildRingLocked()
+	}
+	ring := c.ring
+	c.mu.Unlock()
+
+	src := c.shards[id]
+	var firstErr error
+	for _, sess := range src.sessionList() {
+		for _, name := range sess.entryNames() {
+			owner, ok := ring.Owner(placement.Key(sess.tenant, name))
+			if !ok {
+				firstErr = errors.New("server: drain lost all active shards")
+				break
+			}
+			nbytes, merr := c.migrate(src, sess, name, c.shards[owner])
+			if merr != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("migrate %s/%s to shard %d: %w", sess.tenant, name, owner, merr)
+				}
+				continue
+			}
+			tensors++
+			bytesMoved += nbytes
+			c.ins.rebTensors.Inc()
+			c.ins.rebBytes.Add(float64(nbytes))
+		}
+	}
+	if firstErr != nil {
+		return tensors, bytesMoved, firstErr
+	}
+	c.mu.Lock()
+	c.states[id] = placement.StateDrained
+	c.version++
+	c.rebuildRingLocked()
+	c.mu.Unlock()
+	src.Drain()
+	return tensors, bytesMoved, nil
+}
+
+// acquireForMigration claims a tensor's entry lock, contending politely
+// with in-flight client requests (they hold the lock only for one
+// operation) and giving up after a bounded wait.
+func acquireForMigration(sess *session, name string) (*entry, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ent, err := sess.acquire(name)
+		if err == nil {
+			return ent, nil
+		}
+		if !errors.Is(err, errEntryBusy) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// migrate moves one tensor from src to dst through the swap wire format:
+// restore on the source if swapped, encode as a TensorData frame, decode
+// on arrival, register on the destination, re-swap-out if it was swapped,
+// then free the source copy. The entry locks on both sides exclude client
+// requests for the duration (they see 409 busy and retry), and the wire
+// round-trip guarantees the migrated tensor restores byte-identically.
+func (c *Cluster) migrate(src *Server, sess *session, name string, dst *Server) (int64, error) {
+	ent, err := acquireForMigration(sess, name)
+	if err != nil {
+		if errors.Is(err, ErrUnknownTensor) {
+			return 0, nil // freed while the drain walked the session: nothing to move
+		}
+		return 0, err
+	}
+	defer ent.mu.Unlock()
+
+	wasSwapped := ent.h.State() == executor.Swapped
+	if wasSwapped {
+		if err := src.exec.SwapIn(ent.h); err != nil {
+			return 0, err
+		}
+	}
+	// restoreSrc puts the source copy back the way we found it on any
+	// failure past this point, so an aborted migration is invisible.
+	restoreSrc := func() {
+		if wasSwapped {
+			doCompress, alg := src.resolveCodec(sess, ent, true, compress.Auto)
+			_ = src.exec.SwapOut(ent.h, doCompress, alg)
+		}
+	}
+	data, err := ent.h.Data()
+	if err != nil {
+		restoreSrc()
+		return 0, err
+	}
+	frame, err := wire.Encode(&wire.Frame{Type: wire.TypeTensorData, Name: name, Data: data})
+	if err != nil {
+		restoreSrc()
+		return 0, err
+	}
+	decoded, err := wire.Decode(frame, c.maxPayload)
+	if err != nil {
+		restoreSrc()
+		return 0, err
+	}
+
+	dsess := dst.session(sess.tenant)
+	dent, err := dsess.reserve(name, ent.bytes)
+	if err != nil {
+		restoreSrc()
+		return 0, err
+	}
+	h2, err := dst.exec.Register(qualified(sess.tenant, name), tensor.FromSlice(decoded.Data))
+	if err != nil {
+		dsess.release(name, dent)
+		dent.mu.Unlock()
+		restoreSrc()
+		return 0, err
+	}
+	dent.h = h2
+	dent.sparsity = ent.sparsity
+	if wasSwapped {
+		doCompress, alg := dst.resolveCodec(dsess, dent, true, compress.Auto)
+		if err := dst.exec.SwapOut(h2, doCompress, alg); err != nil {
+			_ = dst.exec.Free(h2)
+			dsess.release(name, dent)
+			dent.mu.Unlock()
+			restoreSrc()
+			return 0, err
+		}
+	}
+	dent.mu.Unlock()
+
+	if err := src.exec.Free(ent.h); err != nil {
+		// The destination copy is live and owns the name on the ring; a
+		// failed source free leaks pool bytes on a shard that is going away,
+		// which the drained state eventually reclaims via Close.
+		return ent.bytes, nil
+	}
+	sess.release(name, ent)
+	return ent.bytes, nil
+}

@@ -21,11 +21,10 @@ import (
 // HTTP, every restore compared bit-for-bit. Run under -race this also
 // shakes the server's entry locks and admission window.
 func TestE2EBitExactSparsityLadder(t *testing.T) {
-	_, url := newTestServer(t, server.Config{
-		DeviceCapacity: 256 << 20,
-		HostCapacity:   256 << 20,
-		MaxInFlight:    4,
-	})
+	_, url := newTestServer(t,
+		server.WithDeviceCapacity(256<<20),
+		server.WithHostCapacity(256<<20),
+		server.WithMaxInFlight(4))
 
 	type rung struct {
 		name     string
@@ -63,7 +62,7 @@ func TestE2EBitExactSparsityLadder(t *testing.T) {
 				return
 			}
 			for round := 0; round < rounds; round++ {
-				if err := c.SwapOut(ctx, r.name, true, r.alg); err != nil {
+				if err := c.SwapOut(ctx, r.name, client.WithCodec(r.alg)); err != nil {
 					t.Errorf("%s round %d: swap-out: %v", r.name, round, err)
 					return
 				}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"time"
+
+	"cswap/internal/compress"
+	"cswap/internal/faultinject"
+	"cswap/internal/metrics"
+)
+
+// Option configures NewServer and NewCluster — the functional counterpart
+// of the Config struct, mirroring the simulator's NewSimOptions surface so
+// both entry points of the repo read the same way. New code composes
+// options; Config remains for existing callers.
+type Option func(*options)
+
+// options is the resolved option set. shards only matters to NewCluster;
+// NewServer ignores it (a Server is exactly one shard).
+type options struct {
+	cfg    Config
+	shards int
+}
+
+// WithShards sets the executor-shard count for NewCluster (default 1).
+// Every per-shard knob — capacities, in-flight window, quota, tuner — is
+// applied to each shard independently: a 3-shard cluster with
+// WithDeviceCapacity(1 GiB) holds 3 GiB of device memory in total.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
+// WithDeviceCapacity sizes each shard's device pool in bytes.
+func WithDeviceCapacity(b int64) Option { return func(o *options) { o.cfg.DeviceCapacity = b } }
+
+// WithHostCapacity sizes each shard's host (swap-target) pool in bytes.
+func WithHostCapacity(b int64) Option { return func(o *options) { o.cfg.HostCapacity = b } }
+
+// WithMaxInFlight bounds each shard's async window and admission window.
+func WithMaxInFlight(n int) Option { return func(o *options) { o.cfg.MaxInFlight = n } }
+
+// WithLaunch sets each shard's initial codec partitioning geometry; a
+// shard's tuner may re-probe and move its own geometry independently.
+func WithLaunch(l compress.Launch) Option { return func(o *options) { o.cfg.Launch = l } }
+
+// WithVerify enables the executor's post-restore checksum check.
+func WithVerify(v bool) Option { return func(o *options) { o.cfg.Verify = v } }
+
+// WithTenantQuota sets the per-tenant registered-bytes quota, enforced per
+// shard (a tenant's tensors spread across shards, each charging its own
+// quota).
+func WithTenantQuota(b int64) Option { return func(o *options) { o.cfg.TenantQuota = b } }
+
+// WithMaxPayload caps decodable wire frames.
+func WithMaxPayload(n uint32) Option { return func(o *options) { o.cfg.MaxPayload = n } }
+
+// WithRetryAfter sets the hint returned with 429/409 responses.
+func WithRetryAfter(d time.Duration) Option { return func(o *options) { o.cfg.RetryAfter = d } }
+
+// WithObserver supplies the instrumentation surface. A cluster derives a
+// per-shard shard="N"-labeled view of its registry for each shard.
+func WithObserver(obs *metrics.Observer) Option { return func(o *options) { o.cfg.Observer = obs } }
+
+// WithFaults injects data-path faults into each shard's executor.
+func WithFaults(f *faultinject.Injector) Option { return func(o *options) { o.cfg.Faults = f } }
+
+// WithTuner configures the online per-tenant tuner, run per shard.
+func WithTuner(tc TunerConfig) Option { return func(o *options) { o.cfg.Tuner = tc } }
+
+func resolve(opts []Option) options {
+	o := options{shards: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards < 1 {
+		o.shards = 1
+	}
+	return o
+}
+
+// NewServer builds a single-shard server from functional options — the
+// options-first face of New. Prefer it in new code.
+func NewServer(opts ...Option) (*Server, error) {
+	return New(resolve(opts).cfg)
+}

@@ -28,6 +28,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -40,6 +41,7 @@ import (
 	"cswap/internal/executor"
 	"cswap/internal/faultinject"
 	"cswap/internal/metrics"
+	"cswap/internal/placement"
 	"cswap/internal/tensor"
 	"cswap/internal/wire"
 )
@@ -177,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/free", s.instrumented("free", s.handleFree))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /cluster", s.handleClusterMap)
 	if cfg.Tuner.Enabled {
 		s.tuner = startTuner(s, cfg.Tuner)
 	}
@@ -573,6 +576,17 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = (metrics.Prometheus{W: w}).Write(s.ins.reg.Snapshot())
+}
+
+// handleClusterMap publishes a one-shard map, so a cluster-aware client
+// pointed at a plain server routes everything here without special-casing.
+func (s *Server) handleClusterMap(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(placement.Map{
+		Version:  1,
+		Replicas: placement.DefaultReplicas,
+		Shards:   []placement.Shard{{ID: 0, State: placement.StateActive}},
+	})
 }
 
 // handleHealthz reports liveness; a draining server answers 503 so load

@@ -22,23 +22,19 @@ import (
 )
 
 // newTestServer starts a loopback-HTTP service and returns it with its
-// base URL.
-func newTestServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+// base URL. Defaults come first, so caller options override them; the
+// millisecond RetryAfter truncates to a "Retry-After: 0" hint, so
+// retrying clients in these tests spin on their own millisecond backoff
+// instead of sleeping whole seconds.
+func newTestServer(t *testing.T, opts ...server.Option) (*server.Server, string) {
 	t.Helper()
-	if cfg.DeviceCapacity == 0 {
-		cfg.DeviceCapacity = 64 << 20
+	defaults := []server.Option{
+		server.WithDeviceCapacity(64 << 20),
+		server.WithHostCapacity(64 << 20),
+		server.WithRetryAfter(time.Millisecond),
+		server.WithVerify(true),
 	}
-	if cfg.HostCapacity == 0 {
-		cfg.HostCapacity = 64 << 20
-	}
-	if cfg.RetryAfter == 0 {
-		// Truncates to a "Retry-After: 0" hint, so retrying clients in these
-		// tests spin on their own millisecond backoff instead of sleeping
-		// whole seconds.
-		cfg.RetryAfter = time.Millisecond
-	}
-	cfg.Verify = true
-	s, err := server.New(cfg)
+	s, err := server.NewServer(append(defaults, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +53,7 @@ func counterValue(t *testing.T, s *server.Server, name string, labels ...metrics
 }
 
 func TestRegisterSwapRoundTrip(t *testing.T) {
-	s, url := newTestServer(t, server.Config{})
+	s, url := newTestServer(t)
 	c := client.New(url)
 	ctx := context.Background()
 
@@ -66,7 +62,7 @@ func TestRegisterSwapRoundTrip(t *testing.T) {
 	if err := c.Register(ctx, "t0", data); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.SwapOut(ctx, "t0", true, client.ZVC); err != nil {
+	if err := c.SwapOut(ctx, "t0", client.WithCodec(client.ZVC)); err != nil {
 		t.Fatal(err)
 	}
 	got, err := c.SwapIn(ctx, "t0")
@@ -94,11 +90,11 @@ func TestRegisterSwapRoundTrip(t *testing.T) {
 }
 
 func TestErrorMapping(t *testing.T) {
-	_, url := newTestServer(t, server.Config{})
+	_, url := newTestServer(t)
 	c := client.New(url, client.WithRetry(0, 0))
 	ctx := context.Background()
 
-	if err := c.SwapOut(ctx, "missing", true, client.ZVC); !errors.Is(err, client.ErrNotFound) {
+	if err := c.SwapOut(ctx, "missing", client.WithCodec(client.ZVC)); !errors.Is(err, client.ErrNotFound) {
 		t.Errorf("swap-out of unknown tensor: %v, want ErrNotFound", err)
 	}
 	if err := c.Register(ctx, "dup", make([]float32, 64)); err != nil {
@@ -119,7 +115,7 @@ func TestErrorMapping(t *testing.T) {
 
 func TestTenantQuotaEnforcement(t *testing.T) {
 	// Quota admits one 1024-element tensor (4 KiB) per tenant but not two.
-	s, url := newTestServer(t, server.Config{TenantQuota: 6 << 10})
+	s, url := newTestServer(t, server.WithTenantQuota(6<<10))
 	ctx := context.Background()
 	a := client.New(url, client.WithTenant("a"))
 	b := client.New(url, client.WithTenant("b"))
@@ -161,9 +157,8 @@ func TestSaturationYields429(t *testing.T) {
 	})
 	// One chunk per tensor so the injected delay fires once per swap-out,
 	// not once per codec chunk.
-	s, url := newTestServer(t, server.Config{
-		MaxInFlight: 1, Faults: inj, Launch: compress.Launch{Grid: 1, Block: 64},
-	})
+	s, url := newTestServer(t, server.WithMaxInFlight(1), server.WithFaults(inj),
+		server.WithLaunch(compress.Launch{Grid: 1, Block: 64}))
 	ctx := context.Background()
 	c := client.New(url) // registers don't need slots
 
@@ -237,9 +232,8 @@ func TestBusyContention(t *testing.T) {
 		Site: faultinject.SiteEncode, Mode: faultinject.Delay,
 		Delay: 80 * time.Millisecond, Every: 1,
 	})
-	s, url := newTestServer(t, server.Config{
-		Faults: inj, Launch: compress.Launch{Grid: 1, Block: 64},
-	})
+	s, url := newTestServer(t, server.WithFaults(inj),
+		server.WithLaunch(compress.Launch{Grid: 1, Block: 64}))
 	ctx := context.Background()
 	c := client.New(url, client.WithRetry(0, 0))
 
@@ -249,9 +243,9 @@ func TestBusyContention(t *testing.T) {
 	// First swap-out stalls in the encode; the second finds the entry
 	// locked and must answer busy, not queue.
 	errc := make(chan error, 1)
-	go func() { errc <- c.SwapOut(ctx, "contended", true, client.ZVC) }()
+	go func() { errc <- c.SwapOut(ctx, "contended", client.WithCodec(client.ZVC)) }()
 	time.Sleep(20 * time.Millisecond)
-	err2 := c.SwapOut(ctx, "contended", true, client.ZVC)
+	err2 := c.SwapOut(ctx, "contended", client.WithCodec(client.ZVC))
 	if err := <-errc; err != nil {
 		t.Fatalf("first swap-out: %v", err)
 	}
@@ -276,7 +270,7 @@ func TestFaultDegradationKeepsSessionAlive(t *testing.T) {
 		// retries from the retained blob.
 		faultinject.Fault{Site: faultinject.SiteTransferIn, Mode: faultinject.Corrupt},
 	)
-	s, url := newTestServer(t, server.Config{Faults: inj})
+	s, url := newTestServer(t, server.WithFaults(inj))
 	ctx := context.Background()
 	c := client.New(url)
 
@@ -285,7 +279,7 @@ func TestFaultDegradationKeepsSessionAlive(t *testing.T) {
 	if err := c.Register(ctx, "hardy", data); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.SwapOut(ctx, "hardy", true, client.ZVC); err != nil {
+	if err := c.SwapOut(ctx, "hardy", client.WithCodec(client.ZVC)); err != nil {
 		t.Fatalf("swap-out under injected encode failure: %v (should fall back raw)", err)
 	}
 	got, err := c.SwapIn(ctx, "hardy")
@@ -305,7 +299,7 @@ func TestFaultDegradationKeepsSessionAlive(t *testing.T) {
 		t.Error("no decode recovery counted; the retry path did not run")
 	}
 	// The session is alive and consistent: the tensor swaps again cleanly.
-	if err := c.SwapOut(ctx, "hardy", false, 0); err != nil {
+	if err := c.SwapOut(ctx, "hardy", client.WithRaw()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.SwapIn(ctx, "hardy"); err != nil {
@@ -321,9 +315,8 @@ func TestDrainAndShutdownOrdering(t *testing.T) {
 		Site: faultinject.SiteEncode, Mode: faultinject.Delay,
 		Delay: 150 * time.Millisecond, Every: 1,
 	})
-	s, url := newTestServer(t, server.Config{
-		Faults: inj, Launch: compress.Launch{Grid: 1, Block: 64},
-	})
+	s, url := newTestServer(t, server.WithFaults(inj),
+		server.WithLaunch(compress.Launch{Grid: 1, Block: 64}))
 	ctx := context.Background()
 	c := client.New(url, client.WithRetry(0, 0))
 
@@ -331,7 +324,7 @@ func TestDrainAndShutdownOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- c.SwapOut(ctx, "slow", true, client.ZVC) }()
+	go func() { done <- c.SwapOut(ctx, "slow", client.WithCodec(client.ZVC)) }()
 	time.Sleep(30 * time.Millisecond) // the swap is now mid-encode
 
 	s.Drain()
@@ -358,7 +351,7 @@ func TestDrainAndShutdownOrdering(t *testing.T) {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	_, url := newTestServer(t, server.Config{})
+	_, url := newTestServer(t)
 	c := client.New(url)
 	ctx := context.Background()
 	if err := c.Register(ctx, "m", make([]float32, 256)); err != nil {
@@ -389,7 +382,7 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestMalformedFramesRejected(t *testing.T) {
-	_, url := newTestServer(t, server.Config{MaxPayload: 1 << 16})
+	_, url := newTestServer(t, server.WithMaxPayload(1<<16))
 	// Truncated, corrupt, oversized, and wrong-type frames all answer 400.
 	ok, err := wire.Encode(&wire.Frame{Type: wire.TypeFree, Name: "x"})
 	if err != nil {

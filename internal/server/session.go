@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"cswap/internal/compress"
@@ -230,6 +231,20 @@ func (s *session) acquire(name string) (*entry, error) {
 		return nil, fmt.Errorf("%w: %s/%s", ErrUnknownTensor, s.tenant, name)
 	}
 	return ent, nil
+}
+
+// entryNames snapshots the tenant's registered tensor names, sorted — the
+// work list a drain walks. Entries freed (or registered) after the
+// snapshot are the drain's responsibility to tolerate, not prevent.
+func (s *session) entryNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.entries))
+	for n := range s.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Used returns the tenant's registered bytes (for tests and introspection).

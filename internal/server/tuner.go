@@ -200,6 +200,7 @@ func (s *Server) sessionList() []*session {
 
 func (t *tuner) tick() {
 	snap := t.srv.ins.reg.Snapshot()
+	base := t.srv.ins.reg.BaseLabels()
 	for _, sess := range t.srv.sessionList() {
 		prof, cur, prev := sess.tunerState()
 		if !prof.seeded || prof.swaps < int64(t.cfg.MinSwaps) {
@@ -211,9 +212,9 @@ func (t *tuner) tick() {
 			t.retune(sess, prof, cur)
 			continue
 		}
-		t.audit(snap, sess, cur, prev)
+		t.audit(snap, base, sess, cur, prev)
 	}
-	t.remember(snap)
+	t.remember(snap, base)
 }
 
 // audit compares the standing verdict's predicted per-swap cost against
@@ -222,12 +223,12 @@ func (t *tuner) tick() {
 // contradicts. The executor series are device-global: with several tenants
 // on one codec the attribution is approximate, which is why the revert
 // needs a RollbackFactor-sized margin, not a mere excess.
-func (t *tuner) audit(snap *metrics.Snapshot, sess *session, cur, prev verdict) {
+func (t *tuner) audit(snap *metrics.Snapshot, base []metrics.Label, sess *session, cur, prev verdict) {
 	if !cur.valid || !cur.compress {
 		return
 	}
 	label := cur.alg.String()
-	now := readCodecStats(snap, label)
+	now := readCodecStats(snap, base, label)
 	before, ok := t.last[label]
 	if !ok {
 		return
@@ -251,28 +252,43 @@ func (t *tuner) audit(snap *metrics.Snapshot, sess *session, cur, prev verdict) 
 
 // remember stores this tick's per-codec readings as the next tick's
 // baseline.
-func (t *tuner) remember(snap *metrics.Snapshot) {
+func (t *tuner) remember(snap *metrics.Snapshot, base []metrics.Label) {
 	for _, a := range compress.ExtendedAlgorithms() {
 		label := a.String()
-		t.last[label] = readCodecStats(snap, label)
+		t.last[label] = readCodecStats(snap, base, label)
 	}
 }
 
 // readCodecStats pulls one codec's cumulative executor series out of a
-// registry snapshot.
-func readCodecStats(snap *metrics.Snapshot, codec string) codecStats {
+// registry snapshot. base is the registry view's base label set: inside a
+// cluster a shard's executor writes shard-labeled series into the shared
+// store, and its tuner must read back exactly its own shard's, not a
+// sibling's.
+func readCodecStats(snap *metrics.Snapshot, base []metrics.Label, codec string) codecStats {
 	var cs codecStats
-	cs.encSum, cs.encN = histTotals(snap, "executor_encode_seconds", codec)
-	cs.decSum, _ = histTotals(snap, "executor_decode_seconds", codec)
-	cs.movedBytes, _ = snap.Counter("executor_moved_bytes_by_codec_total", metrics.L("codec", codec))
+	cs.encSum, cs.encN = histTotals(snap, base, "executor_encode_seconds", codec)
+	cs.decSum, _ = histTotals(snap, base, "executor_decode_seconds", codec)
+	cs.movedBytes, _ = snap.Counter("executor_moved_bytes_by_codec_total",
+		append(append([]metrics.Label(nil), base...), metrics.L("codec", codec))...)
 	return cs
 }
 
-// histTotals finds a histogram series by name and codec label.
-func histTotals(snap *metrics.Snapshot, name, codec string) (sum float64, count int64) {
+// histTotals finds a histogram series by name, codec label, and the view's
+// base labels (exact label-set match, so one shard never reads another's).
+func histTotals(snap *metrics.Snapshot, base []metrics.Label, name, codec string) (sum float64, count int64) {
 	for i := range snap.Histograms {
 		h := &snap.Histograms[i]
-		if h.Name == name && h.Labels["codec"] == codec {
+		if h.Name != name || h.Labels["codec"] != codec || len(h.Labels) != 1+len(base) {
+			continue
+		}
+		match := true
+		for _, l := range base {
+			if h.Labels[l.Key] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
 			return h.Sum, h.Count
 		}
 	}

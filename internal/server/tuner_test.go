@@ -26,19 +26,23 @@ import (
 //     kernel-time extrapolation adds no noise.
 //   - BOProbes -1 pins the launch: this test is about codec verdicts, and
 //     a re-probed geometry would change the chunking mid-test.
-func tunerTestConfig() server.Config {
-	return server.Config{
-		Launch: compress.Launch{Grid: 4, Block: 64},
-		Tuner: server.TunerConfig{
-			Enabled:         true,
-			Interval:        20 * time.Millisecond,
-			MinSwaps:        2,
-			DriftThreshold:  0.15,
-			LinkBytesPerSec: 128 << 10,
-			ProbeElems:      16384,
-			BOProbes:        -1,
-			Seed:            1,
-		},
+func tunerTestTuner() server.TunerConfig {
+	return server.TunerConfig{
+		Enabled:         true,
+		Interval:        20 * time.Millisecond,
+		MinSwaps:        2,
+		DriftThreshold:  0.15,
+		LinkBytesPerSec: 128 << 10,
+		ProbeElems:      16384,
+		BOProbes:        -1,
+		Seed:            1,
+	}
+}
+
+func tunerTestOptions(tc server.TunerConfig) []server.Option {
+	return []server.Option{
+		server.WithLaunch(compress.Launch{Grid: 4, Block: 64}),
+		server.WithTuner(tc),
 	}
 }
 
@@ -48,7 +52,7 @@ func tunerTestConfig() server.Config {
 // workload turns sparse the tuner notices the drift and switches its
 // codec — all of it visible in the registry behind /metrics.
 func TestTunerSwitchesCodecOnDrift(t *testing.T) {
-	s, url := newTestServer(t, tunerTestConfig())
+	s, url := newTestServer(t, tunerTestOptions(tunerTestTuner())...)
 	c := client.New(url)
 	ctx := context.Background()
 
@@ -62,7 +66,7 @@ func TestTunerSwitchesCodecOnDrift(t *testing.T) {
 	// tenant profile one observation per call.
 	cycle := func(name string) {
 		t.Helper()
-		if err := c.SwapOut(ctx, name, true, client.Auto); err != nil {
+		if err := c.SwapOut(ctx, name); err != nil {
 			t.Fatalf("swap-out %s: %v", name, err)
 		}
 		if _, err := c.SwapIn(ctx, name); err != nil {
@@ -147,9 +151,9 @@ func TestTunerSwitchesCodecOnDrift(t *testing.T) {
 // compressing verdict triggers a Bayesian-optimisation launch re-probe,
 // and the winner lands atomically on the executor.
 func TestTunerReprobesLaunch(t *testing.T) {
-	cfg := tunerTestConfig()
-	cfg.Tuner.BOProbes = 2
-	s, url := newTestServer(t, cfg)
+	tc := tunerTestTuner()
+	tc.BOProbes = 2
+	s, url := newTestServer(t, tunerTestOptions(tc)...)
 	c := client.New(url)
 	ctx := context.Background()
 
@@ -159,7 +163,7 @@ func TestTunerReprobesLaunch(t *testing.T) {
 	}
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		if err := c.SwapOut(ctx, "d0", true, client.Auto); err != nil {
+		if err := c.SwapOut(ctx, "d0"); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := c.SwapIn(ctx, "d0"); err != nil {
@@ -190,7 +194,7 @@ func TestTunerReprobesLaunch(t *testing.T) {
 // service resolves it per tensor from the analytic ratio model, so a dense
 // tensor compresses with Huffman and round-trips bit-exactly.
 func TestAutoWithoutTunerFallsBack(t *testing.T) {
-	s, url := newTestServer(t, server.Config{})
+	s, url := newTestServer(t)
 	c := client.New(url)
 	ctx := context.Background()
 
@@ -199,7 +203,7 @@ func TestAutoWithoutTunerFallsBack(t *testing.T) {
 	if err := c.Register(ctx, "t0", data); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.SwapOut(ctx, "t0", true, client.Auto); err != nil {
+	if err := c.SwapOut(ctx, "t0"); err != nil {
 		t.Fatal(err)
 	}
 	got, err := c.SwapIn(ctx, "t0")

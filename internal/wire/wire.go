@@ -324,6 +324,40 @@ func Read(r io.Reader, maxPayload uint32) (*Frame, error) {
 	return parsePayload(typ, body)
 }
 
+// PeekName extracts the frame type and tensor name from a fully buffered
+// frame without decoding the float payload or checking the payload CRC —
+// the cluster router's fast path. Routing only needs the placement key;
+// full validation (CRC, inner lengths, data decode) happens once, in the
+// shard that serves the request. The name bounds are still checked here,
+// so a hostile frame cannot make the router slice out of range.
+func PeekName(b []byte, maxPayload uint32) (Type, string, error) {
+	if len(b) < HeaderLen {
+		return 0, "", truncErr("%d bytes, need %d-byte header", len(b), HeaderLen)
+	}
+	plen, _, typ, err := parseHeader(b[:HeaderLen], maxPayload)
+	if err != nil {
+		return 0, "", err
+	}
+	body := b[HeaderLen:]
+	if uint64(len(body)) < uint64(plen) {
+		return 0, "", truncErr("payload has %d of %d bytes", len(body), plen)
+	}
+	if len(body) < 2 {
+		return 0, "", truncErr("payload of %d bytes lacks name length", len(body))
+	}
+	nameLen := int(binary.BigEndian.Uint16(body[0:2]))
+	if nameLen == 0 {
+		return 0, "", corruptErr("empty tensor name")
+	}
+	if nameLen > MaxNameLen {
+		return 0, "", corruptErr("name of %d bytes exceeds limit %d", nameLen, MaxNameLen)
+	}
+	if len(body) < 2+nameLen || int(plen) < 2+nameLen {
+		return 0, "", corruptErr("name of %d bytes overruns payload of %d", nameLen, plen)
+	}
+	return typ, string(body[2 : 2+nameLen]), nil
+}
+
 // Equal reports whether two frames are semantically identical — the
 // round-trip invariant the fuzzer pins (float payloads compare by bit
 // pattern, so NaNs round-trip like any other tensor value).

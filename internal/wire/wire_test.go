@@ -214,3 +214,57 @@ func TestSwapOutOptionValidation(t *testing.T) {
 func reCRC(b []byte) {
 	binary.BigEndian.PutUint32(b[12:16], crc32.ChecksumIEEE(b[HeaderLen:]))
 }
+
+// TestPeekName: the router's cheap peek agrees with the full decoder on
+// every frame type, tolerates a stale CRC (peek routes, decode validates),
+// and still refuses frames whose name bounds lie.
+func TestPeekName(t *testing.T) {
+	frames := []*Frame{
+		{Type: TypeRegister, Name: "t/a", Data: []float32{1, 2, 3}},
+		{Type: TypeSwapOut, Name: "t/b", Compress: true, Alg: compress.ZVC},
+		{Type: TypeSwapIn, Name: "t/c"},
+		{Type: TypePrefetch, Name: "t/d"},
+		{Type: TypeFree, Name: "t/e"},
+		{Type: TypeTensorData, Name: "t/f", Data: []float32{0}},
+		{Type: TypeAck, Name: "t/g"},
+	}
+	for _, f := range frames {
+		b, err := Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, name, err := PeekName(b, 0)
+		if err != nil {
+			t.Fatalf("PeekName(%s): %v", f.Type, err)
+		}
+		if typ != f.Type || name != f.Name {
+			t.Errorf("PeekName(%s) = (%s, %q), want (%s, %q)", f.Type, typ, name, f.Type, f.Name)
+		}
+	}
+
+	// A damaged payload CRC must not stop routing: the owning shard's full
+	// decode is where corruption is rejected.
+	b, _ := Encode(&Frame{Type: TypeSwapIn, Name: "t/crc"})
+	b[12] ^= 0xff // header CRC field
+	if _, name, err := PeekName(b, 0); err != nil || name != "t/crc" {
+		t.Errorf("PeekName with damaged payload CRC = (%q, %v), want routing to succeed", name, err)
+	}
+
+	// Bounds still hold: truncated header, truncated payload, lying name
+	// length, hostile payload cap.
+	if _, _, err := PeekName(b[:HeaderLen-1], 0); !errors.Is(err, compress.ErrTruncated) {
+		t.Errorf("truncated header: %v, want ErrTruncated", err)
+	}
+	if _, _, err := PeekName(b[:len(b)-2], 0); !errors.Is(err, compress.ErrTruncated) {
+		t.Errorf("truncated payload: %v, want ErrTruncated", err)
+	}
+	lie, _ := Encode(&Frame{Type: TypeSwapIn, Name: "t/lie"})
+	binary.BigEndian.PutUint16(lie[HeaderLen:HeaderLen+2], uint16(len("t/lie"))+200)
+	if _, _, err := PeekName(lie, 0); !errors.Is(err, compress.ErrCorrupt) {
+		t.Errorf("lying name length: %v, want ErrCorrupt", err)
+	}
+	big, _ := Encode(&Frame{Type: TypeRegister, Name: "t/big", Data: make([]float32, 64)})
+	if _, _, err := PeekName(big, 16); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("payload past cap: %v, want ErrTooLarge", err)
+	}
+}
