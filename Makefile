@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke tune-smoke cluster-smoke report csv examples clean
+.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke tune-smoke cluster-smoke kv-smoke report csv examples clean
 
 all: build test
 
@@ -45,25 +45,25 @@ bench:
 # for ~2x ns/op with identical machine code), so ns/op is only comparable
 # between binaries with the same layout. allocs/op is layout-immune.
 bench-compress:
-	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath|BenchmarkServerRoundTrip' -benchmem -count=3 -run='^$$' \
+	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath|BenchmarkServerRoundTrip|BenchmarkBatchSwap' -benchmem -count=3 -run='^$$' \
 		./internal/compress/ ./internal/executor/ ./internal/server/ \
 		| $(GO) run ./cmd/cswap-benchdiff -write BENCH_compress.json
 
 # Allocation-regression gate: rerun the codec benchmarks and fail on >10%
 # ns/op or ANY allocs/op regression against the committed baseline. The
-# server round trip crosses the HTTP stack and the scheduler, so it gets
-# the lenient band (5x ns/op threshold, 10% allocs/op) instead of the
-# strict codec-loop rules.
+# server round trip and the batch head-to-head cross the HTTP stack and
+# the scheduler, so they get the lenient band (5x ns/op threshold, 10%
+# allocs/op) instead of the strict codec-loop rules.
 bench-diff:
-	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath|BenchmarkServerRoundTrip' -benchmem -count=3 -run='^$$' \
+	$(GO) test -bench='BenchmarkCodec|BenchmarkParallelContainer|BenchmarkSwapHotPath|BenchmarkServerRoundTrip|BenchmarkBatchSwap' -benchmem -count=3 -run='^$$' \
 		./internal/compress/ ./internal/executor/ ./internal/server/ \
-		| $(GO) run ./cmd/cswap-benchdiff -baseline BENCH_compress.json -lenient 'ServerRoundTrip'
+		| $(GO) run ./cmd/cswap-benchdiff -baseline BENCH_compress.json -lenient 'ServerRoundTrip|BatchSwap'
 
 # Umbrella gate: everything a change must pass before it lands — build,
 # vet+test, the race detector over the swap path, the allocation-
 # regression gate against the committed benchmark baseline, and the
 # daemon smoke test.
-check: build test race bench-diff serve-smoke tune-smoke cluster-smoke
+check: build test race bench-diff serve-smoke tune-smoke cluster-smoke kv-smoke
 
 # Serve-smoke: boot the real cswapd daemon on an ephemeral port, drive it
 # with the example client, assert the swap counters moved via /metrics,
@@ -109,6 +109,22 @@ cluster-smoke:
 	addr=$$(cat "$$tmp/addr"); \
 	$(GO) run ./examples/swap-server -connect "http://$$addr" -cluster || { kill $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid && wait $$pid && echo "cluster-smoke: clean drained exit"
+
+# KV-smoke: boot cswapd on an ephemeral port and drive the batch block
+# API with the example's paged KV-cache decode loop: pool registration,
+# per-step batch swap-outs/swap-ins verified bit-exact, the 64-single vs
+# one-64-block head-to-head (<25% wall time), and /metrics assertions on
+# the batch counters and the coalescing-ratio histogram, then SIGTERM and
+# require a clean drained exit.
+kv-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/cswapd" ./cmd/cswapd || exit 1; \
+	"$$tmp/cswapd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -device 256 -host 1024 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "kv-smoke: daemon never wrote its address"; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	$(GO) run ./examples/swap-server -connect "http://$$addr" -kv || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid && wait $$pid && echo "kv-smoke: clean drained exit"
 
 # Full evaluation -> REPORT.md (and CSV series under data/).
 report:

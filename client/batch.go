@@ -1,0 +1,194 @@
+package client
+
+// Batch block swapping: the client face of the service's paged block
+// pools. RegisterPool reserves a named pool of fixed-size blocks once;
+// the batch calls then move lists of block IDs per round trip — a decode
+// step's working set costs one request, not one per block.
+//
+//	if err := c.RegisterPool(ctx, "kv", 4096, 1024); err != nil { ... }
+//	if err := c.WriteBlocks(ctx, "kv", []int{0, 1, 2}, packed); err != nil { ... }
+//	if err := c.SwapOutBlocks(ctx, "kv", []int{0, 1, 2}); err != nil { ... }
+//	bd, err := c.SwapInBlocks(ctx, "kv", []int{0, 1, 2})
+
+import (
+	"context"
+	"fmt"
+
+	"cswap/internal/wire"
+)
+
+// BlockRun is one contiguous run of block IDs: Count blocks starting at
+// Start.
+type BlockRun struct {
+	Start, Count int
+}
+
+// BlockData is a batch swap-in result: the pool's per-block element
+// count, the (sorted, disjoint) runs covering the requested IDs, and
+// their contents packed run by run.
+type BlockData struct {
+	BlockElems int
+	Runs       []BlockRun
+	Data       []float32
+}
+
+// Block returns one block's elements from the packed payload, or false
+// when the ID is not covered by the result's runs. The returned slice
+// aliases Data.
+func (bd *BlockData) Block(id int) ([]float32, bool) {
+	off := 0
+	for _, r := range bd.Runs {
+		if id >= r.Start && id < r.Start+r.Count {
+			base := (off + id - r.Start) * bd.BlockElems
+			return bd.Data[base : base+bd.BlockElems], true
+		}
+		off += r.Count
+	}
+	return nil, false
+}
+
+// runsOf converts a strictly-ascending unique ID list into the canonical
+// run table the batch-data frame carries. Any other shape errors: packed
+// payloads have no unambiguous layout for unsorted or duplicate IDs.
+func runsOf(ids []int) ([]wire.BlockRun, error) {
+	var runs []wire.BlockRun
+	for i, id := range ids {
+		if i > 0 && id <= ids[i-1] {
+			return nil, fmt.Errorf("%w: block IDs must be strictly ascending (%d after %d)",
+				ErrProtocol, id, ids[i-1])
+		}
+		if n := len(runs); n > 0 && id == runs[n-1].Start+runs[n-1].Count {
+			runs[n-1].Count++
+			continue
+		}
+		runs = append(runs, wire.BlockRun{Start: id, Count: 1})
+	}
+	return runs, nil
+}
+
+// blockData converts a batch-data response frame.
+func blockData(f *wire.Frame) *BlockData {
+	bd := &BlockData{BlockElems: f.BlockElems, Data: f.Data}
+	for _, r := range f.Runs {
+		bd.Runs = append(bd.Runs, BlockRun{Start: r.Start, Count: r.Count})
+	}
+	return bd
+}
+
+// RegisterPool reserves a paged block pool: numBlocks fixed-size blocks
+// of blockElems float32s under one name, charged against the tenant
+// quota once, here.
+func (c *Client) RegisterPool(ctx context.Context, pool string, blockElems, numBlocks int) error {
+	_, err := c.do(ctx, "/v1/register-pool",
+		&wire.Frame{Type: wire.TypeRegisterPool, Name: pool, BlockElems: blockElems, NumBlocks: numBlocks},
+		wire.TypeAck)
+	return err
+}
+
+// WriteBlocks stores packed block contents: data holds len(ids) blocks
+// back to back in the order of the strictly-ascending ID list. Target
+// blocks must be resident.
+func (c *Client) WriteBlocks(ctx context.Context, pool string, ids []int, data []float32) error {
+	runs, err := runsOf(ids)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	elems := len(data) / len(ids)
+	_, err = c.do(ctx, "/v1/batch-write",
+		&wire.Frame{Type: wire.TypeBatchData, Name: pool, BlockElems: elems, Runs: runs, Data: data},
+		wire.TypeAck)
+	return err
+}
+
+// SwapOutBlocks moves the listed blocks to the service's host pool as one
+// batch: IDs may repeat and arrive in any order; the service coalesces
+// contiguous runs. Options as SwapOut.
+func (c *Client) SwapOutBlocks(ctx context.Context, pool string, ids []int, opts ...SwapOption) error {
+	o := swapOpts{compress: true, alg: Auto}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	_, err := c.do(ctx, "/v1/batch-swap-out",
+		&wire.Frame{Type: wire.TypeBatchSwapOut, Name: pool, Compress: o.compress, Alg: o.alg, BlockIDs: ids},
+		wire.TypeAck)
+	return err
+}
+
+// SwapInBlocks restores the listed blocks and returns their packed
+// contents. Already-resident blocks are included in the result without a
+// restore.
+func (c *Client) SwapInBlocks(ctx context.Context, pool string, ids []int) (*BlockData, error) {
+	f, err := c.do(ctx, "/v1/batch-swap-in",
+		&wire.Frame{Type: wire.TypeBatchSwapIn, Name: pool, BlockIDs: ids}, wire.TypeBatchData)
+	if err != nil {
+		return nil, err
+	}
+	return blockData(f), nil
+}
+
+// PrefetchBlocks asks the service to restore the listed blocks ahead of
+// need; already-resident blocks are no-ops.
+func (c *Client) PrefetchBlocks(ctx context.Context, pool string, ids []int) error {
+	_, err := c.do(ctx, "/v1/batch-prefetch",
+		&wire.Frame{Type: wire.TypeBatchPrefetch, Name: pool, BlockIDs: ids}, wire.TypeAck)
+	return err
+}
+
+// RegisterPool reserves a paged block pool on the shard owning the pool
+// name; batch operations on the pool route to the same shard.
+func (cc *ClusterClient) RegisterPool(ctx context.Context, pool string, blockElems, numBlocks int) error {
+	_, err := cc.run(ctx, pool, "/v1/register-pool",
+		&wire.Frame{Type: wire.TypeRegisterPool, Name: pool, BlockElems: blockElems, NumBlocks: numBlocks},
+		wire.TypeAck)
+	return err
+}
+
+// WriteBlocks stores packed block contents on the pool's owning shard;
+// semantics as Client.WriteBlocks.
+func (cc *ClusterClient) WriteBlocks(ctx context.Context, pool string, ids []int, data []float32) error {
+	runs, err := runsOf(ids)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	elems := len(data) / len(ids)
+	_, err = cc.run(ctx, pool, "/v1/batch-write",
+		&wire.Frame{Type: wire.TypeBatchData, Name: pool, BlockElems: elems, Runs: runs, Data: data},
+		wire.TypeAck)
+	return err
+}
+
+// SwapOutBlocks batch-swaps blocks out on the pool's owning shard.
+func (cc *ClusterClient) SwapOutBlocks(ctx context.Context, pool string, ids []int, opts ...SwapOption) error {
+	o := swapOpts{compress: true, alg: Auto}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	_, err := cc.run(ctx, pool, "/v1/batch-swap-out",
+		&wire.Frame{Type: wire.TypeBatchSwapOut, Name: pool, Compress: o.compress, Alg: o.alg, BlockIDs: ids},
+		wire.TypeAck)
+	return err
+}
+
+// SwapInBlocks restores blocks on the pool's owning shard and returns
+// their packed contents.
+func (cc *ClusterClient) SwapInBlocks(ctx context.Context, pool string, ids []int) (*BlockData, error) {
+	f, err := cc.run(ctx, pool, "/v1/batch-swap-in",
+		&wire.Frame{Type: wire.TypeBatchSwapIn, Name: pool, BlockIDs: ids}, wire.TypeBatchData)
+	if err != nil {
+		return nil, err
+	}
+	return blockData(f), nil
+}
+
+// PrefetchBlocks prefetches blocks on the pool's owning shard.
+func (cc *ClusterClient) PrefetchBlocks(ctx context.Context, pool string, ids []int) error {
+	_, err := cc.run(ctx, pool, "/v1/batch-prefetch",
+		&wire.Frame{Type: wire.TypeBatchPrefetch, Name: pool, BlockIDs: ids}, wire.TypeAck)
+	return err
+}

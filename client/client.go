@@ -123,9 +123,14 @@ func New(baseURL string, opts ...Option) *Client {
 		maxRetries: 8,
 		backoff:    25 * time.Millisecond,
 		hc: &http.Client{
+			// MaxIdleConnsPerHost matters more than usual here: the client
+			// talks to ONE host (or one router), so the per-host cap IS the
+			// connection pool. The Go default of 2 would discard all but two
+			// keep-alive connections under a concurrent decode-step batch
+			// load, paying a TCP handshake per swap instead of reusing.
 			Transport: &http.Transport{
-				MaxIdleConns:        32,
-				MaxIdleConnsPerHost: 32,
+				MaxIdleConns:        128,
+				MaxIdleConnsPerHost: 128,
 				IdleConnTimeout:     90 * time.Second,
 			},
 		},

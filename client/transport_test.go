@@ -1,0 +1,76 @@
+package client
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cswap/internal/wire"
+)
+
+// TestDefaultTransportPoolsPerHost pins the transport sizing: the client
+// talks to one host, so MaxIdleConnsPerHost is the effective pool size
+// and must match the concurrency the batch API invites — Go's default of
+// 2 would churn connections under any parallel swap load.
+func TestDefaultTransportPoolsPerHost(t *testing.T) {
+	c := New("http://127.0.0.1:0")
+	tr, ok := c.hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default transport is %T, want *http.Transport", c.hc.Transport)
+	}
+	if tr.MaxIdleConnsPerHost < 128 {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want >= 128", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < tr.MaxIdleConnsPerHost {
+		t.Fatalf("MaxIdleConns %d < MaxIdleConnsPerHost %d: per-host pool can never fill",
+			tr.MaxIdleConns, tr.MaxIdleConnsPerHost)
+	}
+}
+
+// TestConnectionReuseUnderConcurrency drives many concurrent workers
+// through one client and counts TCP connections on the server side: the
+// keep-alive pool must absorb the load with roughly one connection per
+// worker, not one per request.
+func TestConnectionReuseUnderConcurrency(t *testing.T) {
+	ack, err := wire.Encode(&wire.Frame{Type: wire.TypeAck, Name: "kv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newConns atomic.Int32
+	hs := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(ack)
+	}))
+	hs.Config.ConnState = func(_ net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			newConns.Add(1)
+		}
+	}
+	hs.Start()
+	defer hs.Close()
+
+	c := New(hs.URL)
+	const workers, rounds = 16, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := c.SwapOutBlocks(context.Background(), "kv", []int{w, w + 1}); err != nil {
+					t.Errorf("worker %d round %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := workers * rounds
+	if got := int(newConns.Load()); got > total/4 {
+		t.Fatalf("%d requests opened %d connections; keep-alive pool is not reusing", total, got)
+	}
+}

@@ -2,7 +2,9 @@
 // network-facing front end over the functional swapping executor. Clients
 // (the client package, or anything speaking the wire frame protocol over
 // HTTP) register float32 tensors, swap them out through the real codecs to
-// the pinned-host pool, and swap them back bit-exactly; /metrics exposes
+// the pinned-host pool, and swap them back bit-exactly; paged block pools
+// (register-pool and the batch-swap operations) move KV-cache-style block
+// lists the same way, one coalesced run per codec launch; /metrics exposes
 // the shared registry in Prometheus text format.
 //
 // Usage:

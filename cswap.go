@@ -48,6 +48,7 @@ import (
 	"cswap/internal/metrics"
 	"cswap/internal/profiler"
 	"cswap/internal/server"
+	"cswap/internal/sim"
 	"cswap/internal/sparsity"
 	"cswap/internal/swap"
 	"cswap/internal/tensor"
@@ -180,6 +181,26 @@ func RecoverableError(err error) bool { return compress.Recoverable(err) }
 
 // NewTensorGenerator returns a deterministic synthetic tensor source.
 func NewTensorGenerator(seed int64) *TensorGenerator { return tensor.NewGenerator(seed) }
+
+// ---------------------------------------------------------------------------
+// KV-cache decode traces (paged block pools).
+
+type (
+	// KVStep is one decode step's batch swap traffic: the block IDs
+	// leaving the device and the block IDs returning.
+	KVStep = sim.KVStep
+	// KVTraceConfig configures GenKVTrace; see DefaultKVTrace.
+	KVTraceConfig = sim.KVTraceConfig
+)
+
+// DefaultKVTrace is a serving-shaped decode workload: contiguous
+// per-sequence block regions, periodic whole-region evictions, and a
+// fragmented single-block tail.
+func DefaultKVTrace() KVTraceConfig { return sim.DefaultKVTrace() }
+
+// GenKVTrace generates the deterministic decode-step trace for cfg: the
+// same config always yields the same steps.
+func GenKVTrace(cfg KVTraceConfig) []KVStep { return sim.GenKVTrace(cfg) }
 
 // ---------------------------------------------------------------------------
 // The CSWAP framework.

@@ -1,0 +1,698 @@
+package executor
+
+// Block pools: the paged KV-cache layout for the LLM-serving workload
+// class. Where Register gives each tensor its own device reservation, a
+// BlockPool carves ONE reservation into numBlocks fixed-size blocks of
+// blockElems float32s — the paged layout inference engines give their KV
+// caches — and the batch operations move *lists* of block IDs per call.
+//
+// The batch ops sort and dedup the requested IDs and merge contiguous
+// runs (swiftLLM's block_swapping names exactly this merge as its own
+// future work): source and destination of a run are both sequential
+// memory, so one codec/pool operation per RUN replaces one per block —
+// the cDMA amortization that makes compressed swapping pay off at small
+// granularity. Each run rides the existing async ticket pipeline (one
+// bounded-window slot per run), so runs within a batch overlap exactly
+// like independent tensor swaps.
+//
+// State machine: every block carries the same State values as a Handle
+// (Resident / Swapped / SwappingOut / SwappingIn), guarded by one
+// per-pool mutex. A batch claims ALL its target blocks atomically before
+// submitting any run — a batch either starts whole or fails whole with
+// the first offending block's error — and each run commits or rolls back
+// only its own blocks. The stored run is the restore granularity: a
+// swap-in that requests any block of a stored run restores the whole run
+// (the blocks were encoded as one blob; decoding it is one operation
+// either way).
+//
+// Unlike a tensor handle, the pool's device reservation is permanent: a
+// paged KV region is allocated once for the serving engine's lifetime,
+// and swapped-out blocks' physical slots are the engine's to reuse. What
+// the batch ops move is block *contents*; host-pool bytes are charged per
+// stored run while it is swapped.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cswap/internal/compress"
+	"cswap/internal/devmem"
+	"cswap/internal/faultinject"
+)
+
+// CoalesceBlockIDs sorts ids, drops duplicates, and merges contiguous
+// runs — the pure coalescing rule both the executor and the simulator
+// score by. A nil/empty input returns nil.
+func CoalesceBlockIDs(ids []int) []BlockRun {
+	if len(ids) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	runs := make([]BlockRun, 0, 4)
+	runs = append(runs, BlockRun{Start: sorted[0], Count: 1})
+	for _, id := range sorted[1:] {
+		last := &runs[len(runs)-1]
+		switch id {
+		case last.Start + last.Count - 1: // duplicate
+		case last.Start + last.Count:
+			last.Count++
+		default:
+			runs = append(runs, BlockRun{Start: id, Count: 1})
+		}
+	}
+	return runs
+}
+
+// BlockRun is one contiguous run of block IDs: Count blocks starting at
+// Start. It is the unit of codec and pool work in a batch.
+type BlockRun struct {
+	Start, Count int
+}
+
+// BlockPool is one named paged block region: a single device reservation
+// divided into fixed-size blocks, addressed by ID.
+type BlockPool struct {
+	e          *Executor
+	id         int
+	name       string
+	blockElems int
+	numBlocks  int
+	devBlock   *devmem.Block
+	data       []float32 // the whole region; block i is [i*blockElems, (i+1)*blockElems)
+
+	// mu guards the per-block state vector and run map. Run payload fields
+	// are owned exclusively by the operation holding the transitional
+	// state, like a Handle's storage.
+	mu    sync.Mutex
+	state []State
+	run   []*poolRun // per block: the stored run holding it while Swapped
+	freed bool
+}
+
+// poolRun is one stored (swapped-out) run: the encoded blob for Count
+// blocks starting at Start, plus its host-pool accounting.
+type poolRun struct {
+	start, count int
+	blob         []byte
+	hostBlock    *devmem.Block
+	alg          compress.Algorithm
+	compressed   bool
+	checksum     uint64
+}
+
+// RegisterBlockPool reserves numBlocks fixed-size blocks of blockElems
+// float32s as one device allocation. It fails with devmem.ErrOutOfMemory
+// when the device pool cannot hold the region and ErrClosed after Close.
+func (e *Executor) RegisterBlockPool(name string, blockElems, numBlocks int) (*BlockPool, error) {
+	if blockElems <= 0 || numBlocks <= 0 {
+		return nil, fmt.Errorf("executor: block pool %s: geometry %d elems x %d blocks must be positive",
+			name, blockElems, numBlocks)
+	}
+	total := int64(blockElems) * int64(numBlocks) * 4
+	block, err := e.device.Alloc(total)
+	if err != nil {
+		return nil, err
+	}
+	p := &BlockPool{
+		e:          e,
+		name:       name,
+		blockElems: blockElems,
+		numBlocks:  numBlocks,
+		devBlock:   block,
+		data:       make([]float32, blockElems*numBlocks),
+		state:      make([]State, numBlocks),
+		run:        make([]*poolRun, numBlocks),
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = block.Free()
+		return nil, fmt.Errorf("%w: register block pool %s", ErrClosed, name)
+	}
+	e.nextID++
+	p.id = e.nextID
+	e.pools[p.id] = p
+	e.mu.Unlock()
+	return p, nil
+}
+
+// Name returns the pool's registration name.
+func (p *BlockPool) Name() string { return p.name }
+
+// BlockElems returns the per-block element count.
+func (p *BlockPool) BlockElems() int { return p.blockElems }
+
+// NumBlocks returns the pool size in blocks.
+func (p *BlockPool) NumBlocks() int { return p.numBlocks }
+
+// Bytes returns the pool's device reservation size.
+func (p *BlockPool) Bytes() int64 { return int64(p.blockElems) * int64(p.numBlocks) * 4 }
+
+// BlockHandle is a lightweight per-block view into a pool — the paged
+// analogue of a tensor Handle, for callers that track residency block by
+// block.
+type BlockHandle struct {
+	pool *BlockPool
+	id   int
+}
+
+// Handle returns the per-block handle for one block ID.
+func (p *BlockPool) Handle(id int) (BlockHandle, error) {
+	if id < 0 || id >= p.numBlocks {
+		return BlockHandle{}, fmt.Errorf("executor: block pool %s: block %d out of range [0,%d)", p.name, id, p.numBlocks)
+	}
+	return BlockHandle{pool: p, id: id}, nil
+}
+
+// Pool returns the owning pool.
+func (h BlockHandle) Pool() *BlockPool { return h.pool }
+
+// ID returns the block's index in its pool.
+func (h BlockHandle) ID() int { return h.id }
+
+// State returns the block's current storage state.
+func (h BlockHandle) State() State { return h.pool.BlockState(h.id) }
+
+// BlockState returns one block's current storage state (Freed once the
+// pool itself is freed).
+func (p *BlockPool) BlockState(id int) State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freed {
+		return Freed
+	}
+	return p.state[id]
+}
+
+// SwappedIDs returns the IDs of currently swapped-out blocks, ascending —
+// the work list a migration (or a restore-everything drain) walks.
+func (p *BlockPool) SwappedIDs() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ids []int
+	for i, st := range p.state {
+		if st == Swapped {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// checkIDs validates a strictly-ascending unique ID list against the pool
+// bounds — the shape WriteBlocks and ReadBlocks require, because it gives
+// the packed data buffer an unambiguous layout.
+func (p *BlockPool) checkIDs(ids []int) error {
+	for i, id := range ids {
+		if id < 0 || id >= p.numBlocks {
+			return fmt.Errorf("executor: block pool %s: block %d out of range [0,%d)", p.name, id, p.numBlocks)
+		}
+		if i > 0 && id <= ids[i-1] {
+			return fmt.Errorf("executor: block pool %s: block IDs must be strictly ascending (%d after %d)",
+				p.name, id, ids[i-1])
+		}
+	}
+	return nil
+}
+
+// WriteBlocks stores packed block contents: data holds len(ids) blocks
+// back to back, in the order of the strictly-ascending ID list. Every
+// target block must be Resident (a swapped or in-flight block refuses —
+// its stored copy would silently diverge from the device copy).
+func (p *BlockPool) WriteBlocks(ids []int, data []float32) error {
+	if err := p.checkIDs(ids); err != nil {
+		return err
+	}
+	if len(data) != len(ids)*p.blockElems {
+		return fmt.Errorf("executor: block pool %s: %d blocks need %d elements, got %d",
+			p.name, len(ids), len(ids)*p.blockElems, len(data))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freed {
+		return fmt.Errorf("%w: block pool %s", ErrFreed, p.name)
+	}
+	for _, id := range ids {
+		if st := p.state[id]; st != Resident {
+			return p.blockStateErr(id, st)
+		}
+	}
+	for i, id := range ids {
+		copy(p.data[id*p.blockElems:(id+1)*p.blockElems], data[i*p.blockElems:(i+1)*p.blockElems])
+	}
+	return nil
+}
+
+// ReadBlocks returns packed block contents for a strictly-ascending ID
+// list. Every block must be Resident; swap the batch in first.
+func (p *BlockPool) ReadBlocks(ids []int) ([]float32, error) {
+	if err := p.checkIDs(ids); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freed {
+		return nil, fmt.Errorf("%w: block pool %s", ErrFreed, p.name)
+	}
+	for _, id := range ids {
+		if st := p.state[id]; st != Resident {
+			return nil, p.blockStateErr(id, st)
+		}
+	}
+	out := make([]float32, len(ids)*p.blockElems)
+	for i, id := range ids {
+		copy(out[i*p.blockElems:(i+1)*p.blockElems], p.data[id*p.blockElems:(id+1)*p.blockElems])
+	}
+	return out, nil
+}
+
+// blockStateErr maps a block's offending state onto the executor error
+// taxonomy. Caller holds p.mu.
+func (p *BlockPool) blockStateErr(id int, st State) error {
+	switch st {
+	case SwappingOut, SwappingIn:
+		p.e.ins.busyRejections.Inc()
+		return fmt.Errorf("%w: %s block %d (%s in flight)", ErrBusy, p.name, id, st)
+	case Swapped:
+		return fmt.Errorf("%w: %s block %d already swapped out", ErrNotResident, p.name, id)
+	case Resident:
+		return fmt.Errorf("%w: %s block %d already resident", ErrNotSwapped, p.name, id)
+	}
+	return fmt.Errorf("executor: %s block %d in unexpected state %s", p.name, id, st)
+}
+
+// SwapOutBlocks moves the listed blocks' contents to the host pool and
+// waits: IDs are coalesced into contiguous runs, each run is encoded and
+// stored as one operation on the async pipeline, and runs overlap within
+// the bounded in-flight window. Per-run failure semantics match SwapOut
+// (encode and compressed-alloc failures degrade to raw; only a raw-path
+// allocation failure surfaces, with that run's blocks left Resident).
+func (p *BlockPool) SwapOutBlocks(ids []int, doCompress bool, alg compress.Algorithm) error {
+	return p.SwapOutBlocksCtx(context.Background(), ids, doCompress, alg).Wait()
+}
+
+// SwapOutBlocksCtx is SwapOutBlocks as a pipeline stage: the returned
+// Ticket resolves when every run has committed. The context governs slot
+// acquisition for not-yet-submitted runs; already-running runs always
+// finish and commit.
+func (p *BlockPool) SwapOutBlocksCtx(ctx context.Context, ids []int, doCompress bool, alg compress.Algorithm) *Ticket {
+	runs := CoalesceBlockIDs(ids)
+	t := newTicket("batch-swap-out", p.name)
+	if err := p.claimRuns(runs, Resident, SwappingOut); err != nil {
+		t.complete(err)
+		return t
+	}
+	if len(runs) == 0 {
+		t.complete(nil)
+		return t
+	}
+	p.e.observeBatch(len(ids), runs)
+	p.submitRuns(ctx, t, runs, SwappingOut, func(r BlockRun) error {
+		return p.swapOutRun(r, doCompress, alg)
+	})
+	return t
+}
+
+// SwapInBlocks restores the listed blocks' contents from the host pool
+// and waits. Already-resident blocks are skipped (idempotent restore);
+// restore granularity is the stored run, so requesting any block of a
+// stored run restores the whole run.
+func (p *BlockPool) SwapInBlocks(ids []int) error {
+	return p.SwapInBlocksCtx(context.Background(), ids).Wait()
+}
+
+// SwapInBlocksCtx is SwapInBlocks as a pipeline stage; see
+// SwapOutBlocksCtx for ticket and context semantics.
+func (p *BlockPool) SwapInBlocksCtx(ctx context.Context, ids []int) *Ticket {
+	return p.swapInCtx(ctx, "batch-swap-in", ids)
+}
+
+// PrefetchBlocks requests residency for the listed blocks ahead of need
+// and returns immediately with the batch's aggregate ticket. It is
+// SwapInBlocksCtx under a prefetch label: already-resident blocks
+// complete without work.
+func (p *BlockPool) PrefetchBlocks(ids []int) *Ticket {
+	return p.swapInCtx(context.Background(), "batch-prefetch", ids)
+}
+
+// swapInCtx is the shared batch swap-in/prefetch body: collect the stored
+// runs intersecting the requested IDs, claim their blocks atomically, and
+// submit one restore per run.
+func (p *BlockPool) swapInCtx(ctx context.Context, op string, ids []int) *Ticket {
+	t := newTicket(op, p.name)
+	reqRuns := CoalesceBlockIDs(ids)
+	if err := p.validateRuns(reqRuns); err != nil {
+		t.complete(err)
+		return t
+	}
+
+	// Claim phase, atomic under p.mu: every requested block must be
+	// Resident (skip) or Swapped (restore via its stored run); any
+	// in-flight block fails the whole batch before it starts.
+	p.mu.Lock()
+	if p.freed {
+		p.mu.Unlock()
+		t.complete(fmt.Errorf("%w: block pool %s", ErrFreed, p.name))
+		return t
+	}
+	var stored []*poolRun
+	seen := map[*poolRun]bool{}
+	for _, r := range reqRuns {
+		for id := r.Start; id < r.Start+r.Count; id++ {
+			switch p.state[id] {
+			case Resident:
+			case Swapped:
+				if pr := p.run[id]; !seen[pr] {
+					seen[pr] = true
+					stored = append(stored, pr)
+				}
+			default:
+				err := p.blockStateErr(id, p.state[id])
+				p.mu.Unlock()
+				t.complete(err)
+				return t
+			}
+		}
+	}
+	for _, pr := range stored {
+		for id := pr.start; id < pr.start+pr.count; id++ {
+			p.state[id] = SwappingIn
+		}
+	}
+	p.mu.Unlock()
+
+	if len(stored) == 0 {
+		t.complete(nil)
+		return t
+	}
+	runs := make([]BlockRun, len(stored))
+	for i, pr := range stored {
+		runs[i] = BlockRun{Start: pr.start, Count: pr.count}
+	}
+	p.e.observeBatch(len(ids), runs)
+	p.submitRuns(ctx, t, runs, SwappingIn, func(r BlockRun) error {
+		p.mu.Lock()
+		pr := p.run[r.Start]
+		p.mu.Unlock()
+		return p.swapInRun(pr)
+	})
+	return t
+}
+
+// claimRuns atomically moves every block of every run from `from` to
+// `to`, or changes nothing and returns the first offending block's error.
+func (p *BlockPool) claimRuns(runs []BlockRun, from, to State) error {
+	if err := p.validateRuns(runs); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freed {
+		return fmt.Errorf("%w: block pool %s", ErrFreed, p.name)
+	}
+	for _, r := range runs {
+		for id := r.Start; id < r.Start+r.Count; id++ {
+			if p.state[id] != from {
+				return p.blockStateErr(id, p.state[id])
+			}
+		}
+	}
+	for _, r := range runs {
+		for id := r.Start; id < r.Start+r.Count; id++ {
+			p.state[id] = to
+		}
+	}
+	return nil
+}
+
+// rollbackRuns reverts claimed-but-never-run blocks to their prior state.
+func (p *BlockPool) rollbackRuns(runs []BlockRun, to State) {
+	p.mu.Lock()
+	for _, r := range runs {
+		for id := r.Start; id < r.Start+r.Count; id++ {
+			p.state[id] = to
+		}
+	}
+	p.mu.Unlock()
+}
+
+// validateRuns bounds-checks coalesced runs against the pool. Runs come
+// from CoalesceBlockIDs, so checking the first start and each end
+// suffices.
+func (p *BlockPool) validateRuns(runs []BlockRun) error {
+	for _, r := range runs {
+		if r.Start < 0 || r.Start+r.Count > p.numBlocks {
+			return fmt.Errorf("executor: block pool %s: run [%d,+%d) out of range [0,%d)",
+				p.name, r.Start, r.Count, p.numBlocks)
+		}
+	}
+	return nil
+}
+
+// submitRuns dispatches one pipeline operation per claimed run and wires
+// the aggregate ticket: it resolves with the first run error (nil when
+// all commit) once every run has committed or rolled back. Submission
+// happens in the caller's goroutine, so a full in-flight window applies
+// the same backpressure as submitAsync; if the gate refuses mid-batch
+// (closed executor, dead context), the not-yet-submitted runs roll back
+// to `claimed`'s source state and the refusal joins the aggregate error.
+func (p *BlockPool) submitRuns(ctx context.Context, t *Ticket, runs []BlockRun, claimed State, body func(BlockRun) error) {
+	e := p.e
+	e.ins.asyncSubmitted(t.op).Add(float64(len(runs)))
+	children := make([]*Ticket, 0, len(runs))
+	var submitErr error
+	for i, r := range runs {
+		waited, err := e.gate.acquire(ctx)
+		if err != nil {
+			from := Resident
+			if claimed == SwappingIn {
+				from = Swapped
+			}
+			p.rollbackRuns(runs[i:], from)
+			submitErr = fmt.Errorf("executor: %s %s: %w", t.op, p.name, err)
+			break
+		}
+		if waited {
+			e.ins.asyncBackpressure.Inc()
+		}
+		run := r
+		ct := newTicket(t.op, p.name)
+		children = append(children, ct)
+		compress.Go(func() {
+			ct.complete(body(run)) // commits or rolls back the run's blocks
+			e.gate.release()
+		})
+	}
+	go func() {
+		err := submitErr
+		for _, ct := range children {
+			if cerr := ct.Wait(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		t.complete(err)
+	}()
+}
+
+// swapOutRun encodes and stores one contiguous run. The blocks are
+// claimed SwappingOut; commit publishes the stored run and marks them
+// Swapped, rollback returns them to Resident with the device copy intact.
+func (p *BlockPool) swapOutRun(r BlockRun, doCompress bool, alg compress.Algorithm) error {
+	e := p.e
+	inj := e.cfg.Faults
+	src := p.data[r.Start*p.blockElems : (r.Start+r.Count)*p.blockElems]
+	compressed := doCompress
+	var blob []byte
+	if doCompress {
+		b, err := e.arenaEncode(alg, src)
+		if err != nil {
+			compressed = false
+			e.ins.encodeFallbacks.Inc()
+		} else {
+			blob = b
+		}
+	}
+	if !compressed {
+		blob = rawEncode(src, e.cache)
+	}
+	if mutated, ok := inj.MutateBlob(faultinject.SiteTransferOut, blob); ok {
+		e.recycleBlob(blob, compressed)
+		blob = mutated
+	}
+	hostBlock, err := e.host.Alloc(int64(len(blob)))
+	if err != nil && compressed {
+		raw := rawEncode(src, e.cache)
+		rawBlock, rerr := e.host.Alloc(int64(len(raw)))
+		if rerr != nil {
+			e.cache.Put(raw)
+			e.arena.put(blob)
+			p.rollbackRuns([]BlockRun{r}, Resident)
+			return fmt.Errorf("executor: host pool: %w", err)
+		}
+		e.arena.put(blob)
+		compressed = false
+		e.ins.allocFallbacks.Inc()
+		blob, hostBlock, err = raw, rawBlock, nil
+	}
+	if err != nil {
+		e.recycleBlob(blob, compressed)
+		p.rollbackRuns([]BlockRun{r}, Resident)
+		return fmt.Errorf("executor: host pool: %w", err)
+	}
+	pr := &poolRun{
+		start: r.Start, count: r.Count,
+		blob: blob, hostBlock: hostBlock,
+		alg: alg, compressed: compressed,
+		checksum: checksum(src),
+	}
+	p.mu.Lock()
+	for id := r.Start; id < r.Start+r.Count; id++ {
+		p.state[id] = Swapped
+		p.run[id] = pr
+	}
+	p.mu.Unlock()
+	e.ins.swapOuts.Inc()
+	e.ins.rawBytes.Add(float64(len(src) * 4))
+	e.ins.movedBytes.Add(float64(len(blob)))
+	if compressed {
+		e.ins.compressed.Inc()
+	}
+	return nil
+}
+
+// swapInRun restores one stored run into the pool's device region,
+// decoding (and verifying) with the same retained-blob retry semantics as
+// a tensor swap-in: a recoverable first-attempt failure retries once from
+// the stored blob, and any surfaced failure leaves the run cleanly
+// Swapped with its blob intact — retry-safe, never silently wrong data.
+func (p *BlockPool) swapInRun(pr *poolRun) error {
+	e := p.e
+	inj := e.cfg.Faults
+	dst := p.data[pr.start*p.blockElems : (pr.start+pr.count)*p.blockElems]
+	launch := e.Launch()
+	decode := func(blob []byte) error {
+		if pr.compressed {
+			return compress.ParallelDecodeIntoWith(dst, blob, launch, e.hooks)
+		}
+		if len(blob) != len(dst)*4 {
+			return fmt.Errorf("%w: raw blob is %d bytes, want %d",
+				compress.ErrTruncated, len(blob), len(dst)*4)
+		}
+		rawDecodeInto(dst, blob)
+		return nil
+	}
+	check := func() error {
+		if e.cfg.Verify && checksum(dst) != pr.checksum {
+			return fmt.Errorf("%w: %s run [%d,+%d)", ErrVerification, p.name, pr.start, pr.count)
+		}
+		return nil
+	}
+	transfer, transient := inj.MutateBlob(faultinject.SiteTransferIn, pr.blob)
+	derr := decode(transfer)
+	if derr == nil {
+		derr = check()
+	}
+	retried, recovered := false, false
+	if derr != nil && retryable(derr, transient) {
+		retried = true
+		if rerr := decode(pr.blob); rerr != nil {
+			derr = rerr
+		} else if rerr = check(); rerr != nil {
+			derr = rerr
+		} else {
+			derr, recovered = nil, true
+		}
+	}
+	if transient {
+		e.arena.put(transfer)
+	}
+	if retried {
+		e.ins.decodeRetries.Inc()
+	}
+	if derr != nil {
+		p.rollbackRuns([]BlockRun{{Start: pr.start, Count: pr.count}}, Swapped)
+		return fmt.Errorf("executor: restore %s run [%d,+%d): %w", p.name, pr.start, pr.count, derr)
+	}
+	if err := pr.hostBlock.Free(); err != nil {
+		p.rollbackRuns([]BlockRun{{Start: pr.start, Count: pr.count}}, Swapped)
+		return fmt.Errorf("executor: restore %s run [%d,+%d): %w", p.name, pr.start, pr.count, err)
+	}
+	e.recycleBlob(pr.blob, pr.compressed)
+	p.mu.Lock()
+	for id := pr.start; id < pr.start+pr.count; id++ {
+		p.state[id] = Resident
+		p.run[id] = nil
+	}
+	p.mu.Unlock()
+	e.ins.swapIns.Inc()
+	if e.cfg.Verify {
+		e.ins.verified.Inc()
+	}
+	if recovered {
+		e.ins.decodeRecoveries.Inc()
+	}
+	return nil
+}
+
+// Free releases the pool: the device reservation and every stored run's
+// host bytes. Any block with a swap in flight refuses with ErrBusy — wait
+// for the batch tickets, then Free. Freeing twice returns ErrFreed.
+func (p *BlockPool) Free() error {
+	p.mu.Lock()
+	if p.freed {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: block pool %s", ErrFreed, p.name)
+	}
+	for id, st := range p.state {
+		if st == SwappingOut || st == SwappingIn {
+			err := p.blockStateErr(id, st)
+			p.mu.Unlock()
+			return err
+		}
+	}
+	p.freed = true
+	var stored []*poolRun
+	seen := map[*poolRun]bool{}
+	for _, pr := range p.run {
+		if pr != nil && !seen[pr] {
+			seen[pr] = true
+			stored = append(stored, pr)
+		}
+	}
+	p.mu.Unlock()
+	if err := p.devBlock.Free(); err != nil {
+		p.mu.Lock()
+		p.freed = false
+		p.mu.Unlock()
+		return err
+	}
+	for _, pr := range stored {
+		_ = pr.hostBlock.Free()
+		p.e.recycleBlob(pr.blob, pr.compressed)
+	}
+	e := p.e
+	e.mu.Lock()
+	delete(e.pools, p.id)
+	e.mu.Unlock()
+	return nil
+}
+
+// observeBatch records one batch's coalescing outcome: how many blocks
+// the caller asked for (pre-dedup), how many runs they merged into, and
+// the batch size — the "requests and frames, not bytes" win this layout
+// exists for.
+func (e *Executor) observeBatch(requested int, runs []BlockRun) {
+	blocks := 0
+	for _, r := range runs {
+		blocks += r.Count
+	}
+	if blocks == 0 {
+		return
+	}
+	e.ins.batchBlocks.Add(float64(blocks))
+	e.ins.batchRuns.Add(float64(len(runs)))
+	e.ins.batchSize.Observe(float64(requested))
+	e.ins.coalesceRatio.Observe(float64(len(runs)) / float64(blocks))
+}

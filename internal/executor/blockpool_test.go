@@ -1,0 +1,322 @@
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cswap/internal/compress"
+)
+
+func newPoolExecutor(t *testing.T) *Executor {
+	t.Helper()
+	e, err := New(Config{DeviceCapacity: 64 << 20, HostCapacity: 64 << 20, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+// blockFill gives block id a distinctive payload so cross-block mixups
+// cannot verify.
+func blockFill(id, elems int) []float32 {
+	data := make([]float32, elems)
+	for i := range data {
+		if i%3 == 0 {
+			data[i] = 0 // keep some sparsity for the codecs
+		} else {
+			data[i] = float32(id*1000 + i)
+		}
+	}
+	return data
+}
+
+func TestCoalesceBlockIDs(t *testing.T) {
+	cases := []struct {
+		ids  []int
+		want []BlockRun
+	}{
+		{nil, nil},
+		{[]int{}, nil},
+		{[]int{5}, []BlockRun{{5, 1}}},
+		{[]int{3, 4, 5}, []BlockRun{{3, 3}}},
+		{[]int{5, 3, 4}, []BlockRun{{3, 3}}},
+		{[]int{3, 3, 4, 4, 5}, []BlockRun{{3, 3}}},
+		{[]int{0, 2, 3, 7}, []BlockRun{{0, 1}, {2, 2}, {7, 1}}},
+		{[]int{9, 0, 1, 8, 4}, []BlockRun{{0, 2}, {4, 1}, {8, 2}}},
+	}
+	for _, c := range cases {
+		got := CoalesceBlockIDs(c.ids)
+		if len(got) != len(c.want) {
+			t.Fatalf("Coalesce(%v) = %v, want %v", c.ids, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Coalesce(%v) = %v, want %v", c.ids, got, c.want)
+			}
+		}
+	}
+}
+
+// TestSequentialBatchCoalescesToOneRun pins the acceptance criterion: a
+// batch of sequential block IDs merges into exactly one run — one codec
+// operation, one host allocation, one swap counted.
+func TestSequentialBatchCoalescesToOneRun(t *testing.T) {
+	ids := make([]int, 64)
+	for i := range ids {
+		ids[i] = i + 10
+	}
+	if runs := CoalesceBlockIDs(ids); len(runs) != 1 || runs[0] != (BlockRun{Start: 10, Count: 64}) {
+		t.Fatalf("sequential IDs coalesced to %v, want one run [10,+64)", runs)
+	}
+
+	e := newPoolExecutor(t)
+	p, err := e.RegisterBlockPool("kv", 32, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats().SwapOuts
+	if err := p.SwapOutBlocks(ids, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().SwapOuts - before; got != 1 {
+		t.Fatalf("sequential 64-block batch issued %d swap operations, want 1", got)
+	}
+	if got := int(e.ins.batchRuns.Value()); got != 1 {
+		t.Fatalf("executor_batch_runs_total = %d, want 1", got)
+	}
+	if got := int(e.ins.batchBlocks.Value()); got != 64 {
+		t.Fatalf("executor_batch_blocks_total = %d, want 64", got)
+	}
+}
+
+func TestBlockPoolRoundTrip(t *testing.T) {
+	e := newPoolExecutor(t)
+	const elems, blocks = 16, 32
+	p, err := e.RegisterBlockPool("kv", elems, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write distinctive contents into a fragmented working set.
+	ids := []int{0, 1, 2, 7, 8, 20}
+	var packed []float32
+	for _, id := range ids {
+		packed = append(packed, blockFill(id, elems)...)
+	}
+	if err := p.WriteBlocks(ids, packed); err != nil {
+		t.Fatal(err)
+	}
+	// Swap out in scrambled order with duplicates; coalescing handles both.
+	scrambled := []int{20, 2, 0, 8, 1, 7, 7, 0}
+	if err := p.SwapOutBlocks(scrambled, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if st := p.BlockState(id); st != Swapped {
+			t.Fatalf("block %d state %s after batch swap-out", id, st)
+		}
+	}
+	if st := p.BlockState(3); st != Resident {
+		t.Fatalf("unrequested block 3 state %s", st)
+	}
+	// Reading a swapped block refuses; restore and compare bit-exactly.
+	if _, err := p.ReadBlocks([]int{7}); !errors.Is(err, ErrNotResident) {
+		t.Fatalf("ReadBlocks on swapped block: %v, want ErrNotResident", err)
+	}
+	if err := p.SwapInBlocks(ids); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadBlocks(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range packed {
+		if got[i] != packed[i] {
+			t.Fatalf("restored data differs at element %d: %v != %v", i, got[i], packed[i])
+		}
+	}
+	if e.Stats().Verified == 0 {
+		t.Fatal("no verified restores counted")
+	}
+}
+
+// TestBlockPoolRunGranularity pins the documented restore granularity:
+// requesting one block of a stored run restores the whole run.
+func TestBlockPoolRunGranularity(t *testing.T) {
+	e := newPoolExecutor(t)
+	p, err := e.RegisterBlockPool("kv", 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SwapOutBlocks([]int{4, 5, 6, 7}, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SwapInBlocks([]int{5}); err != nil {
+		t.Fatal(err)
+	}
+	for id := 4; id <= 7; id++ {
+		if st := p.BlockState(id); st != Resident {
+			t.Fatalf("block %d state %s, want Resident (run granularity)", id, st)
+		}
+	}
+}
+
+func TestBlockPoolStateErrors(t *testing.T) {
+	e := newPoolExecutor(t)
+	p, err := e.RegisterBlockPool("kv", 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range IDs refuse everywhere.
+	if err := p.SwapOutBlocks([]int{16}, false, 0); err == nil {
+		t.Fatal("out-of-range swap-out accepted")
+	}
+	if err := p.SwapInBlocks([]int{-1}); err == nil {
+		t.Fatal("negative-ID swap-in accepted")
+	}
+	if err := p.WriteBlocks([]int{3, 3}, make([]float32, 16)); err == nil {
+		t.Fatal("duplicate WriteBlocks IDs accepted")
+	}
+	// A batch touching one already-swapped block fails whole: no block of
+	// the batch changes state.
+	if err := p.SwapOutBlocks([]int{0, 1}, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SwapOutBlocks([]int{1, 2, 3}, false, 0); !errors.Is(err, ErrNotResident) {
+		t.Fatalf("mixed-state batch: %v, want ErrNotResident", err)
+	}
+	for id := 2; id <= 3; id++ {
+		if st := p.BlockState(id); st != Resident {
+			t.Fatalf("block %d state %s after failed batch, want Resident (atomic claim)", id, st)
+		}
+	}
+	// Swap-in of resident blocks is an idempotent no-op.
+	if err := p.SwapInBlocks([]int{4, 5}); err != nil {
+		t.Fatalf("resident swap-in: %v", err)
+	}
+	// Empty batches are legal no-ops.
+	if err := p.SwapOutBlocks(nil, false, 0); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := p.PrefetchBlocks(nil).Wait(); err != nil {
+		t.Fatalf("empty prefetch: %v", err)
+	}
+}
+
+func TestBlockPoolPrefetchOverlap(t *testing.T) {
+	e := newPoolExecutor(t)
+	p, err := e.RegisterBlockPool("kv", 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SwapOutBlocks([]int{0, 1, 2, 3, 10, 11, 30}, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	// Prefetch returns immediately with an aggregate ticket; Wait restores
+	// all three runs.
+	tk := p.PrefetchBlocks([]int{0, 1, 2, 3, 10, 11, 30})
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 3, 10, 30} {
+		if st := p.BlockState(id); st != Resident {
+			t.Fatalf("block %d state %s after prefetch", id, st)
+		}
+	}
+}
+
+func TestBlockPoolFree(t *testing.T) {
+	e := newPoolExecutor(t)
+	p, err := e.RegisterBlockPool("kv", 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SwapOutBlocks([]int{0, 1}, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	devUsed := e.DeviceStats().Used
+	if err := p.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(); !errors.Is(err, ErrFreed) {
+		t.Fatalf("double free: %v, want ErrFreed", err)
+	}
+	if e.DeviceStats().Used >= devUsed {
+		t.Fatal("device bytes not released by pool free")
+	}
+	if e.HostStats().Used != 0 {
+		t.Fatalf("host pool still holds %d bytes after pool free", e.HostStats().Used)
+	}
+	if err := p.SwapOutBlocks([]int{2}, false, 0); !errors.Is(err, ErrFreed) {
+		t.Fatalf("swap-out on freed pool: %v, want ErrFreed", err)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live() = %d after pool free", e.Live())
+	}
+}
+
+// TestBlockPoolConcurrentBatches drives disjoint batches concurrently
+// (run under -race via make race): distinct runs never contend, and the
+// bounded window serialises what must serialise.
+func TestBlockPoolConcurrentBatches(t *testing.T) {
+	e := newPoolExecutor(t)
+	const elems, blocks, workers = 32, 256, 8
+	p, err := e.RegisterBlockPool("kv", elems, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * (blocks / workers)
+			ids := []int{base, base + 1, base + 2, base + 5}
+			for iter := 0; iter < 10; iter++ {
+				if err := p.SwapOutBlocks(ids, true, compress.ZVC); err != nil {
+					errs <- fmt.Errorf("worker %d out: %w", w, err)
+					return
+				}
+				if err := p.SwapInBlocks(ids); err != nil {
+					errs <- fmt.Errorf("worker %d in: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := e.Stats().SwapOuts; got != workers*10*2 {
+		t.Fatalf("swap-outs = %d, want %d (2 runs x 10 iters x %d workers)", got, workers*10*2, workers)
+	}
+}
+
+func TestBlockHandle(t *testing.T) {
+	e := newPoolExecutor(t)
+	p, err := e.RegisterBlockPool("kv", 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.Handle(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Pool() != p || h.ID() != 2 || h.State() != Resident {
+		t.Fatalf("handle view wrong: %+v state %s", h, h.State())
+	}
+	if _, err := p.Handle(4); err == nil {
+		t.Fatal("out-of-range handle accepted")
+	}
+	if err := p.SwapOutBlocks([]int{2}, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h.State() != Swapped {
+		t.Fatalf("handle state %s after swap-out", h.State())
+	}
+}

@@ -133,6 +133,7 @@ type Executor struct {
 	closed bool
 	nextID int
 	live   map[int]*Handle
+	pools  map[int]*BlockPool
 }
 
 // Stats is a point-in-time view over the executor's metrics registry — the
@@ -325,6 +326,7 @@ func New(cfg Config) (*Executor, error) {
 		cache:  devmem.NewCache(),
 		arena:  newArena(reg),
 		live:   map[int]*Handle{},
+		pools:  map[int]*BlockPool{},
 		reg:    reg,
 		ins:    newInstruments(reg),
 		obs:    cfg.Observer,
@@ -804,11 +806,11 @@ func (e *Executor) CacheStats() devmem.CacheStats { return e.cache.Stats() }
 // injector is configured).
 func (e *Executor) FaultStats() faultinject.Stats { return e.cfg.Faults.Stats() }
 
-// Live returns the number of non-freed handles.
+// Live returns the number of non-freed handles and block pools.
 func (e *Executor) Live() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.live)
+	return len(e.live) + len(e.pools)
 }
 
 // checksum is FNV-1a over the float bit patterns.

@@ -30,6 +30,14 @@ type instruments struct {
 	submittedOut      *metrics.Counter
 	submittedIn       *metrics.Counter
 	submittedPrefetch *metrics.Counter
+
+	// Block-pool batch instruments: blocks and coalesced runs moved by
+	// batch operations, the per-batch size distribution (requested IDs),
+	// and the coalescing ratio (runs/blocks, 1 = nothing merged).
+	batchBlocks   *metrics.Counter
+	batchRuns     *metrics.Counter
+	batchSize     *metrics.Histogram
+	coalesceRatio *metrics.Histogram
 }
 
 func newInstruments(r *metrics.Registry) instruments {
@@ -53,15 +61,21 @@ func newInstruments(r *metrics.Registry) instruments {
 		submittedOut:      r.Counter("executor_async_submitted_total", metrics.L("op", "swap-out")),
 		submittedIn:       r.Counter("executor_async_submitted_total", metrics.L("op", "swap-in")),
 		submittedPrefetch: r.Counter("executor_async_submitted_total", metrics.L("op", "prefetch")),
+
+		batchBlocks: r.Counter("executor_batch_blocks_total"),
+		batchRuns:   r.Counter("executor_batch_runs_total"),
+		batchSize:   r.HistogramWith("executor_batch_size_blocks", metrics.ExpBuckets(1, 2, 12)),
+		coalesceRatio: r.HistogramWith("executor_batch_coalescing_ratio",
+			metrics.ExpBuckets(1.0/64, 2, 7)),
 	}
 }
 
 // asyncSubmitted returns the pre-resolved submission counter for an op.
 func (i *instruments) asyncSubmitted(op string) *metrics.Counter {
 	switch op {
-	case "swap-out":
+	case "swap-out", "batch-swap-out":
 		return i.submittedOut
-	case "swap-in":
+	case "swap-in", "batch-swap-in":
 		return i.submittedIn
 	default:
 		return i.submittedPrefetch

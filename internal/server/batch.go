@@ -1,0 +1,258 @@
+package server
+
+// Batch block swapping: the service face of the executor's paged block
+// pools. One registered name maps to a whole pool; the batch endpoints
+// move lists of block IDs per request, so a decode step's worth of
+// KV-cache blocks costs one admission slot and one HTTP round trip
+// instead of one per block.
+//
+// Admission and quota accounting for batches:
+//
+//   - Quota is charged ONCE, at register-pool time, for the pool's full
+//     device reservation (numBlocks x blockElems x 4 bytes). Batch
+//     operations move block contents inside that reservation and are
+//     never re-charged.
+//   - A batch swap operation claims ONE admission slot regardless of its
+//     block count. The executor fans the batch out into coalesced runs on
+//     its own bounded window; admitting per-block would re-introduce the
+//     per-block control cost batching exists to amortize.
+//   - The entry lock is per pool: one batch per pool at a time at the
+//     HTTP boundary (409 on contention), same discipline as tensors.
+
+import (
+	"errors"
+	"net/http"
+
+	"cswap/internal/executor"
+	"cswap/internal/metrics"
+	"cswap/internal/wire"
+)
+
+// errNotPool reports a batch operation addressed to a plain tensor name.
+var errNotPool = errors.New("server: name is a tensor, not a block pool")
+
+// errNotTensor reports a tensor operation addressed to a block-pool name.
+var errNotTensor = errors.New("server: name is a block pool, not a tensor")
+
+// batchSeen counts one batch request and its block volume.
+func (s *Server) batchSeen(op string, blocks int) {
+	s.ins.reg.Counter("server_batch_requests_total", metrics.L("op", op)).Inc()
+	s.ins.reg.Counter("server_batch_blocks_total", metrics.L("op", op)).Add(float64(blocks))
+}
+
+// toWireRuns converts the executor's coalesced runs to their wire form.
+func toWireRuns(runs []executor.BlockRun) []wire.BlockRun {
+	out := make([]wire.BlockRun, len(runs))
+	for i, r := range runs {
+		out[i] = wire.BlockRun{Start: r.Start, Count: r.Count}
+	}
+	return out
+}
+
+// expandRuns flattens a canonical (sorted, disjoint) run table into the
+// strictly-ascending ID list the pool's packed read/write API wants.
+func expandRuns(runs []wire.BlockRun) []int {
+	var ids []int
+	for _, r := range runs {
+		for id := r.Start; id < r.Start+r.Count; id++ {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// acquirePool is acquire plus the kind check: the locked entry must be a
+// block pool.
+func (s *Server) acquirePool(w http.ResponseWriter, sess *session, name string) (*entry, bool) {
+	ent, err := sess.acquire(name)
+	if err != nil {
+		s.failErr(w, err)
+		return nil, false
+	}
+	if ent.pool == nil {
+		ent.mu.Unlock()
+		s.failErr(w, errNotPool)
+		return nil, false
+	}
+	return ent, true
+}
+
+// batchOp runs one admission-gated batch operation against a pool entry —
+// swapOp's analogue with the pool kind check and one slot per batch. On
+// success the entry is returned still locked and still holding the slot.
+func (s *Server) batchOp(w http.ResponseWriter, r *http.Request, sess *session, name string,
+	submit func(*entry) *executor.Ticket) (*entry, bool) {
+	ent, ok := s.acquirePool(w, sess, name)
+	if !ok {
+		return nil, false
+	}
+	if !s.admitSlot(w) {
+		ent.mu.Unlock()
+		return nil, false
+	}
+	t := submit(ent)
+	if err := t.WaitContext(r.Context()); err != nil {
+		select {
+		case <-t.Done():
+			if opErr := t.Err(); opErr != nil {
+				ent.mu.Unlock()
+				<-s.admit
+				s.failErr(w, opErr)
+				return nil, false
+			}
+			return ent, true
+		default:
+			go s.finishAsync(t, ent)
+			s.fail(w, http.StatusRequestTimeout, CodeTimeout, err.Error())
+			return nil, false
+		}
+	}
+	return ent, true
+}
+
+// handleRegisterPool admits the pool's whole device reservation against
+// the tenant quota — the batch ops that follow are pre-paid.
+func (s *Server) handleRegisterPool(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypeRegisterPool)
+	if !ok {
+		return
+	}
+	tenant := tenantOf(r)
+	sess := s.session(tenant)
+	bytes := int64(f.BlockElems) * int64(f.NumBlocks) * 4
+	ent, err := sess.reserve(f.Name, bytes)
+	if err != nil {
+		if errors.Is(err, ErrQuotaExceeded) {
+			s.ins.reg.Counter("server_quota_rejections_total", metrics.L("tenant", tenant)).Inc()
+		}
+		s.failErr(w, err)
+		return
+	}
+	pool, err := s.exec.RegisterBlockPool(qualified(tenant, f.Name), f.BlockElems, f.NumBlocks)
+	if err != nil {
+		sess.release(f.Name, ent)
+		ent.mu.Unlock()
+		s.failErr(w, err)
+		return
+	}
+	ent.pool = pool
+	ent.sparsity = 1 // the region starts zeroed; batch-write re-measures
+	ent.mu.Unlock()
+	s.batchSeen("register-pool", f.NumBlocks)
+	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}
+
+// handleBatchWrite stores packed block contents into resident blocks. It
+// is a device-memory write, not a swap: no admission slot is consumed.
+func (s *Server) handleBatchWrite(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypeBatchData)
+	if !ok {
+		return
+	}
+	sess := s.session(tenantOf(r))
+	ent, ok := s.acquirePool(w, sess, f.Name)
+	if !ok {
+		return
+	}
+	if f.BlockElems != ent.pool.BlockElems() {
+		ent.mu.Unlock()
+		s.fail(w, http.StatusBadRequest, CodeBadFrame,
+			"server: batch-write block geometry does not match the pool")
+		return
+	}
+	ids := expandRuns(f.Runs)
+	if err := ent.pool.WriteBlocks(ids, f.Data); err != nil {
+		ent.mu.Unlock()
+		s.failErr(w, err)
+		return
+	}
+	// Re-measure sparsity on what was actually written: the signal Auto
+	// codec resolution and the tuner profile key off for this pool.
+	ent.sparsity = sliceSparsity(f.Data)
+	ent.mu.Unlock()
+	s.batchSeen("write", len(ids))
+	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}
+
+// handleBatchSwapOut moves the listed blocks to the host pool: one
+// admission slot, one coalesced executor batch, one ack.
+func (s *Server) handleBatchSwapOut(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypeBatchSwapOut)
+	if !ok {
+		return
+	}
+	sess := s.session(tenantOf(r))
+	ent, ok := s.batchOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
+		bytes := int64(len(f.BlockIDs)) * int64(ent.pool.BlockElems()) * 4
+		sess.observeSwap(ent.sparsity, bytes)
+		doCompress, alg := s.resolveCodec(sess, ent, f.Compress, f.Alg)
+		return ent.pool.SwapOutBlocksCtx(r.Context(), f.BlockIDs, doCompress, alg)
+	})
+	if !ok {
+		return
+	}
+	ent.mu.Unlock()
+	<-s.admit
+	s.batchSeen("swap-out", len(f.BlockIDs))
+	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}
+
+// handleBatchSwapIn restores the listed blocks and streams their packed
+// contents back as one batch-data frame (run table + payload).
+func (s *Server) handleBatchSwapIn(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypeBatchSwapIn)
+	if !ok {
+		return
+	}
+	sess := s.session(tenantOf(r))
+	ent, ok := s.batchOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
+		return ent.pool.SwapInBlocksCtx(r.Context(), f.BlockIDs)
+	})
+	if !ok {
+		return
+	}
+	runs := executor.CoalesceBlockIDs(f.BlockIDs)
+	ids := expandRuns(toWireRuns(runs))
+	data, err := ent.pool.ReadBlocks(ids)
+	if err != nil {
+		ent.mu.Unlock()
+		<-s.admit
+		s.failErr(w, err)
+		return
+	}
+	resp := &wire.Frame{
+		Type: wire.TypeBatchData, Name: f.Name,
+		BlockElems: ent.pool.BlockElems(),
+		Runs:       toWireRuns(runs), Data: data,
+	}
+	b, encErr := wire.Encode(resp)
+	ent.mu.Unlock()
+	<-s.admit
+	if encErr != nil {
+		s.fail(w, http.StatusInternalServerError, CodeInternal, encErr.Error())
+		return
+	}
+	s.batchSeen("swap-in", len(ids))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(b)
+}
+
+// handleBatchPrefetch requests residency for the listed blocks;
+// already-resident blocks complete without work.
+func (s *Server) handleBatchPrefetch(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.readFrame(w, r, wire.TypeBatchPrefetch)
+	if !ok {
+		return
+	}
+	sess := s.session(tenantOf(r))
+	ent, ok := s.batchOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
+		return ent.pool.SwapInBlocksCtx(r.Context(), f.BlockIDs)
+	})
+	if !ok {
+		return
+	}
+	ent.mu.Unlock()
+	<-s.admit
+	s.batchSeen("prefetch", len(f.BlockIDs))
+	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}

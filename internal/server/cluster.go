@@ -134,7 +134,10 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	}
 	c.rebuildRingLocked()
 	c.mux = http.NewServeMux()
-	for _, path := range []string{"register", "swap-out", "swap-in", "prefetch", "free"} {
+	for _, path := range []string{
+		"register", "swap-out", "swap-in", "prefetch", "free",
+		"register-pool", "batch-write", "batch-swap-out", "batch-swap-in", "batch-prefetch",
+	} {
 		c.mux.HandleFunc("POST /v1/"+path, c.route)
 	}
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
@@ -264,7 +267,7 @@ func (c *Cluster) route(w http.ResponseWriter, r *http.Request) {
 	// (draining) shard; the owner answers 404 for it. Registers are exempt
 	// — a new name belongs on the ring owner unconditionally.
 	if cw.status == http.StatusNotFound && cw.header.Get(ErrorHeader) == CodeNotFound &&
-		typ != wire.TypeRegister {
+		typ != wire.TypeRegister && typ != wire.TypeRegisterPool {
 		for _, d := range c.drainingShards() {
 			dw := newCapture()
 			c.dispatch(d, dw, r, body)
@@ -498,6 +501,9 @@ func (c *Cluster) migrate(src *Server, sess *session, name string, dst *Server) 
 	}
 	defer ent.mu.Unlock()
 
+	if ent.pool != nil {
+		return c.migratePool(src, sess, name, ent, dst)
+	}
 	wasSwapped := ent.h.State() == executor.Swapped
 	if wasSwapped {
 		if err := src.exec.SwapIn(ent.h); err != nil {
@@ -560,6 +566,91 @@ func (c *Cluster) migrate(src *Server, sess *session, name string, dst *Server) 
 		// failed source free leaks pool bytes on a shard that is going away,
 		// which the drained state eventually reclaims via Close.
 		return ent.bytes, nil
+	}
+	sess.release(name, ent)
+	return ent.bytes, nil
+}
+
+// migratePool moves one block pool between shards through the batch wire
+// format: restore every swapped run on the source, read the whole region,
+// round-trip it as a batch-data frame, rebuild the pool on the destination,
+// and re-swap the blocks that were swapped so residency survives the move.
+// The caller holds ent's lock and unlocks it.
+func (c *Cluster) migratePool(src *Server, sess *session, name string, ent *entry, dst *Server) (int64, error) {
+	pool := ent.pool
+	swappedIDs := pool.SwappedIDs()
+	if err := pool.SwapInBlocks(swappedIDs); err != nil {
+		return 0, err
+	}
+	// restoreSrc re-swaps the restored blocks so an aborted migration
+	// leaves the source pool the way the drain found it.
+	restoreSrc := func() {
+		if len(swappedIDs) > 0 {
+			doCompress, alg := src.resolveCodec(sess, ent, true, compress.Auto)
+			_ = pool.SwapOutBlocks(swappedIDs, doCompress, alg)
+		}
+	}
+	allIDs := make([]int, pool.NumBlocks())
+	for i := range allIDs {
+		allIDs[i] = i
+	}
+	data, err := pool.ReadBlocks(allIDs)
+	if err != nil {
+		restoreSrc()
+		return 0, err
+	}
+	frame, err := wire.Encode(&wire.Frame{
+		Type: wire.TypeBatchData, Name: name,
+		BlockElems: pool.BlockElems(),
+		Runs:       []wire.BlockRun{{Start: 0, Count: pool.NumBlocks()}},
+		Data:       data,
+	})
+	if err != nil {
+		restoreSrc()
+		return 0, err
+	}
+	decoded, err := wire.Decode(frame, c.maxPayload)
+	if err != nil {
+		restoreSrc()
+		return 0, err
+	}
+
+	dsess := dst.session(sess.tenant)
+	dent, err := dsess.reserve(name, ent.bytes)
+	if err != nil {
+		restoreSrc()
+		return 0, err
+	}
+	abortDst := func(pool2 *executor.BlockPool) {
+		if pool2 != nil {
+			_ = pool2.Free()
+		}
+		dsess.release(name, dent)
+		dent.mu.Unlock()
+		restoreSrc()
+	}
+	pool2, err := dst.exec.RegisterBlockPool(qualified(sess.tenant, name), pool.BlockElems(), pool.NumBlocks())
+	if err != nil {
+		abortDst(nil)
+		return 0, err
+	}
+	if err := pool2.WriteBlocks(allIDs, decoded.Data); err != nil {
+		abortDst(pool2)
+		return 0, err
+	}
+	dent.pool = pool2
+	dent.sparsity = ent.sparsity
+	if len(swappedIDs) > 0 {
+		doCompress, alg := dst.resolveCodec(dsess, dent, true, compress.Auto)
+		if err := pool2.SwapOutBlocks(swappedIDs, doCompress, alg); err != nil {
+			abortDst(pool2)
+			return 0, err
+		}
+	}
+	dent.mu.Unlock()
+
+	if err := pool.Free(); err != nil {
+		return ent.bytes, nil // same leak-on-retiring-shard tradeoff as tensors
 	}
 	sess.release(name, ent)
 	return ent.bytes, nil

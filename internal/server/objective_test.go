@@ -1,0 +1,25 @@
+package server
+
+import "testing"
+
+// The launch objective must weigh realized compressed size, not kernels
+// alone: at equal kernel time the smaller blob wins, and a kernel saving
+// smaller than the transfer cost it induces must lose.
+func TestLaunchObjective(t *testing.T) {
+	const link = 12e9
+	if a, b := launchObjective(1e-3, 1<<20, link), launchObjective(1e-3, 2<<20, link); a >= b {
+		t.Fatalf("equal kernels: smaller blob scored %v >= larger %v", a, b)
+	}
+	// 10µs faster kernel, 1 MiB larger blob: the extra ~175µs of two-way
+	// transfer dwarfs the kernel saving.
+	fastButFat := launchObjective(990e-6, 2<<20, link)
+	slowButLean := launchObjective(1e-3, 1<<20, link)
+	if fastButFat <= slowButLean {
+		t.Fatalf("fragmenting geometry won: %v <= %v", fastButFat, slowButLean)
+	}
+	// The blob term is the two-way modeled transfer, additive on kernels.
+	want := 1e-3 + 2*float64(1<<20)/link
+	if got := launchObjective(1e-3, 1<<20, link); got != want {
+		t.Fatalf("objective = %v, want %v", got, want)
+	}
+}

@@ -6,9 +6,11 @@
 // The protocol is HTTP for the envelope — routing, status codes, deadline
 // propagation — with the wire package's length-prefixed binary frames as
 // the request and response bodies. Five operations (register, swap-out,
-// swap-in, prefetch, free) act on per-tenant tensor namespaces; /metrics
-// exposes the shared registry in Prometheus text format and /healthz the
-// liveness/draining state.
+// swap-in, prefetch, free) act on per-tenant tensor namespaces, and five
+// batch operations (register-pool, batch-write, batch-swap-out,
+// batch-swap-in, batch-prefetch; see batch.go) act on paged block pools;
+// /metrics exposes the shared registry in Prometheus text format and
+// /healthz the liveness/draining state.
 //
 // Three admission layers keep the shared executor healthy under load:
 //
@@ -177,6 +179,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/swap-in", s.instrumented("swap-in", s.handleSwapIn))
 	s.mux.HandleFunc("POST /v1/prefetch", s.instrumented("prefetch", s.handlePrefetch))
 	s.mux.HandleFunc("POST /v1/free", s.instrumented("free", s.handleFree))
+	s.mux.HandleFunc("POST /v1/register-pool", s.instrumented("register-pool", s.handleRegisterPool))
+	s.mux.HandleFunc("POST /v1/batch-write", s.instrumented("batch-write", s.handleBatchWrite))
+	s.mux.HandleFunc("POST /v1/batch-swap-out", s.instrumented("batch-swap-out", s.handleBatchSwapOut))
+	s.mux.HandleFunc("POST /v1/batch-swap-in", s.instrumented("batch-swap-in", s.handleBatchSwapIn))
+	s.mux.HandleFunc("POST /v1/batch-prefetch", s.instrumented("batch-prefetch", s.handleBatchPrefetch))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /cluster", s.handleClusterMap)
@@ -299,7 +306,8 @@ func (s *Server) failErr(w http.ResponseWriter, err error) {
 		// "already swapped/resident" misuse and everything else the state
 		// machine refuses: a conflict the client can resolve, not a server
 		// fault — but genuinely unknown failures are 500s.
-		if errors.Is(err, executor.ErrNotResident) || errors.Is(err, executor.ErrNotSwapped) {
+		if errors.Is(err, executor.ErrNotResident) || errors.Is(err, executor.ErrNotSwapped) ||
+			errors.Is(err, errNotPool) || errors.Is(err, errNotTensor) {
 			s.fail(w, http.StatusConflict, CodeState, err.Error())
 			return
 		}
@@ -402,6 +410,12 @@ func (s *Server) swapOp(w http.ResponseWriter, r *http.Request, sess *session, n
 	ent, err := sess.acquire(name)
 	if err != nil {
 		s.failErr(w, err)
+		return nil, false
+	}
+	if ent.h == nil {
+		// A block-pool entry: the per-tensor endpoints don't apply.
+		ent.mu.Unlock()
+		s.failErr(w, errNotTensor)
 		return nil, false
 	}
 	if !s.admitSlot(w) {
@@ -562,9 +576,15 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		s.failErr(w, err)
 		return
 	}
-	if err := s.exec.Free(ent.h); err != nil {
+	freeErr := func() error {
+		if ent.pool != nil {
+			return ent.pool.Free()
+		}
+		return s.exec.Free(ent.h)
+	}()
+	if freeErr != nil {
 		ent.mu.Unlock()
-		s.failErr(w, err)
+		s.failErr(w, freeErr)
 		return
 	}
 	sess.release(f.Name, ent)

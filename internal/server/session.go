@@ -147,6 +147,10 @@ func (s *session) rollbackVerdict() (verdict, bool) {
 type entry struct {
 	mu sync.Mutex
 	h  *executor.Handle
+	// pool is set instead of h when the entry is a paged block pool
+	// (register-pool): one name, one quota charge, many blocks. Exactly one
+	// of h and pool is non-nil once the register commits.
+	pool *executor.BlockPool
 	// bytes is the tensor's uncompressed footprint, the unit of quota
 	// accounting (what the tensor pins on device while resident).
 	bytes int64
@@ -225,7 +229,7 @@ func (s *session) acquire(name string) (*entry, error) {
 	if !ent.mu.TryLock() {
 		return nil, fmt.Errorf("%w: %s/%s (request in flight)", errEntryBusy, s.tenant, name)
 	}
-	if ent.h == nil {
+	if ent.h == nil && ent.pool == nil {
 		// A placeholder whose register aborted between lookup and lock.
 		ent.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s/%s", ErrUnknownTensor, s.tenant, name)

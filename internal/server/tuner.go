@@ -382,6 +382,16 @@ func (t *tuner) fillProbe(sparsity float64) {
 	t.probeSrc = src.Data
 }
 
+// launchObjective scores one launch-geometry probe: measured kernel
+// seconds plus the modeled link time of the blob that geometry actually
+// produced, out and back. Geometry changes the chunking, and chunking
+// changes the realized compressed size (per-chunk directories, broken
+// value runs), so scoring kernels alone would drift toward fragmenting
+// geometries whose faster kernels are paid back in transfer time.
+func launchObjective(kernelSec float64, compressedBytes int, linkBytesPerSec float64) float64 {
+	return kernelSec + 2*float64(compressedBytes)/linkBytesPerSec
+}
+
 // reprobeLaunch re-runs the launch-geometry search for the newly chosen
 // codec with a small Bayesian-optimisation budget and installs the winner
 // atomically. In-flight operations are unaffected: each swap reads the
@@ -408,7 +418,7 @@ func (t *tuner) reprobeLaunch(alg compress.Algorithm, sparsity float64) {
 		if err := compress.ParallelDecodeInto(t.probeDst, buf, l); err != nil {
 			return 1e9
 		}
-		return time.Since(start).Seconds()
+		return launchObjective(time.Since(start).Seconds(), len(buf), t.cfg.LinkBytesPerSec)
 	})
 	if err := t.srv.exec.SetLaunch(res.Best); err != nil {
 		return

@@ -1,0 +1,192 @@
+package sim
+
+// KV-cache decode-step traces: a deterministic generator for the block
+// access pattern of paged-attention serving, and a link-cost scorer that
+// quantifies what contiguous-run coalescing buys on it.
+//
+// The workload shape follows the paged KV-cache layout: each sequence
+// owns a contiguous region of blocks, appended to as it decodes. When
+// memory pressure evicts a sequence, its whole region swaps out — a
+// sequential ID range, perfectly coalescible — and returns the same way
+// when the scheduler resumes it. On top rides a fragmented tail: single
+// blocks touched out of order (sampled sequences re-scored, beam
+// candidates), which do not coalesce. The scorer prices both with a fixed
+// per-operation control cost plus bytes over the link, so the ratio of
+// coalesced to per-block cost is exactly the cDMA amortization argument:
+// fewer, larger transfers beat many small ones at equal byte volume.
+
+import (
+	"math/rand"
+)
+
+// KVStep is one decode step's swap traffic: the block IDs leaving the
+// device and the block IDs returning. IDs may repeat across steps (the
+// same region swaps in and out over time), never within one list. A
+// step's Out list issues before its In list — evictions free the device
+// memory the restores need — and the generator keeps every step valid
+// under that ordering: Out only ever lists resident blocks, In only
+// blocks the step (or an earlier one) swapped out.
+type KVStep struct {
+	Out, In []int
+}
+
+// KVTraceConfig configures the generator. The zero value is not usable;
+// see DefaultKVTrace.
+type KVTraceConfig struct {
+	// Sequences is the number of concurrent decode sequences; each owns a
+	// contiguous region of BlocksPerSeq block IDs.
+	Sequences    int
+	BlocksPerSeq int
+	// Steps is the number of decode steps to generate.
+	Steps int
+	// EvictEvery evicts one sequence's whole region every k steps (and
+	// restores the previously evicted one). 0 disables eviction.
+	EvictEvery int
+	// ScatterPerStep adds this many fragmented single-block touches per
+	// step: blocks of random live sequences swapped out and immediately
+	// needed back — the non-coalescible tail.
+	ScatterPerStep int
+	Seed           int64
+}
+
+// DefaultKVTrace is a serving-shaped workload: 8 sequences of 16 blocks,
+// 64 decode steps, one region eviction every 4 steps, 3 scattered
+// touches per step.
+func DefaultKVTrace() KVTraceConfig {
+	return KVTraceConfig{
+		Sequences: 8, BlocksPerSeq: 16, Steps: 64,
+		EvictEvery: 4, ScatterPerStep: 3, Seed: 1,
+	}
+}
+
+// GenKVTrace generates the deterministic decode-step trace for cfg: the
+// same config always yields the same steps.
+func GenKVTrace(cfg KVTraceConfig) []KVStep {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	region := func(seq int) []int {
+		ids := make([]int, cfg.BlocksPerSeq)
+		for i := range ids {
+			ids[i] = seq*cfg.BlocksPerSeq + i
+		}
+		return ids
+	}
+	steps := make([]KVStep, cfg.Steps)
+	evicted := -1 // sequence currently swapped out, if any
+	for s := range steps {
+		var st KVStep
+		restoring := -1 // sequence returning this step: not resident until In lands
+		if cfg.EvictEvery > 0 && s%cfg.EvictEvery == cfg.EvictEvery-1 {
+			if evicted >= 0 {
+				st.In = append(st.In, region(evicted)...)
+				restoring = evicted
+			}
+			victim := rng.Intn(cfg.Sequences)
+			for victim == evicted && cfg.Sequences > 1 {
+				victim = rng.Intn(cfg.Sequences)
+			}
+			st.Out = append(st.Out, region(victim)...)
+			evicted = victim
+		}
+		seen := map[int]bool{}
+		for i := 0; i < cfg.ScatterPerStep; i++ {
+			seq := rng.Intn(cfg.Sequences)
+			// Scattered touches swap out before they swap back in, so they
+			// must hit resident sequences: not the one leaving this step,
+			// and not the one whose restore lands after the step's Outs.
+			if seq == evicted || seq == restoring {
+				continue
+			}
+			id := seq*cfg.BlocksPerSeq + rng.Intn(cfg.BlocksPerSeq)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			st.Out = append(st.Out, id)
+			st.In = append(st.In, id)
+		}
+		steps[s] = st
+	}
+	return steps
+}
+
+// CoalesceIDs sorts and dedups ids and merges contiguous runs, returning
+// the run count and total distinct blocks — the same rule the executor's
+// block pools apply, restated here so the simulator carries no executor
+// dependency.
+func CoalesceIDs(ids []int) (runs, blocks int) {
+	if len(ids) == 0 {
+		return 0, 0
+	}
+	sorted := append([]int(nil), ids...)
+	insertionSort(sorted)
+	runs, blocks = 1, 1
+	for i := 1; i < len(sorted); i++ {
+		switch sorted[i] {
+		case sorted[i-1]: // duplicate
+		case sorted[i-1] + 1:
+			blocks++
+		default:
+			runs++
+			blocks++
+		}
+	}
+	return runs, blocks
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// LinkCost prices block movement: a fixed per-operation control cost
+// (request framing, admission, codec launch) plus bytes over the link.
+type LinkCost struct {
+	PerOpSeconds float64
+	BytesPerSec  float64
+	BlockBytes   int
+}
+
+// Seconds prices moving a step's ID list as `ops` operations carrying
+// `blocks` blocks total.
+func (lc LinkCost) Seconds(ops, blocks int) float64 {
+	return float64(ops)*lc.PerOpSeconds + float64(blocks*lc.BlockBytes)/lc.BytesPerSec
+}
+
+// KVScore is the scorer's verdict over one trace.
+type KVScore struct {
+	// CoalescedSeconds and PerBlockSeconds are total link-time with runs
+	// merged versus one operation per block.
+	CoalescedSeconds, PerBlockSeconds float64
+	// Ops and Blocks are total issued operations (coalesced) and blocks
+	// moved.
+	Ops, Blocks int
+}
+
+// Speedup is the per-block / coalesced cost ratio (>1 when coalescing
+// wins).
+func (s KVScore) Speedup() float64 {
+	if s.CoalescedSeconds == 0 {
+		return 1
+	}
+	return s.PerBlockSeconds / s.CoalescedSeconds
+}
+
+// ScoreKVTrace prices a trace both ways. Byte volume is identical in the
+// two columns; only the per-operation control cost differs — the scorer
+// isolates exactly what batching amortizes.
+func ScoreKVTrace(trace []KVStep, lc LinkCost) KVScore {
+	var sc KVScore
+	for _, st := range trace {
+		for _, ids := range [][]int{st.Out, st.In} {
+			runs, blocks := CoalesceIDs(ids)
+			sc.CoalescedSeconds += lc.Seconds(runs, blocks)
+			sc.PerBlockSeconds += lc.Seconds(blocks, blocks)
+			sc.Ops += runs
+			sc.Blocks += blocks
+		}
+	}
+	return sc
+}

@@ -1,0 +1,336 @@
+package wire
+
+// Batch frames: the multi-tensor wire surface for paged KV-cache block
+// pools. Where the scalar frames address one named tensor, the batch
+// frames address a named *pool* of fixed-size blocks and carry a block-ID
+// list, so one framed request (one HTTP round trip, one CRC, one admission
+// slot) moves an entire decode step's working set. The payload still
+// begins with the uint16-prefixed name — PeekName, and therefore cluster
+// routing, works on batch frames unchanged, keying on the pool name.
+//
+// Layouts after the name prefix:
+//
+//	register-pool   u32 blockElems + u32 numBlocks
+//	batch-swap-out  compress flag + algorithm byte + uvarint ID count + uvarint IDs
+//	batch-swap-in   uvarint ID count + uvarint IDs
+//	batch-prefetch  uvarint ID count + uvarint IDs
+//	batch-data      u32 blockElems + uvarint run count
+//	                + (uvarint start, uvarint count) per run
+//	                + packed little-endian float32 data, run by run
+//
+// ID lists travel as varints because decode-step batches are dominated by
+// small IDs (a sequence's blocks are allocated low and contiguous); they
+// may repeat and arrive unsorted — the executor's coalescer sorts and
+// dedups. The data frame instead carries a canonical *run table* (sorted,
+// non-overlapping, non-empty runs): it is only ever produced by a
+// coalescer, and requiring the canonical form lets the decoder cross-check
+// the run table against the payload length exactly.
+
+import (
+	"encoding/binary"
+
+	"cswap/internal/compress"
+)
+
+// Batch frame bounds, enforced on both encode and decode. MaxBlockID caps
+// block indices (16M blocks — at typical KV block sizes, far past any one
+// pool this service would hold); MaxBatchBlocks caps how many blocks one
+// frame may address, so a hostile count prefix cannot force a huge
+// allocation before the per-ID bytes are checked.
+const (
+	MaxBlockID     = 1 << 24
+	MaxBatchBlocks = 1 << 20
+)
+
+// BlockRun is one contiguous run of block IDs: Count blocks starting at
+// Start. The coalescer's unit — one codec/pool operation per run.
+type BlockRun struct {
+	Start, Count int
+}
+
+// isBatch reports whether the type is one of the block-pool batch frames.
+func (t Type) isBatch() bool { return t >= TypeRegisterPool && t <= TypeBatchData }
+
+// hasIDList reports whether the type carries a varint block-ID list after
+// the name (and, for batch-swap-out, after its option bytes).
+func (t Type) hasIDList() bool {
+	return t == TypeBatchSwapOut || t == TypeBatchSwapIn || t == TypeBatchPrefetch
+}
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// batchPayloadLen sizes the post-name payload of a batch frame, validating
+// the fields an encoder controls (ID bounds, run-table shape).
+func (f *Frame) batchPayloadLen() (int, error) {
+	switch f.Type {
+	case TypeRegisterPool:
+		if f.BlockElems <= 0 || f.NumBlocks <= 0 {
+			return 0, corruptErr("register-pool frame with %d elems/block, %d blocks", f.BlockElems, f.NumBlocks)
+		}
+		if f.NumBlocks > MaxBlockID {
+			return 0, corruptErr("register-pool frame with %d blocks exceeds limit %d", f.NumBlocks, MaxBlockID)
+		}
+		return 8, nil
+	case TypeBatchSwapOut, TypeBatchSwapIn, TypeBatchPrefetch:
+		n := 0
+		if f.Type == TypeBatchSwapOut {
+			n = 2 // compress flag + algorithm byte
+		}
+		if len(f.BlockIDs) > MaxBatchBlocks {
+			return 0, corruptErr("%s frame with %d block IDs exceeds limit %d", f.Type, len(f.BlockIDs), MaxBatchBlocks)
+		}
+		n += uvarintLen(uint64(len(f.BlockIDs)))
+		for _, id := range f.BlockIDs {
+			if id < 0 || id >= MaxBlockID {
+				return 0, corruptErr("%s frame block ID %d out of range", f.Type, id)
+			}
+			n += uvarintLen(uint64(id))
+		}
+		return n, nil
+	case TypeBatchData:
+		if f.BlockElems <= 0 {
+			return 0, corruptErr("batch-data frame with %d elems/block", f.BlockElems)
+		}
+		n := 4 + uvarintLen(uint64(len(f.Runs)))
+		total := 0
+		prevEnd := -1
+		for _, run := range f.Runs {
+			if run.Count <= 0 || run.Start < 0 || run.Start+run.Count > MaxBlockID {
+				return 0, corruptErr("batch-data run [%d,+%d) out of range", run.Start, run.Count)
+			}
+			if run.Start <= prevEnd {
+				return 0, corruptErr("batch-data run table not sorted and disjoint at start %d", run.Start)
+			}
+			prevEnd = run.Start + run.Count - 1
+			total += run.Count
+			n += uvarintLen(uint64(run.Start)) + uvarintLen(uint64(run.Count))
+		}
+		if total > MaxBatchBlocks {
+			return 0, corruptErr("batch-data frame with %d blocks exceeds limit %d", total, MaxBatchBlocks)
+		}
+		if total*f.BlockElems != len(f.Data) {
+			return 0, corruptErr("batch-data run table covers %d elements but frame carries %d", total*f.BlockElems, len(f.Data))
+		}
+		return n + 4*len(f.Data), nil
+	}
+	return 0, corruptErr("unhandled batch frame type %d", uint8(f.Type))
+}
+
+// appendBatchPayload encodes the post-name payload of a batch frame. The
+// caller (Append) has already validated via batchPayloadLen.
+func appendBatchPayload(dst []byte, f *Frame) []byte {
+	switch f.Type {
+	case TypeRegisterPool:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.BlockElems))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.NumBlocks))
+	case TypeBatchSwapOut, TypeBatchSwapIn, TypeBatchPrefetch:
+		if f.Type == TypeBatchSwapOut {
+			var c byte
+			if f.Compress {
+				c = 1
+			}
+			dst = append(dst, c, byte(f.Alg))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(f.BlockIDs)))
+		for _, id := range f.BlockIDs {
+			dst = binary.AppendUvarint(dst, uint64(id))
+		}
+	case TypeBatchData:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.BlockElems))
+		dst = binary.AppendUvarint(dst, uint64(len(f.Runs)))
+		for _, run := range f.Runs {
+			dst = binary.AppendUvarint(dst, uint64(run.Start))
+			dst = binary.AppendUvarint(dst, uint64(run.Count))
+		}
+		dst = appendFloats(dst, f.Data)
+	}
+	return dst
+}
+
+// parseUvarint reads one canonical-or-not uvarint, surfacing truncation in
+// the frame taxonomy.
+func parseUvarint(p []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		if n == 0 {
+			return 0, nil, truncErr("payload ends inside %s varint", what)
+		}
+		return 0, nil, corruptErr("%s varint overflows 64 bits", what)
+	}
+	return v, p[n:], nil
+}
+
+// parseIDList decodes a varint block-ID list, bounding the count before
+// allocating (each ID takes at least one byte, so a count past the
+// remaining payload is structurally a lie).
+func parseIDList(typ Type, rest []byte) ([]int, []byte, error) {
+	count, rest, err := parseUvarint(rest, "block-ID count")
+	if err != nil {
+		return nil, nil, err
+	}
+	if count > MaxBatchBlocks {
+		return nil, nil, corruptErr("%s frame with %d block IDs exceeds limit %d", typ, count, MaxBatchBlocks)
+	}
+	if count > uint64(len(rest)) {
+		return nil, nil, corruptErr("%s frame claims %d block IDs but carries %d bytes", typ, count, len(rest))
+	}
+	ids := make([]int, count)
+	for i := range ids {
+		var v uint64
+		v, rest, err = parseUvarint(rest, "block ID")
+		if err != nil {
+			return nil, nil, err
+		}
+		if v >= MaxBlockID {
+			return nil, nil, corruptErr("%s frame block ID %d out of range", typ, v)
+		}
+		ids[i] = int(v)
+	}
+	return ids, rest, nil
+}
+
+// parseBatchPayload decodes the post-name payload of a batch frame into f.
+// Every inner length is cross-checked against the payload bounds; trailing
+// bytes are refused by the caller's len check via the returned rest.
+func parseBatchPayload(f *Frame, rest []byte) error {
+	switch f.Type {
+	case TypeRegisterPool:
+		if len(rest) != 8 {
+			return corruptErr("register-pool frame carries %d geometry bytes, want 8", len(rest))
+		}
+		f.BlockElems = int(binary.BigEndian.Uint32(rest[0:4]))
+		f.NumBlocks = int(binary.BigEndian.Uint32(rest[4:8]))
+		if f.BlockElems <= 0 || f.NumBlocks <= 0 || f.NumBlocks > MaxBlockID {
+			return corruptErr("register-pool frame with %d elems/block, %d blocks", f.BlockElems, f.NumBlocks)
+		}
+		return nil
+	case TypeBatchSwapOut, TypeBatchSwapIn, TypeBatchPrefetch:
+		if f.Type == TypeBatchSwapOut {
+			if len(rest) < 2 {
+				return truncErr("batch-swap-out frame lacks option bytes")
+			}
+			switch rest[0] {
+			case 0:
+			case 1:
+				f.Compress = true
+			default:
+				return corruptErr("batch-swap-out compress flag %d", rest[0])
+			}
+			f.Alg = compress.Algorithm(rest[1])
+			if f.Compress && f.Alg != compress.Auto {
+				if _, err := compress.New(f.Alg); err != nil {
+					return corruptErr("batch-swap-out algorithm byte %d", rest[1])
+				}
+			}
+			rest = rest[2:]
+		}
+		ids, rest, err := parseIDList(f.Type, rest)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return corruptErr("%s frame carries %d trailing bytes", f.Type, len(rest))
+		}
+		f.BlockIDs = ids
+		return nil
+	case TypeBatchData:
+		if len(rest) < 4 {
+			return truncErr("batch-data frame lacks block-elems field")
+		}
+		f.BlockElems = int(binary.BigEndian.Uint32(rest[0:4]))
+		if f.BlockElems <= 0 {
+			return corruptErr("batch-data frame with %d elems/block", f.BlockElems)
+		}
+		rest = rest[4:]
+		runCount, rest, err := parseUvarint(rest, "run count")
+		if err != nil {
+			return err
+		}
+		if runCount > MaxBatchBlocks {
+			return corruptErr("batch-data frame with %d runs exceeds limit %d", runCount, MaxBatchBlocks)
+		}
+		if 2*runCount > uint64(len(rest)) {
+			return corruptErr("batch-data frame claims %d runs but carries %d bytes", runCount, len(rest))
+		}
+		runs := make([]BlockRun, runCount)
+		total := 0
+		prevEnd := -1
+		for i := range runs {
+			var start, count uint64
+			start, rest, err = parseUvarint(rest, "run start")
+			if err != nil {
+				return err
+			}
+			count, rest, err = parseUvarint(rest, "run count")
+			if err != nil {
+				return err
+			}
+			if count == 0 || start+count > MaxBlockID {
+				return corruptErr("batch-data run [%d,+%d) out of range", start, count)
+			}
+			if int(start) <= prevEnd {
+				return corruptErr("batch-data run table not sorted and disjoint at start %d", start)
+			}
+			prevEnd = int(start+count) - 1
+			runs[i] = BlockRun{Start: int(start), Count: int(count)}
+			total += int(count)
+		}
+		if total > MaxBatchBlocks {
+			return corruptErr("batch-data frame with %d blocks exceeds limit %d", total, MaxBatchBlocks)
+		}
+		// The run table and the payload must agree exactly: a table that
+		// promises more (or fewer) blocks than the data it ships is
+		// structural damage, not a short read.
+		elems := total * f.BlockElems
+		if len(rest) != 4*elems {
+			return corruptErr("batch-data run table covers %d elements but frame carries %d bytes", elems, len(rest))
+		}
+		f.Runs = runs
+		f.Data = parseFloats(rest, elems)
+		return nil
+	}
+	return corruptErr("unhandled batch frame type %d", uint8(f.Type))
+}
+
+// TotalBlocks returns how many blocks a run table covers.
+func TotalBlocks(runs []BlockRun) int {
+	n := 0
+	for _, r := range runs {
+		n += r.Count
+	}
+	return n
+}
+
+// runsEqual compares run tables element-wise.
+func runsEqual(a, b []BlockRun) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// idsEqual compares block-ID lists element-wise.
+func idsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,11 +1,19 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 
 	"cswap/internal/compress"
 )
+
+// restampCRC rewrites a hand-mutated frame's payload CRC so the mutation
+// reaches the structural validators instead of tripping the checksum.
+func restampCRC(b []byte) {
+	binary.BigEndian.PutUint32(b[12:16], crc32.ChecksumIEEE(b[HeaderLen:]))
+}
 
 // FuzzFrameRoundTrip is the wire-protocol counterpart of the codec
 // container's FuzzParallelRoundTrip: arbitrary bytes fed to the frame
@@ -44,6 +52,59 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("CSWP"))
+
+	// Batch-frame seeds. The hostile shapes the block-pool surface adds:
+	// truncation at every block-ID boundary, duplicate and out-of-range
+	// IDs, zero-length lists, and a run table that disagrees with the
+	// payload it ships.
+	batch := []*Frame{
+		{Type: TypeRegisterPool, Name: "kv", BlockElems: 16, NumBlocks: 64},
+		{Type: TypeBatchSwapOut, Name: "kv", Compress: true, Alg: compress.Auto,
+			BlockIDs: []int{3, 4, 5, 9, 300}},
+		{Type: TypeBatchSwapOut, Name: "kv", Compress: false,
+			BlockIDs: []int{7, 7, 7, 2}}, // duplicates are legal on the wire
+		{Type: TypeBatchSwapIn, Name: "kv", BlockIDs: []int{0, 1, 2, 1 << 20}},
+		{Type: TypeBatchSwapIn, Name: "kv", BlockIDs: []int{}}, // zero-length list
+		{Type: TypeBatchPrefetch, Name: "kv", BlockIDs: []int{12, 10, 11}},
+		{Type: TypeBatchData, Name: "kv", BlockElems: 2,
+			Runs: []BlockRun{{Start: 3, Count: 2}, {Start: 8, Count: 1}},
+			Data: []float32{1, 0, 2, 0, 3, 0}},
+	}
+	for _, fr := range batch {
+		b, err := Encode(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		// Truncate at every byte past the name — this walks every block-ID
+		// (and run-table) boundary, since varints make each ID 1+ bytes.
+		for cut := HeaderLen + 2 + len(fr.Name); cut < len(b); cut++ {
+			f.Add(b[:cut])
+		}
+	}
+	// An out-of-range block ID cannot be produced by Encode, so patch one
+	// into a valid frame and re-stamp the CRC: the last seeded batch-swap-in
+	// ID below encodes MaxBlockID (rejected on decode as out of range).
+	hostile, err := Encode(&Frame{Type: TypeBatchSwapIn, Name: "kv", BlockIDs: []int{MaxBlockID - 1}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// MaxBlockID-1 = 0xFFFFFF is uvarint ff ff ff 07; bump the top group to
+	// make the decoded value MaxBlockID.
+	hostile[len(hostile)-1] = 0x08
+	restampCRC(hostile)
+	f.Add(hostile)
+	// A run table that lies about the payload: claim 3 blocks, ship 2.
+	liar, err := Encode(&Frame{Type: TypeBatchData, Name: "kv", BlockElems: 1,
+		Runs: []BlockRun{{Start: 0, Count: 2}}, Data: []float32{1, 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The count byte of the single run [0,+2) is the last byte before the
+	// 8 payload bytes; rewrite it to 3 and re-stamp.
+	liar[len(liar)-9] = 3
+	restampCRC(liar)
+	f.Add(liar)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data, 1<<20)

@@ -72,6 +72,15 @@ const (
 	TypeFree                       // name
 	TypeTensorData                 // name + element count + float32 data
 	TypeAck                        // name
+
+	// Block-pool batch frames (batch.go): one frame addresses a named pool
+	// of fixed-size blocks and carries a block-ID list or run table, so a
+	// whole decode step's working set moves in one round trip.
+	TypeRegisterPool  // name + blockElems + numBlocks
+	TypeBatchSwapOut  // name + compress flag + algorithm + block-ID list
+	TypeBatchSwapIn   // name + block-ID list
+	TypeBatchPrefetch // name + block-ID list
+	TypeBatchData     // name + blockElems + run table + packed float32 data
 )
 
 // String names the frame type for errors and logs.
@@ -91,12 +100,22 @@ func (t Type) String() string {
 		return "tensor-data"
 	case TypeAck:
 		return "ack"
+	case TypeRegisterPool:
+		return "register-pool"
+	case TypeBatchSwapOut:
+		return "batch-swap-out"
+	case TypeBatchSwapIn:
+		return "batch-swap-in"
+	case TypeBatchPrefetch:
+		return "batch-prefetch"
+	case TypeBatchData:
+		return "batch-data"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
 }
 
-func (t Type) valid() bool { return t >= TypeRegister && t <= TypeAck }
+func (t Type) valid() bool { return t >= TypeRegister && t <= TypeBatchData }
 
 // hasData reports whether the type carries an element count + float32
 // payload after the name.
@@ -107,11 +126,22 @@ type Frame struct {
 	Type Type
 	// Name is the tensor name the operation addresses (non-empty).
 	Name string
-	// Compress and Alg are meaningful for TypeSwapOut only.
+	// Compress and Alg are meaningful for TypeSwapOut and TypeBatchSwapOut.
 	Compress bool
 	Alg      compress.Algorithm
-	// Data is the float32 payload of register and tensor-data frames.
+	// Data is the float32 payload of register, tensor-data, and batch-data
+	// frames (for batch-data: the runs' blocks packed back to back).
 	Data []float32
+
+	// Block-pool fields (batch.go). BlockElems is the per-block element
+	// count (register-pool, batch-data); NumBlocks the pool size in blocks
+	// (register-pool); BlockIDs the requested blocks (batch-swap-out/
+	// swap-in/prefetch, any order, duplicates legal); Runs the canonical
+	// run table describing Data's layout (batch-data).
+	BlockElems int
+	NumBlocks  int
+	BlockIDs   []int
+	Runs       []BlockRun
 }
 
 // truncErr and corruptErr wrap the compress taxonomy with frame context.
@@ -137,12 +167,35 @@ func (f *Frame) payloadLen() (int, error) {
 	}
 	n := 2 + len(f.Name)
 	switch {
+	case f.Type.isBatch():
+		bn, err := f.batchPayloadLen()
+		if err != nil {
+			return 0, err
+		}
+		n += bn
 	case f.Type.hasData():
 		n += 4 + 4*len(f.Data)
 	case f.Type == TypeSwapOut:
 		n += 2
 	}
 	return n, nil
+}
+
+// appendFloats packs float32 values little-endian onto dst.
+func appendFloats(dst []byte, data []float32) []byte {
+	for _, v := range data {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// parseFloats unpacks elems little-endian float32 values from b.
+func parseFloats(b []byte, elems int) []float32 {
+	data := make([]float32, elems)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i : 4*i+4]))
+	}
+	return data
 }
 
 // Append encodes f onto dst and returns the extended slice.
@@ -159,11 +212,11 @@ func Append(dst []byte, f *Frame) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Name)))
 	dst = append(dst, f.Name...)
 	switch {
+	case f.Type.isBatch():
+		dst = appendBatchPayload(dst, f)
 	case f.Type.hasData():
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Data)))
-		for _, v := range f.Data {
-			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
-		}
+		dst = appendFloats(dst, f.Data)
 	case f.Type == TypeSwapOut:
 		var c byte
 		if f.Compress {
@@ -232,6 +285,10 @@ func parsePayload(typ Type, p []byte) (*Frame, error) {
 	f := &Frame{Type: typ, Name: string(p[2 : 2+nameLen])}
 	rest := p[2+nameLen:]
 	switch {
+	case typ.isBatch():
+		if err := parseBatchPayload(f, rest); err != nil {
+			return nil, err
+		}
 	case typ.hasData():
 		if len(rest) < 4 {
 			return nil, corruptErr("%s frame lacks element count", typ)
@@ -241,10 +298,7 @@ func parsePayload(typ Type, p []byte) (*Frame, error) {
 		if uint64(len(body)) != uint64(elems)*4 {
 			return nil, corruptErr("%s frame claims %d elements but carries %d bytes", typ, elems, len(body))
 		}
-		f.Data = make([]float32, elems)
-		for i := range f.Data {
-			f.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i : 4*i+4]))
-		}
+		f.Data = parseFloats(body, int(elems))
 	case typ == TypeSwapOut:
 		if len(rest) != 2 {
 			return nil, corruptErr("swap-out frame carries %d option bytes, want 2", len(rest))
@@ -363,6 +417,10 @@ func PeekName(b []byte, maxPayload uint32) (Type, string, error) {
 // pattern, so NaNs round-trip like any other tensor value).
 func Equal(a, b *Frame) bool {
 	if a.Type != b.Type || a.Name != b.Name || a.Compress != b.Compress || a.Alg != b.Alg {
+		return false
+	}
+	if a.BlockElems != b.BlockElems || a.NumBlocks != b.NumBlocks ||
+		!idsEqual(a.BlockIDs, b.BlockIDs) || !runsEqual(a.Runs, b.Runs) {
 		return false
 	}
 	if len(a.Data) != len(b.Data) {
