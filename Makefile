@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke tune-smoke cluster-smoke kv-smoke report csv examples clean
+.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke tune-smoke cluster-smoke kv-smoke tier-smoke report csv examples clean
 
 all: build test
 
@@ -23,7 +23,7 @@ test: vet
 # of a hung CI job.
 race:
 	$(GO) test -race -timeout 300s ./internal/executor/... ./internal/compress/... ./internal/metrics/... \
-		./internal/placement/... ./internal/server/... ./internal/wire/... ./client/...
+		./internal/placement/... ./internal/server/... ./internal/tier/... ./internal/wire/... ./client/...
 
 race-all:
 	$(GO) test -race -timeout 600s ./...
@@ -63,7 +63,7 @@ bench-diff:
 # vet+test, the race detector over the swap path, the allocation-
 # regression gate against the committed benchmark baseline, and the
 # daemon smoke test.
-check: build test race bench-diff serve-smoke tune-smoke cluster-smoke kv-smoke
+check: build test race bench-diff serve-smoke tune-smoke cluster-smoke kv-smoke tier-smoke
 
 # Serve-smoke: boot the real cswapd daemon on an ephemeral port, drive it
 # with the example client, assert the swap counters moved via /metrics,
@@ -125,6 +125,27 @@ kv-smoke:
 	addr=$$(cat "$$tmp/addr"); \
 	$(GO) run ./examples/swap-server -connect "http://$$addr" -kv || { kill $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid && wait $$pid && echo "kv-smoke: clean drained exit"
+
+# Tier-smoke: boot cswapd with a deliberately tiny pinned-host pool and a
+# disk spill tier, drive the overflow workload (every swap-out must
+# complete by demoting cold blobs, /metrics must show
+# executor_tier_demotions_total > 0 and zero quota rejections, every
+# restore bit-exact through the promote path), SIGTERM it and require a
+# clean drained exit — then boot a second daemon on the SAME tier
+# directory and repeat, proving the directory survives a restart.
+tier-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/cswapd" ./cmd/cswapd || exit 1; \
+	for leg in first restart; do \
+		rm -f "$$tmp/addr"; \
+		"$$tmp/cswapd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -device 256 -host 1 -tier-dir "$$tmp/tier" & pid=$$!; \
+		for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+		[ -s "$$tmp/addr" ] || { echo "tier-smoke: daemon never wrote its address ($$leg leg)"; kill $$pid 2>/dev/null; exit 1; }; \
+		addr=$$(cat "$$tmp/addr"); \
+		$(GO) run ./examples/swap-server -connect "http://$$addr" -pressure || { kill $$pid 2>/dev/null; exit 1; }; \
+		kill -TERM $$pid && wait $$pid || exit 1; \
+		echo "tier-smoke: clean drained exit ($$leg leg)"; \
+	done
 
 # Full evaluation -> REPORT.md (and CSV series under data/).
 report:

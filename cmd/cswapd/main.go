@@ -12,8 +12,16 @@
 //	cswapd [-addr :7077] [-addr-file PATH] [-shards 1] [-device 1024]
 //	       [-host 4096] [-max-inflight 4] [-quota 0] [-verify] [-grid 128]
 //	       [-block 64] [-tune] [-tune-interval 2s] [-tune-drift 0.15]
+//	       [-tier-dir DIR] [-tier-cap 0] [-tier-quota 0]
 //
 // Sizes are MiB; -quota 0 grants each tenant the full device capacity.
+// -tier-dir attaches a compressed disk spill tier under the pinned-host
+// pool: cold swapped payloads demote to CRC-checked blobs in DIR when the
+// host pool runs out, promote back transparently on swap-in, and a
+// tenant-quota 507 becomes demote-then-admit (see /metrics,
+// executor_tier_* and server_tier_* series). -tier-cap 0 sizes the tier
+// at four times the host capacity; -tier-quota 0 grants each tenant the
+// full tier capacity. A cluster gives each shard DIR/shard-N.
 // -tune enables the online per-tenant tuner: swap-outs requesting the Auto
 // algorithm follow its live codec verdicts, and the launch geometry is
 // re-probed as tenant sparsity profiles drift (see /metrics,
@@ -55,6 +63,9 @@ func main() {
 	hostMiB := flag.Int64("host", 4096, "pinned-host pool capacity, MiB")
 	maxInFlight := flag.Int("max-inflight", 0, "bound on concurrent swap operations (0 = executor default)")
 	quotaMiB := flag.Int64("quota", 0, "per-tenant device-memory quota, MiB (0 = full device capacity)")
+	tierDir := flag.String("tier-dir", "", "disk spill tier directory (empty disables tiering; a cluster shards it into subdirectories)")
+	tierCapMiB := flag.Int64("tier-cap", 0, "spill tier capacity, MiB (0 = 4x host capacity)")
+	tierQuotaMiB := flag.Int64("tier-quota", 0, "per-tenant tier-resident quota, MiB (0 = full tier capacity)")
 	verify := flag.Bool("verify", true, "checksum-verify every restore")
 	grid := flag.Int("grid", 0, "codec launch grid (0 = executor default)")
 	block := flag.Int("block", 0, "codec launch block (0 = executor default)")
@@ -84,6 +95,13 @@ func main() {
 	}
 	if *grid > 0 {
 		opts = append(opts, server.WithLaunch(compress.Launch{Grid: *grid, Block: *block}))
+	}
+	if *tierDir != "" {
+		opts = append(opts,
+			server.WithTierDir(*tierDir),
+			server.WithTierCap(*tierCapMiB<<20),
+			server.WithTenantTierQuota(*tierQuotaMiB<<20),
+		)
 	}
 
 	// service is what the daemon needs from either topology; the default

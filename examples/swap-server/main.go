@@ -29,6 +29,14 @@
 // show per-shard swap counters and a non-zero rebalance count — the
 // assertions behind the Makefile's cluster-smoke target.
 //
+// With -pressure the example drives an overflow workload against a daemon
+// whose pinned-host pool is deliberately too small for the swap stream
+// (cswapd -host 1 -tier-dir DIR): every swap-out must still succeed by
+// demoting cold blobs to the disk tier, /metrics must show
+// executor_tier_demotions_total > 0 and zero quota rejections, and every
+// restore must come back bit-exact through the promote path — the
+// assertions behind the Makefile's tier-smoke target.
+//
 // With -kv the example drives the batch block API with a paged KV-cache
 // decode trace: one pool registration, then per decode step one
 // batch-swap-out of the evicted block IDs and one batch-swap-in of the
@@ -62,7 +70,19 @@ func main() {
 	drift := flag.Bool("drift", false, "drive a drifting-sparsity workload and assert the tuner switched codecs (requires cswapd -tune)")
 	clusterMode := flag.Bool("cluster", false, "drive a sharded daemon with the cluster client: spread keys, drain a shard, verify bit-exact restores")
 	kvMode := flag.Bool("kv", false, "drive the batch block API with a KV-cache decode trace and assert batching beats single-block round trips")
+	pressure := flag.Bool("pressure", false, "drive a host-overflow workload and assert it completes via tier demotions with zero 507s (requires cswapd -tier-dir)")
 	flag.Parse()
+
+	if *pressure {
+		if *connect == "" {
+			log.Fatal("-pressure requires -connect (a cswapd started with -tier-dir and a small -host)")
+		}
+		if err := drivePressure(*connect); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("pressure: ok")
+		return
+	}
 
 	if *drift {
 		if *connect == "" {
@@ -497,6 +517,69 @@ func driveKV(base string) error {
 // waits for the tuner's codec-switch counter to move. Each phase keeps the
 // workload live (the tuner only acts on tenants with fresh evidence) and
 // fails after a deadline.
+// drivePressure overflows the daemon's pinned-host pool on purpose: eight
+// raw swap-outs whose blobs cannot all fit must still succeed by demoting
+// cold blobs to the disk tier, the tier counters must move with zero quota
+// rejections, and every restore must come back bit-exact through the
+// promote path. It then frees everything so the tier directory is clean
+// for a restart leg.
+func drivePressure(base string) error {
+	ctx := context.Background()
+	const (
+		tenant   = "pressured"
+		nTensors = 8
+		elems    = 96 * 1024 // 384 KiB raw per blob; a -host 1 pool fits two
+	)
+	c := client.New(base, client.WithTenant(tenant))
+	gen := cswap.NewTensorGenerator(42)
+
+	payloads := make([][]float32, nTensors)
+	for i := range payloads {
+		name := fmt.Sprintf("p%d", i)
+		data := gen.Uniform(elems, 0.5).Data
+		payloads[i] = append([]float32(nil), data...)
+		if err := c.Register(ctx, name, data); err != nil {
+			return fmt.Errorf("pressure: register %s: %w", name, err)
+		}
+		// Raw swap-outs keep the blob sizes deterministic, so the overflow
+		// is guaranteed regardless of codec behavior.
+		if err := c.SwapOut(ctx, name, client.WithRaw()); err != nil {
+			return fmt.Errorf("pressure: swap-out %s overflowed instead of demoting: %w", name, err)
+		}
+	}
+
+	text, err := client.New(base).Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	demotions := sample(text, "executor_tier_demotions_total")
+	if demotions == "" || demotions == "0" {
+		return fmt.Errorf("pressure: executor_tier_demotions_total = %q, want non-zero", demotions)
+	}
+	fmt.Printf("pressure: executor_tier_demotions_total = %s\n", demotions)
+	rejections := sample(text, `server_quota_rejections_total{tenant="`+tenant+`"}`)
+	if rejections != "" && rejections != "0" {
+		return fmt.Errorf("pressure: server_quota_rejections_total = %s, want zero", rejections)
+	}
+
+	for i := range payloads {
+		name := fmt.Sprintf("p%d", i)
+		got, err := c.SwapIn(ctx, name)
+		if err != nil {
+			return fmt.Errorf("pressure: swap-in %s: %w", name, err)
+		}
+		for j := range payloads[i] {
+			if math.Float32bits(got[j]) != math.Float32bits(payloads[i][j]) {
+				return fmt.Errorf("pressure: %s restored[%d] = %v, want %v", name, j, got[j], payloads[i][j])
+			}
+		}
+		if err := c.Free(ctx, name); err != nil {
+			return fmt.Errorf("pressure: free %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
 func driveDrift(base string) error {
 	ctx := context.Background()
 	const tenant = "drifter"

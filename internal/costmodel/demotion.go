@@ -1,0 +1,32 @@
+package costmodel
+
+import "math"
+
+// DefaultReaccessHalfLife is the idle half-life (seconds) DemotionScore
+// assumes when the caller passes no horizon: after 30 idle seconds a
+// blob's predicted re-access probability has halved.
+const DefaultReaccessHalfLife = 30.0
+
+// DemotionScore ranks candidates for demotion from the pinned-host pool
+// into the disk spill tier. It is the expected cost of having to fetch the
+// blob back: the compressed/raw ratio (well-compressed blobs are cheap to
+// re-read — the cDMA premise applied downward) weighted by a re-access
+// prediction that decays with idle time (cold tensors are unlikely to be
+// needed soon). Lower scores demote first.
+//
+// ratio is compressed/raw bytes for the stored blob (1 for raw swaps),
+// idleSeconds the time since it was swapped out, and halfLife the idle
+// horizon after which the re-access prediction halves (<= 0 selects
+// DefaultReaccessHalfLife).
+func DemotionScore(ratio, idleSeconds, halfLife float64) float64 {
+	if halfLife <= 0 {
+		halfLife = DefaultReaccessHalfLife
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	if idleSeconds < 0 {
+		idleSeconds = 0
+	}
+	return ratio * math.Exp2(-idleSeconds/halfLife)
+}

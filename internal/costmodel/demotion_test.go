@@ -1,0 +1,24 @@
+package costmodel
+
+import "testing"
+
+func TestDemotionScoreOrdersVictims(t *testing.T) {
+	// A well-compressed blob is cheaper to re-fetch than a poorly
+	// compressed one at equal temperature: lower score, demotes first.
+	if good, bad := DemotionScore(0.1, 10, 0), DemotionScore(0.9, 10, 0); good >= bad {
+		t.Fatalf("good compressor should score below bad: %g vs %g", good, bad)
+	}
+	// A cold blob demotes before a hot one at equal ratio.
+	if cold, hot := DemotionScore(0.5, 300, 0), DemotionScore(0.5, 1, 0); cold >= hot {
+		t.Fatalf("cold should score below hot: %g vs %g", cold, hot)
+	}
+	// The half-life is exactly that: prediction halves per horizon.
+	fresh, aged := DemotionScore(1, 0, 10), DemotionScore(1, 10, 10)
+	if fresh != 1 || aged != 0.5 {
+		t.Fatalf("half-life decay: fresh=%g aged=%g, want 1 and 0.5", fresh, aged)
+	}
+	// Degenerate inputs clamp instead of producing negative or NaN scores.
+	if s := DemotionScore(-1, -5, -3); s != 0 {
+		t.Fatalf("clamped score = %g, want 0", s)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"cswap/internal/compress"
+	"cswap/internal/metrics"
 )
 
 // This file is the asynchronous swap pipeline built on the guarded handle
@@ -98,12 +99,14 @@ func (t *Ticket) Err() error {
 // or "prefetch").
 func (t *Ticket) Op() string { return t.op }
 
-// asyncGate is the bounded in-flight window. Slots are acquired at
+// asyncGate is a bounded in-flight window. Slots are acquired at
 // submission time in the caller's goroutine — a full window blocks the
 // submitter, which is the backpressure the pipeline promises — and
 // released when the operation commits. The gauge, peak, and queue-depth
 // instruments are updated under the gate's lock so their readings are
-// consistent with the count.
+// consistent with the count. The executor runs two gates: the main swap
+// window and a separate (smaller) one for tier demotion/promotion I/O,
+// each with its own instrument cells.
 type asyncGate struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -111,12 +114,14 @@ type asyncGate struct {
 	inflight int
 	peak     int
 	closed   bool
-	ins      *instruments
+
+	inflightG, peakG *metrics.Gauge
+	depthH           *metrics.Histogram
 }
 
-func (g *asyncGate) init(max int, ins *instruments) {
+func (g *asyncGate) init(max int, inflightG, peakG *metrics.Gauge, depthH *metrics.Histogram) {
 	g.max = max
-	g.ins = ins
+	g.inflightG, g.peakG, g.depthH = inflightG, peakG, depthH
 	g.cond = sync.NewCond(&g.mu)
 }
 
@@ -141,10 +146,10 @@ func (g *asyncGate) acquire(ctx context.Context) (waited bool, err error) {
 	g.inflight++
 	if g.inflight > g.peak {
 		g.peak = g.inflight
-		g.ins.asyncPeak.Set(float64(g.peak))
+		g.peakG.Set(float64(g.peak))
 	}
-	g.ins.asyncInflight.Set(float64(g.inflight))
-	g.ins.asyncDepth.Observe(float64(g.inflight))
+	g.inflightG.Set(float64(g.inflight))
+	g.depthH.Observe(float64(g.inflight))
 	return waited, nil
 }
 
@@ -178,7 +183,7 @@ func (g *asyncGate) waitCtx(ctx context.Context) {
 func (g *asyncGate) release() {
 	g.mu.Lock()
 	g.inflight--
-	g.ins.asyncInflight.Set(float64(g.inflight))
+	g.inflightG.Set(float64(g.inflight))
 	g.cond.Broadcast()
 	g.mu.Unlock()
 }
@@ -317,11 +322,15 @@ func (e *Executor) PrefetchCtx(ctx context.Context, h *Handle) *Ticket {
 }
 
 // Drain blocks until every asynchronous operation in flight at any point
-// during the call has completed and committed its handle state. It is a
-// barrier, not a shutdown: submissions stay legal during and after a
+// during the call has completed and committed its handle state — swap
+// work on the main window and tier demotions/promotions on theirs. It is
+// a barrier, not a shutdown: submissions stay legal during and after a
 // drain (a concurrent submitter can extend the wait). All tickets issued
 // before Drain returns are resolved once it does.
-func (e *Executor) Drain() { e.gate.drain() }
+func (e *Executor) Drain() {
+	e.gate.drain()
+	e.tierGate.drain()
+}
 
 // InFlight returns the number of asynchronous operations currently
 // holding a slot in the bounded window.
@@ -342,5 +351,7 @@ func (e *Executor) Close() error {
 	e.mu.Unlock()
 	e.gate.close()
 	e.gate.drain()
+	e.tierGate.close()
+	e.tierGate.drain()
 	return nil
 }

@@ -93,7 +93,9 @@ type BlockPool struct {
 }
 
 // poolRun is one stored (swapped-out) run: the encoded blob for Count
-// blocks starting at Start, plus its host-pool accounting.
+// blocks starting at Start, plus its host-pool accounting. A tiered run's
+// blob lives in the disk spill tier (blob and hostBlock are nil);
+// swappedAt and rawB feed the demotion ranking.
 type poolRun struct {
 	start, count int
 	blob         []byte
@@ -101,6 +103,9 @@ type poolRun struct {
 	alg          compress.Algorithm
 	compressed   bool
 	checksum     uint64
+	tiered       bool
+	rawB         int64
+	swappedAt    float64
 }
 
 // RegisterBlockPool reserves numBlocks fixed-size blocks of blockElems
@@ -517,35 +522,66 @@ func (p *BlockPool) swapOutRun(r BlockRun, doCompress bool, alg compress.Algorit
 	if !compressed {
 		blob = rawEncode(src, e.cache)
 	}
+	// Ownership mirrors swapOut: the pristine encode output stays owned by
+	// this operation until the run resolves, and a fault-injected transfer
+	// copy is discarded to the arena like swap-in's transient copies.
+	var pristine []byte
+	pristineCompressed := false
 	if mutated, ok := inj.MutateBlob(faultinject.SiteTransferOut, blob); ok {
-		e.recycleBlob(blob, compressed)
+		pristine, pristineCompressed = blob, compressed
 		blob = mutated
 	}
+	discard := func(b []byte, comp bool) {
+		if pristine != nil {
+			e.arena.put(b)
+		} else {
+			e.recycleBlob(b, comp)
+		}
+	}
+	settle := func() {
+		if pristine != nil {
+			e.recycleBlob(pristine, pristineCompressed)
+			pristine = nil
+		}
+	}
 	hostBlock, err := e.host.Alloc(int64(len(blob)))
+	if err != nil && e.freeHostSpace(int64(len(blob))) {
+		// Host pressure with a spill tier: demote cold payloads and retry.
+		hostBlock, err = e.host.Alloc(int64(len(blob)))
+	}
 	if err != nil && compressed {
 		raw := rawEncode(src, e.cache)
 		rawBlock, rerr := e.host.Alloc(int64(len(raw)))
+		if rerr != nil && e.freeHostSpace(int64(len(raw))) {
+			rawBlock, rerr = e.host.Alloc(int64(len(raw)))
+		}
 		if rerr != nil {
 			e.cache.Put(raw)
-			e.arena.put(blob)
+			discard(blob, compressed)
+			settle()
 			p.rollbackRuns([]BlockRun{r}, Resident)
 			return fmt.Errorf("executor: host pool: %w", err)
 		}
-		e.arena.put(blob)
+		discard(blob, compressed)
+		settle()
 		compressed = false
 		e.ins.allocFallbacks.Inc()
 		blob, hostBlock, err = raw, rawBlock, nil
 	}
 	if err != nil {
-		e.recycleBlob(blob, compressed)
+		discard(blob, compressed)
+		settle()
 		p.rollbackRuns([]BlockRun{r}, Resident)
 		return fmt.Errorf("executor: host pool: %w", err)
 	}
+	settle()
 	pr := &poolRun{
 		start: r.Start, count: r.Count,
 		blob: blob, hostBlock: hostBlock,
 		alg: alg, compressed: compressed,
-		checksum: checksum(src),
+		checksum:  checksum(src),
+		rawB:      int64(len(src)) * 4,
+		swappedAt: e.sinceEpoch(),
 	}
 	p.mu.Lock()
 	for id := r.Start; id < r.Start+r.Count; id++ {
@@ -571,6 +607,20 @@ func (p *BlockPool) swapInRun(pr *poolRun) error {
 	e := p.e
 	inj := e.cfg.Faults
 	dst := p.data[pr.start*p.blockElems : (pr.start+pr.count)*p.blockElems]
+	// A tiered run promotes from disk first; the in-memory copy plays the
+	// retained blob's role below, and any failure rolls back with the run
+	// still tiered and its committed tier entry intact.
+	blob := pr.blob
+	fromTier := false
+	if pr.tiered {
+		b, terr := e.promoteReadKey(p.runTierKey(pr))
+		if terr != nil {
+			p.rollbackRuns([]BlockRun{{Start: pr.start, Count: pr.count}}, Swapped)
+			return fmt.Errorf("executor: restore %s run [%d,+%d): %w", p.name, pr.start, pr.count, terr)
+		}
+		blob = b
+		fromTier = true
+	}
 	launch := e.Launch()
 	decode := func(blob []byte) error {
 		if pr.compressed {
@@ -589,7 +639,7 @@ func (p *BlockPool) swapInRun(pr *poolRun) error {
 		}
 		return nil
 	}
-	transfer, transient := inj.MutateBlob(faultinject.SiteTransferIn, pr.blob)
+	transfer, transient := inj.MutateBlob(faultinject.SiteTransferIn, blob)
 	derr := decode(transfer)
 	if derr == nil {
 		derr = check()
@@ -597,7 +647,7 @@ func (p *BlockPool) swapInRun(pr *poolRun) error {
 	retried, recovered := false, false
 	if derr != nil && retryable(derr, transient) {
 		retried = true
-		if rerr := decode(pr.blob); rerr != nil {
+		if rerr := decode(blob); rerr != nil {
 			derr = rerr
 		} else if rerr = check(); rerr != nil {
 			derr = rerr
@@ -615,11 +665,21 @@ func (p *BlockPool) swapInRun(pr *poolRun) error {
 		p.rollbackRuns([]BlockRun{{Start: pr.start, Count: pr.count}}, Swapped)
 		return fmt.Errorf("executor: restore %s run [%d,+%d): %w", p.name, pr.start, pr.count, derr)
 	}
-	if err := pr.hostBlock.Free(); err != nil {
-		p.rollbackRuns([]BlockRun{{Start: pr.start, Count: pr.count}}, Swapped)
-		return fmt.Errorf("executor: restore %s run [%d,+%d): %w", p.name, pr.start, pr.count, err)
+	if pr.hostBlock != nil {
+		if err := pr.hostBlock.Free(); err != nil {
+			p.rollbackRuns([]BlockRun{{Start: pr.start, Count: pr.count}}, Swapped)
+			return fmt.Errorf("executor: restore %s run [%d,+%d): %w", p.name, pr.start, pr.count, err)
+		}
 	}
-	e.recycleBlob(pr.blob, pr.compressed)
+	// Tier entries are deleted only after the restore has committed.
+	if fromTier {
+		_, _ = e.tier.Delete(p.runTierKey(pr))
+		pr.tiered = false
+		e.ins.tierPromotions.Inc()
+		e.ins.tierOccupancy.Set(float64(e.tier.Used()))
+	} else {
+		e.recycleBlob(pr.blob, pr.compressed)
+	}
 	p.mu.Lock()
 	for id := pr.start; id < pr.start+pr.count; id++ {
 		p.state[id] = Resident
@@ -669,6 +729,11 @@ func (p *BlockPool) Free() error {
 		return err
 	}
 	for _, pr := range stored {
+		if pr.tiered {
+			_, _ = p.e.tier.Delete(p.runTierKey(pr))
+			p.e.ins.tierOccupancy.Set(float64(p.e.tier.Used()))
+			continue
+		}
 		_ = pr.hostBlock.Free()
 		p.e.recycleBlob(pr.blob, pr.compressed)
 	}
@@ -676,6 +741,102 @@ func (p *BlockPool) Free() error {
 	e.mu.Lock()
 	delete(e.pools, p.id)
 	e.mu.Unlock()
+	return nil
+}
+
+// runTierKey is a stored run's key in the tier store: pool name, pool ID
+// (re-registrations of one name must not collide), and the run's start
+// block (unique per stored run at any instant — one stored run per block).
+func (p *BlockPool) runTierKey(pr *poolRun) string {
+	return fmt.Sprintf("%s#p%d@%d", p.name, p.id, pr.start)
+}
+
+// runCandidate is a consistent snapshot of one stored run's demotion
+// inputs, taken under p.mu (the poolRun fields themselves may only be
+// read by whoever owns the run's transitional state).
+type runCandidate struct {
+	pr        *poolRun
+	blobBytes int64
+	rawBytes  int64
+	swappedAt float64
+}
+
+// storedRuns snapshots the pool's stored, host-resident runs — its
+// demotion candidates. Tiered and in-flight runs are excluded.
+func (p *BlockPool) storedRuns() []runCandidate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freed {
+		return nil
+	}
+	var out []runCandidate
+	seen := map[*poolRun]bool{}
+	for id, pr := range p.run {
+		if pr == nil || seen[pr] || pr.tiered || p.state[id] != Swapped {
+			continue
+		}
+		seen[pr] = true
+		out = append(out, runCandidate{
+			pr:        pr,
+			blobBytes: int64(len(pr.blob)),
+			rawBytes:  pr.rawB,
+			swappedAt: pr.swappedAt,
+		})
+	}
+	return out
+}
+
+// demoteRun moves one stored run's blob from the pinned-host pool into
+// the disk tier, mirroring Handle demotion: the run's blocks are claimed
+// for the move (concurrent batch swap-ins see ErrBusy), the blob commits
+// on disk before the host bytes are freed, and the blocks return to
+// Swapped with the run marked tiered. A snapshot that aged out — the run
+// was restored or replaced since ranking — is skipped without error.
+func (p *BlockPool) demoteRun(pr *poolRun) error {
+	e := p.e
+	if e.tier == nil {
+		return ErrNoTier
+	}
+	r := BlockRun{Start: pr.start, Count: pr.count}
+	if err := p.claimRuns([]BlockRun{r}, Swapped, SwappingOut); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	stale := p.run[pr.start] != pr
+	p.mu.Unlock()
+	if stale || pr.tiered {
+		p.rollbackRuns([]BlockRun{r}, Swapped)
+		return nil
+	}
+	if _, err := e.tierGate.acquire(context.Background()); err != nil {
+		p.rollbackRuns([]BlockRun{r}, Swapped)
+		return fmt.Errorf("executor: demote %s run [%d,+%d): %w", p.name, pr.start, pr.count, err)
+	}
+	defer e.tierGate.release()
+	meta := tierMeta{
+		RawBytes:   pr.rawB,
+		BlobBytes:  int64(len(pr.blob)),
+		Compressed: pr.compressed,
+		Alg:        pr.alg.String(),
+		Elems:      int(pr.rawB / 4),
+		Checksum:   pr.checksum,
+	}
+	if err := e.tier.Put(p.runTierKey(pr), pr.blob, meta); err != nil {
+		p.rollbackRuns([]BlockRun{r}, Swapped)
+		return fmt.Errorf("executor: demote %s run [%d,+%d): %w", p.name, pr.start, pr.count, err)
+	}
+	if err := pr.hostBlock.Free(); err != nil {
+		_, _ = e.tier.Delete(p.runTierKey(pr))
+		p.rollbackRuns([]BlockRun{r}, Swapped)
+		return fmt.Errorf("executor: demote %s run [%d,+%d): %w", p.name, pr.start, pr.count, err)
+	}
+	e.recycleBlob(pr.blob, pr.compressed)
+	pr.blob = nil
+	pr.hostBlock = nil
+	pr.tiered = true
+	p.rollbackRuns([]BlockRun{r}, Swapped)
+	e.ins.tierDemotions.Inc()
+	e.ins.tierOccupancy.Set(float64(e.tier.Used()))
 	return nil
 }
 

@@ -47,6 +47,7 @@ import (
 	"cswap/internal/faultinject"
 	"cswap/internal/metrics"
 	"cswap/internal/tensor"
+	"cswap/internal/tier"
 )
 
 // Common executor errors.
@@ -89,6 +90,17 @@ type Config struct {
 	// Faults optionally injects deterministic failures into the data path
 	// (codec work, pool allocations, transfers). Nil injects nothing.
 	Faults *faultinject.Injector
+	// Tier optionally attaches a disk-backed spill tier below the
+	// pinned-host pool: under host pressure, cold swapped payloads demote
+	// into it (ranked by compression ratio × re-access prediction) instead
+	// of failing the allocation, and swap-ins promote back transparently.
+	// Nil disables tiering; see tier.go.
+	Tier *tier.Store
+	// TierMaxInFlight bounds concurrent tier (disk) I/O — demotions and
+	// promotion reads run under their own window so they never starve
+	// foreground swaps of MaxInFlight slots. Zero selects
+	// DefaultTierMaxInFlight.
+	TierMaxInFlight int
 	// Observer optionally receives deep instrumentation: per-codec encode/
 	// decode timings and byte volumes, wall-clock swap spans, and fallback/
 	// retry events. When it carries a metrics registry, that registry also
@@ -116,8 +128,12 @@ type Executor struct {
 	obs   *metrics.Observer
 	epoch time.Time
 
-	// gate is the async pipeline's bounded in-flight window (async.go).
-	gate asyncGate
+	// gate is the async pipeline's bounded in-flight window (async.go);
+	// tierGate is the separate, smaller window tier demotion/promotion
+	// I/O runs under (tier.go). tier is the optional disk spill tier.
+	gate     asyncGate
+	tier     *tier.Store
+	tierGate asyncGate
 
 	// launch is the active codec partitioning geometry, packed grid<<32 |
 	// block in an atomic so the tuner can retarget it while swaps are in
@@ -158,6 +174,9 @@ type Stats struct {
 	// BusyRejections counts operations refused with ErrBusy because
 	// another swap held the handle.
 	BusyRejections int
+	// TierDemotions counts payloads demoted host→disk; TierPromotions
+	// counts restores that moved a payload back out of the disk tier.
+	TierDemotions, TierPromotions int
 }
 
 // Ratio returns moved/raw bytes over the executor's lifetime.
@@ -225,6 +244,13 @@ type Handle struct {
 	compressed bool
 	elems      int
 	checksum   uint64
+
+	// tiered marks a Swapped handle whose payload lives in the disk tier
+	// instead of the host pool (blob and hostBlock are nil); swappedAt is
+	// the executor-epoch time of the last swap-out commit, feeding the
+	// re-access prediction that ranks demotion victims.
+	tiered    bool
+	swappedAt float64
 
 	// scratch retains the tensor's float32 backing across a swap-out so the
 	// swap-in decodes straight into it instead of allocating a fresh slice.
@@ -303,7 +329,7 @@ func New(cfg Config) (*Executor, error) {
 	if cfg.DeviceCapacity <= 0 || cfg.HostCapacity <= 0 {
 		return nil, fmt.Errorf("executor: capacities must be positive")
 	}
-	if cfg.MaxInFlight < 0 {
+	if cfg.MaxInFlight < 0 || cfg.TierMaxInFlight < 0 {
 		return nil, fmt.Errorf("executor: MaxInFlight must be non-negative")
 	}
 	if cfg.MaxInFlight == 0 {
@@ -332,7 +358,12 @@ func New(cfg Config) (*Executor, error) {
 		obs:    cfg.Observer,
 		epoch:  time.Now(),
 	}
-	e.gate.init(cfg.MaxInFlight, &e.ins)
+	e.gate.init(cfg.MaxInFlight, e.ins.asyncInflight, e.ins.asyncPeak, e.ins.asyncDepth)
+	if cfg.TierMaxInFlight == 0 {
+		cfg.TierMaxInFlight = DefaultTierMaxInFlight
+	}
+	e.tier = cfg.Tier
+	e.tierGate.init(cfg.TierMaxInFlight, e.ins.tierInflight, e.ins.tierPeak, e.ins.tierDepth)
 	e.launch.Store(packLaunch(cfg.Launch))
 	if inj := cfg.Faults; inj != nil {
 		e.device.SetAllocHook(func(int64) error { return inj.Fail(faultinject.SiteDeviceAlloc) })
@@ -449,40 +480,78 @@ func (e *Executor) swapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 		blob = rawEncode(h.data, e.cache)
 	}
 	// The bytes that land in the host pool are the transferred copy; a
-	// transfer-out fault corrupts the stored blob persistently.
+	// transfer-out fault corrupts the stored blob persistently. Ownership
+	// stays explicit: the pristine encode output remains owned by this
+	// operation until the swap resolves (recycling it at mutation time
+	// would let a concurrent encode reuse a buffer an in-place mutation
+	// could still alias), and the mutated copy — which MutateBlob
+	// allocates outside the arena — is discarded under the same
+	// transfer-copy convention as swap-in's transient copies.
+	var pristine []byte
+	pristineCompressed := false
 	if mutated, ok := inj.MutateBlob(faultinject.SiteTransferOut, blob); ok {
-		e.recycleBlob(blob, compressed)
+		pristine, pristineCompressed = blob, compressed
 		blob = mutated
 	}
+	// discard sends a non-shipping outbound copy home: transfer copies to
+	// the arena, genuine blobs to their pool. settle recycles the retained
+	// pristine original exactly once, when the operation's outcome no
+	// longer depends on it.
+	discard := func(b []byte, comp bool) {
+		if pristine != nil {
+			e.arena.put(b)
+		} else {
+			e.recycleBlob(b, comp)
+		}
+	}
+	settle := func() {
+		if pristine != nil {
+			e.recycleBlob(pristine, pristineCompressed)
+			pristine = nil
+		}
+	}
 	hostBlock, err := e.host.Alloc(int64(len(blob)))
+	if err != nil && e.freeHostSpace(int64(len(blob))) {
+		// Host pressure with a spill tier attached: demote cold swapped
+		// payloads to disk and retry before burning the raw fallback.
+		hostBlock, err = e.host.Alloc(int64(len(blob)))
+	}
 	if err != nil && compressed {
 		// Host-pool pressure on the compressed path: retry raw before
 		// surfacing (HostCapacityFor budgets the pool for the all-raw
 		// worst case, so the raw reservation is the accounted-for size).
 		raw := rawEncode(h.data, e.cache)
 		rawBlock, rerr := e.host.Alloc(int64(len(raw)))
+		if rerr != nil && e.freeHostSpace(int64(len(raw))) {
+			rawBlock, rerr = e.host.Alloc(int64(len(raw)))
+		}
 		if rerr != nil {
 			e.cache.Put(raw)
-			e.arena.put(blob) // neither copy ships; both go home
+			discard(blob, compressed) // neither copy ships; both go home
+			settle()
 			h.commit(Resident)
 			return fmt.Errorf("executor: host pool: %w", err)
 		}
-		e.arena.put(blob) // the compressed blob never ships
+		discard(blob, compressed) // the compressed blob never ships
+		settle()
 		compressed = false
 		allocFellBack = true
 		blob, hostBlock, err = raw, rawBlock, nil
 	}
 	if err != nil {
-		e.recycleBlob(blob, compressed)
+		discard(blob, compressed)
+		settle()
 		h.commit(Resident)
 		return fmt.Errorf("executor: host pool: %w", err)
 	}
 	if err := h.devBlock.Free(); err != nil {
 		_ = hostBlock.Free()
-		e.recycleBlob(blob, compressed)
+		discard(blob, compressed)
+		settle()
 		h.commit(Resident)
 		return err
 	}
+	settle() // the stored blob is the shipped copy; the original goes home
 	h.blob = blob
 	h.hostBlock = hostBlock
 	h.alg = alg
@@ -490,6 +559,8 @@ func (e *Executor) swapOut(h *Handle, doCompress bool, alg compress.Algorithm) e
 	h.scratch = h.data // retained for the swap-in to decode into
 	h.data = nil
 	h.devBlock = nil
+	h.tiered = false
+	h.swappedAt = e.sinceEpoch()
 	h.commit(Swapped)
 
 	e.ins.swapOuts.Inc()
@@ -589,6 +660,24 @@ func (e *Executor) swapIn(h *Handle) error {
 		t0 = e.sinceEpoch()
 	}
 
+	// A tiered handle's payload lives on disk: promote it by reading it
+	// back (under the tier I/O window) before decoding. The in-memory
+	// copy plays the retained blob's role in the retry semantics below;
+	// any failure from here rolls back to Swapped with the handle still
+	// tiered and the committed tier entry intact — retry-safe.
+	blob := h.blob
+	fromTier := false
+	if h.tiered {
+		b, terr := e.promoteRead(h)
+		if terr != nil {
+			_ = devBlock.Free()
+			h.commit(Swapped)
+			return fmt.Errorf("executor: restore %s: %w", h.name, terr)
+		}
+		blob = b
+		fromTier = true
+	}
+
 	// The decode lands in the float32 backing retained at swap-out — the
 	// tensor's own storage, so a warm round trip allocates no new slice.
 	// The defensive make only fires for handles predating the retention
@@ -620,7 +709,7 @@ func (e *Executor) swapIn(h *Handle) error {
 
 	// The first attempt decodes the transferred copy, which a transfer-in
 	// fault may have perturbed in flight.
-	transfer, transient := inj.MutateBlob(faultinject.SiteTransferIn, h.blob)
+	transfer, transient := inj.MutateBlob(faultinject.SiteTransferIn, blob)
 	var decStart time.Time
 	if timed {
 		decStart = time.Now()
@@ -637,7 +726,7 @@ func (e *Executor) swapIn(h *Handle) error {
 		// Retry from the retained blob, overwriting whatever the failed
 		// attempt left in dst.
 		retried = true
-		if rerr := decode(h.blob); rerr != nil {
+		if rerr := decode(blob); rerr != nil {
 			derr = rerr
 		} else if rerr = check(); rerr != nil {
 			derr = rerr
@@ -664,19 +753,28 @@ func (e *Executor) swapIn(h *Handle) error {
 		}
 		return fmt.Errorf("executor: restore %s: %w", h.name, derr)
 	}
-	if err := h.hostBlock.Free(); err != nil {
-		// Atomic failure: the device reservation is released, the decode
-		// buffer is retained, and the handle rolls back cleanly to Swapped
-		// with its blob and host block untouched — retry-safe.
-		_ = devBlock.Free()
-		h.scratch = dst
-		h.commit(Swapped)
-		return fmt.Errorf("executor: restore %s: %w", h.name, err)
+	if h.hostBlock != nil {
+		if err := h.hostBlock.Free(); err != nil {
+			// Atomic failure: the device reservation is released, the decode
+			// buffer is retained, and the handle rolls back cleanly to Swapped
+			// with its blob and host block untouched — retry-safe.
+			_ = devBlock.Free()
+			h.scratch = dst
+			h.commit(Swapped)
+			return fmt.Errorf("executor: restore %s: %w", h.name, err)
+		}
 	}
-	// The blob returns to its pool only after the restore is committed —
-	// recycling it earlier would let a later swap-out scribble over bytes a
-	// failed swap-in still needs for its retry.
-	e.recycleBlob(h.blob, h.compressed)
+	// The blob leaves its store only after the restore is committed —
+	// recycling (or deleting from the tier) earlier would destroy the
+	// bytes a failed swap-in still needs for its retry.
+	if fromTier {
+		_, _ = e.tier.Delete(h.tierKey())
+		h.tiered = false
+		e.ins.tierPromotions.Inc()
+		e.ins.tierOccupancy.Set(float64(e.tier.Used()))
+	} else {
+		e.recycleBlob(h.blob, h.compressed)
+	}
 	h.data = dst
 	h.scratch = nil
 	h.devBlock = devBlock
@@ -751,6 +849,12 @@ func (e *Executor) Free(h *Handle) error {
 			return err
 		}
 	case Swapped:
+		if h.tiered {
+			_, _ = e.tier.Delete(h.tierKey())
+			e.ins.tierOccupancy.Set(float64(e.tier.Used()))
+			h.tiered = false
+			break
+		}
 		if err := h.hostBlock.Free(); err != nil {
 			h.commit(prev)
 			return err
@@ -785,6 +889,8 @@ func (e *Executor) Stats() Stats {
 		DecodeRetries:     int(e.ins.decodeRetries.Value()),
 		DecodeRecoveries:  int(e.ins.decodeRecoveries.Value()),
 		BusyRejections:    int(e.ins.busyRejections.Value()),
+		TierDemotions:     int(e.ins.tierDemotions.Value()),
+		TierPromotions:    int(e.ins.tierPromotions.Value()),
 	}
 }
 

@@ -38,6 +38,18 @@ type instruments struct {
 	batchRuns     *metrics.Counter
 	batchSize     *metrics.Histogram
 	coalesceRatio *metrics.Histogram
+
+	// Disk-tier instruments: bytes resident in the spill tier, demotions
+	// (host→tier), promotions (tier→host-free restore), tier hits (restores
+	// whose payload was read from the tier), and the tier I/O pipeline's
+	// own bounded window.
+	tierOccupancy  *metrics.Gauge
+	tierDemotions  *metrics.Counter
+	tierPromotions *metrics.Counter
+	tierHits       *metrics.Counter
+	tierInflight   *metrics.Gauge
+	tierPeak       *metrics.Gauge
+	tierDepth      *metrics.Histogram
 }
 
 func newInstruments(r *metrics.Registry) instruments {
@@ -67,6 +79,14 @@ func newInstruments(r *metrics.Registry) instruments {
 		batchSize:   r.HistogramWith("executor_batch_size_blocks", metrics.ExpBuckets(1, 2, 12)),
 		coalesceRatio: r.HistogramWith("executor_batch_coalescing_ratio",
 			metrics.ExpBuckets(1.0/64, 2, 7)),
+
+		tierOccupancy:  r.Gauge("executor_tier_occupancy_bytes"),
+		tierDemotions:  r.Counter("executor_tier_demotions_total"),
+		tierPromotions: r.Counter("executor_tier_promotions_total"),
+		tierHits:       r.Counter("executor_tier_hits_total"),
+		tierInflight:   r.Gauge("executor_tier_inflight"),
+		tierPeak:       r.Gauge("executor_tier_inflight_peak"),
+		tierDepth:      r.HistogramWith("executor_tier_queue_depth", metrics.ExpBuckets(1, 2, 6)),
 	}
 }
 

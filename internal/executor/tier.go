@@ -1,0 +1,276 @@
+package executor
+
+// The executor's tier manager: demotion of cold swapped payloads from the
+// pinned-host pool into the disk spill tier (Config.Tier), and transparent
+// promotion back on swap-in. Demotion candidates — swapped tensor handles
+// and stored block-pool runs — are ranked by costmodel.DemotionScore
+// (compression ratio × re-access prediction): well-compressed blobs are
+// the cheapest to re-fetch and cold ones the least likely to be needed,
+// so they go first. Tier I/O runs under its own bounded in-flight window
+// (tierGate), never consuming the foreground swap window's slots.
+//
+// Ordering rules (the crash-consistency contract, DESIGN.md §15):
+//   - demote: tier.Put commits the blob on disk BEFORE the host block is
+//     freed — an interrupted demotion leaves the payload host-resident
+//     and the tier without a committed entry (at most a *.tmp the store
+//     scrubs at Open), never in neither place;
+//   - promote: the tier entry is deleted only AFTER the restore commits —
+//     a failed promotion leaves the handle Swapped and tiered with the
+//     committed entry intact, retry-safe.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"cswap/internal/compress"
+	"cswap/internal/costmodel"
+	"cswap/internal/tier"
+)
+
+// ErrNoTier reports a tier operation on an executor configured without a
+// spill tier.
+var ErrNoTier = errors.New("executor: no spill tier configured")
+
+// DefaultTierMaxInFlight is the tier I/O window when Config.TierMaxInFlight
+// is zero: wide enough to overlap demotion with promotion, narrow enough
+// that disk traffic cannot crowd out foreground swaps.
+const DefaultTierMaxInFlight = 2
+
+// tierMeta is the per-blob metadata the tier's memdb holds for every
+// demoted payload; it mirrors the handle fields a restore needs, so tier
+// contents stay self-describing across restarts.
+type tierMeta struct {
+	RawBytes   int64  `json:"raw_bytes"`
+	BlobBytes  int64  `json:"blob_bytes"`
+	Compressed bool   `json:"compressed"`
+	Alg        string `json:"alg"`
+	Elems      int    `json:"elems"`
+	Checksum   uint64 `json:"checksum"`
+}
+
+// tierKey is the handle's key in the tier store: the registration name
+// (the host-pool key) plus the handle ID, so re-registrations of one name
+// can never collide on disk.
+func (h *Handle) tierKey() string { return fmt.Sprintf("%s#h%d", h.name, h.id) }
+
+// InTier reports whether the handle's swapped payload currently lives in
+// the disk tier rather than the pinned-host pool.
+func (h *Handle) InTier() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tiered
+}
+
+// TierUsed returns the attached tier's committed bytes (0 without a tier).
+func (e *Executor) TierUsed() int64 {
+	if e.tier == nil {
+		return 0
+	}
+	return e.tier.Used()
+}
+
+// Demote moves a swapped handle's payload from the pinned-host pool into
+// the disk tier, freeing its host bytes; a later SwapIn promotes it back
+// transparently. The handle must be Swapped (ErrBusy while a swap is in
+// flight, the usual taxonomy otherwise); demoting an already-tiered
+// handle is a no-op. Fails with ErrNoTier when no tier is configured and
+// tier.ErrFull when the tier cannot hold the blob — in both cases the
+// payload stays host-resident and intact.
+func (e *Executor) Demote(h *Handle) error {
+	if e.tier == nil {
+		return ErrNoTier
+	}
+	if err := e.claim(h, Swapped, SwappingOut, nil); err != nil {
+		return err
+	}
+	if _, err := e.tierGate.acquire(context.Background()); err != nil {
+		h.commit(Swapped)
+		return fmt.Errorf("executor: demote %s: %w", h.name, err)
+	}
+	defer e.tierGate.release()
+	return e.demote(h)
+}
+
+// DemoteAsync is Demote as a pipeline stage on the tier window: it claims
+// the handle and returns a Ticket immediately (blocking only for a tier
+// I/O slot when that window is full — foreground swap slots are never
+// consumed). See DemoteAsyncCtx for the context semantics.
+func (e *Executor) DemoteAsync(h *Handle) *Ticket {
+	return e.DemoteAsyncCtx(context.Background(), h)
+}
+
+// DemoteAsyncCtx is DemoteAsync with deadline-aware slot acquisition: if
+// ctx is done before a tier slot frees, the ticket resolves with the
+// context's error and the handle rolls back to Swapped untouched.
+func (e *Executor) DemoteAsyncCtx(ctx context.Context, h *Handle) *Ticket {
+	t := newTicket("demote", h.name)
+	if e.tier == nil {
+		t.complete(ErrNoTier)
+		return t
+	}
+	if err := e.claim(h, Swapped, SwappingOut, t); err != nil {
+		t.complete(err)
+		return t
+	}
+	if _, err := e.tierGate.acquire(ctx); err != nil {
+		h.commit(Swapped)
+		t.complete(fmt.Errorf("executor: demote %s: %w", h.name, err))
+		return t
+	}
+	compress.Go(func() {
+		t.complete(e.demote(h))
+		e.tierGate.release()
+	})
+	return t
+}
+
+// demote is the demotion body. The caller has claimed SwappingOut and
+// holds a tier I/O slot; the body owns the handle's storage until it
+// commits back to Swapped (tiered on success, unchanged on failure).
+func (e *Executor) demote(h *Handle) error {
+	if h.tiered { // already on disk: idempotent
+		h.commit(Swapped)
+		return nil
+	}
+	meta := tierMeta{
+		RawBytes:   h.Bytes(),
+		BlobBytes:  int64(len(h.blob)),
+		Compressed: h.compressed,
+		Alg:        h.alg.String(),
+		Elems:      h.elems,
+		Checksum:   h.checksum,
+	}
+	// Ordering: the blob must be committed on disk before the host copy
+	// is released — an interruption here leaves the payload fully
+	// host-resident and the tier cleanly without it.
+	if err := e.tier.Put(h.tierKey(), h.blob, meta); err != nil {
+		h.commit(Swapped)
+		return fmt.Errorf("executor: demote %s: %w", h.name, err)
+	}
+	if err := h.hostBlock.Free(); err != nil {
+		_, _ = e.tier.Delete(h.tierKey())
+		h.commit(Swapped)
+		return fmt.Errorf("executor: demote %s: %w", h.name, err)
+	}
+	e.recycleBlob(h.blob, h.compressed)
+	h.blob = nil
+	h.hostBlock = nil
+	h.tiered = true
+	h.commit(Swapped)
+	e.ins.tierDemotions.Inc()
+	e.ins.tierOccupancy.Set(float64(e.tier.Used()))
+	return nil
+}
+
+// promoteRead fetches a tiered handle's payload from the disk store; see
+// promoteReadKey. The caller (swapIn) owns the handle's transitional
+// state; the tier entry itself is deleted only after the restore commits.
+func (e *Executor) promoteRead(h *Handle) ([]byte, error) {
+	return e.promoteReadKey(h.tierKey())
+}
+
+// promoteReadKey reads one committed tier blob under the tier I/O window,
+// counting the tier hit.
+func (e *Executor) promoteReadKey(key string) ([]byte, error) {
+	if e.tier == nil {
+		return nil, ErrNoTier
+	}
+	if _, err := e.tierGate.acquire(context.Background()); err != nil {
+		return nil, err
+	}
+	defer e.tierGate.release()
+	blob, err := e.tier.Get(key, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.ins.tierHits.Inc()
+	return blob, nil
+}
+
+// tierVictim is one demotion candidate: its eviction score and the bytes
+// its demotion would free from the host pool.
+type tierVictim struct {
+	score  float64
+	bytes  int64
+	demote func() error
+}
+
+// tierVictims snapshots and ranks every demotable payload — swapped,
+// host-resident tensor handles and stored block-pool runs — cheapest
+// expected re-fetch first. Races are benign: each victim's demote
+// re-claims its handle or blocks, and a candidate that moved on is
+// skipped.
+func (e *Executor) tierVictims() []tierVictim {
+	now := e.sinceEpoch()
+	e.mu.Lock()
+	handles := make([]*Handle, 0, len(e.live))
+	for _, h := range e.live {
+		handles = append(handles, h)
+	}
+	pools := make([]*BlockPool, 0, len(e.pools))
+	for _, p := range e.pools {
+		pools = append(pools, p)
+	}
+	e.mu.Unlock()
+
+	var vs []tierVictim
+	for _, h := range handles {
+		h.mu.Lock()
+		ok := h.state == Swapped && !h.tiered && h.hostBlock != nil
+		var score float64
+		var bytes int64
+		if ok {
+			ratio := float64(len(h.blob)) / float64(h.Bytes())
+			score = costmodel.DemotionScore(ratio, now-h.swappedAt, 0)
+			bytes = int64(len(h.blob))
+		}
+		h.mu.Unlock()
+		if ok {
+			h := h
+			vs = append(vs, tierVictim{score: score, bytes: bytes, demote: func() error { return e.Demote(h) }})
+		}
+	}
+	for _, p := range pools {
+		for _, c := range p.storedRuns() {
+			c := c
+			p := p
+			ratio := float64(c.blobBytes) / float64(c.rawBytes)
+			vs = append(vs, tierVictim{
+				score:  costmodel.DemotionScore(ratio, now-c.swappedAt, 0),
+				bytes:  c.blobBytes,
+				demote: func() error { return p.demoteRun(c.pr) },
+			})
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].score < vs[j].score })
+	return vs
+}
+
+// freeHostSpace demotes ranked victims until the host pool has room for
+// `need` more bytes, reporting whether it does. Without a tier (or enough
+// demotable bytes) it reports the pool's existing headroom; individual
+// demote failures (a victim turned busy, the tier filled up) skip to the
+// next candidate.
+func (e *Executor) freeHostSpace(need int64) bool {
+	if e.tier == nil {
+		return false
+	}
+	headroom := func() bool {
+		return e.host.Capacity()-e.host.Used() >= need
+	}
+	if headroom() {
+		return true
+	}
+	for _, v := range e.tierVictims() {
+		if headroom() {
+			break
+		}
+		if err := v.demote(); err != nil && errors.Is(err, tier.ErrFull) {
+			// A full tier fails every remaining candidate the same way.
+			break
+		}
+	}
+	return headroom()
+}

@@ -1,0 +1,553 @@
+package executor
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"cswap/internal/compress"
+	"cswap/internal/faultinject"
+	"cswap/internal/tensor"
+	"cswap/internal/tier"
+)
+
+// newTierExecutor builds an executor with a disk spill tier in a fresh
+// temp directory, sharing the fault injector between the tier store and
+// the data path (as cswapd does).
+func newTierExecutor(t *testing.T, dev, host, tierCap int64, inj *faultinject.Injector) (*Executor, *tier.Store) {
+	t.Helper()
+	ts, err := tier.Open(t.TempDir(), tierCap, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		DeviceCapacity: dev,
+		HostCapacity:   host,
+		Verify:         true,
+		Faults:         inj,
+		Tier:           ts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e, ts
+}
+
+func assertBitExact(t *testing.T, h *Handle, want []float32) {
+	t.Helper()
+	got, err := h.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("payload mismatch at %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDemotePromoteRoundTrip(t *testing.T) {
+	e, ts := newTierExecutor(t, 1<<22, 1<<22, 1<<22, nil)
+	tn := tensor.NewGenerator(11).Uniform(50000, 0.6)
+	want := append([]float32(nil), tn.Data...)
+	h, err := e.Register("act", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	hostUsed := e.HostStats().Used
+	if hostUsed == 0 {
+		t.Fatal("nothing in host pool after swap-out")
+	}
+
+	if err := e.Demote(h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.InTier() {
+		t.Fatal("handle not tiered after Demote")
+	}
+	if h.State() != Swapped {
+		t.Fatalf("tiered handle state %v, want Swapped", h.State())
+	}
+	if e.HostStats().Used != 0 {
+		t.Fatalf("host pool still holds %d bytes after demotion", e.HostStats().Used)
+	}
+	if e.TierUsed() == 0 || ts.Len() != 1 {
+		t.Fatalf("tier holds %d bytes / %d blobs, want the demoted blob", e.TierUsed(), ts.Len())
+	}
+	// Demoting an already-tiered handle is an idempotent no-op.
+	if err := e.Demote(h); err != nil {
+		t.Fatalf("re-demote: %v", err)
+	}
+	if st := e.Stats(); st.TierDemotions != 1 {
+		t.Fatalf("TierDemotions = %d, want 1", st.TierDemotions)
+	}
+
+	if err := e.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, h, want)
+	if h.InTier() {
+		t.Fatal("handle still tiered after restore")
+	}
+	if e.TierUsed() != 0 || ts.Len() != 0 {
+		t.Fatalf("tier not drained after promotion: %d bytes / %d blobs", e.TierUsed(), ts.Len())
+	}
+	if st := e.Stats(); st.TierPromotions != 1 {
+		t.Fatalf("TierPromotions = %d, want 1", st.TierPromotions)
+	}
+	if err := e.Free(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemoteTaxonomy(t *testing.T) {
+	// No tier configured: ErrNoTier, and the host-pressure fallback path
+	// reports no headroom rather than inventing any.
+	plain := newTestExecutor(t, 1<<20, 1<<20)
+	tn := tensor.NewGenerator(12).Uniform(1000, 0.5)
+	h, err := plain.Register("x", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Demote(h); !errors.Is(err, ErrNoTier) {
+		t.Fatalf("Demote without tier = %v, want ErrNoTier", err)
+	}
+	if plain.freeHostSpace(1) {
+		t.Fatal("freeHostSpace claimed headroom without a tier")
+	}
+
+	// Resident handles are not demotable (the state taxonomy applies).
+	e, _ := newTierExecutor(t, 1<<20, 1<<20, 1<<20, nil)
+	h2, err := e.Register("y", tensor.NewGenerator(13).Uniform(1000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Demote(h2); err == nil {
+		t.Fatal("Demote accepted a Resident handle")
+	}
+
+	// A tier too small for the blob: ErrFull, payload stays host-resident.
+	small, _ := newTierExecutor(t, 1<<22, 1<<22, 64, nil)
+	h3, err := small.Register("z", tensor.NewGenerator(14).Uniform(50000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.SwapOut(h3, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	before := small.HostStats().Used
+	if err := small.Demote(h3); !errors.Is(err, tier.ErrFull) {
+		t.Fatalf("Demote into full tier = %v, want tier.ErrFull", err)
+	}
+	if h3.InTier() || small.HostStats().Used != before {
+		t.Fatal("failed demotion disturbed the host-resident payload")
+	}
+	if err := small.SwapIn(h3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeReleasesTierEntry(t *testing.T) {
+	e, ts := newTierExecutor(t, 1<<22, 1<<22, 1<<22, nil)
+	h, err := e.Register("gone", tensor.NewGenerator(15).Uniform(20000, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Demote(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	if e.TierUsed() != 0 || ts.Len() != 0 {
+		t.Fatalf("freed handle left %d bytes / %d blobs in the tier", e.TierUsed(), ts.Len())
+	}
+}
+
+// TestSwapOutDemotesUnderHostPressure pins the tentpole behavior: a
+// swap-out that previously failed (or burned the raw fallback) on a full
+// host pool now demotes cold payloads to disk and proceeds.
+func TestSwapOutDemotesUnderHostPressure(t *testing.T) {
+	// Host pool fits one 40000-byte raw blob but not two.
+	e, _ := newTierExecutor(t, 1<<22, 48<<10, 1<<20, nil)
+	gen := tensor.NewGenerator(16)
+	ta := gen.Uniform(10000, 0.5)
+	tb := gen.Uniform(10000, 0.5)
+	wantA := append([]float32(nil), ta.Data...)
+	wantB := append([]float32(nil), tb.Data...)
+	a, err := e.Register("a", ta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Register("b", tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(a, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(b, false, 0); err != nil {
+		t.Fatalf("swap-out under host pressure: %v", err)
+	}
+	if !a.InTier() {
+		t.Fatal("cold payload was not demoted to make room")
+	}
+	if b.InTier() {
+		t.Fatal("fresh swap-out landed in the tier, want host pool")
+	}
+	if st := e.Stats(); st.TierDemotions != 1 {
+		t.Fatalf("TierDemotions = %d, want 1", st.TierDemotions)
+	}
+	if err := e.SwapIn(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapIn(b); err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, a, wantA)
+	assertBitExact(t, b, wantB)
+	if st := e.Stats(); st.TierPromotions != 1 {
+		t.Fatalf("TierPromotions = %d, want 1", st.TierPromotions)
+	}
+}
+
+// TestVictimRankingPrefersWellCompressedCold pins the eviction order:
+// DemotionScore demotes well-compressed payloads before poorly-compressed
+// ones, and colder payloads before hotter ones.
+func TestVictimRankingPrefersWellCompressedCold(t *testing.T) {
+	e, _ := newTierExecutor(t, 1<<22, 1<<22, 1<<22, nil)
+	gen := tensor.NewGenerator(17)
+	sparse, err := e.Register("sparse", gen.Uniform(20000, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := e.Register("dense", gen.Uniform(20000, 0.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*Handle{sparse, dense} {
+		if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs := e.tierVictims()
+	if len(vs) != 2 {
+		t.Fatalf("victims = %d, want 2", len(vs))
+	}
+	if vs[0].score >= vs[1].score {
+		t.Fatalf("victims unsorted: %v >= %v", vs[0].score, vs[1].score)
+	}
+	// Same idle age: the better-compressed (smaller) blob demotes first.
+	if vs[0].bytes >= vs[1].bytes {
+		t.Fatalf("dense payload ranked before sparse one (%d bytes before %d)",
+			vs[0].bytes, vs[1].bytes)
+	}
+
+	// Make the dense payload much colder than the sparse one: idleness
+	// decays its score below even the poorly-compressed ratio.
+	dense.mu.Lock()
+	dense.swappedAt -= 1000
+	dense.mu.Unlock()
+	vs = e.tierVictims()
+	if vs[0].bytes <= vs[1].bytes {
+		t.Fatal("cold dense payload should now demote first")
+	}
+}
+
+// TestDemoteVsSwapInConcurrent races Demote against SwapIn on the same
+// handle: exactly one wins each claim, ErrBusy is the only contention
+// signal, and the payload always restores bit-exact. Run with -race.
+func TestDemoteVsSwapInConcurrent(t *testing.T) {
+	e, _ := newTierExecutor(t, 1<<22, 1<<22, 1<<22, nil)
+	tn := tensor.NewGenerator(18).Uniform(30000, 0.6)
+	want := append([]float32(nil), tn.Data...)
+	h, err := e.Register("contended", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := e.Demote(h); err != nil && !errors.Is(err, ErrBusy) && !errors.Is(err, ErrNotSwapped) {
+				t.Errorf("demote: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := e.SwapIn(h); err != nil && !errors.Is(err, ErrBusy) {
+				t.Errorf("swap-in: %v", err)
+			}
+		}()
+		wg.Wait()
+		if h.State() == Swapped { // demote won, or swap-in lost the race
+			if err := e.SwapIn(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertBitExact(t, h, want)
+	}
+	if e.TierUsed() != 0 {
+		t.Fatalf("tier holds %d bytes after all restores", e.TierUsed())
+	}
+}
+
+// TestTierCommitCrashConsistency pins the crash contract: a failure
+// between the tier blob write and the index commit (SiteTierCommit) leaves
+// the payload fully host-resident and the tier directory cleanly absent of
+// the blob — a restart of the store finds nothing torn.
+func TestTierCommitCrashConsistency(t *testing.T) {
+	inj := faultinject.New(faultinject.Fault{Site: faultinject.SiteTierCommit, Mode: faultinject.Fail})
+	e, ts := newTierExecutor(t, 1<<22, 1<<22, 1<<22, inj)
+	tn := tensor.NewGenerator(19).Uniform(30000, 0.6)
+	want := append([]float32(nil), tn.Data...)
+	h, err := e.Register("crash", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	hostUsed := e.HostStats().Used
+
+	if err := e.Demote(h); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Demote = %v, want injected commit failure", err)
+	}
+	if h.InTier() {
+		t.Fatal("handle marked tiered after failed commit")
+	}
+	if e.HostStats().Used != hostUsed {
+		t.Fatal("failed demotion released the host copy")
+	}
+
+	// Simulated restart: reopening the directory must find no committed
+	// blob and no torn remnants.
+	re, err := tier.Open(ts.Dir(), 1<<22, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 0 || re.Used() != 0 {
+		t.Fatalf("restarted store found %d blobs / %d bytes, want none", re.Len(), re.Used())
+	}
+
+	// The payload is fully recoverable from host state...
+	if err := e.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, h, want)
+
+	// ...and the fault fired once, so a retried demotion commits durably.
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Demote(h); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := tier.Open(ts.Dir(), 1<<22, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.Len() != 1 {
+		t.Fatalf("restarted store found %d blobs, want the committed one", re2.Len())
+	}
+}
+
+// TestSwapOutMutateOwnership pins the blob-ownership fix on the
+// fault-injection mutate path: when a transfer-out fault replaces the
+// encode output with a mutated copy, the pristine original must survive
+// until the operation resolves and then be recycled exactly once — never
+// recycled early (a concurrent encode could alias it) and never confused
+// with the non-arena mutated copy. Observable contract: the corruption is
+// persistent (swap-in detects it), state stays coherent, and the arena
+// keeps round-tripping cleanly afterwards.
+func TestSwapOutMutateOwnership(t *testing.T) {
+	inj := faultinject.New(faultinject.Fault{Site: faultinject.SiteTransferOut, Mode: faultinject.Corrupt})
+	e, err := New(Config{
+		DeviceCapacity: 1 << 22,
+		HostCapacity:   1 << 22,
+		Verify:         true,
+		Faults:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	tn := tensor.NewGenerator(20).Uniform(30000, 0.6)
+	h, err := e.Register("mutated", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	// The stored blob is the corrupted transfer copy: restore must fail
+	// (decode error or checksum mismatch), and the handle must roll back
+	// to Swapped, not wedge or crash on a recycled buffer.
+	if err := e.SwapIn(h); err == nil {
+		t.Fatal("swap-in verified a persistently corrupted blob")
+	}
+	if h.State() != Swapped {
+		t.Fatalf("state %v after failed restore, want Swapped", h.State())
+	}
+	if err := e.Free(h); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fault fired once; subsequent cycles reuse the arena buffers the
+	// fix recycled. Under the old ownership bug the pristine blob was
+	// either recycled while still aliased or replaced by a foreign buffer,
+	// which these round trips would surface as corruption or a double-put.
+	for i := 0; i < 8; i++ {
+		tc := tensor.NewGenerator(int64(21 + i)).Uniform(30000, 0.6)
+		want := append([]float32(nil), tc.Data...)
+		hc, err := e.Register("clean", tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SwapOut(hc, true, compress.ZVC); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SwapIn(hc); err != nil {
+			t.Fatal(err)
+		}
+		assertBitExact(t, hc, want)
+		if err := e.Free(hc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSwapOutMutateFallbackToResident drives the mutate path into the
+// no-host-room fallback: with both allocations refused, the swap must
+// abort back to Resident with the device payload intact, discarding the
+// mutated copy and the pristine original without mixing them up.
+func TestSwapOutMutateFallbackToResident(t *testing.T) {
+	inj := faultinject.New(faultinject.Fault{Site: faultinject.SiteTransferOut, Mode: faultinject.Corrupt})
+	e, err := New(Config{
+		DeviceCapacity: 1 << 22,
+		HostCapacity:   256, // nothing fits: compressed and raw retries both fail
+		Verify:         true,
+		Faults:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	tn := tensor.NewGenerator(30).Uniform(30000, 0.6)
+	want := append([]float32(nil), tn.Data...)
+	h, err := e.Register("cramped", tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SwapOut(h, true, compress.ZVC); err == nil {
+		t.Fatal("swap-out succeeded into a 256-byte host pool")
+	}
+	if h.State() != Resident {
+		t.Fatalf("state %v after aborted swap, want Resident", h.State())
+	}
+	assertBitExact(t, h, want)
+}
+
+// TestPoolRunDemotePromoteRoundTrip exercises the block-pool side of the
+// tier: stored runs demote under pressure and batch swap-ins promote them
+// transparently, bit-exact.
+func TestPoolRunDemotePromoteRoundTrip(t *testing.T) {
+	e, ts := newTierExecutor(t, 64<<20, 64<<20, 16<<20, nil)
+	p, err := e.RegisterBlockPool("kv", 256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, 16)
+	var want []float32
+	for i := range all {
+		all[i] = i
+		want = append(want, blockFill(i, 256)...)
+	}
+	if err := p.WriteBlocks(all, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SwapOutBlocks(all, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	runs := p.storedRuns()
+	if len(runs) != 1 {
+		t.Fatalf("stored runs = %d, want 1 coalesced run", len(runs))
+	}
+	if err := p.demoteRun(runs[0].pr); err != nil {
+		t.Fatal(err)
+	}
+	if e.TierUsed() == 0 || ts.Len() != 1 {
+		t.Fatalf("tier holds %d bytes / %d blobs after run demotion", e.TierUsed(), ts.Len())
+	}
+	if len(p.storedRuns()) != 0 {
+		t.Fatal("tiered run still offered as a demotion candidate")
+	}
+	// Re-demoting a stale snapshot is a silent no-op.
+	if err := p.demoteRun(runs[0].pr); err != nil {
+		t.Fatalf("stale re-demote: %v", err)
+	}
+	if err := p.SwapInBlocks(all); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadBlocks(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("block payload mismatch at %d", i)
+		}
+	}
+	if e.TierUsed() != 0 || ts.Len() != 0 {
+		t.Fatalf("tier not drained after batch promotion: %d bytes", e.TierUsed())
+	}
+	if err := p.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolFreeReleasesTieredRuns pins Free() cleanup: tiered runs leave
+// the tier store with the pool instead of leaking blobs on disk.
+func TestPoolFreeReleasesTieredRuns(t *testing.T) {
+	e, ts := newTierExecutor(t, 64<<20, 64<<20, 16<<20, nil)
+	p, err := e.RegisterBlockPool("kv", 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{0, 1, 2, 3}
+	if err := p.WriteBlocks(ids, blockFill(1, 4*256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SwapOutBlocks(ids, true, compress.ZVC); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.storedRuns() {
+		if err := p.demoteRun(c.pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ts.Len() == 0 {
+		t.Fatal("no runs demoted")
+	}
+	if err := p.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if e.TierUsed() != 0 || ts.Len() != 0 {
+		t.Fatalf("pool free left %d bytes / %d blobs in the tier", e.TierUsed(), ts.Len())
+	}
+}

@@ -32,6 +32,7 @@ const (
 	SiteDeviceAlloc Site = "device-alloc" // device pool allocation
 	SiteTransferOut Site = "transfer-out" // device→host blob transfer (persistent: the stored blob)
 	SiteTransferIn  Site = "transfer-in"  // host→device blob transfer (transient: the in-flight copy)
+	SiteTierCommit  Site = "tier-commit"  // disk-tier demote: between blob write and index commit
 )
 
 // Mode is what an armed fault does when it fires.

@@ -120,7 +120,7 @@ func (s *Server) handleRegisterPool(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
 	sess := s.session(tenant)
 	bytes := int64(f.BlockElems) * int64(f.NumBlocks) * 4
-	ent, err := sess.reserve(f.Name, bytes)
+	ent, err := s.reserveDemoting(sess, f.Name, bytes)
 	if err != nil {
 		if errors.Is(err, ErrQuotaExceeded) {
 			s.ins.reg.Counter("server_quota_rejections_total", metrics.L("tenant", tenant)).Inc()
@@ -166,9 +166,13 @@ func (s *Server) handleBatchWrite(w http.ResponseWriter, r *http.Request) {
 		s.failErr(w, err)
 		return
 	}
-	// Re-measure sparsity on what was actually written: the signal Auto
-	// codec resolution and the tuner profile key off for this pool.
-	ent.sparsity = sliceSparsity(f.Data)
+	// Fold what was actually written into the pool-wide sparsity, weighted
+	// by the fraction of blocks this write covers: the signal Auto codec
+	// resolution and the tuner profile key off describes the whole pool,
+	// and letting a partial write overwrite it would swing every later
+	// codec decision on the sliver this batch happened to touch.
+	frac := float64(len(ids)) / float64(ent.pool.NumBlocks())
+	ent.sparsity = ent.sparsity*(1-frac) + sliceSparsity(f.Data)*frac
 	ent.mu.Unlock()
 	s.batchSeen("write", len(ids))
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -121,6 +122,12 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		shardCfg.Observer = &metrics.Observer{
 			Metrics: reg.Sub(metrics.L("shard", strconv.Itoa(i))),
 			OnEvent: cfg.Observer.OnEvent,
+		}
+		if cfg.TierDir != "" {
+			// Each shard owns its own spill directory: tier keys are only
+			// unique per executor, and a drained shard's leftovers must not
+			// shadow a live shard's blobs.
+			shardCfg.TierDir = filepath.Join(cfg.TierDir, "shard-"+strconv.Itoa(i))
 		}
 		s, err := New(shardCfg)
 		if err != nil {

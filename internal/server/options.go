@@ -48,6 +48,18 @@ func WithVerify(v bool) Option { return func(o *options) { o.cfg.Verify = v } }
 // quota).
 func WithTenantQuota(b int64) Option { return func(o *options) { o.cfg.TenantQuota = b } }
 
+// WithTierDir attaches a disk spill tier rooted at dir (empty disables).
+// A cluster gives each shard its own subdirectory under dir.
+func WithTierDir(dir string) Option { return func(o *options) { o.cfg.TierDir = dir } }
+
+// WithTierCap bounds each shard's tier directory in bytes (zero selects
+// four times the host capacity).
+func WithTierCap(b int64) Option { return func(o *options) { o.cfg.TierCap = b } }
+
+// WithTenantTierQuota sets the per-tenant tier-resident-bytes quota,
+// enforced per shard like the device quota.
+func WithTenantTierQuota(b int64) Option { return func(o *options) { o.cfg.TenantTierQuota = b } }
+
 // WithMaxPayload caps decodable wire frames.
 func WithMaxPayload(n uint32) Option { return func(o *options) { o.cfg.MaxPayload = n } }
 

@@ -45,6 +45,7 @@ import (
 	"cswap/internal/metrics"
 	"cswap/internal/placement"
 	"cswap/internal/tensor"
+	"cswap/internal/tier"
 	"cswap/internal/wire"
 )
 
@@ -89,6 +90,19 @@ type Config struct {
 	// each tenant the full device capacity (no subdivision); the shared
 	// pool still enforces the global bound.
 	TenantQuota int64
+	// TierDir, when set, attaches a disk spill tier under the executor's
+	// host pool: swapped payloads demote into it under host pressure, and
+	// a tenant-quota 507 at register time becomes demote-then-admit —
+	// the tenant's swapped tensors move to disk, their quota charge moves
+	// to the tier bucket, and the register proceeds. 507 remains only
+	// when both tiers are full. Empty disables tiering.
+	TierDir string
+	// TierCap bounds the tier directory's committed bytes. Zero selects
+	// four times the host capacity.
+	TierCap int64
+	// TenantTierQuota is the per-tenant bound on tier-resident bytes.
+	// Zero grants each tenant the full tier capacity.
+	TenantTierQuota int64
 	// MaxPayload caps the wire frames the server will decode; zero
 	// selects wire.DefaultMaxPayload.
 	MaxPayload uint32
@@ -122,6 +136,7 @@ type instruments struct {
 type Server struct {
 	cfg   Config
 	exec  *executor.Executor
+	tier  *tier.Store // nil without TierDir
 	obs   *metrics.Observer
 	ins   instruments
 	admit chan struct{}
@@ -147,6 +162,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	var ts *tier.Store
+	if cfg.TierDir != "" {
+		if cfg.TierCap == 0 {
+			cfg.TierCap = 4 * cfg.HostCapacity
+		}
+		if cfg.TenantTierQuota == 0 {
+			cfg.TenantTierQuota = cfg.TierCap
+		}
+		var err error
+		if ts, err = tier.Open(cfg.TierDir, cfg.TierCap, cfg.Faults); err != nil {
+			return nil, fmt.Errorf("server: spill tier: %w", err)
+		}
+	}
 	exec, err := executor.New(executor.Config{
 		DeviceCapacity: cfg.DeviceCapacity,
 		HostCapacity:   cfg.HostCapacity,
@@ -154,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 		Verify:         cfg.Verify,
 		MaxInFlight:    cfg.MaxInFlight,
 		Faults:         cfg.Faults,
+		Tier:           ts,
 		Observer:       cfg.Observer,
 	})
 	if err != nil {
@@ -163,6 +192,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:  cfg,
 		exec: exec,
+		tier: ts,
 		obs:  cfg.Observer,
 		ins: instruments{
 			backpressure: reg.Counter("server_backpressure_total"),
@@ -199,6 +229,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Executor exposes the shared executor (tests and embedders).
 func (s *Server) Executor() *executor.Executor { return s.exec }
 
+// Tier exposes the disk spill tier, nil when TierDir is unset.
+func (s *Server) Tier() *tier.Store { return s.tier }
+
 // Registry exposes the shared metrics registry backing /metrics.
 func (s *Server) Registry() *metrics.Registry { return s.ins.reg }
 
@@ -232,7 +265,7 @@ func (s *Server) session(tenant string) *session {
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[tenant]
 	if !ok {
-		sess = newSession(tenant, s.cfg.TenantQuota, s.ins.reg)
+		sess = newSession(tenant, s.cfg.TenantQuota, s.cfg.TenantTierQuota, s.ins.reg)
 		s.sessions[tenant] = sess
 		s.ins.sessions.Set(float64(len(s.sessions)))
 	}
@@ -356,7 +389,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
 	sess := s.session(tenant)
 	bytes := int64(len(f.Data)) * tensor.BytesPerElement
-	ent, err := sess.reserve(f.Name, bytes)
+	ent, err := s.reserveDemoting(sess, f.Name, bytes)
 	if err != nil {
 		if errors.Is(err, ErrQuotaExceeded) {
 			s.ins.reg.Counter("server_quota_rejections_total", metrics.L("tenant", tenant)).Inc()
@@ -375,6 +408,53 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	ent.sparsity = sliceSparsity(f.Data)
 	ent.mu.Unlock()
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
+}
+
+// reserveDemoting is reserve with the demote-then-admit fallback: a
+// tenant-quota refusal with a spill tier attached first tries to demote
+// the tenant's swapped tensors to disk — migrating their quota charge to
+// the tier bucket — and retries the reservation. 507 survives only when
+// both the device quota and the tier quota are exhausted.
+func (s *Server) reserveDemoting(sess *session, name string, bytes int64) (*entry, error) {
+	ent, err := sess.reserve(name, bytes)
+	if err != nil && errors.Is(err, ErrQuotaExceeded) && s.tier != nil && s.demoteForAdmit(sess, bytes) {
+		ent, err = sess.reserve(name, bytes)
+	}
+	return ent, err
+}
+
+// demoteForAdmit walks the tenant's entries demoting swapped,
+// host-resident tensors into the disk tier until the device quota bucket
+// has room for `need` more bytes, reporting whether it does. Busy entries,
+// block pools, resident tensors (Demote refuses them), and entries the
+// tier quota cannot take are skipped. Executor-initiated demotions the
+// server has not yet accounted (tierCharged lagging) are reconciled for
+// free: Demote on an already-tiered handle is a no-op and syncTier moves
+// the charge.
+func (s *Server) demoteForAdmit(sess *session, need int64) bool {
+	if sess.deviceHeadroom(need) {
+		return true
+	}
+	for _, name := range sess.entryNames() {
+		ent, err := sess.acquire(name)
+		if err != nil {
+			continue
+		}
+		if ent.h == nil || ent.tierCharged || !sess.tierHeadroom(ent.bytes) {
+			ent.mu.Unlock()
+			continue
+		}
+		if err := s.exec.Demote(ent.h); err == nil {
+			sess.syncTier(ent)
+			s.ins.reg.Counter("server_tier_demote_admits_total",
+				metrics.L("tenant", sess.tenant)).Inc()
+		}
+		ent.mu.Unlock()
+		if sess.deviceHeadroom(need) {
+			return true
+		}
+	}
+	return sess.deviceHeadroom(need)
 }
 
 // admitSlot claims one admission slot without blocking; a full window is
@@ -463,6 +543,7 @@ func (s *Server) handleSwapOut(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sess.syncTier(ent)
 	ent.mu.Unlock()
 	<-s.admit
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
@@ -524,6 +605,7 @@ func (s *Server) handleSwapIn(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sess.syncTier(ent) // a promotion moves the charge back to the device bucket
 	data, err := ent.h.Data()
 	if err != nil {
 		ent.mu.Unlock()
@@ -559,6 +641,7 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sess.syncTier(ent)
 	ent.mu.Unlock()
 	<-s.admit
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})

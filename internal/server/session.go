@@ -37,11 +37,22 @@ var errEntryBusy = errors.New("server: tensor busy")
 type session struct {
 	tenant string
 	quota  int64 // bound on the tenant's registered (live) tensor bytes
-	used   *metrics.Gauge
+	// tierQuota bounds the tenant's tier-resident bytes (the second
+	// bucket quota charges migrate into when a tensor demotes to disk);
+	// zero or negative means unbounded.
+	tierQuota int64
+	used      *metrics.Gauge
+	tierUsed  *metrics.Gauge
 
-	mu      sync.Mutex
-	usedB   int64
-	entries map[string]*entry
+	mu sync.Mutex
+	// usedB charges registered tensors whose payload is device- or
+	// host-resident; tierUsedB charges the ones demoted to the disk tier.
+	// Charges migrate lazily (syncTier), as the server observes residency
+	// at operation boundaries. Block pools always charge usedB: their
+	// reservation is whole-pool, even while individual runs are tiered.
+	usedB     int64
+	tierUsedB int64
+	entries   map[string]*entry
 
 	// Tuning state (guarded by mu): the live workload profile the tuner
 	// folds swap-outs into, and the current/previous codec verdicts. prev
@@ -159,16 +170,23 @@ type entry struct {
 	// profile the tuner tracks. Written once under mu before the register
 	// response; read under the entry lock afterwards.
 	sparsity float64
+	// tierCharged mirrors which quota bucket currently charges this
+	// entry: false = device bucket (usedB), true = tier bucket
+	// (tierUsedB). Guarded by the entry lock, reconciled by syncTier.
+	tierCharged bool
 }
 
-func newSession(tenant string, quota int64, reg *metrics.Registry) *session {
+func newSession(tenant string, quota, tierQuota int64, reg *metrics.Registry) *session {
 	s := &session{
-		tenant:  tenant,
-		quota:   quota,
-		used:    reg.Gauge("server_tenant_used_bytes", metrics.L("tenant", tenant)),
-		entries: map[string]*entry{},
+		tenant:    tenant,
+		quota:     quota,
+		tierQuota: tierQuota,
+		used:      reg.Gauge("server_tenant_used_bytes", metrics.L("tenant", tenant)),
+		tierUsed:  reg.Gauge("server_tenant_tier_used_bytes", metrics.L("tenant", tenant)),
+		entries:   map[string]*entry{},
 	}
 	reg.Gauge("server_tenant_quota_bytes", metrics.L("tenant", tenant)).Set(float64(quota))
+	reg.Gauge("server_tenant_tier_quota_bytes", metrics.L("tenant", tenant)).Set(float64(tierQuota))
 	return s
 }
 
@@ -196,15 +214,68 @@ func (s *session) reserve(name string, bytes int64) (*entry, error) {
 	return ent, nil
 }
 
-// release removes an entry and returns its bytes to the quota — the abort
-// path of a failed register and the commit path of a free. The caller
-// holds the entry's lock.
+// release removes an entry and returns its bytes to whichever quota
+// bucket currently charges it — the abort path of a failed register and
+// the commit path of a free. Returning a tier-charged entry's bytes to
+// the device bucket instead would leak the tenant's tier quota for good.
+// The caller holds the entry's lock.
 func (s *session) release(name string, ent *entry) {
 	s.mu.Lock()
 	delete(s.entries, name)
-	s.usedB -= ent.bytes
-	s.used.Set(float64(s.usedB))
+	if ent.tierCharged {
+		s.tierUsedB -= ent.bytes
+		s.tierUsed.Set(float64(s.tierUsedB))
+	} else {
+		s.usedB -= ent.bytes
+		s.used.Set(float64(s.usedB))
+	}
 	s.mu.Unlock()
+}
+
+// moveCharge migrates `bytes` of quota charge between the device and tier
+// buckets.
+func (s *session) moveCharge(bytes int64, toTier bool) {
+	s.mu.Lock()
+	if toTier {
+		s.usedB -= bytes
+		s.tierUsedB += bytes
+	} else {
+		s.tierUsedB -= bytes
+		s.usedB += bytes
+	}
+	s.used.Set(float64(s.usedB))
+	s.tierUsed.Set(float64(s.tierUsedB))
+	s.mu.Unlock()
+}
+
+// syncTier reconciles a tensor entry's quota charge with its observed
+// tier residency. It runs at operation boundaries (after swaps, demotions,
+// promotions), so charges follow payloads lazily: an executor-initiated
+// demotion is charged to the tier bucket the next time the server touches
+// the entry. Block pools are exempt (see the usedB comment). The caller
+// holds the entry lock.
+func (s *session) syncTier(ent *entry) {
+	if ent.h == nil {
+		return
+	}
+	if inTier := ent.h.InTier(); inTier != ent.tierCharged {
+		s.moveCharge(ent.bytes, inTier)
+		ent.tierCharged = inTier
+	}
+}
+
+// tierHeadroom reports whether the tier bucket can take `bytes` more.
+func (s *session) tierHeadroom(bytes int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tierQuota <= 0 || s.tierUsedB+bytes <= s.tierQuota
+}
+
+// deviceHeadroom reports whether the device bucket can admit `bytes` more.
+func (s *session) deviceHeadroom(bytes int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quota <= 0 || s.usedB+bytes <= s.quota
 }
 
 // lookup returns the tenant's entry for name.
@@ -251,9 +322,17 @@ func (s *session) entryNames() []string {
 	return names
 }
 
-// Used returns the tenant's registered bytes (for tests and introspection).
+// Used returns the tenant's device-bucket registered bytes (for tests and
+// introspection).
 func (s *session) Used() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.usedB
+}
+
+// TierUsed returns the tenant's tier-bucket charged bytes.
+func (s *session) TierUsed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tierUsedB
 }

@@ -1,0 +1,251 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cswap/client"
+	"cswap/internal/metrics"
+	"cswap/internal/server"
+	"cswap/internal/tensor"
+)
+
+// gaugeValue reads one gauge from the server registry.
+func gaugeValue(t *testing.T, s *server.Server, name string, labels ...metrics.Label) float64 {
+	t.Helper()
+	v, _ := s.Registry().Snapshot().Gauge(name, labels...)
+	return v
+}
+
+// TestQuotaDemoteThenAdmit pins the tentpole's service-level contract: a
+// register that would previously have drawn a tenant-quota 507 instead
+// demotes the tenant's swapped tensors to the disk tier, migrates their
+// quota charge to the tier bucket, and admits.
+func TestQuotaDemoteThenAdmit(t *testing.T) {
+	const elems = 4096
+	quota := int64(elems * 4)
+	s, url := newTestServer(t,
+		server.WithTierDir(t.TempDir()),
+		server.WithTenantQuota(quota),
+	)
+	c := client.New(url)
+	ctx := context.Background()
+
+	gen := tensor.NewGenerator(1)
+	d1 := gen.Uniform(elems, 0.6).Data
+	want1 := append([]float32(nil), d1...)
+	if err := c.Register(ctx, "t1", d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SwapOut(ctx, "t1", client.WithCodec(client.ZVC)); err != nil {
+		t.Fatal(err)
+	}
+	// The quota is full; without the tier this register answers 507.
+	d2 := gen.Uniform(elems, 0.5).Data
+	if err := c.Register(ctx, "t2", d2); err != nil {
+		t.Fatalf("register under full quota with tier attached: %v", err)
+	}
+	lab := metrics.L("tenant", server.DefaultTenant)
+	if n := counterValue(t, s, "server_tier_demote_admits_total", lab); n != 1 {
+		t.Fatalf("demote-admits = %v, want 1", n)
+	}
+	if n := counterValue(t, s, "server_quota_rejections_total", lab); n != 0 {
+		t.Fatalf("quota rejections = %v, want 0", n)
+	}
+	if st := s.Executor().Stats(); st.TierDemotions != 1 {
+		t.Fatalf("TierDemotions = %d, want 1", st.TierDemotions)
+	}
+	if v := gaugeValue(t, s, "server_tenant_tier_used_bytes", lab); v != float64(quota) {
+		t.Fatalf("tier bucket holds %v bytes, want %v", v, quota)
+	}
+
+	// The demoted tensor restores bit-exact through the real HTTP path,
+	// and promotion returns its charge to the device bucket.
+	got, err := c.SwapIn(ctx, "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want1 {
+		if got[i] != want1[i] {
+			t.Fatalf("restored[%d] = %v, want %v", i, got[i], want1[i])
+		}
+	}
+	if v := gaugeValue(t, s, "server_tenant_tier_used_bytes", lab); v != 0 {
+		t.Fatalf("tier bucket holds %v bytes after promotion, want 0", v)
+	}
+	if st := s.Executor().Stats(); st.TierPromotions != 1 {
+		t.Fatalf("TierPromotions = %d, want 1", st.TierPromotions)
+	}
+}
+
+// TestQuota507OnlyWhenBothTiersFull: with the tier quota too small to
+// absorb a demotion, the register still answers 507 — the tier widens the
+// hierarchy, it does not remove the bound.
+func TestQuota507OnlyWhenBothTiersFull(t *testing.T) {
+	const elems = 4096
+	s, url := newTestServer(t,
+		server.WithTierDir(t.TempDir()),
+		server.WithTenantQuota(elems*4),
+		server.WithTenantTierQuota(64),
+	)
+	c := client.New(url)
+	ctx := context.Background()
+	gen := tensor.NewGenerator(2)
+	if err := c.Register(ctx, "t1", gen.Uniform(elems, 0.6).Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SwapOut(ctx, "t1", client.WithCodec(client.ZVC)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(ctx, "t2", gen.Uniform(elems, 0.5).Data); !errors.Is(err, client.ErrQuota) {
+		t.Fatalf("register with both tiers full = %v, want ErrQuota", err)
+	}
+	lab := metrics.L("tenant", server.DefaultTenant)
+	if n := counterValue(t, s, "server_quota_rejections_total", lab); n != 1 {
+		t.Fatalf("quota rejections = %v, want 1", n)
+	}
+}
+
+// TestHostPressureCompletesWithTier is the acceptance workload: a swap
+// stream that overflows the pinned-host pool, which previously drew 507s,
+// now completes with demotions recorded and every restore byte-identical
+// over the real HTTP path.
+func TestHostPressureCompletesWithTier(t *testing.T) {
+	const (
+		nTensors = 6
+		elems    = 40000 // 160000-byte raw blobs; the host pool fits one
+	)
+	hostCap := int64(256 << 10)
+	gen := tensor.NewGenerator(3)
+	payloads := make([][]float32, nTensors)
+	for i := range payloads {
+		payloads[i] = gen.Uniform(elems, 0.5).Data
+	}
+	names := []string{"t0", "t1", "t2", "t3", "t4", "t5"}
+	ctx := context.Background()
+
+	// Control: without a tier the same stream hits the host-pool bound.
+	{
+		_, url := newTestServer(t, server.WithHostCapacity(hostCap))
+		c := client.New(url)
+		var failed bool
+		for i, name := range names {
+			if err := c.Register(ctx, name, payloads[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SwapOut(ctx, name, client.WithRaw()); err != nil {
+				failed = true
+				break
+			}
+		}
+		if !failed {
+			t.Fatal("control server absorbed the overflow workload; pressure scenario is not exercising the bound")
+		}
+	}
+
+	s, url := newTestServer(t,
+		server.WithHostCapacity(hostCap),
+		server.WithTierDir(t.TempDir()),
+	)
+	c := client.New(url)
+	for i, name := range names {
+		if err := c.Register(ctx, name, payloads[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SwapOut(ctx, name, client.WithRaw()); err != nil {
+			t.Fatalf("swap-out %s under host pressure: %v", name, err)
+		}
+	}
+	st := s.Executor().Stats()
+	if st.TierDemotions == 0 {
+		t.Fatal("overflow workload recorded no demotions")
+	}
+	for i, name := range names {
+		got, err := c.SwapIn(ctx, name)
+		if err != nil {
+			t.Fatalf("swap-in %s: %v", name, err)
+		}
+		for j := range payloads[i] {
+			if got[j] != payloads[i][j] {
+				t.Fatalf("%s restored[%d] = %v, want %v", name, j, got[j], payloads[i][j])
+			}
+		}
+	}
+	if n := counterValue(t, s, "server_quota_rejections_total",
+		metrics.L("tenant", server.DefaultTenant)); n != 0 {
+		t.Fatalf("quota rejections = %v, want 0", n)
+	}
+}
+
+// TestClusterDrainMigratesTierResidentBlobs: a drain moves tier-resident
+// payloads to the shard's successors bit-exactly, exactly like
+// host-resident ones (migration restores through the promote path).
+func TestClusterDrainMigratesTierResidentBlobs(t *testing.T) {
+	const (
+		nTensors = 8
+		elems    = 40000
+	)
+	cl, err := server.NewCluster(
+		server.WithShards(2),
+		server.WithDeviceCapacity(64<<20),
+		server.WithHostCapacity(256<<10), // one raw blob per shard: overflow demotes
+		server.WithTierDir(t.TempDir()),
+		server.WithVerify(true),
+		server.WithRetryAfter(time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(cl.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		_ = cl.Close()
+	})
+	c := client.New(hs.URL)
+	ctx := context.Background()
+
+	gen := tensor.NewGenerator(4)
+	payloads := make(map[string][]float32, nTensors)
+	for i := 0; i < nTensors; i++ {
+		name := "kv" + string(rune('a'+i))
+		payloads[name] = gen.Uniform(elems, 0.5).Data
+		if err := c.Register(ctx, name, payloads[name]); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SwapOut(ctx, name, client.WithRaw()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain a shard that holds tier-resident payloads, so the migration
+	// demonstrably crosses the disk tier.
+	victim := -1
+	for i := 0; i < cl.NumShards(); i++ {
+		if cl.Shard(i).Executor().TierUsed() > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no shard holds tier-resident payloads; pressure setup is wrong")
+	}
+	if _, _, err := cl.DrainShard(victim); err != nil {
+		t.Fatalf("drain shard %d: %v", victim, err)
+	}
+	if used := cl.Shard(victim).Executor().TierUsed(); used != 0 {
+		t.Fatalf("drained shard still holds %d tier bytes", used)
+	}
+	for name, want := range payloads {
+		got, err := c.SwapIn(ctx, name)
+		if err != nil {
+			t.Fatalf("swap-in %s after drain: %v", name, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%s restored[%d] = %v, want %v", name, j, got[j], want[j])
+			}
+		}
+	}
+}

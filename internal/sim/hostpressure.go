@@ -1,0 +1,192 @@
+package sim
+
+// Host-pressure scenario: the service's sharpest failure mode replayed as
+// an event timeline. A stream of swap-outs lands in a bounded pinned-host
+// pool; once the pool fills, every further swap-out needs space another
+// blob is holding. Without a spill tier the caller recovers synchronously
+// — the coldest blob is swapped back to the device and freed before the
+// swap-out can proceed, and that whole round trip is exposed stall. With a
+// tier, cold blobs demote to disk in the background ahead of need (issued
+// when the previous swap-out lands, overlapping the next compute step), so
+// the swap-out usually finds space waiting and stalls only when the disk
+// cannot keep up. Victims leave coldest-first, the idle term of the
+// executor's ratio x coldness demotion score.
+//
+// The scenario exists to put a number on the tentpole's claim: the same
+// overflow workload scores materially less exposed stall with the tier
+// attached, not because any single demotion is faster than a reclaim (disk
+// is slower than the link), but because demotion is asynchronous and hides
+// behind compute while reclaim serialises with it.
+
+// HostPressureScenario describes one overflow workload. All bandwidths are
+// bytes per second; times are seconds; sizes are bytes.
+type HostPressureScenario struct {
+	// HostCapacity bounds the pinned-host pool.
+	HostCapacity int64
+	// LinkBytesPerSec is the swap-link bandwidth (d2h and h2d).
+	LinkBytesPerSec float64
+	// TierBytesPerSec is the disk-tier bandwidth; 0 runs without a tier.
+	TierBytesPerSec float64
+	// ComputeStep is the compute time between consecutive swap-outs — the
+	// hidden window background demotion can use.
+	ComputeStep float64
+	// Blobs is the swap-out stream: each entry is one blob's host-resident
+	// size (post-codec bytes). Every blob must fit the host pool alone.
+	Blobs []int64
+}
+
+// HostPressureResult scores one run of the scenario.
+type HostPressureResult struct {
+	// Makespan is the virtual time at which all work (including trailing
+	// transfers and demotions) drains.
+	Makespan float64
+	// ExposedStall is the total time swap-outs waited on host-pool space —
+	// overflow the compute stream had to absorb.
+	ExposedStall float64
+	// MaxStall is the worst single swap-out's wait.
+	MaxStall float64
+	// Demotions counts blobs pushed down to the disk tier.
+	Demotions int
+	// Reclaims counts synchronous swap-back reclaims, the no-tier recovery.
+	Reclaims int
+	// TierBusy is the disk resource's cumulative busy time.
+	TierBusy float64
+}
+
+// Run plays the scenario to completion on a fresh engine.
+func (s HostPressureScenario) Run() HostPressureResult {
+	if s.HostCapacity <= 0 || s.LinkBytesPerSec <= 0 {
+		panic("sim: host-pressure scenario needs a host capacity and a link bandwidth")
+	}
+	for _, b := range s.Blobs {
+		if b <= 0 || b > s.HostCapacity {
+			panic("sim: host-pressure blob does not fit the host pool")
+		}
+	}
+	eng := NewEngine()
+	compute := NewResource(eng, "compute")
+	d2h := NewResource(eng, "d2h")
+	h2d := NewResource(eng, "h2d")
+	var disk *Resource
+	if s.TierBytesPerSec > 0 {
+		disk = NewResource(eng, "disk")
+	}
+
+	var res HostPressureResult
+	free := s.HostCapacity
+	var resident []int64 // landed blobs, oldest (coldest) first
+	var inflight int64   // bytes mid-demotion, credited back on completion
+
+	// At most one swap-out waits for space at a time (the stream is
+	// sequential), but credits arrive from demotion completions, so the
+	// wait is a tiny queue rather than a direct callback.
+	type waiter struct {
+		need  int64
+		ready func(float64)
+	}
+	var waiters []waiter
+	credit := func(b int64) {
+		free += b
+		for len(waiters) > 0 && free >= waiters[0].need {
+			w := waiters[0]
+			waiters = waiters[1:]
+			free -= w.need
+			w.ready(eng.Now())
+		}
+	}
+	demoteOldest := func() {
+		victim := resident[0]
+		resident = resident[1:]
+		inflight += victim
+		res.Demotions++
+		disk.Submit(float64(victim)/s.TierBytesPerSec, func(_, _ float64) {
+			inflight -= victim
+			credit(victim)
+		})
+	}
+	// reclaimOldest is the no-tier recovery: the caller synchronously
+	// swaps the coldest blob back over the link and frees it before the
+	// refused swap-out can retry — the cost a 507 pushes onto the client.
+	var reclaimOldest func(need int64, ready func(float64))
+	reclaimOldest = func(need int64, ready func(float64)) {
+		victim := resident[0]
+		resident = resident[1:]
+		res.Reclaims++
+		h2d.Submit(float64(victim)/s.LinkBytesPerSec, func(_, _ float64) {
+			free += victim
+			if free >= need {
+				free -= need
+				ready(eng.Now())
+				return
+			}
+			reclaimOldest(need, ready)
+		})
+	}
+	secure := func(need int64, ready func(float64)) {
+		if free >= need {
+			free -= need
+			ready(eng.Now())
+			return
+		}
+		if disk == nil {
+			reclaimOldest(need, ready)
+			return
+		}
+		for free+inflight < need && len(resident) > 0 {
+			demoteOldest()
+		}
+		waiters = append(waiters, waiter{need: need, ready: ready})
+	}
+	// topUp keeps headroom for the next blob demoting in the background:
+	// issued when the previous blob lands, it overlaps the compute step
+	// instead of stalling the swap-out that will need the space.
+	topUp := func(next int64) {
+		if disk == nil {
+			return
+		}
+		for free+inflight < next && len(resident) > 0 {
+			demoteOldest()
+		}
+	}
+
+	var step func(i int)
+	step = func(i int) {
+		if i == len(s.Blobs) {
+			return
+		}
+		compute.Submit(s.ComputeStep, func(_, end float64) {
+			request := end
+			secure(s.Blobs[i], func(ready float64) {
+				stall := ready - request
+				res.ExposedStall += stall
+				if stall > res.MaxStall {
+					res.MaxStall = stall
+				}
+				blob := s.Blobs[i]
+				d2h.Submit(float64(blob)/s.LinkBytesPerSec, func(_, _ float64) {
+					resident = append(resident, blob)
+					if i+1 < len(s.Blobs) {
+						topUp(s.Blobs[i+1])
+					}
+				})
+				step(i + 1)
+			})
+		})
+	}
+	step(0)
+	res.Makespan = eng.Run()
+	if disk != nil {
+		res.TierBusy = disk.BusyTotal()
+	}
+	return res
+}
+
+// Compare scores the same workload with the configured tier and with the
+// tier disabled, the ablation pair the tentpole's acceptance rests on.
+func (s HostPressureScenario) Compare() (withTier, withoutTier HostPressureResult) {
+	withTier = s.Run()
+	ablated := s
+	ablated.TierBytesPerSec = 0
+	withoutTier = ablated.Run()
+	return withTier, withoutTier
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+// pressureScenario is the shared overflow workload: twelve 8 MiB blobs
+// against a pool that holds three, with a compute step wide enough for a
+// background demotion (4 ms at 2 GB/s) to hide inside.
+func pressureScenario() HostPressureScenario {
+	blobs := make([]int64, 12)
+	for i := range blobs {
+		blobs[i] = 8 << 20
+	}
+	return HostPressureScenario{
+		HostCapacity:    24 << 20,
+		LinkBytesPerSec: 12e9,
+		TierBytesPerSec: 2e9,
+		ComputeStep:     0.010,
+		Blobs:           blobs,
+	}
+}
+
+// TestHostPressureTierReducesExposedStalls pins the scenario's reason to
+// exist: the same overflow workload scores materially less exposed stall
+// with the tier attached, because demotion hides behind compute while the
+// no-tier reclaim serialises with it.
+func TestHostPressureTierReducesExposedStalls(t *testing.T) {
+	with, without := pressureScenario().Compare()
+
+	if without.ExposedStall <= 0 {
+		t.Fatal("no-tier run recorded no exposed stall; the workload is not overflowing the pool")
+	}
+	if without.Reclaims == 0 {
+		t.Fatal("no-tier run recorded no synchronous reclaims")
+	}
+	if without.Demotions != 0 {
+		t.Fatalf("no-tier run recorded %d demotions", without.Demotions)
+	}
+	if with.Demotions == 0 {
+		t.Fatal("tier run recorded no demotions; overflow never reached the disk")
+	}
+	if with.Reclaims != 0 {
+		t.Fatalf("tier run fell back to %d synchronous reclaims", with.Reclaims)
+	}
+	if with.TierBusy <= 0 {
+		t.Fatal("tier run shows an idle disk resource")
+	}
+	if with.ExposedStall >= without.ExposedStall {
+		t.Fatalf("tier did not reduce exposed stall: with %.6fs, without %.6fs",
+			with.ExposedStall, without.ExposedStall)
+	}
+	if with.Makespan <= 0 || without.Makespan <= 0 {
+		t.Fatal("a run reported a zero makespan")
+	}
+}
+
+// TestHostPressureNoOverflowNeedsNoTier: a stream that fits the pool
+// scores zero stall, zero demotions, zero reclaims either way — the tier
+// is pure headroom, never a tax on the fitting case.
+func TestHostPressureNoOverflowNeedsNoTier(t *testing.T) {
+	s := pressureScenario()
+	s.Blobs = s.Blobs[:3] // exactly fills the pool, never overflows
+	with, without := s.Compare()
+	for name, r := range map[string]HostPressureResult{"with": with, "without": without} {
+		if r.ExposedStall != 0 || r.Demotions != 0 || r.Reclaims != 0 {
+			t.Fatalf("%s-tier fitting run: stall %v, demotions %d, reclaims %d; want all zero",
+				name, r.ExposedStall, r.Demotions, r.Reclaims)
+		}
+	}
+}
+
+// TestHostPressureSlowDiskStillStalls: with a disk too slow for the hidden
+// window the tier run stalls too — the scenario reports contention, it
+// does not assume the tier is free.
+func TestHostPressureSlowDiskStillStalls(t *testing.T) {
+	s := pressureScenario()
+	s.TierBytesPerSec = 100e6 // 80 ms per demotion against a 10 ms window
+	with := s.Run()
+	if with.ExposedStall <= 0 {
+		t.Fatal("overloaded disk tier recorded no exposed stall")
+	}
+	if with.Demotions == 0 {
+		t.Fatal("overloaded disk tier recorded no demotions")
+	}
+}

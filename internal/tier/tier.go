@@ -1,0 +1,316 @@
+// Package tier is the second spill tier under the swapping executor: a
+// file-backed blob store that cold swapped tensors and pool runs demote
+// into when the pinned-host pool is under pressure, and promote back from
+// transparently on swap-in. Where host memory stops, the tier continues —
+// CSWAP's blobs are already compressed, so moving them one level further
+// down the hierarchy costs only the (much smaller) compressed size, the
+// cDMA premise applied to disk.
+//
+// Layout: one file per blob under the store directory, named by the
+// URL-escaped key (keys look like the host pool's "tenant/tensor" names).
+// Each file carries a fixed header (magic, version, section lengths, a
+// CRC-32 over metadata+payload), a JSON metadata section, and the raw blob
+// bytes. Per-blob metadata is mirrored in an internal/memdb database for
+// low-latency retrieval without touching disk; the in-memory index carries
+// the occupancy accounting the capacity check runs against.
+//
+// Crash-consistency contract: Put writes the complete file to a temporary
+// name and renames it into place — the rename is the commit point. A crash
+// (or an injected faultinject.SiteTierCommit failure) between the blob
+// write and the commit leaves at most a *.tmp file, which Open deletes; a
+// torn or bit-rotted blob fails its CRC and is scrubbed at Open and
+// refused at Get. A demotion interrupted before commit therefore leaves
+// the blob absent from the tier — and still owned by the executor's host
+// state — never readable-but-torn.
+package tier
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"cswap/internal/faultinject"
+	"cswap/internal/memdb"
+)
+
+// Store errors.
+var (
+	// ErrFull reports that admitting the blob would exceed the store's
+	// byte capacity; the caller must evict (or give up) first.
+	ErrFull = errors.New("tier: store full")
+	// ErrNotFound reports a key with no committed blob.
+	ErrNotFound = errors.New("tier: blob not found")
+	// ErrCorrupt reports a committed blob that failed its integrity check;
+	// Get never returns torn bytes.
+	ErrCorrupt = errors.New("tier: blob corrupt")
+)
+
+const (
+	magic      = 0x43535754 // "CSWT"
+	version    = 1
+	headerLen  = 20 // magic, version, metaLen, payloadLen, crc — uint32 each
+	blobSuffix = ".blob"
+	tmpSuffix  = ".tmp"
+)
+
+// Stats counts store activity since Open.
+type Stats struct {
+	// Puts/Gets/Deletes are successful committed operations.
+	Puts, Gets, Deletes int
+	// Recovered counts blobs rebuilt into the index by Open from a
+	// previous incarnation's directory.
+	Recovered int
+	// Scrubbed counts files Open discarded: uncommitted *.tmp leftovers
+	// and blobs failing their integrity check.
+	Scrubbed int
+}
+
+// Store is the file-backed spill tier. All methods are safe for concurrent
+// use; operations serialize on one lock (callers bound disk concurrency
+// anyway — the executor runs tier I/O under its own small in-flight
+// window).
+type Store struct {
+	dir string
+	cap int64 // bytes; 0 = unbounded
+	inj *faultinject.Injector
+
+	mu    sync.Mutex
+	index map[string]int64 // key → committed payload bytes
+	used  int64
+	db    *memdb.DB // key → blob metadata (JSON), mirrored from the files
+	stats Stats
+}
+
+// Open creates (or reopens) a store rooted at dir with the given byte
+// capacity (0 = unbounded). Reopening a directory from a previous
+// incarnation recovers every committed blob into the index and metadata
+// database, deletes uncommitted *.tmp leftovers, and scrubs blobs that
+// fail their integrity check — restart recovery is just Open. inj
+// optionally injects a commit-point failure (faultinject.SiteTierCommit);
+// nil injects nothing.
+func Open(dir string, capacity int64, inj *faultinject.Injector) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("tier: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tier: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		cap:   capacity,
+		inj:   inj,
+		index: make(map[string]int64),
+		db:    memdb.New(),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tier: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// An uncommitted write from a crashed demotion: the blob never
+			// made the index, so its host-state owner still holds it.
+			_ = os.Remove(filepath.Join(dir, name))
+			s.stats.Scrubbed++
+		case strings.HasSuffix(name, blobSuffix):
+			key, kerr := url.PathUnescape(strings.TrimSuffix(name, blobSuffix))
+			buf, rerr := os.ReadFile(filepath.Join(dir, name))
+			var meta, payload []byte
+			var perr error
+			if rerr == nil {
+				meta, payload, perr = parseBlob(buf)
+			}
+			if kerr != nil || rerr != nil || perr != nil {
+				_ = os.Remove(filepath.Join(dir, name))
+				s.stats.Scrubbed++
+				continue
+			}
+			s.index[key] = int64(len(payload))
+			s.used += int64(len(payload))
+			_ = s.db.Put(key, json.RawMessage(meta))
+			s.stats.Recovered++
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Capacity returns the store's byte capacity (0 = unbounded).
+func (s *Store) Capacity() int64 { return s.cap }
+
+// Used returns the committed payload bytes.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Len returns the number of committed blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Keys returns the committed keys, sorted.
+func (s *Store) Keys() []string { return s.db.Keys("") }
+
+// Contains reports whether a committed blob exists for key.
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Stats returns a snapshot of store activity.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// path maps a key to its committed file path.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, url.PathEscape(key)+blobSuffix)
+}
+
+// Put commits blob under key with its JSON-serialisable metadata,
+// replacing any previous blob. It fails with ErrFull when the store
+// cannot hold the payload; any failure — including an injected
+// SiteTierCommit fault at the commit point — leaves the store without the
+// new blob (the previous one, if any, survives) and the index unchanged.
+// The blob is copied; the caller keeps ownership of its slice.
+func (s *Store) Put(key string, blob []byte, meta any) error {
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("tier: put %q: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.index[key] // 0 when absent
+	if s.cap > 0 && s.used-prev+int64(len(blob)) > s.cap {
+		return fmt.Errorf("%w: %q needs %d, %d of %d in use", ErrFull, key, len(blob), s.used, s.cap)
+	}
+
+	buf := make([]byte, headerLen+len(metaJSON)+len(blob))
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], version)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(metaJSON)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(blob)))
+	copy(buf[headerLen:], metaJSON)
+	copy(buf[headerLen+len(metaJSON):], blob)
+	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(buf[headerLen:]))
+
+	final := s.path(key)
+	tmp := final + tmpSuffix
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("tier: put %q: %w", key, err)
+	}
+	// The seam crash-consistency tests kill the store at: the blob is fully
+	// written but not yet committed. Recovery (Open) deletes the *.tmp.
+	if err := s.inj.Fail(faultinject.SiteTierCommit); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("tier: put %q: %w", key, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("tier: put %q: %w", key, err)
+	}
+	s.index[key] = int64(len(blob))
+	s.used += int64(len(blob)) - prev
+	_ = s.db.Put(key, json.RawMessage(metaJSON))
+	s.stats.Puts++
+	return nil
+}
+
+// Get returns a copy of the committed blob and, when metaOut is non-nil,
+// unmarshals the blob's metadata section into it. Integrity is verified
+// end to end: a blob whose header or CRC does not check out returns
+// ErrCorrupt, never torn bytes.
+func (s *Store) Get(key string, metaOut any) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	buf, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, fmt.Errorf("tier: get %q: %w", key, err)
+	}
+	meta, payload, err := parseBlob(buf)
+	if err != nil {
+		return nil, fmt.Errorf("tier: get %q: %w", key, err)
+	}
+	if metaOut != nil {
+		if err := json.Unmarshal(meta, metaOut); err != nil {
+			return nil, fmt.Errorf("tier: get %q: %w", key, err)
+		}
+	}
+	s.stats.Gets++
+	return payload, nil
+}
+
+// Meta unmarshals key's metadata from the in-memory database into out
+// without touching disk, reporting whether the key exists.
+func (s *Store) Meta(key string, out any) (bool, error) {
+	return s.db.Get(key, out)
+}
+
+// Delete removes key's blob and metadata. Deleting an absent key is a
+// no-op returning false.
+func (s *Store) Delete(key string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size, ok := s.index[key]
+	if !ok {
+		return false, nil
+	}
+	if err := os.Remove(s.path(key)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return false, fmt.Errorf("tier: delete %q: %w", key, err)
+	}
+	delete(s.index, key)
+	s.used -= size
+	s.db.Delete(key)
+	s.stats.Deletes++
+	return true, nil
+}
+
+// parseBlob validates one blob file image end to end and returns views of
+// its metadata section and payload (backed by buf).
+func parseBlob(buf []byte) (meta, payload []byte, err error) {
+	if len(buf) < headerLen {
+		return nil, nil, fmt.Errorf("%w: %d-byte file", ErrCorrupt, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != magic {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != version {
+		return nil, nil, fmt.Errorf("%w: version %d", ErrCorrupt, v)
+	}
+	metaLen := int64(binary.LittleEndian.Uint32(buf[8:]))
+	payloadLen := int64(binary.LittleEndian.Uint32(buf[12:]))
+	if int64(len(buf)) != headerLen+metaLen+payloadLen {
+		return nil, nil, fmt.Errorf("%w: %d bytes, header promises %d",
+			ErrCorrupt, len(buf), headerLen+metaLen+payloadLen)
+	}
+	if crc32.ChecksumIEEE(buf[headerLen:]) != binary.LittleEndian.Uint32(buf[16:]) {
+		return nil, nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return buf[headerLen : headerLen+metaLen], buf[headerLen+metaLen:], nil
+}
