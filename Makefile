@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke tune-smoke cluster-smoke kv-smoke tier-smoke report csv examples clean
+.PHONY: all build vet test race race-all cover bench bench-compress bench-diff check serve-smoke tune-smoke cluster-smoke kv-smoke tier-smoke slo-smoke report csv examples clean
 
 all: build test
 
@@ -23,7 +23,8 @@ test: vet
 # of a hung CI job.
 race:
 	$(GO) test -race -timeout 300s ./internal/executor/... ./internal/compress/... ./internal/metrics/... \
-		./internal/placement/... ./internal/server/... ./internal/tier/... ./internal/wire/... ./client/...
+		./internal/placement/... ./internal/sched/... ./internal/server/... ./internal/tier/... \
+		./internal/wire/... ./client/...
 
 race-all:
 	$(GO) test -race -timeout 600s ./...
@@ -63,7 +64,7 @@ bench-diff:
 # vet+test, the race detector over the swap path, the allocation-
 # regression gate against the committed benchmark baseline, and the
 # daemon smoke test.
-check: build test race bench-diff serve-smoke tune-smoke cluster-smoke kv-smoke tier-smoke
+check: build test race bench-diff serve-smoke tune-smoke cluster-smoke kv-smoke tier-smoke slo-smoke
 
 # Serve-smoke: boot the real cswapd daemon on an ephemeral port, drive it
 # with the example client, assert the swap counters moved via /metrics,
@@ -146,6 +147,22 @@ tier-smoke:
 		kill -TERM $$pid && wait $$pid || exit 1; \
 		echo "tier-smoke: clean drained exit ($$leg leg)"; \
 	done
+
+# SLO-smoke: boot cswapd with the admission scheduler on and a small
+# in-flight window so the lanes actually queue, drive the example's
+# speculative-flood-plus-critical-train workload, and assert via /metrics
+# that both lanes admitted work and the critical lane expired nothing —
+# then SIGTERM and require a clean drained exit.
+slo-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/cswapd" ./cmd/cswapd || exit 1; \
+	"$$tmp/cswapd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -device 256 -host 1024 \
+		-max-inflight 2 -sched & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "slo-smoke: daemon never wrote its address"; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat "$$tmp/addr"); \
+	$(GO) run ./examples/swap-server -connect "http://$$addr" -slo || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid && wait $$pid && echo "slo-smoke: clean drained exit"
 
 # Full evaluation -> REPORT.md (and CSV series under data/).
 report:

@@ -107,22 +107,20 @@ func (c *Client) WriteBlocks(ctx context.Context, pool string, ids []int, data [
 // batch: IDs may repeat and arrive in any order; the service coalesces
 // contiguous runs. Options as SwapOut.
 func (c *Client) SwapOutBlocks(ctx context.Context, pool string, ids []int, opts ...SwapOption) error {
-	o := swapOpts{compress: true, alg: Auto}
-	for _, opt := range opts {
-		opt(&o)
-	}
+	o := resolveSwapOpts(opts)
 	_, err := c.do(ctx, "/v1/batch-swap-out",
-		&wire.Frame{Type: wire.TypeBatchSwapOut, Name: pool, Compress: o.compress, Alg: o.alg, BlockIDs: ids},
+		o.sched(&wire.Frame{Type: wire.TypeBatchSwapOut, Name: pool, Compress: o.compress, Alg: o.alg, BlockIDs: ids}),
 		wire.TypeAck)
 	return err
 }
 
 // SwapInBlocks restores the listed blocks and returns their packed
 // contents. Already-resident blocks are included in the result without a
-// restore.
-func (c *Client) SwapInBlocks(ctx context.Context, pool string, ids []int) (*BlockData, error) {
+// restore. WithLane/WithDeadline tag the batch for the SLO scheduler.
+func (c *Client) SwapInBlocks(ctx context.Context, pool string, ids []int, opts ...SwapOption) (*BlockData, error) {
+	o := resolveSwapOpts(opts)
 	f, err := c.do(ctx, "/v1/batch-swap-in",
-		&wire.Frame{Type: wire.TypeBatchSwapIn, Name: pool, BlockIDs: ids}, wire.TypeBatchData)
+		o.sched(&wire.Frame{Type: wire.TypeBatchSwapIn, Name: pool, BlockIDs: ids}), wire.TypeBatchData)
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +128,12 @@ func (c *Client) SwapInBlocks(ctx context.Context, pool string, ids []int) (*Blo
 }
 
 // PrefetchBlocks asks the service to restore the listed blocks ahead of
-// need; already-resident blocks are no-ops.
-func (c *Client) PrefetchBlocks(ctx context.Context, pool string, ids []int) error {
+// need; already-resident blocks are no-ops. Without options the service
+// treats the batch as speculative work.
+func (c *Client) PrefetchBlocks(ctx context.Context, pool string, ids []int, opts ...SwapOption) error {
+	o := resolveSwapOpts(opts)
 	_, err := c.do(ctx, "/v1/batch-prefetch",
-		&wire.Frame{Type: wire.TypeBatchPrefetch, Name: pool, BlockIDs: ids}, wire.TypeAck)
+		o.sched(&wire.Frame{Type: wire.TypeBatchPrefetch, Name: pool, BlockIDs: ids}), wire.TypeAck)
 	return err
 }
 
@@ -165,21 +165,19 @@ func (cc *ClusterClient) WriteBlocks(ctx context.Context, pool string, ids []int
 
 // SwapOutBlocks batch-swaps blocks out on the pool's owning shard.
 func (cc *ClusterClient) SwapOutBlocks(ctx context.Context, pool string, ids []int, opts ...SwapOption) error {
-	o := swapOpts{compress: true, alg: Auto}
-	for _, opt := range opts {
-		opt(&o)
-	}
+	o := resolveSwapOpts(opts)
 	_, err := cc.run(ctx, pool, "/v1/batch-swap-out",
-		&wire.Frame{Type: wire.TypeBatchSwapOut, Name: pool, Compress: o.compress, Alg: o.alg, BlockIDs: ids},
+		o.sched(&wire.Frame{Type: wire.TypeBatchSwapOut, Name: pool, Compress: o.compress, Alg: o.alg, BlockIDs: ids}),
 		wire.TypeAck)
 	return err
 }
 
 // SwapInBlocks restores blocks on the pool's owning shard and returns
 // their packed contents.
-func (cc *ClusterClient) SwapInBlocks(ctx context.Context, pool string, ids []int) (*BlockData, error) {
+func (cc *ClusterClient) SwapInBlocks(ctx context.Context, pool string, ids []int, opts ...SwapOption) (*BlockData, error) {
+	o := resolveSwapOpts(opts)
 	f, err := cc.run(ctx, pool, "/v1/batch-swap-in",
-		&wire.Frame{Type: wire.TypeBatchSwapIn, Name: pool, BlockIDs: ids}, wire.TypeBatchData)
+		o.sched(&wire.Frame{Type: wire.TypeBatchSwapIn, Name: pool, BlockIDs: ids}), wire.TypeBatchData)
 	if err != nil {
 		return nil, err
 	}
@@ -187,8 +185,9 @@ func (cc *ClusterClient) SwapInBlocks(ctx context.Context, pool string, ids []in
 }
 
 // PrefetchBlocks prefetches blocks on the pool's owning shard.
-func (cc *ClusterClient) PrefetchBlocks(ctx context.Context, pool string, ids []int) error {
+func (cc *ClusterClient) PrefetchBlocks(ctx context.Context, pool string, ids []int, opts ...SwapOption) error {
+	o := resolveSwapOpts(opts)
 	_, err := cc.run(ctx, pool, "/v1/batch-prefetch",
-		&wire.Frame{Type: wire.TypeBatchPrefetch, Name: pool, BlockIDs: ids}, wire.TypeAck)
+		o.sched(&wire.Frame{Type: wire.TypeBatchPrefetch, Name: pool, BlockIDs: ids}), wire.TypeAck)
 	return err
 }

@@ -53,6 +53,22 @@ const (
 	HUF  = compress.Huffman
 )
 
+// Lane selects the service-side admission lane for a swap request when
+// the daemon runs its SLO scheduler (cswapd -sched). The values match the
+// wire encoding.
+type Lane uint8
+
+const (
+	// LaneCritical is for on-the-critical-path work (a demand swap-in the
+	// next decode step blocks on): granted ahead of everything queued.
+	LaneCritical Lane = 0
+	// LaneNormal is the default for demand swap traffic.
+	LaneNormal Lane = 1
+	// LaneSpeculative marks prefetch-ahead work the service may queue
+	// behind demand traffic and shed mid-flight under critical pressure.
+	LaneSpeculative Lane = 2
+)
+
 // Typed client errors; each wraps the server's message text.
 var (
 	// ErrBusy survives the retry budget on 409: another request holds the
@@ -61,6 +77,10 @@ var (
 	// ErrSaturated survives the retry budget on 429: the service's
 	// admission window is full.
 	ErrSaturated = errors.New("cswap client: service saturated")
+	// ErrExpired reports a WithDeadline request whose deadline passed while
+	// it was queued for admission. It is never retried: the same deadline
+	// cannot fare better on a second trip through the queue.
+	ErrExpired = errors.New("cswap client: deadline expired in admission queue")
 	// ErrQuota reports the tenant's device-memory quota is exhausted.
 	ErrQuota = errors.New("cswap client: tenant quota exceeded")
 	// ErrOutOfMemory reports the shared device pool is exhausted.
@@ -161,15 +181,19 @@ func (c *Client) Register(ctx context.Context, name string, data []float32) erro
 	return err
 }
 
-// SwapOption configures one SwapOut call. The default — no options — is
-// compressed with the Auto selector: the service picks the codec (the
-// tenant's tuned verdict when the daemon runs with -tune, else the best
-// modeled ratio for the tensor's sparsity).
+// SwapOption configures one swap call (SwapOut, SwapIn, Prefetch, and
+// their batch forms). The swap-out default — no options — is compressed
+// with the Auto selector: the service picks the codec (the tenant's tuned
+// verdict when the daemon runs with -tune, else the best modeled ratio
+// for the tensor's sparsity).
 type SwapOption func(*swapOpts)
 
 type swapOpts struct {
 	compress bool
 	alg      Algorithm
+	hasSched bool
+	lane     Lane
+	deadline time.Duration
 }
 
 // WithCodec compresses the swap-out with a specific algorithm, overriding
@@ -183,16 +207,55 @@ func WithRaw() SwapOption {
 	return func(o *swapOpts) { o.compress, o.alg = false, ZVC }
 }
 
-// SwapOut moves the tensor to the service's host pool. With no options the
-// payload is compressed and the service chooses the codec; WithCodec and
-// WithRaw override.
-func (c *Client) SwapOut(ctx context.Context, name string, opts ...SwapOption) error {
+// WithLane tags the request with an admission lane for the service's SLO
+// scheduler. Against a daemon without -sched the hint is decoded and
+// ignored; old daemons that predate the extension refuse the frame.
+func WithLane(l Lane) SwapOption {
+	return func(o *swapOpts) { o.hasSched, o.lane = true, l }
+}
+
+// WithDeadline bounds how long the request may wait in the admission
+// queue, relative to its arrival at the service. A request whose deadline
+// passes while queued answers ErrExpired instead of running late.
+// Deadline without lane rides LaneNormal; combine with WithLane to set
+// both.
+func WithDeadline(d time.Duration) SwapOption {
+	return func(o *swapOpts) {
+		if !o.hasSched {
+			o.hasSched, o.lane = true, LaneNormal
+		}
+		o.deadline = d
+	}
+}
+
+// sched stamps the resolved lane/deadline hint onto an outgoing frame.
+func (o *swapOpts) sched(f *wire.Frame) *wire.Frame {
+	if o.hasSched {
+		f.HasSched = true
+		f.Lane = uint8(o.lane)
+		if o.deadline > 0 {
+			f.DeadlineMicros = uint64(o.deadline / time.Microsecond)
+		}
+	}
+	return f
+}
+
+// resolveSwapOpts folds options over the swap-out defaults.
+func resolveSwapOpts(opts []SwapOption) swapOpts {
 	o := swapOpts{compress: true, alg: Auto}
 	for _, opt := range opts {
 		opt(&o)
 	}
+	return o
+}
+
+// SwapOut moves the tensor to the service's host pool. With no options the
+// payload is compressed and the service chooses the codec; WithCodec and
+// WithRaw override.
+func (c *Client) SwapOut(ctx context.Context, name string, opts ...SwapOption) error {
+	o := resolveSwapOpts(opts)
 	_, err := c.do(ctx, "/v1/swap-out",
-		&wire.Frame{Type: wire.TypeSwapOut, Name: name, Compress: o.compress, Alg: o.alg}, wire.TypeAck)
+		o.sched(&wire.Frame{Type: wire.TypeSwapOut, Name: name, Compress: o.compress, Alg: o.alg}), wire.TypeAck)
 	return err
 }
 
@@ -210,9 +273,12 @@ func (c *Client) SwapOutAlg(ctx context.Context, name string, compress bool, alg
 }
 
 // SwapIn restores the tensor to device residency and returns its data.
-func (c *Client) SwapIn(ctx context.Context, name string) ([]float32, error) {
+// WithLane/WithDeadline tag the request for the service's SLO scheduler
+// (a decode-step-blocking restore wants LaneCritical).
+func (c *Client) SwapIn(ctx context.Context, name string, opts ...SwapOption) ([]float32, error) {
+	o := resolveSwapOpts(opts)
 	f, err := c.do(ctx, "/v1/swap-in",
-		&wire.Frame{Type: wire.TypeSwapIn, Name: name}, wire.TypeTensorData)
+		o.sched(&wire.Frame{Type: wire.TypeSwapIn, Name: name}), wire.TypeTensorData)
 	if err != nil {
 		return nil, err
 	}
@@ -220,10 +286,12 @@ func (c *Client) SwapIn(ctx context.Context, name string) ([]float32, error) {
 }
 
 // Prefetch asks the service to make the tensor resident ahead of need;
-// it is idempotent on already-resident tensors.
-func (c *Client) Prefetch(ctx context.Context, name string) error {
+// it is idempotent on already-resident tensors. Without options the
+// service treats it as speculative work.
+func (c *Client) Prefetch(ctx context.Context, name string, opts ...SwapOption) error {
+	o := resolveSwapOpts(opts)
 	_, err := c.do(ctx, "/v1/prefetch",
-		&wire.Frame{Type: wire.TypePrefetch, Name: name}, wire.TypeAck)
+		o.sched(&wire.Frame{Type: wire.TypePrefetch, Name: name}), wire.TypeAck)
 	return err
 }
 
@@ -332,6 +400,12 @@ func (c *Client) do(ctx context.Context, path string, f *wire.Frame, want wire.T
 		if hint > d {
 			d = hint
 		}
+		// Never sleep past the caller's own deadline: when the context
+		// would expire mid-backoff, the refusal in hand is the answer — a
+		// context.DeadlineExceeded after a pointless sleep would hide it.
+		if dl, ok := ctx.Deadline(); ok && d >= time.Until(dl) {
+			return nil, fmt.Errorf("%w (context deadline before next retry)", last)
+		}
 		if d > 0 {
 			if err := c.sleep(ctx, d); err != nil {
 				return nil, err
@@ -368,6 +442,8 @@ func responseError(resp *http.Response) error {
 		sentinel = ErrBusy
 	case "saturated":
 		sentinel = ErrSaturated
+	case "expired":
+		sentinel = ErrExpired
 	case "quota":
 		sentinel = ErrQuota
 	case "oom":

@@ -136,19 +136,17 @@ func (cc *ClusterClient) Register(ctx context.Context, name string, data []float
 
 // SwapOut moves the tensor to its shard's host pool; options as Client.SwapOut.
 func (cc *ClusterClient) SwapOut(ctx context.Context, name string, opts ...SwapOption) error {
-	o := swapOpts{compress: true, alg: Auto}
-	for _, opt := range opts {
-		opt(&o)
-	}
+	o := resolveSwapOpts(opts)
 	_, err := cc.run(ctx, name, "/v1/swap-out",
-		&wire.Frame{Type: wire.TypeSwapOut, Name: name, Compress: o.compress, Alg: o.alg}, wire.TypeAck)
+		o.sched(&wire.Frame{Type: wire.TypeSwapOut, Name: name, Compress: o.compress, Alg: o.alg}), wire.TypeAck)
 	return err
 }
 
 // SwapIn restores the tensor and returns its data.
-func (cc *ClusterClient) SwapIn(ctx context.Context, name string) ([]float32, error) {
+func (cc *ClusterClient) SwapIn(ctx context.Context, name string, opts ...SwapOption) ([]float32, error) {
+	o := resolveSwapOpts(opts)
 	f, err := cc.run(ctx, name, "/v1/swap-in",
-		&wire.Frame{Type: wire.TypeSwapIn, Name: name}, wire.TypeTensorData)
+		o.sched(&wire.Frame{Type: wire.TypeSwapIn, Name: name}), wire.TypeTensorData)
 	if err != nil {
 		return nil, err
 	}
@@ -156,9 +154,10 @@ func (cc *ClusterClient) SwapIn(ctx context.Context, name string) ([]float32, er
 }
 
 // Prefetch asks the owning shard to make the tensor resident ahead of need.
-func (cc *ClusterClient) Prefetch(ctx context.Context, name string) error {
+func (cc *ClusterClient) Prefetch(ctx context.Context, name string, opts ...SwapOption) error {
+	o := resolveSwapOpts(opts)
 	_, err := cc.run(ctx, name, "/v1/prefetch",
-		&wire.Frame{Type: wire.TypePrefetch, Name: name}, wire.TypeAck)
+		o.sched(&wire.Frame{Type: wire.TypePrefetch, Name: name}), wire.TypeAck)
 	return err
 }
 

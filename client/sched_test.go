@@ -1,0 +1,142 @@
+package client
+
+// Tests for the client side of SLO scheduling: the lane/deadline swap
+// options on the wire, the non-retryable "expired" refusal, and the
+// backoff clamp against the caller's own context deadline.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cswap/internal/wire"
+)
+
+func TestSchedOptionsOnWire(t *testing.T) {
+	// Buffered past the case count so a failed case can never wedge the
+	// handler (and thereby the next case) on an undrained frame.
+	frames := make(chan *wire.Frame, 8)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, err := wire.Read(r.Body, 0)
+		if err != nil {
+			t.Errorf("decoding request frame: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		frames <- f
+		resp := &wire.Frame{Type: wire.TypeAck, Name: f.Name}
+		if f.Type == wire.TypeSwapIn {
+			resp = &wire.Frame{Type: wire.TypeTensorData, Name: f.Name, Data: []float32{1}}
+		}
+		b, _ := wire.Encode(resp)
+		_, _ = w.Write(b)
+	}))
+	defer hs.Close()
+	c := New(hs.URL, WithRetry(0, 0))
+
+	cases := []struct {
+		name    string
+		call    func() error
+		hasHint bool
+		lane    uint8
+		micros  uint64
+	}{
+		{"default swap-in carries no hint", func() error {
+			_, err := c.SwapIn(context.Background(), "x")
+			return err
+		}, false, 0, 0},
+		{"WithLane tags the lane", func() error {
+			_, err := c.SwapIn(context.Background(), "x", WithLane(LaneCritical))
+			return err
+		}, true, 0, 0},
+		{"WithDeadline alone rides LaneNormal", func() error {
+			return c.Prefetch(context.Background(), "x", WithDeadline(250*time.Millisecond))
+		}, true, 1, 250_000},
+		{"WithLane and WithDeadline combine", func() error {
+			return c.SwapOut(context.Background(), "x",
+				WithLane(LaneSpeculative), WithDeadline(time.Millisecond))
+		}, true, 2, 1000},
+		{"batch prefetch carries the hint too", func() error {
+			return c.PrefetchBlocks(context.Background(), "kv", []int{1, 2},
+				WithLane(LaneSpeculative), WithDeadline(2*time.Millisecond))
+		}, true, 2, 2000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.call(); err != nil {
+				t.Fatal(err)
+			}
+			f := <-frames
+			if f.HasSched != tc.hasHint {
+				t.Fatalf("HasSched = %v, want %v", f.HasSched, tc.hasHint)
+			}
+			if !tc.hasHint {
+				return
+			}
+			if f.Lane != tc.lane || f.DeadlineMicros != tc.micros {
+				t.Fatalf("hint = lane %d deadline %dus, want lane %d deadline %dus",
+					f.Lane, f.DeadlineMicros, tc.lane, tc.micros)
+			}
+		})
+	}
+}
+
+func TestExpiredIsNotRetried(t *testing.T) {
+	s := &stub{responses: []stubResponse{
+		{status: 429, code: "expired", retry: "0"},
+	}}
+	c, slept := newStubClient(t, s, WithRetry(5, time.Millisecond))
+	_, err := c.SwapIn(context.Background(), "x", WithDeadline(time.Millisecond))
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired refusal surfaced as %v, want ErrExpired", err)
+	}
+	if got := s.calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (expired must not retry)", got)
+	}
+	if len(*slept) != 0 {
+		t.Errorf("client slept %v before giving up on an expired deadline", *slept)
+	}
+}
+
+func TestBackoffNeverSleepsPastContextDeadline(t *testing.T) {
+	// Each case scripts a saturated refusal whose computed backoff (base
+	// doubling vs Retry-After hint) lands on one side of the caller's
+	// remaining context budget.
+	cases := []struct {
+		name       string
+		remaining  time.Duration
+		retryAfter string
+		base       time.Duration
+		wantSleeps int // sleeps recorded before the call returns
+	}{
+		{"hint past deadline aborts before sleeping", 50 * time.Millisecond, "2", time.Millisecond, 0},
+		{"base backoff past deadline aborts", 5 * time.Millisecond, "0", 50 * time.Millisecond, 0},
+		{"backoff inside the budget still sleeps", time.Hour, "0", time.Millisecond, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &stub{responses: []stubResponse{
+				{status: 429, code: "saturated", retry: tc.retryAfter},
+				{status: 200, frame: &wire.Frame{Type: wire.TypeAck, Name: "x"}},
+			}}
+			c, slept := newStubClient(t, s, WithRetry(5, tc.base))
+			ctx, cancel := context.WithTimeout(context.Background(), tc.remaining)
+			defer cancel()
+			err := c.SwapOut(ctx, "x", WithCodec(ZVC))
+			if len(*slept) != tc.wantSleeps {
+				t.Fatalf("sleeps = %v, want %d of them", *slept, tc.wantSleeps)
+			}
+			if tc.wantSleeps == 0 {
+				// The refusal in hand is the answer, not DeadlineExceeded.
+				if !errors.Is(err, ErrSaturated) {
+					t.Fatalf("clamped retry returned %v, want ErrSaturated", err)
+				}
+			} else if err != nil {
+				t.Fatalf("in-budget retry failed: %v", err)
+			}
+		})
+	}
+}

@@ -12,7 +12,8 @@
 //	cswapd [-addr :7077] [-addr-file PATH] [-shards 1] [-device 1024]
 //	       [-host 4096] [-max-inflight 4] [-quota 0] [-verify] [-grid 128]
 //	       [-block 64] [-tune] [-tune-interval 2s] [-tune-drift 0.15]
-//	       [-tier-dir DIR] [-tier-cap 0] [-tier-quota 0]
+//	       [-tier-dir DIR] [-tier-cap 0] [-tier-quota 0] [-tier-watermark 0]
+//	       [-sched] [-sched-lanes C,N,S] [-sched-starve 20ms]
 //
 // Sizes are MiB; -quota 0 grants each tenant the full device capacity.
 // -tier-dir attaches a compressed disk spill tier under the pinned-host
@@ -22,10 +23,22 @@
 // executor_tier_* and server_tier_* series). -tier-cap 0 sizes the tier
 // at four times the host capacity; -tier-quota 0 grants each tenant the
 // full tier capacity. A cluster gives each shard DIR/shard-N.
+// -tier-watermark F (0 < F < 1) adds a background demoter: whenever the
+// host pool is more than F full, cold payloads demote to the tier ahead of
+// demand (executor_tier_demotions_total{reason="watermark"}).
 // -tune enables the online per-tenant tuner: swap-outs requesting the Auto
 // algorithm follow its live codec verdicts, and the launch geometry is
 // re-probed as tenant sparsity profiles drift (see /metrics,
 // server_tuner_* series).
+// -sched replaces each shard's non-blocking admission window with the
+// SLO-aware priority scheduler (internal/sched): requests queue briefly in
+// three bounded lanes (critical > normal > speculative, earliest deadline
+// first within a lane) keyed by the client's WithLane/WithDeadline hints,
+// deadline-expired waiters answer 429 "expired", and in-flight speculative
+// prefetches are shed at run boundaries while critical work starves
+// (server_sched_* and executor_sched_* series). -sched-lanes bounds the
+// three queues ("critical,normal,speculative", 0 = default 64);
+// -sched-starve sets the critical queue age that triggers shedding.
 // -shards N (N > 1) runs the daemon as a multi-executor cluster: N
 // complete shards — each with its own device/host pools, admission window,
 // and tuner, and with the per-shard knobs above applied to each —
@@ -48,10 +61,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"cswap/internal/compress"
+	"cswap/internal/sched"
 	"cswap/internal/server"
 )
 
@@ -66,6 +82,10 @@ func main() {
 	tierDir := flag.String("tier-dir", "", "disk spill tier directory (empty disables tiering; a cluster shards it into subdirectories)")
 	tierCapMiB := flag.Int64("tier-cap", 0, "spill tier capacity, MiB (0 = 4x host capacity)")
 	tierQuotaMiB := flag.Int64("tier-quota", 0, "per-tenant tier-resident quota, MiB (0 = full tier capacity)")
+	tierWatermark := flag.Float64("tier-watermark", 0, "host-pool occupancy fraction that triggers background demotion to the tier (0 disables; needs -tier-dir)")
+	schedOn := flag.Bool("sched", false, "enable the SLO-aware admission scheduler (priority lanes + deadlines)")
+	schedLanes := flag.String("sched-lanes", "", "per-lane queue depths as critical,normal,speculative (0 or empty = defaults)")
+	schedStarve := flag.Duration("sched-starve", 0, "critical queue age that sheds in-flight speculative work (0 = 20ms default)")
 	verify := flag.Bool("verify", true, "checksum-verify every restore")
 	grid := flag.Int("grid", 0, "codec launch grid (0 = executor default)")
 	block := flag.Int("block", 0, "codec launch block (0 = executor default)")
@@ -101,7 +121,23 @@ func main() {
 			server.WithTierDir(*tierDir),
 			server.WithTierCap(*tierCapMiB<<20),
 			server.WithTenantTierQuota(*tierQuotaMiB<<20),
+			server.WithTierWatermark(*tierWatermark),
 		)
+	} else if *tierWatermark != 0 {
+		log.Fatal("cswapd: -tier-watermark needs -tier-dir")
+	}
+	if *schedOn {
+		sc := server.SchedConfig{Enabled: true, StarveAfter: *schedStarve}
+		if *schedLanes != "" {
+			depths, err := parseLanes(*schedLanes)
+			if err != nil {
+				log.Fatalf("cswapd: -sched-lanes: %v", err)
+			}
+			sc.LaneDepth = depths
+		}
+		opts = append(opts, server.WithSched(sc))
+	} else if *schedLanes != "" || *schedStarve != 0 {
+		log.Fatal("cswapd: -sched-lanes/-sched-starve need -sched")
 	}
 
 	// service is what the daemon needs from either topology; the default
@@ -164,4 +200,26 @@ func main() {
 		log.Printf("cswapd: serve: %v", err)
 	}
 	log.Printf("cswapd: drained, exiting")
+}
+
+// parseLanes parses "critical,normal,speculative" queue depths; empty or
+// zero fields keep the scheduler default.
+func parseLanes(s string) ([sched.NumLanes]int, error) {
+	var depths [sched.NumLanes]int
+	parts := strings.Split(s, ",")
+	if len(parts) != sched.NumLanes {
+		return depths, fmt.Errorf("want %d comma-separated depths, got %q", sched.NumLanes, s)
+	}
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return depths, fmt.Errorf("lane depth %q must be a non-negative integer", p)
+		}
+		depths[i] = n
+	}
+	return depths, nil
 }

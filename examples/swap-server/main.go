@@ -37,6 +37,13 @@
 // restore must come back bit-exact through the promote path — the
 // assertions behind the Makefile's tier-smoke target.
 //
+// With -slo the example drives an SLO-scheduling workload against a
+// scheduler-enabled daemon (cswapd -sched): a saturating stream of
+// speculative prefetches with a train of deadline-bound critical restores
+// riding over it. Every critical restore must land bit-exact within its
+// deadline, /metrics must show both lanes admitted and zero critical
+// expiries — the assertions behind the Makefile's slo-smoke target.
+//
 // With -kv the example drives the batch block API with a paged KV-cache
 // decode trace: one pool registration, then per decode step one
 // batch-swap-out of the evicted block IDs and one batch-swap-in of the
@@ -56,6 +63,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"cswap"
@@ -71,7 +79,19 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "drive a sharded daemon with the cluster client: spread keys, drain a shard, verify bit-exact restores")
 	kvMode := flag.Bool("kv", false, "drive the batch block API with a KV-cache decode trace and assert batching beats single-block round trips")
 	pressure := flag.Bool("pressure", false, "drive a host-overflow workload and assert it completes via tier demotions with zero 507s (requires cswapd -tier-dir)")
+	slo := flag.Bool("slo", false, "drive a speculative flood plus deadline-bound critical restores and assert zero critical expiries (requires cswapd -sched)")
 	flag.Parse()
+
+	if *slo {
+		if *connect == "" {
+			log.Fatal("-slo requires -connect (a cswapd started with -sched)")
+		}
+		if err := driveSLO(*connect); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("slo: ok")
+		return
+	}
 
 	if *pressure {
 		if *connect == "" {
@@ -577,6 +597,115 @@ func drivePressure(base string) error {
 			return fmt.Errorf("pressure: free %s: %w", name, err)
 		}
 	}
+	return nil
+}
+
+// driveSLO exercises the SLO-aware admission scheduler end to end: four
+// goroutines saturate the speculative lane with prefetches while a train
+// of deadline-bound critical swap rounds rides over them. The flood is
+// entitled to refusals (saturated lanes, expiries, sheds) — that lane is
+// best-effort by contract — but every critical restore must come back
+// bit-exact, and /metrics must show both lanes admitted with zero
+// critical expiries.
+func driveSLO(base string) error {
+	ctx := context.Background()
+	const (
+		tenant = "slo-tenant"
+		nSpec  = 6
+		nCrit  = 2
+		rounds = 20
+		elems  = 16 * 1024
+	)
+	c := client.New(base, client.WithTenant(tenant))
+	gen := cswap.NewTensorGenerator(42)
+
+	// Speculative working set: swapped out once, then prefetched in a loop
+	// by the flood goroutines below.
+	for i := 0; i < nSpec; i++ {
+		name := fmt.Sprintf("spec%d", i)
+		if err := c.Register(ctx, name, gen.Uniform(elems, 0.6).Data); err != nil {
+			return fmt.Errorf("slo: register %s: %w", name, err)
+		}
+		if err := c.SwapOut(ctx, name); err != nil {
+			return fmt.Errorf("slo: swap-out %s: %w", name, err)
+		}
+	}
+	crit := make([][]float32, nCrit)
+	for i := range crit {
+		name := fmt.Sprintf("crit%d", i)
+		data := gen.Uniform(elems, 0.4).Data
+		crit[i] = append([]float32(nil), data...)
+		if err := c.Register(ctx, name, data); err != nil {
+			return fmt.Errorf("slo: register %s: %w", name, err)
+		}
+	}
+
+	floodCtx, stopFlood := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fc := client.New(base, client.WithTenant(tenant))
+			for i := 0; floodCtx.Err() == nil; i++ {
+				callCtx, cancel := context.WithTimeout(floodCtx, 250*time.Millisecond)
+				_ = fc.Prefetch(callCtx, fmt.Sprintf("spec%d", (g+i)%nSpec),
+					client.WithLane(client.LaneSpeculative),
+					client.WithDeadline(100*time.Millisecond))
+				cancel()
+			}
+		}(g)
+	}
+
+	// Critical train: a deadline the scheduler can trivially meet once the
+	// lane outranks the flood, and a hard bit-exactness check per restore.
+	var critErr error
+	for r := 0; r < rounds && critErr == nil; r++ {
+		for i := range crit {
+			name := fmt.Sprintf("crit%d", i)
+			if err := c.SwapOut(ctx, name,
+				client.WithLane(client.LaneCritical), client.WithDeadline(10*time.Second)); err != nil {
+				critErr = fmt.Errorf("slo: critical swap-out %s round %d: %w", name, r, err)
+				break
+			}
+			got, err := c.SwapIn(ctx, name,
+				client.WithLane(client.LaneCritical), client.WithDeadline(10*time.Second))
+			if err != nil {
+				critErr = fmt.Errorf("slo: critical swap-in %s round %d: %w", name, r, err)
+				break
+			}
+			for j := range crit[i] {
+				if math.Float32bits(got[j]) != math.Float32bits(crit[i][j]) {
+					critErr = fmt.Errorf("slo: %s restored[%d] = %v, want %v", name, j, got[j], crit[i][j])
+					break
+				}
+			}
+		}
+	}
+	stopFlood()
+	wg.Wait()
+	if critErr != nil {
+		return critErr
+	}
+
+	text, err := client.New(base).Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	for _, series := range []string{
+		`server_sched_admits_total{lane="critical"}`,
+		`server_sched_admits_total{lane="speculative"}`,
+	} {
+		v := sample(text, series)
+		if v == "" || v == "0" {
+			return fmt.Errorf("slo: %s = %q, want non-zero (is the daemon running -sched?)", series, v)
+		}
+		fmt.Printf("slo: %s = %s\n", series, v)
+	}
+	if exp := sample(text, `server_sched_expiries_total{lane="critical"}`); exp != "" && exp != "0" {
+		return fmt.Errorf("slo: server_sched_expiries_total{lane=\"critical\"} = %s, want zero", exp)
+	}
+	fmt.Println("slo: critical expiries = 0")
 	return nil
 }
 

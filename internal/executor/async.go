@@ -7,6 +7,7 @@ import (
 
 	"cswap/internal/compress"
 	"cswap/internal/metrics"
+	"cswap/internal/sched"
 )
 
 // This file is the asynchronous swap pipeline built on the guarded handle
@@ -205,16 +206,42 @@ func (g *asyncGate) close() {
 	g.mu.Unlock()
 }
 
+// shedHint reports whether ctx carries a scheduling hint on a lane the
+// admission scheduler wants shed right now. The caller records the actual
+// preemption with shedPreempt — only when it really rolled work back.
+func (e *Executor) shedHint(ctx context.Context) bool {
+	if e.sched == nil {
+		return false
+	}
+	h, ok := sched.HintFrom(ctx)
+	return ok && e.sched.ShouldShed(h.Lane)
+}
+
+// shedPreempt records one shed event that rolled back n runs.
+func (e *Executor) shedPreempt(n int) {
+	e.sched.Preempted()
+	e.ins.schedPreemptions.Inc()
+	e.ins.schedShedRuns.Add(float64(n))
+}
+
 // submitAsync is the shared async submission path: it claims the handle,
 // takes an in-flight slot, and dispatches the operation body to the
 // shared persistent worker pool. Claim failures (ErrBusy, wrong state,
 // ErrFreed) and a closed executor resolve the ticket immediately;
 // otherwise the ticket completes when the body has committed the handle's
-// final state.
+// final state. Speculative work (per the context's sched.Hint) yields here
+// with ErrShed — before taking a slot — when the scheduler reports a
+// starved critical waiter.
 func (e *Executor) submitAsync(ctx context.Context, h *Handle, op string, from, to State, run func() error) *Ticket {
 	t := newTicket(op, h.name)
 	if err := e.claim(h, from, to, t); err != nil {
 		t.complete(err)
+		return t
+	}
+	if e.shedHint(ctx) {
+		e.shedPreempt(1)
+		h.commit(from)
+		t.complete(fmt.Errorf("executor: %s %s: %w", op, h.name, ErrShed))
 		return t
 	}
 	e.ins.asyncSubmitted(op).Inc()
@@ -315,8 +342,13 @@ func (e *Executor) PrefetchCtx(ctx context.Context, h *Handle) *Ticket {
 	h.mu.Unlock()
 	// The state may change between the peek above and the claim below;
 	// submitAsync re-checks under the handle lock and resolves the ticket
-	// with the accurate error if it lost the race.
+	// with the accurate error if it lost the race. A tier-resident payload
+	// is staged back into the host pool first (read-ahead): even if the
+	// restore then fails on device pressure — common for speculative work —
+	// the disk fault has been paid and the eventual demand swap-in reads
+	// host memory.
 	return e.submitAsync(ctx, h, "prefetch", Swapped, SwappingIn, func() error {
+		e.stageFromTier(h)
 		return e.swapIn(h)
 	})
 }
@@ -349,6 +381,9 @@ func (e *Executor) Close() error {
 	e.mu.Lock()
 	e.closed = true
 	e.mu.Unlock()
+	// The watermark demoter stops first so background demotions cannot
+	// extend the tier-gate drain below.
+	e.stopWatermark()
 	e.gate.close()
 	e.gate.drain()
 	e.tierGate.close()

@@ -337,9 +337,19 @@ func (p *BlockPool) SwapInBlocksCtx(ctx context.Context, ids []int) *Ticket {
 // PrefetchBlocks requests residency for the listed blocks ahead of need
 // and returns immediately with the batch's aggregate ticket. It is
 // SwapInBlocksCtx under a prefetch label: already-resident blocks
-// complete without work.
+// complete without work, and tier-resident runs are staged back into the
+// host pool first (read-ahead), so a failed or shed prefetch still leaves
+// the later demand swap-in a host-memory read instead of a disk fault.
 func (p *BlockPool) PrefetchBlocks(ids []int) *Ticket {
-	return p.swapInCtx(context.Background(), "batch-prefetch", ids)
+	return p.PrefetchBlocksCtx(context.Background(), ids)
+}
+
+// PrefetchBlocksCtx is PrefetchBlocks with deadline-aware slot acquisition
+// and scheduling-hint propagation: a speculative sched.Hint on ctx makes
+// the batch sheddable at run boundaries (ErrShed) while a critical waiter
+// is starved.
+func (p *BlockPool) PrefetchBlocksCtx(ctx context.Context, ids []int) *Ticket {
+	return p.swapInCtx(ctx, "batch-prefetch", ids)
 }
 
 // swapInCtx is the shared batch swap-in/prefetch body: collect the stored
@@ -401,6 +411,9 @@ func (p *BlockPool) swapInCtx(ctx context.Context, op string, ids []int) *Ticket
 		p.mu.Lock()
 		pr := p.run[r.Start]
 		p.mu.Unlock()
+		if op == "batch-prefetch" {
+			p.stageRunFromTier(pr)
+		}
 		return p.swapInRun(pr)
 	})
 	return t
@@ -463,19 +476,30 @@ func (p *BlockPool) validateRuns(runs []BlockRun) error {
 // the same backpressure as submitAsync; if the gate refuses mid-batch
 // (closed executor, dead context), the not-yet-submitted runs roll back
 // to `claimed`'s source state and the refusal joins the aggregate error.
+// Each run boundary also consults the scheduler's shed signal: a batch
+// whose context carries a speculative sched.Hint yields its remaining
+// runs with ErrShed while a critical waiter is starved — the mid-batch
+// preemption point that keeps a long speculative prefetch from holding
+// the window against latency-critical work.
 func (p *BlockPool) submitRuns(ctx context.Context, t *Ticket, runs []BlockRun, claimed State, body func(BlockRun) error) {
 	e := p.e
 	e.ins.asyncSubmitted(t.op).Add(float64(len(runs)))
+	rollbackTo := Resident
+	if claimed == SwappingIn {
+		rollbackTo = Swapped
+	}
 	children := make([]*Ticket, 0, len(runs))
 	var submitErr error
 	for i, r := range runs {
+		if e.shedHint(ctx) {
+			p.rollbackRuns(runs[i:], rollbackTo)
+			e.shedPreempt(len(runs) - i)
+			submitErr = fmt.Errorf("executor: %s %s: %w", t.op, p.name, ErrShed)
+			break
+		}
 		waited, err := e.gate.acquire(ctx)
 		if err != nil {
-			from := Resident
-			if claimed == SwappingIn {
-				from = Swapped
-			}
-			p.rollbackRuns(runs[i:], from)
+			p.rollbackRuns(runs[i:], rollbackTo)
 			submitErr = fmt.Errorf("executor: %s %s: %w", t.op, p.name, err)
 			break
 		}

@@ -46,6 +46,7 @@ import (
 	"cswap/internal/devmem"
 	"cswap/internal/faultinject"
 	"cswap/internal/metrics"
+	"cswap/internal/sched"
 	"cswap/internal/tensor"
 	"cswap/internal/tier"
 )
@@ -64,11 +65,36 @@ var (
 	// ErrClosed reports that the executor has been closed; no new tensors
 	// or async work are accepted.
 	ErrClosed = errors.New("executor: closed")
+	// ErrShed reports that speculative work was yielded at a run boundary
+	// because the admission scheduler (Config.Sched) signalled a starved
+	// critical waiter. The shed operation did not run: the handle (or the
+	// batch's remaining runs) rolled back to the state it was claimed from,
+	// so the caller may simply resubmit later — it is load shedding, not
+	// failure.
+	ErrShed = errors.New("executor: speculative work shed for critical backlog")
 )
 
 // DefaultMaxInFlight is the async pipeline's in-flight window when
 // Config.MaxInFlight is zero.
 const DefaultMaxInFlight = 4
+
+// DefaultTierWatermarkInterval is how often the background watermark
+// demoter wakes when Config.TierWatermark is set but no interval is given.
+const DefaultTierWatermarkInterval = 100 * time.Millisecond
+
+// ShedSignal is the narrow view of an admission scheduler the executor
+// consults at run boundaries: whether work on a given lane should yield
+// right now, and a callback to record that it did. It is deliberately NOT
+// a slot pool — the executor keeps its own in-flight gate, so a scheduler
+// passed here can never deadlock against it by holding both windows.
+// internal/sched.Scheduler satisfies it.
+type ShedSignal interface {
+	// ShouldShed reports whether in-flight work on the lane should yield
+	// its remaining runs to a starved higher-priority waiter.
+	ShouldShed(lane sched.Lane) bool
+	// Preempted records that one shed actually happened.
+	Preempted()
+}
 
 // Config configures an executor.
 type Config struct {
@@ -101,6 +127,22 @@ type Config struct {
 	// foreground swaps of MaxInFlight slots. Zero selects
 	// DefaultTierMaxInFlight.
 	TierMaxInFlight int
+	// TierWatermark, in (0,1), enables background watermark demotion: a
+	// timer goroutine demotes ranked cold payloads whenever host-pool
+	// occupancy exceeds TierWatermark×HostCapacity, so swap-outs find
+	// headroom already freed instead of demoting inline on the hot path.
+	// Zero disables the demoter; a non-zero value requires a Tier.
+	TierWatermark float64
+	// TierWatermarkInterval is the demoter's wake period. Zero selects
+	// DefaultTierWatermarkInterval.
+	TierWatermarkInterval time.Duration
+	// Sched optionally couples the executor to an admission scheduler's
+	// shed signal: at each run boundary of an operation whose context
+	// carries a speculative sched.Hint, the executor asks ShouldShed and
+	// yields the remaining work with ErrShed when a critical waiter is
+	// starved. Nil never sheds. This is a signal, not a slot pool — the
+	// executor never acquires scheduler slots.
+	Sched ShedSignal
 	// Observer optionally receives deep instrumentation: per-codec encode/
 	// decode timings and byte volumes, wall-clock swap spans, and fallback/
 	// retry events. When it carries a metrics registry, that registry also
@@ -130,10 +172,17 @@ type Executor struct {
 
 	// gate is the async pipeline's bounded in-flight window (async.go);
 	// tierGate is the separate, smaller window tier demotion/promotion
-	// I/O runs under (tier.go). tier is the optional disk spill tier.
-	gate     asyncGate
-	tier     *tier.Store
-	tierGate asyncGate
+	// I/O runs under (tier.go). tier is the optional disk spill tier;
+	// sched is the optional admission scheduler's shed signal. The
+	// watermark channels drive the background demoter's lifecycle
+	// (watermarkOnce makes Close idempotent against it).
+	gate          asyncGate
+	tier          *tier.Store
+	tierGate      asyncGate
+	sched         ShedSignal
+	watermarkStop chan struct{}
+	watermarkDone chan struct{}
+	watermarkOnce sync.Once
 
 	// launch is the active codec partitioning geometry, packed grid<<32 |
 	// block in an atomic so the tuner can retarget it while swaps are in
@@ -364,6 +413,22 @@ func New(cfg Config) (*Executor, error) {
 	}
 	e.tier = cfg.Tier
 	e.tierGate.init(cfg.TierMaxInFlight, e.ins.tierInflight, e.ins.tierPeak, e.ins.tierDepth)
+	e.sched = cfg.Sched
+	if cfg.TierWatermark != 0 {
+		if cfg.TierWatermark < 0 || cfg.TierWatermark >= 1 {
+			return nil, fmt.Errorf("executor: TierWatermark %v outside (0,1)", cfg.TierWatermark)
+		}
+		if cfg.Tier == nil {
+			return nil, fmt.Errorf("executor: TierWatermark needs a Tier to demote into")
+		}
+		interval := cfg.TierWatermarkInterval
+		if interval <= 0 {
+			interval = DefaultTierWatermarkInterval
+		}
+		e.watermarkStop = make(chan struct{})
+		e.watermarkDone = make(chan struct{})
+		go e.watermarkLoop(interval)
+	}
 	e.launch.Store(packLaunch(cfg.Launch))
 	if inj := cfg.Faults; inj != nil {
 		e.device.SetAllocHook(func(int64) error { return inj.Fail(faultinject.SiteDeviceAlloc) })

@@ -50,6 +50,16 @@ type instruments struct {
 	tierInflight   *metrics.Gauge
 	tierPeak       *metrics.Gauge
 	tierDepth      *metrics.Histogram
+
+	// Scheduler-coupling and background-demotion instruments: shed events
+	// (one per preemption) and the runs they rolled back, watermark-timer
+	// demotions (a labeled sibling of tierDemotions, so dashboards can
+	// split inline pressure demotion from background housekeeping), and
+	// tier payloads staged host-ward by prefetch read-ahead.
+	schedPreemptions   *metrics.Counter
+	schedShedRuns      *metrics.Counter
+	watermarkDemotions *metrics.Counter
+	tierReadahead      *metrics.Counter
 }
 
 func newInstruments(r *metrics.Registry) instruments {
@@ -87,6 +97,11 @@ func newInstruments(r *metrics.Registry) instruments {
 		tierInflight:   r.Gauge("executor_tier_inflight"),
 		tierPeak:       r.Gauge("executor_tier_inflight_peak"),
 		tierDepth:      r.HistogramWith("executor_tier_queue_depth", metrics.ExpBuckets(1, 2, 6)),
+
+		schedPreemptions:   r.Counter("executor_sched_preemptions_total"),
+		schedShedRuns:      r.Counter("executor_sched_shed_runs_total"),
+		watermarkDemotions: r.Counter("executor_tier_demotions_total", metrics.L("reason", "watermark")),
+		tierReadahead:      r.Counter("executor_tier_readahead_total"),
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"cswap/internal/compress"
 	"cswap/internal/costmodel"
@@ -273,4 +274,114 @@ func (e *Executor) freeHostSpace(need int64) bool {
 		}
 	}
 	return headroom()
+}
+
+// watermarkLoop is the background demoter started by Config.TierWatermark:
+// each tick it pushes host-pool occupancy back under the watermark by
+// demoting ranked victims, so foreground swap-outs find headroom already
+// freed instead of paying freeHostSpace's demote-retry inline. It exits
+// when stopWatermark closes the stop channel (Close does, before draining
+// the tier gate).
+func (e *Executor) watermarkLoop(interval time.Duration) {
+	defer close(e.watermarkDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.watermarkStop:
+			return
+		case <-tick.C:
+			e.demoteToWatermark()
+		}
+	}
+}
+
+// demoteToWatermark demotes cheapest-refetch-first victims until host
+// occupancy is at or under TierWatermark×capacity, returning how many it
+// moved. Individual failures (a victim turned busy) skip to the next
+// candidate; a full tier ends the sweep.
+func (e *Executor) demoteToWatermark() int {
+	target := int64(e.cfg.TierWatermark * float64(e.host.Capacity()))
+	moved := 0
+	for _, v := range e.tierVictims() {
+		if e.host.Used() <= target {
+			break
+		}
+		if err := v.demote(); err != nil {
+			if errors.Is(err, tier.ErrFull) {
+				break
+			}
+			continue
+		}
+		moved++
+		e.ins.watermarkDemotions.Inc()
+	}
+	return moved
+}
+
+// stopWatermark shuts the background demoter down, idempotently, and
+// waits for its final sweep to finish.
+func (e *Executor) stopWatermark() {
+	e.watermarkOnce.Do(func() {
+		if e.watermarkStop != nil {
+			close(e.watermarkStop)
+			<-e.watermarkDone
+		}
+	})
+}
+
+// stageFromTier moves a tiered handle's payload from the disk store back
+// into the pinned-host pool ahead of its decode — prefetch read-ahead, so
+// a later (possibly critical) demand swap-in pays a host-memory read
+// instead of a disk fault. Best-effort: on any failure the handle simply
+// stays tiered and the swap-in promotes from disk as before. In
+// particular, staging never demotes other payloads to make room — the
+// speculative copy is not worth evicting warmer bytes for. The caller
+// owns the handle's SwappingIn claim.
+func (e *Executor) stageFromTier(h *Handle) {
+	if e.tier == nil || !h.tiered {
+		return
+	}
+	blob, err := e.promoteRead(h)
+	if err != nil {
+		return
+	}
+	hostBlock, err := e.host.Alloc(int64(len(blob)))
+	if err != nil {
+		return
+	}
+	// Same ordering as a committed restore: the host copy is installed
+	// before the tier entry is deleted, so an interruption never strands
+	// the payload in neither store.
+	h.blob = blob
+	h.hostBlock = hostBlock
+	h.tiered = false
+	_, _ = e.tier.Delete(h.tierKey())
+	e.ins.tierPromotions.Inc()
+	e.ins.tierReadahead.Inc()
+	e.ins.tierOccupancy.Set(float64(e.tier.Used()))
+}
+
+// stageRunFromTier is stageFromTier for one stored block-pool run; the
+// caller owns the run's SwappingIn claim.
+func (p *BlockPool) stageRunFromTier(pr *poolRun) {
+	e := p.e
+	if e.tier == nil || !pr.tiered {
+		return
+	}
+	blob, err := e.promoteReadKey(p.runTierKey(pr))
+	if err != nil {
+		return
+	}
+	hostBlock, err := e.host.Alloc(int64(len(blob)))
+	if err != nil {
+		return
+	}
+	pr.blob = blob
+	pr.hostBlock = hostBlock
+	pr.tiered = false
+	_, _ = e.tier.Delete(p.runTierKey(pr))
+	e.ins.tierPromotions.Inc()
+	e.ins.tierReadahead.Inc()
+	e.ins.tierOccupancy.Set(float64(e.tier.Used()))
 }

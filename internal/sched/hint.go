@@ -1,0 +1,29 @@
+package sched
+
+import (
+	"context"
+	"time"
+)
+
+// Hint carries a request's scheduling intent — the lane it was admitted
+// on and its absolute deadline (zero = none) — across API layers that
+// should not grow lane/deadline parameters. The server attaches it to the
+// request context after admission; the executor reads it to decide
+// whether a batch is sheddable and to label its own sched metrics.
+type Hint struct {
+	Lane     Lane
+	Deadline time.Time
+}
+
+type hintKey struct{}
+
+// WithHint returns a context carrying h.
+func WithHint(ctx context.Context, h Hint) context.Context {
+	return context.WithValue(ctx, hintKey{}, h)
+}
+
+// HintFrom extracts the hint, reporting whether one was attached.
+func HintFrom(ctx context.Context) (Hint, bool) {
+	h, ok := ctx.Value(hintKey{}).(Hint)
+	return h, ok
+}

@@ -20,11 +20,13 @@ package server
 //     HTTP boundary (409 on contention), same discipline as tensors.
 
 import (
+	"context"
 	"errors"
 	"net/http"
 
 	"cswap/internal/executor"
 	"cswap/internal/metrics"
+	"cswap/internal/sched"
 	"cswap/internal/wire"
 )
 
@@ -78,25 +80,28 @@ func (s *Server) acquirePool(w http.ResponseWriter, sess *session, name string) 
 }
 
 // batchOp runs one admission-gated batch operation against a pool entry —
-// swapOp's analogue with the pool kind check and one slot per batch. On
-// success the entry is returned still locked and still holding the slot.
-func (s *Server) batchOp(w http.ResponseWriter, r *http.Request, sess *session, name string,
-	submit func(*entry) *executor.Ticket) (*entry, bool) {
+// swapOp's analogue with the pool kind check and one slot per batch. The
+// hint picks the admission lane/deadline (one slot, one lane entry, per
+// batch regardless of block count) and rides the operation context so the
+// executor can shed speculative batches at run boundaries. On success the
+// entry is returned still locked and still holding the slot.
+func (s *Server) batchOp(w http.ResponseWriter, r *http.Request, sess *session, name string, hint sched.Hint,
+	submit func(context.Context, *entry) *executor.Ticket) (*entry, bool) {
 	ent, ok := s.acquirePool(w, sess, name)
 	if !ok {
 		return nil, false
 	}
-	if !s.admitSlot(w) {
+	if !s.admitReq(w, r, hint) {
 		ent.mu.Unlock()
 		return nil, false
 	}
-	t := submit(ent)
+	t := submit(sched.WithHint(r.Context(), hint), ent)
 	if err := t.WaitContext(r.Context()); err != nil {
 		select {
 		case <-t.Done():
 			if opErr := t.Err(); opErr != nil {
 				ent.mu.Unlock()
-				<-s.admit
+				s.admitRelease()
 				s.failErr(w, opErr)
 				return nil, false
 			}
@@ -186,17 +191,17 @@ func (s *Server) handleBatchSwapOut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(tenantOf(r))
-	ent, ok := s.batchOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
+	ent, ok := s.batchOp(w, r, sess, f.Name, hintOf(f, sched.LaneNormal), func(ctx context.Context, ent *entry) *executor.Ticket {
 		bytes := int64(len(f.BlockIDs)) * int64(ent.pool.BlockElems()) * 4
 		sess.observeSwap(ent.sparsity, bytes)
 		doCompress, alg := s.resolveCodec(sess, ent, f.Compress, f.Alg)
-		return ent.pool.SwapOutBlocksCtx(r.Context(), f.BlockIDs, doCompress, alg)
+		return ent.pool.SwapOutBlocksCtx(ctx, f.BlockIDs, doCompress, alg)
 	})
 	if !ok {
 		return
 	}
 	ent.mu.Unlock()
-	<-s.admit
+	s.admitRelease()
 	s.batchSeen("swap-out", len(f.BlockIDs))
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
 }
@@ -209,8 +214,8 @@ func (s *Server) handleBatchSwapIn(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(tenantOf(r))
-	ent, ok := s.batchOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
-		return ent.pool.SwapInBlocksCtx(r.Context(), f.BlockIDs)
+	ent, ok := s.batchOp(w, r, sess, f.Name, hintOf(f, sched.LaneNormal), func(ctx context.Context, ent *entry) *executor.Ticket {
+		return ent.pool.SwapInBlocksCtx(ctx, f.BlockIDs)
 	})
 	if !ok {
 		return
@@ -220,7 +225,7 @@ func (s *Server) handleBatchSwapIn(w http.ResponseWriter, r *http.Request) {
 	data, err := ent.pool.ReadBlocks(ids)
 	if err != nil {
 		ent.mu.Unlock()
-		<-s.admit
+		s.admitRelease()
 		s.failErr(w, err)
 		return
 	}
@@ -231,7 +236,7 @@ func (s *Server) handleBatchSwapIn(w http.ResponseWriter, r *http.Request) {
 	}
 	b, encErr := wire.Encode(resp)
 	ent.mu.Unlock()
-	<-s.admit
+	s.admitRelease()
 	if encErr != nil {
 		s.fail(w, http.StatusInternalServerError, CodeInternal, encErr.Error())
 		return
@@ -249,14 +254,14 @@ func (s *Server) handleBatchPrefetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(tenantOf(r))
-	ent, ok := s.batchOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
-		return ent.pool.SwapInBlocksCtx(r.Context(), f.BlockIDs)
+	ent, ok := s.batchOp(w, r, sess, f.Name, hintOf(f, sched.LaneSpeculative), func(ctx context.Context, ent *entry) *executor.Ticket {
+		return ent.pool.PrefetchBlocksCtx(ctx, f.BlockIDs)
 	})
 	if !ok {
 		return
 	}
 	ent.mu.Unlock()
-	<-s.admit
+	s.admitRelease()
 	s.batchSeen("prefetch", len(f.BlockIDs))
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
 }

@@ -60,6 +60,10 @@ func WithTierCap(b int64) Option { return func(o *options) { o.cfg.TierCap = b }
 // enforced per shard like the device quota.
 func WithTenantTierQuota(b int64) Option { return func(o *options) { o.cfg.TenantTierQuota = b } }
 
+// WithTierWatermark enables each shard's background host->tier demoter at
+// the given occupancy fraction in (0,1); zero keeps demotion demand-driven.
+func WithTierWatermark(f float64) Option { return func(o *options) { o.cfg.TierWatermark = f } }
+
 // WithMaxPayload caps decodable wire frames.
 func WithMaxPayload(n uint32) Option { return func(o *options) { o.cfg.MaxPayload = n } }
 
@@ -75,6 +79,10 @@ func WithFaults(f *faultinject.Injector) Option { return func(o *options) { o.cf
 
 // WithTuner configures the online per-tenant tuner, run per shard.
 func WithTuner(tc TunerConfig) Option { return func(o *options) { o.cfg.Tuner = tc } }
+
+// WithSched configures the SLO-aware admission scheduler, run per shard
+// (each shard's lanes queue independently, like its admission window).
+func WithSched(sc SchedConfig) Option { return func(o *options) { o.cfg.Sched = sc } }
 
 func resolve(opts []Option) options {
 	o := options{shards: 1}

@@ -19,7 +19,13 @@
 //   - A non-blocking admission window sized to the executor's MaxInFlight:
 //     a saturated window answers 429 + Retry-After instead of queueing
 //     without bound — the service-level face of the async pipeline's
-//     backpressure.
+//     backpressure. With Config.Sched enabled the window becomes the
+//     SLO-aware priority scheduler (internal/sched): requests queue
+//     briefly in per-lane bounded EDF queues keyed by the wire frame's
+//     lane/deadline hint, critical work jumps queued speculative work,
+//     deadline-expired waiters answer 429 "expired", and in-flight
+//     speculative prefetches shed at run boundaries when critical work
+//     starves.
 //   - Per-tensor request locks that answer 409 "busy" on contention — the
 //     executor's ErrBusy discipline surfaced at the HTTP boundary, and the
 //     guarantee that a response encodes a tensor no concurrent request is
@@ -30,6 +36,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,6 +51,7 @@ import (
 	"cswap/internal/faultinject"
 	"cswap/internal/metrics"
 	"cswap/internal/placement"
+	"cswap/internal/sched"
 	"cswap/internal/tensor"
 	"cswap/internal/tier"
 	"cswap/internal/wire"
@@ -62,6 +70,7 @@ const (
 const (
 	CodeBusy      = "busy"      // per-tensor contention or executor ErrBusy: retry after backoff
 	CodeSaturated = "saturated" // admission window full: retry after Retry-After
+	CodeExpired   = "expired"   // deadline passed while queued for admission: do NOT retry
 	CodeQuota     = "quota"     // tenant quota exceeded: free something first
 	CodeOOM       = "oom"       // shared pool exhausted
 	CodeNotFound  = "not-found" // unknown tensor
@@ -103,6 +112,12 @@ type Config struct {
 	// TenantTierQuota is the per-tenant bound on tier-resident bytes.
 	// Zero grants each tenant the full tier capacity.
 	TenantTierQuota int64
+	// TierWatermark, in (0,1), enables the executor's background demoter:
+	// whenever host-pool occupancy exceeds this fraction of capacity, cold
+	// swapped payloads demote to the tier until it is back under. Zero
+	// leaves demotion purely demand-driven (allocation pressure only).
+	// Requires TierDir.
+	TierWatermark float64
 	// MaxPayload caps the wire frames the server will decode; zero
 	// selects wire.DefaultMaxPayload.
 	MaxPayload uint32
@@ -120,6 +135,27 @@ type Config struct {
 	// The zero value leaves tuning off; Auto swap-outs then fall back to
 	// the analytic ratio model per tensor.
 	Tuner TunerConfig
+	// Sched configures the SLO-aware admission scheduler. The zero value
+	// keeps the plain non-blocking window.
+	Sched SchedConfig
+}
+
+// SchedConfig configures the server's SLO-aware admission scheduler. When
+// Enabled, the admission window is replaced by an internal/sched.Scheduler
+// with MaxInFlight slots: swap requests queue per lane (bounded,
+// earliest-deadline-first) instead of answering 429 the instant the window
+// fills, critical requests are granted ahead of queued speculative ones,
+// and the executor sheds in-flight speculative prefetch work at run
+// boundaries while a critical waiter starves.
+type SchedConfig struct {
+	Enabled bool
+	// LaneDepth bounds each lane's queue (critical, normal, speculative);
+	// zero entries select sched.DefaultLaneDepth.
+	LaneDepth [sched.NumLanes]int
+	// StarveAfter is how long a queued critical request may wait before
+	// in-flight speculative work is told to shed. Zero selects
+	// sched.DefaultStarveAfter.
+	StarveAfter time.Duration
 }
 
 // instruments are the server's pre-resolved metric cells; per-tenant
@@ -139,7 +175,8 @@ type Server struct {
 	tier  *tier.Store // nil without TierDir
 	obs   *metrics.Observer
 	ins   instruments
-	admit chan struct{}
+	admit chan struct{}    // plain admission window (Sched disabled)
+	sched *sched.Scheduler // SLO-aware admission (Sched.Enabled); nil otherwise
 	mux   *http.ServeMux
 	tuner *tuner
 
@@ -175,7 +212,21 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: spill tier: %w", err)
 		}
 	}
-	exec, err := executor.New(executor.Config{
+	var schd *sched.Scheduler
+	if cfg.Sched.Enabled {
+		var err error
+		schd, err = sched.New(sched.Config{
+			Slots:       cfg.MaxInFlight,
+			LaneDepth:   cfg.Sched.LaneDepth,
+			StarveAfter: cfg.Sched.StarveAfter,
+			Metrics:     cfg.Observer.Reg(),
+			Prefix:      "server",
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: sched: %w", err)
+		}
+	}
+	execCfg := executor.Config{
 		DeviceCapacity: cfg.DeviceCapacity,
 		HostCapacity:   cfg.HostCapacity,
 		Launch:         cfg.Launch,
@@ -183,8 +234,15 @@ func New(cfg Config) (*Server, error) {
 		MaxInFlight:    cfg.MaxInFlight,
 		Faults:         cfg.Faults,
 		Tier:           ts,
+		TierWatermark:  cfg.TierWatermark,
 		Observer:       cfg.Observer,
-	})
+	}
+	if schd != nil {
+		// The scheduler doubles as the executor's shed signal — signal
+		// only, never slot acquisition, so the two windows cannot deadlock.
+		execCfg.Sched = schd
+	}
+	exec, err := executor.New(execCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +259,7 @@ func New(cfg Config) (*Server, error) {
 			reg:          reg,
 		},
 		admit:    make(chan struct{}, cfg.MaxInFlight),
+		sched:    schd,
 		sessions: map[string]*session{},
 	}
 	s.mux = http.NewServeMux()
@@ -254,6 +313,12 @@ func (s *Server) Close() error {
 		// Stop the tuner before the executor drains: a probe never races
 		// shutdown, and no SetLaunch lands on a closing executor.
 		s.tuner.Stop()
+	}
+	if s.sched != nil {
+		// Fail queued admission waiters (503 draining) before the drain
+		// barrier, so no handler is left waiting on a lane that will never
+		// be granted.
+		s.sched.Close()
 	}
 	s.exec.Drain()
 	return s.exec.Close()
@@ -323,6 +388,11 @@ func (s *Server) failErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, errEntryBusy), errors.Is(err, executor.ErrBusy):
 		s.ins.busy.Inc()
 		s.fail(w, http.StatusConflict, CodeBusy, err.Error())
+	case errors.Is(err, executor.ErrShed):
+		// Speculative work shed under critical pressure: same retry story
+		// as a saturated window.
+		s.ins.backpressure.Inc()
+		s.fail(w, http.StatusTooManyRequests, CodeSaturated, err.Error())
 	case errors.Is(err, ErrQuotaExceeded):
 		s.fail(w, http.StatusInsufficientStorage, CodeQuota, err.Error())
 	case errors.Is(err, devmem.ErrOutOfMemory):
@@ -471,6 +541,60 @@ func (s *Server) admitSlot(w http.ResponseWriter) bool {
 	}
 }
 
+// hintOf derives a request's scheduling hint from the wire frame's
+// optional sched extension: without one, demand swaps ride LaneNormal and
+// prefetches LaneSpeculative with no deadline. The frame's relative
+// deadline becomes absolute here, at decode time.
+func hintOf(f *wire.Frame, fallback sched.Lane) sched.Hint {
+	h := sched.Hint{Lane: fallback}
+	if f.HasSched {
+		h.Lane = sched.Lane(f.Lane)
+		if f.DeadlineMicros > 0 {
+			h.Deadline = time.Now().Add(time.Duration(f.DeadlineMicros) * time.Microsecond)
+		}
+	}
+	return h
+}
+
+// admitReq claims one admission slot for a swap request. Without the
+// scheduler it is the non-blocking window (429 saturated on full). With
+// it, the request joins its lane's bounded EDF queue: a full lane still
+// answers 429 saturated immediately, a deadline that passes while queued
+// answers 429 "expired" (retrying the same deadline is pointless), and a
+// granted request proceeds holding one of the MaxInFlight slots.
+func (s *Server) admitReq(w http.ResponseWriter, r *http.Request, h sched.Hint) bool {
+	if s.sched == nil {
+		return s.admitSlot(w)
+	}
+	if err := s.sched.Acquire(r.Context(), h.Lane, h.Deadline); err != nil {
+		switch {
+		case errors.Is(err, sched.ErrExpired):
+			s.ins.backpressure.Inc()
+			s.fail(w, http.StatusTooManyRequests, CodeExpired, err.Error())
+		case errors.Is(err, sched.ErrLaneFull):
+			s.ins.backpressure.Inc()
+			s.fail(w, http.StatusTooManyRequests, CodeSaturated, err.Error())
+		case errors.Is(err, sched.ErrClosed):
+			s.fail(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
+		default:
+			// The client's own context died while queued.
+			s.fail(w, http.StatusRequestTimeout, CodeTimeout, err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// admitRelease returns the slot claimed by admitReq, waking the highest-
+// priority queued waiter when the scheduler runs admission.
+func (s *Server) admitRelease() {
+	if s.sched != nil {
+		s.sched.Release()
+		return
+	}
+	<-s.admit
+}
+
 // finishAsync releases an entry lock and admission slot once the ticket
 // has fully resolved. When the handler's context died first, the release
 // runs in a goroutine so the admission slot stays held exactly as long as
@@ -478,15 +602,17 @@ func (s *Server) admitSlot(w http.ResponseWriter) bool {
 func (s *Server) finishAsync(t *executor.Ticket, ent *entry) {
 	_ = t.Wait()
 	ent.mu.Unlock()
-	<-s.admit
+	s.admitRelease()
 }
 
 // swapOp runs one admission-gated async operation against an entry and
-// waits for it under the request context. On success the entry is
-// returned still locked and still holding the admission slot — the caller
-// reads what it needs, unlocks, and releases.
-func (s *Server) swapOp(w http.ResponseWriter, r *http.Request, sess *session, name string,
-	submit func(*entry) *executor.Ticket) (*entry, bool) {
+// waits for it under the request context. The hint picks the admission
+// lane/deadline and rides the operation context so the executor can shed
+// speculative work at run boundaries. On success the entry is returned
+// still locked and still holding the admission slot — the caller reads
+// what it needs, unlocks, and releases.
+func (s *Server) swapOp(w http.ResponseWriter, r *http.Request, sess *session, name string, hint sched.Hint,
+	submit func(context.Context, *entry) *executor.Ticket) (*entry, bool) {
 	ent, err := sess.acquire(name)
 	if err != nil {
 		s.failErr(w, err)
@@ -498,11 +624,11 @@ func (s *Server) swapOp(w http.ResponseWriter, r *http.Request, sess *session, n
 		s.failErr(w, errNotTensor)
 		return nil, false
 	}
-	if !s.admitSlot(w) {
+	if !s.admitReq(w, r, hint) {
 		ent.mu.Unlock()
 		return nil, false
 	}
-	t := submit(ent)
+	t := submit(sched.WithHint(r.Context(), hint), ent)
 	if err := t.WaitContext(r.Context()); err != nil {
 		select {
 		case <-t.Done():
@@ -510,7 +636,7 @@ func (s *Server) swapOp(w http.ResponseWriter, r *http.Request, sess *session, n
 			// report its actual outcome.
 			if opErr := t.Err(); opErr != nil {
 				ent.mu.Unlock()
-				<-s.admit
+				s.admitRelease()
 				s.failErr(w, opErr)
 				return nil, false
 			}
@@ -535,17 +661,17 @@ func (s *Server) handleSwapOut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(tenantOf(r))
-	ent, ok := s.swapOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
+	ent, ok := s.swapOp(w, r, sess, f.Name, hintOf(f, sched.LaneNormal), func(ctx context.Context, ent *entry) *executor.Ticket {
 		sess.observeSwap(ent.sparsity, ent.bytes)
 		doCompress, alg := s.resolveCodec(sess, ent, f.Compress, f.Alg)
-		return s.exec.SwapOutAsyncCtx(r.Context(), ent.h, doCompress, alg)
+		return s.exec.SwapOutAsyncCtx(ctx, ent.h, doCompress, alg)
 	})
 	if !ok {
 		return
 	}
 	sess.syncTier(ent)
 	ent.mu.Unlock()
-	<-s.admit
+	s.admitRelease()
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
 }
 
@@ -599,8 +725,8 @@ func (s *Server) handleSwapIn(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(tenantOf(r))
-	ent, ok := s.swapOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
-		return s.exec.SwapInAsyncCtx(r.Context(), ent.h)
+	ent, ok := s.swapOp(w, r, sess, f.Name, hintOf(f, sched.LaneNormal), func(ctx context.Context, ent *entry) *executor.Ticket {
+		return s.exec.SwapInAsyncCtx(ctx, ent.h)
 	})
 	if !ok {
 		return
@@ -609,7 +735,7 @@ func (s *Server) handleSwapIn(w http.ResponseWriter, r *http.Request) {
 	data, err := ent.h.Data()
 	if err != nil {
 		ent.mu.Unlock()
-		<-s.admit
+		s.admitRelease()
 		s.failErr(w, err)
 		return
 	}
@@ -617,7 +743,7 @@ func (s *Server) handleSwapIn(w http.ResponseWriter, r *http.Request) {
 	// this tensor; the frame owns a copy once Encode returns.
 	b, encErr := wire.Encode(&wire.Frame{Type: wire.TypeTensorData, Name: f.Name, Data: data})
 	ent.mu.Unlock()
-	<-s.admit
+	s.admitRelease()
 	if encErr != nil {
 		s.fail(w, http.StatusInternalServerError, CodeInternal, encErr.Error())
 		return
@@ -635,15 +761,15 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(tenantOf(r))
-	ent, ok := s.swapOp(w, r, sess, f.Name, func(ent *entry) *executor.Ticket {
-		return s.exec.PrefetchCtx(r.Context(), ent.h)
+	ent, ok := s.swapOp(w, r, sess, f.Name, hintOf(f, sched.LaneSpeculative), func(ctx context.Context, ent *entry) *executor.Ticket {
+		return s.exec.PrefetchCtx(ctx, ent.h)
 	})
 	if !ok {
 		return
 	}
 	sess.syncTier(ent)
 	ent.mu.Unlock()
-	<-s.admit
+	s.admitRelease()
 	s.writeFrame(w, &wire.Frame{Type: wire.TypeAck, Name: f.Name})
 }
 

@@ -1,0 +1,241 @@
+package sim
+
+// SLO admission model: a discrete-event replay of the server's admission
+// window under two policies — FIFO (the plain window: first come, first
+// granted) and scheduled (internal/sched's strict lane priority with
+// earliest-deadline-first inside a lane, expired waiters dropped). The
+// workload shape is the serving story from DESIGN.md §16: a saturating
+// stream of speculative prefetch work, with small bursts of deadline-bound
+// critical swap-ins riding on top. Under FIFO the criticals queue behind
+// the speculative backlog and blow their deadlines; under the scheduler
+// they jump the queue and pay at most the residual of whatever is already
+// in flight (admission is non-preemptive — the model matches the real
+// scheduler, which sheds only at run boundaries).
+//
+// Everything is deterministic: the trace generator is pure arithmetic and
+// the engine breaks ties by schedule order, so the scheduled-vs-FIFO
+// attainment gap is a pinnable number, not a statistical tendency.
+
+import "sort"
+
+// SLOLane mirrors sched.Lane for the model (the simulator carries no
+// dependency on the real scheduler, same as CoalesceIDs restates the
+// executor's coalescing rule).
+type SLOLane uint8
+
+const (
+	SLOCritical SLOLane = iota
+	SLONormal
+	SLOSpeculative
+	sloLanes = 3
+)
+
+// SLORequest is one admission request in the model: it arrives, waits for
+// a slot under the policy, holds the slot for Service seconds, and — when
+// Deadline > 0 — attains its SLO only if it completes by that absolute
+// time.
+type SLORequest struct {
+	Arrival  float64
+	Service  float64
+	Deadline float64 // absolute completion deadline; 0 = none
+	Lane     SLOLane
+}
+
+// SLOPolicy selects the admission order.
+type SLOPolicy int
+
+const (
+	// PolicyFIFO grants slots strictly in arrival order, lane-blind — the
+	// plain admission window with a queue bolted on.
+	PolicyFIFO SLOPolicy = iota
+	// PolicySched grants the highest-priority lane first, EDF within a
+	// lane, and drops queued requests whose deadline has already passed
+	// instead of wasting a slot on work whose SLO is lost.
+	PolicySched
+)
+
+// SLOReport aggregates one replay.
+type SLOReport struct {
+	// Done counts completed requests per lane; Dropped counts requests the
+	// scheduled policy expired in queue (FIFO never drops).
+	Done, Dropped [sloLanes]int
+	// Deadlined counts requests that carried a deadline; Attained counts
+	// those that completed by it.
+	Deadlined, Attained [sloLanes]int
+	// Makespan is the virtual time at which the last request completed.
+	Makespan float64
+}
+
+// Attainment is the fraction of lane l's deadlined requests that met
+// their deadline (1 when the lane carried none).
+func (r SLOReport) Attainment(l SLOLane) float64 {
+	if r.Deadlined[l] == 0 {
+		return 1
+	}
+	return float64(r.Attained[l]) / float64(r.Deadlined[l])
+}
+
+// RunSLO replays the request trace against `slots` admission slots under
+// the policy and reports per-lane SLO attainment.
+func RunSLO(reqs []SLORequest, slots int, policy SLOPolicy) SLOReport {
+	if slots <= 0 {
+		slots = 1
+	}
+	e := NewEngine()
+	var rep SLOReport
+	free := slots
+
+	type qitem struct {
+		req SLORequest
+		seq int
+	}
+	var queue []qitem
+	next := 0 // FIFO head (the slice is append-only; done items advance next)
+
+	// pick removes and returns the next request to grant, or ok=false when
+	// nothing grantable is queued. The scheduled policy drops expired
+	// waiters here — exactly where the real scheduler answers ErrExpired.
+	pick := func() (qitem, bool) {
+		if policy == PolicyFIFO {
+			if next >= len(queue) {
+				return qitem{}, false
+			}
+			it := queue[next]
+			next++
+			return it, true
+		}
+		for {
+			best := -1
+			for i, it := range queue {
+				if best < 0 {
+					best = i
+					continue
+				}
+				b := queue[best]
+				switch {
+				case it.req.Lane != b.req.Lane:
+					if it.req.Lane < b.req.Lane {
+						best = i
+					}
+				case (it.req.Deadline > 0) != (b.req.Deadline > 0):
+					if it.req.Deadline > 0 {
+						best = i
+					}
+				case it.req.Deadline > 0 && it.req.Deadline != b.req.Deadline:
+					if it.req.Deadline < b.req.Deadline {
+						best = i
+					}
+				case it.seq < b.seq:
+					best = i
+				}
+			}
+			if best < 0 {
+				return qitem{}, false
+			}
+			it := queue[best]
+			queue = append(queue[:best], queue[best+1:]...)
+			if it.req.Deadline > 0 && e.Now() >= it.req.Deadline {
+				rep.Dropped[it.req.Lane]++
+				continue
+			}
+			return it, true
+		}
+	}
+
+	var dispatch func()
+	dispatch = func() {
+		for free > 0 {
+			it, ok := pick()
+			if !ok {
+				return
+			}
+			free--
+			req := it.req
+			e.Schedule(req.Service, func() {
+				rep.Done[req.Lane]++
+				if req.Deadline > 0 && e.Now() <= req.Deadline {
+					rep.Attained[req.Lane]++
+				}
+				if e.Now() > rep.Makespan {
+					rep.Makespan = e.Now()
+				}
+				free++
+				dispatch()
+			})
+		}
+	}
+
+	ordered := append([]SLORequest(nil), reqs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	for i, req := range ordered {
+		if req.Deadline > 0 {
+			rep.Deadlined[req.Lane]++
+		}
+		it := qitem{req: req, seq: i}
+		e.Schedule(req.Arrival, func() {
+			queue = append(queue, it)
+			dispatch()
+		})
+	}
+	e.Run()
+	return rep
+}
+
+// SLOTraceConfig configures the bursty decode trace. The zero value is
+// not usable; see DefaultSLOTrace.
+type SLOTraceConfig struct {
+	// Steps is the number of decode steps; one step fires every
+	// StepPeriod seconds.
+	Steps      int
+	StepPeriod float64
+	// Each step issues SpecPerStep speculative prefetches of SpecService
+	// seconds (no deadline) first, then CriticalPerStep critical swap-ins
+	// of CriticalService seconds that must complete within CriticalSlack
+	// of their arrival.
+	SpecPerStep     int
+	SpecService     float64
+	CriticalPerStep int
+	CriticalService float64
+	CriticalSlack   float64
+}
+
+// DefaultSLOTrace is the pinned scenario: two admission slots' worth of
+// capacity fully booked by speculative prefetch (4 x 5 ms per 10 ms
+// step), with two 1 ms critical restores per step that must land within
+// 8 ms — enough slack to absorb one in-flight speculative residual, not
+// enough to sit behind the whole backlog.
+func DefaultSLOTrace() SLOTraceConfig {
+	return SLOTraceConfig{
+		Steps: 32, StepPeriod: 10e-3,
+		SpecPerStep: 4, SpecService: 5e-3,
+		CriticalPerStep: 2, CriticalService: 1e-3,
+		CriticalSlack: 8e-3,
+	}
+}
+
+// GenSLOTrace expands the config into the deterministic request trace.
+// Within a step, speculative work arrives strictly before the criticals —
+// the adversarial ordering for a lane-blind window.
+func GenSLOTrace(cfg SLOTraceConfig) []SLORequest {
+	var reqs []SLORequest
+	for s := 0; s < cfg.Steps; s++ {
+		t := float64(s) * cfg.StepPeriod
+		for i := 0; i < cfg.SpecPerStep; i++ {
+			reqs = append(reqs, SLORequest{
+				Arrival: t + float64(i)*1e-5,
+				Service: cfg.SpecService,
+				Lane:    SLOSpeculative,
+			})
+		}
+		for i := 0; i < cfg.CriticalPerStep; i++ {
+			arr := t + 1e-4 + float64(i)*1e-5
+			reqs = append(reqs, SLORequest{
+				Arrival:  arr,
+				Service:  cfg.CriticalService,
+				Deadline: arr + cfg.CriticalSlack,
+				Lane:     SLOCritical,
+			})
+		}
+	}
+	return reqs
+}

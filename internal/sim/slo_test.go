@@ -1,0 +1,90 @@
+package sim
+
+import "testing"
+
+// TestScheduledBeatsFIFOAttainment pins the tentpole claim on the default
+// bursty decode trace: the lane-priority scheduler attains every critical
+// deadline while the lane-blind FIFO window attains none, at identical
+// total work (same Done counts, same makespan — priority changes who
+// waits, not how much runs).
+func TestScheduledBeatsFIFOAttainment(t *testing.T) {
+	trace := GenSLOTrace(DefaultSLOTrace())
+	fifo := RunSLO(trace, 2, PolicyFIFO)
+	schd := RunSLO(trace, 2, PolicySched)
+
+	fa, sa := fifo.Attainment(SLOCritical), schd.Attainment(SLOCritical)
+	if sa <= fa {
+		t.Fatalf("scheduled attainment %.3f not above FIFO %.3f", sa, fa)
+	}
+	if sa != 1 {
+		t.Errorf("scheduled critical attainment = %.3f, want 1.0 (slack covers one residual)", sa)
+	}
+	if fa != 0 {
+		t.Errorf("FIFO critical attainment = %.3f, want 0.0 (criticals behind the whole backlog)", fa)
+	}
+	for l := SLOLane(0); l < sloLanes; l++ {
+		if fifo.Done[l] != schd.Done[l] {
+			t.Errorf("lane %d: FIFO completed %d, sched %d — policy must not change total work",
+				l, fifo.Done[l], schd.Done[l])
+		}
+	}
+	if fifo.Makespan != schd.Makespan {
+		t.Errorf("makespan diverged: FIFO %.4f vs sched %.4f", fifo.Makespan, schd.Makespan)
+	}
+}
+
+func TestRunSLOEDFWithinLane(t *testing.T) {
+	// One slot, blocked until t=10. Three normal requests queue; the
+	// tightest deadline must run first, the no-deadline one last.
+	reqs := []SLORequest{
+		{Arrival: 0, Service: 10, Lane: SLONormal},                // occupies the slot
+		{Arrival: 1, Service: 1, Lane: SLONormal},                 // no deadline: runs last
+		{Arrival: 2, Service: 1, Deadline: 30, Lane: SLONormal},   // loose
+		{Arrival: 3, Service: 1, Deadline: 11.5, Lane: SLONormal}, // tight: must run first
+	}
+	rep := RunSLO(reqs, 1, PolicySched)
+	if rep.Attained[SLONormal] != 2 || rep.Deadlined[SLONormal] != 2 {
+		t.Fatalf("EDF order: attained %d of %d deadlined, want 2 of 2",
+			rep.Attained[SLONormal], rep.Deadlined[SLONormal])
+	}
+	// FIFO runs them in arrival order: the tight deadline (third in line,
+	// done at t=13) is missed.
+	rep = RunSLO(reqs, 1, PolicyFIFO)
+	if rep.Attained[SLONormal] != 1 {
+		t.Fatalf("FIFO attained %d deadlines, want 1 (tight one missed)", rep.Attained[SLONormal])
+	}
+}
+
+func TestRunSLODropsExpiredOnlyUnderSched(t *testing.T) {
+	reqs := []SLORequest{
+		{Arrival: 0, Service: 10, Lane: SLONormal},
+		{Arrival: 1, Service: 1, Deadline: 5, Lane: SLOCritical}, // expires at t=5, slot frees at t=10
+	}
+	schd := RunSLO(reqs, 1, PolicySched)
+	if schd.Dropped[SLOCritical] != 1 || schd.Done[SLOCritical] != 0 {
+		t.Fatalf("sched: dropped=%d done=%d, want the expired critical dropped unrun",
+			schd.Dropped[SLOCritical], schd.Done[SLOCritical])
+	}
+	fifo := RunSLO(reqs, 1, PolicyFIFO)
+	if fifo.Dropped[SLOCritical] != 0 || fifo.Done[SLOCritical] != 1 || fifo.Attained[SLOCritical] != 0 {
+		t.Fatalf("fifo: dropped=%d done=%d attained=%d, want it run late, never dropped",
+			fifo.Dropped[SLOCritical], fifo.Done[SLOCritical], fifo.Attained[SLOCritical])
+	}
+}
+
+func TestGenSLOTraceDeterministic(t *testing.T) {
+	a, b := GenSLOTrace(DefaultSLOTrace()), GenSLOTrace(DefaultSLOTrace())
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg := DefaultSLOTrace()
+	want := cfg.Steps * (cfg.SpecPerStep + cfg.CriticalPerStep)
+	if len(a) != want {
+		t.Fatalf("trace has %d requests, want %d", len(a), want)
+	}
+}

@@ -53,6 +53,37 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("CSWP"))
 
+	// Sched-extension seeds: the optional lane byte + uvarint deadline
+	// after the name (FlagSched), plus the hostile shapes it adds — the
+	// flag without its bytes, an out-of-range lane, and the flag on a
+	// frame type that must refuse it.
+	for _, fr := range []*Frame{
+		{Type: TypeSwapIn, Name: "kv", HasSched: true, Lane: 0, DeadlineMicros: 1500},
+		{Type: TypePrefetch, Name: "kv", HasSched: true, Lane: 2},
+		{Type: TypeBatchSwapIn, Name: "kv", BlockIDs: []int{1, 2}, HasSched: true, Lane: 0, DeadlineMicros: 1 << 40},
+		{Type: TypeBatchPrefetch, Name: "kv", BlockIDs: []int{9}, HasSched: true, Lane: 2, DeadlineMicros: 300},
+	} {
+		b, err := Encode(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		for cut := HeaderLen + 2 + len(fr.Name); cut < len(b); cut++ {
+			f.Add(b[:cut])
+		}
+		badLane := append([]byte(nil), b...)
+		badLane[HeaderLen+2+len(fr.Name)] = 3 // past maxLaneByte
+		restampCRC(badLane)
+		f.Add(badLane)
+	}
+	flagOnAck, err := Encode(&Frame{Type: TypeAck, Name: "ok"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	flagOnAck[7] |= byte(FlagSched)
+	restampCRC(flagOnAck)
+	f.Add(flagOnAck)
+
 	// Batch-frame seeds. The hostile shapes the block-pool surface adds:
 	// truncation at every block-ID boundary, duplicate and out-of-range
 	// IDs, zero-length lists, and a run table that disagrees with the

@@ -8,7 +8,7 @@
 //	[0:4)   magic "CSWP"
 //	[4]     version (currently 1)
 //	[5]     frame type
-//	[6:8)   flags, big-endian (must be zero in version 1)
+//	[6:8)   flags, big-endian (only FlagSched defined; others must be zero)
 //	[8:12)  payload length, big-endian
 //	[12:16) CRC-32 (IEEE) of the payload, big-endian
 //
@@ -18,6 +18,14 @@
 // swap-out frames with the compress flag and algorithm byte. Every inner
 // length is cross-checked against the outer one, so a frame either decodes
 // exactly or fails loudly.
+//
+// FlagSched marks an optional scheduling extension on the swap and batch
+// request frames: immediately after the name come one lane byte
+// (0 critical, 1 normal, 2 speculative — internal/sched's lane values)
+// and an uvarint relative deadline in microseconds (0 = lane hint only).
+// The name stays first either way, so PeekName — and cluster routing —
+// never looks at the flag. Decoders that predate the flag refuse such
+// frames loudly (non-zero flags were always corrupt), never misread them.
 //
 // Malformed frames reuse the compress package's recoverable-error
 // taxonomy: bytes missing at any boundary surface as compress.ErrTruncated
@@ -53,6 +61,17 @@ const (
 )
 
 var magic = [4]byte{'C', 'S', 'W', 'P'}
+
+// Header flags. FlagSched marks the scheduling extension (lane byte +
+// uvarint relative deadline, right after the name); all other bits are
+// reserved and refused.
+const (
+	FlagSched uint16 = 1 << 0
+
+	// maxLaneByte is the highest legal lane value (internal/sched defines
+	// lanes 0..2; wire validates the byte without importing the package).
+	maxLaneByte = 2
+)
 
 // ErrTooLarge reports a payload length prefix past the decoder's cap. It
 // is a policy refusal, not data damage, and deliberately does not satisfy
@@ -121,6 +140,13 @@ func (t Type) valid() bool { return t >= TypeRegister && t <= TypeBatchData }
 // payload after the name.
 func (t Type) hasData() bool { return t == TypeRegister || t == TypeTensorData }
 
+// schedulable reports whether the type may carry the FlagSched extension:
+// the swap and batch request frames — the operations the admission
+// scheduler orders. Register/free/response frames refuse it.
+func (t Type) schedulable() bool {
+	return t == TypeSwapOut || t == TypeSwapIn || t == TypePrefetch || t.hasIDList()
+}
+
 // Frame is one decoded protocol frame.
 type Frame struct {
 	Type Type
@@ -142,6 +168,14 @@ type Frame struct {
 	NumBlocks  int
 	BlockIDs   []int
 	Runs       []BlockRun
+
+	// Scheduling extension (FlagSched). HasSched marks its presence;
+	// Lane is the priority lane byte (0 critical .. 2 speculative) and
+	// DeadlineMicros the relative deadline in microseconds (0 = lane
+	// hint only). Only the swap/batch request frames may carry it.
+	HasSched       bool
+	Lane           uint8
+	DeadlineMicros uint64
 }
 
 // truncErr and corruptErr wrap the compress taxonomy with frame context.
@@ -166,6 +200,15 @@ func (f *Frame) payloadLen() (int, error) {
 		return 0, fmt.Errorf("wire: name of %d bytes exceeds limit %d", len(f.Name), MaxNameLen)
 	}
 	n := 2 + len(f.Name)
+	if f.HasSched {
+		if !f.Type.schedulable() {
+			return 0, fmt.Errorf("wire: %s frame cannot carry a sched extension", f.Type)
+		}
+		if f.Lane > maxLaneByte {
+			return 0, fmt.Errorf("wire: sched lane byte %d out of range", f.Lane)
+		}
+		n += 1 + uvarintLen(f.DeadlineMicros)
+	}
 	switch {
 	case f.Type.isBatch():
 		bn, err := f.batchPayloadLen()
@@ -204,13 +247,22 @@ func Append(dst []byte, f *Frame) ([]byte, error) {
 	if err != nil {
 		return dst, err
 	}
+	var flags uint16
+	if f.HasSched {
+		flags |= FlagSched
+	}
 	start := len(dst)
 	dst = append(dst, magic[:]...)
-	dst = append(dst, Version, byte(f.Type), 0, 0) // flags must be zero
+	dst = append(dst, Version, byte(f.Type))
+	dst = binary.BigEndian.AppendUint16(dst, flags)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(plen))
 	dst = append(dst, 0, 0, 0, 0) // CRC placeholder
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Name)))
 	dst = append(dst, f.Name...)
+	if f.HasSched {
+		dst = append(dst, f.Lane)
+		dst = binary.AppendUvarint(dst, f.DeadlineMicros)
+	}
 	switch {
 	case f.Type.isBatch():
 		dst = appendBatchPayload(dst, f)
@@ -239,36 +291,41 @@ func Encode(f *Frame) ([]byte, error) {
 }
 
 // parseHeader validates a complete 16-byte header and returns the payload
-// length. maxPayload of zero selects DefaultMaxPayload.
-func parseHeader(h []byte, maxPayload uint32) (plen uint32, crc uint32, typ Type, err error) {
+// length, frame type, and flags. maxPayload of zero selects
+// DefaultMaxPayload.
+func parseHeader(h []byte, maxPayload uint32) (plen uint32, crc uint32, typ Type, flags uint16, err error) {
 	if maxPayload == 0 {
 		maxPayload = DefaultMaxPayload
 	}
 	if [4]byte(h[0:4]) != magic {
-		return 0, 0, 0, corruptErr("bad magic %q", h[0:4])
+		return 0, 0, 0, 0, corruptErr("bad magic %q", h[0:4])
 	}
 	if h[4] != Version {
-		return 0, 0, 0, corruptErr("unsupported version %d", h[4])
+		return 0, 0, 0, 0, corruptErr("unsupported version %d", h[4])
 	}
 	typ = Type(h[5])
 	if !typ.valid() {
-		return 0, 0, 0, corruptErr("unknown frame type %d", h[5])
+		return 0, 0, 0, 0, corruptErr("unknown frame type %d", h[5])
 	}
-	if flags := binary.BigEndian.Uint16(h[6:8]); flags != 0 {
-		return 0, 0, 0, corruptErr("non-zero flags %#x", flags)
+	flags = binary.BigEndian.Uint16(h[6:8])
+	if flags&^FlagSched != 0 {
+		return 0, 0, 0, 0, corruptErr("unknown flags %#x", flags)
+	}
+	if flags&FlagSched != 0 && !typ.schedulable() {
+		return 0, 0, 0, 0, corruptErr("%s frame cannot carry a sched extension", typ)
 	}
 	plen = binary.BigEndian.Uint32(h[8:12])
 	if plen > maxPayload {
-		return 0, 0, 0, fmt.Errorf("%w: %d bytes, cap %d", ErrTooLarge, plen, maxPayload)
+		return 0, 0, 0, 0, fmt.Errorf("%w: %d bytes, cap %d", ErrTooLarge, plen, maxPayload)
 	}
-	return plen, binary.BigEndian.Uint32(h[12:16]), typ, nil
+	return plen, binary.BigEndian.Uint32(h[12:16]), typ, flags, nil
 }
 
 // parsePayload decodes the CRC-verified payload bytes of a frame of the
-// given type. Every inner length is checked against the payload bounds and
-// trailing bytes are refused, so corruption the CRC happened to miss still
-// cannot decode.
-func parsePayload(typ Type, p []byte) (*Frame, error) {
+// given type and header flags. Every inner length is checked against the
+// payload bounds and trailing bytes are refused, so corruption the CRC
+// happened to miss still cannot decode.
+func parsePayload(typ Type, flags uint16, p []byte) (*Frame, error) {
 	if len(p) < 2 {
 		return nil, truncErr("payload of %d bytes lacks name length", len(p))
 	}
@@ -284,6 +341,21 @@ func parsePayload(typ Type, p []byte) (*Frame, error) {
 	}
 	f := &Frame{Type: typ, Name: string(p[2 : 2+nameLen])}
 	rest := p[2+nameLen:]
+	if flags&FlagSched != 0 {
+		if len(rest) < 1 {
+			return nil, truncErr("payload ends before sched lane byte")
+		}
+		if rest[0] > maxLaneByte {
+			return nil, corruptErr("sched lane byte %d out of range", rest[0])
+		}
+		f.HasSched = true
+		f.Lane = rest[0]
+		var err error
+		f.DeadlineMicros, rest, err = parseUvarint(rest[1:], "sched deadline")
+		if err != nil {
+			return nil, err
+		}
+	}
 	switch {
 	case typ.isBatch():
 		if err := parseBatchPayload(f, rest); err != nil {
@@ -332,7 +404,7 @@ func Decode(b []byte, maxPayload uint32) (*Frame, error) {
 	if len(b) < HeaderLen {
 		return nil, truncErr("%d bytes, need %d-byte header", len(b), HeaderLen)
 	}
-	plen, crc, typ, err := parseHeader(b[:HeaderLen], maxPayload)
+	plen, crc, typ, flags, err := parseHeader(b[:HeaderLen], maxPayload)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +418,7 @@ func Decode(b []byte, maxPayload uint32) (*Frame, error) {
 	if got := crc32.ChecksumIEEE(body); got != crc {
 		return nil, corruptErr("payload CRC %#x, header says %#x", got, crc)
 	}
-	return parsePayload(typ, body)
+	return parsePayload(typ, flags, body)
 }
 
 // Read parses one frame from a stream: the fixed header first (so a
@@ -361,7 +433,7 @@ func Read(r io.Reader, maxPayload uint32) (*Frame, error) {
 		}
 		return nil, fmt.Errorf("wire: read header: %w", err)
 	}
-	plen, crc, typ, err := parseHeader(h[:], maxPayload)
+	plen, crc, typ, flags, err := parseHeader(h[:], maxPayload)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +447,7 @@ func Read(r io.Reader, maxPayload uint32) (*Frame, error) {
 	if got := crc32.ChecksumIEEE(body); got != crc {
 		return nil, corruptErr("payload CRC %#x, header says %#x", got, crc)
 	}
-	return parsePayload(typ, body)
+	return parsePayload(typ, flags, body)
 }
 
 // PeekName extracts the frame type and tensor name from a fully buffered
@@ -388,7 +460,7 @@ func PeekName(b []byte, maxPayload uint32) (Type, string, error) {
 	if len(b) < HeaderLen {
 		return 0, "", truncErr("%d bytes, need %d-byte header", len(b), HeaderLen)
 	}
-	plen, _, typ, err := parseHeader(b[:HeaderLen], maxPayload)
+	plen, _, typ, _, err := parseHeader(b[:HeaderLen], maxPayload)
 	if err != nil {
 		return 0, "", err
 	}
@@ -417,6 +489,9 @@ func PeekName(b []byte, maxPayload uint32) (Type, string, error) {
 // pattern, so NaNs round-trip like any other tensor value).
 func Equal(a, b *Frame) bool {
 	if a.Type != b.Type || a.Name != b.Name || a.Compress != b.Compress || a.Alg != b.Alg {
+		return false
+	}
+	if a.HasSched != b.HasSched || a.Lane != b.Lane || a.DeadlineMicros != b.DeadlineMicros {
 		return false
 	}
 	if a.BlockElems != b.BlockElems || a.NumBlocks != b.NumBlocks ||
